@@ -1,0 +1,30 @@
+# Convenience targets for the bdrmap reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples validate clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-only:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) $$example || exit 1; \
+	done
+
+validate:
+	$(PYTHON) examples/validation_study.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks *.egg-info

@@ -1,0 +1,48 @@
+"""Shared (session-scoped) scenario runs for the benchmark harness.
+
+The 19-VP large-access study backs Figures 14, 15, and 16; the four
+validation scenarios back §5.6 and Table 1.  Each is built once per
+session; the per-benchmark timed callables are the analysis stages.
+"""
+
+import pytest
+
+from repro import (
+    build_data_bundle,
+    build_scenario,
+    large_access,
+    mini,
+    re_network,
+    small_access,
+    tier1,
+)
+from repro.core.bdrmap import Bdrmap, run_bdrmap
+
+
+@pytest.fixture(scope="session")
+def access_study():
+    """The §6 study: 19 VPs in the large access network."""
+    scenario = build_scenario(large_access())
+    data = build_data_bundle(scenario)
+    results = [Bdrmap(scenario.network, vp, data).run() for vp in scenario.vps]
+    return scenario, data, results
+
+
+@pytest.fixture(scope="session")
+def validation_runs():
+    """One bdrmap run per §5.6 network type."""
+    runs = {}
+    for config in (re_network(), tier1(), small_access()):
+        scenario = build_scenario(config)
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        runs[config.name] = (scenario, data, result)
+    return runs
+
+
+@pytest.fixture(scope="session")
+def mini_run():
+    scenario = build_scenario(mini(seed=1))
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+    return scenario, data, result

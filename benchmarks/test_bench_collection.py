@@ -1,0 +1,97 @@
+"""§5.3 — collection efficiency: the doubletree stop set, per-block
+retries, and run-time scaling.
+
+Paper: bdrmap probes every routed block but uses stop sets so repeat
+traces toward an AS halt at the first previously-seen interdomain address;
+run-time scales with the size/complexity of the hosting network (~12h for
+an R&E network vs ~48h for a large broadband network at 100pps).
+"""
+
+import pytest
+
+from repro import build_data_bundle, build_scenario, mini, re_network
+from repro.core.collection import CollectionConfig, Collector
+
+
+def _collect(scenario, data, **overrides):
+    collector = Collector(
+        scenario.network,
+        scenario.vps[0].addr,
+        data.view,
+        set(scenario.vp_as_list),
+        CollectionConfig(use_alias_resolution=False, **overrides),
+    )
+    return collector.run()
+
+
+@pytest.fixture(scope="module")
+def env():
+    scenario = build_scenario(mini(seed=1))
+    data = build_data_bundle(scenario)
+    return scenario, data
+
+
+def test_bench_traceroute_phase(benchmark, env):
+    scenario, data = env
+    collection = benchmark.pedantic(
+        lambda: _collect(scenario, data), rounds=1, iterations=1
+    )
+    assert collection.traces
+
+
+def test_stop_set_saves_probes():
+    """Run the stop-set ablation on the R&E network, where targets have
+    enough blocks for doubletree to matter."""
+    scenario = build_scenario(re_network())
+    data = build_data_bundle(scenario)
+    with_stop = _collect(scenario, data, use_stop_set=True)
+    without = _collect(scenario, data, use_stop_set=False)
+    saved = 1.0 - with_stop.probes_used / without.probes_used
+    print()
+    print(
+        "§5.3 stop-set ablation: %d probes with, %d without (%.0f%% saved)"
+        % (with_stop.probes_used, without.probes_used, 100 * saved)
+    )
+    assert saved > 0.10  # the stop set must pay for itself substantially
+
+
+def test_retry_rule_behaviour(env):
+    """§5.3: up to five addresses per block.  Targets that reveal an
+    external router stop after one trace; firewalled targets (where only
+    VP-mapped addresses appear) retry — so total traces sit strictly
+    between one and five per block."""
+    scenario, data = env
+    collection = _collect(scenario, data)
+    from collections import Counter
+
+    per_key = Counter()
+    for key in collection.trace_keys:
+        per_key[key] += 1
+    from repro.core.targets import build_targets
+
+    blocks = len(build_targets(data.view, set(scenario.vp_as_list)))
+    assert blocks <= collection.traces_run <= blocks * 5
+    assert any(count == 1 for count in per_key.values()), "no early stops"
+    assert any(count >= 5 for count in per_key.values()), "no retries"
+
+    one_addr = _collect(scenario, data, max_addrs_per_block=1)
+    assert one_addr.traces_run <= collection.traces_run
+
+
+def test_runtime_scales_with_network_size():
+    """Paper: ~12h (R&E) vs ~48h (large access) at the same pps.  Virtual
+    probing time must likewise grow with the network's size."""
+    small_scenario = build_scenario(mini(seed=1))
+    small_data = build_data_bundle(small_scenario)
+    small = _collect(small_scenario, small_data)
+
+    big_scenario = build_scenario(re_network())
+    big_data = build_data_bundle(big_scenario)
+    big = _collect(big_scenario, big_data)
+
+    print()
+    print(
+        "§5.3 runtime scaling: mini %d probes, re_network %d probes"
+        % (small.probes_used, big.probes_used)
+    )
+    assert big.probes_used > small.probes_used * 1.5

@@ -1,0 +1,71 @@
+"""Figure 15 — marginal utility of VPs for discovering interconnections.
+
+Paper shape: Akamai-like CDNs (selective per-link announcement) are fully
+mapped from a single VP; Level3-like dense peers (hot-potato, everything
+announced everywhere) reveal links gradually — 45 router-level links with
+one peer, needing 17 of 19 VPs for full coverage.
+"""
+
+import pytest
+
+from repro.analysis import marginal_utility
+
+
+@pytest.fixture(scope="module")
+def study(access_study):
+    scenario, data, results = access_study
+    neighbors = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    report = marginal_utility(results, scenario.internet, neighbors)
+    return scenario, report
+
+
+def test_bench_marginal_utility(benchmark, access_study):
+    scenario, data, results = access_study
+    neighbors = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    report = benchmark(marginal_utility, results, scenario.internet, neighbors)
+    assert report.curves
+
+
+def test_fig15_reproduction(study):
+    scenario, report = study
+    print()
+    print("Fig 15 — marginal utility of VPs (cumulative links discovered):")
+    for asn in scenario.state.dense_peer_asns:
+        print("  dense AS%-6d %s" % (asn, report.curves[asn]))
+    for asn in scenario.state.cdn_peer_asns:
+        print("  CDN   AS%-6d %s" % (asn, report.curves[asn]))
+
+    for asn in scenario.state.dense_peer_asns:
+        # Paper: 45 links, 17 VPs needed; one VP sees only a handful.
+        assert report.total_links(asn) >= 35
+        assert report.single_vp_fraction(asn) <= 0.25
+        assert report.vps_to_full_coverage(asn) >= 10
+    for asn in scenario.state.cdn_peer_asns:
+        # Paper: a single VP observes all Akamai interconnections.
+        assert report.single_vp_fraction(asn) >= 0.6
+        assert report.vps_to_full_coverage(asn) <= len(report.curves[asn])
+
+
+def test_fig15_dense_peer_curves_strictly_grow_early(study):
+    """Each early VP must add links for the dense peers (the defining
+    contrast with the CDNs)."""
+    scenario, report = study
+    for asn in scenario.state.dense_peer_asns:
+        curve = report.curves[asn]
+        assert curve[4] > curve[0]
+        assert curve[9] > curve[4]
+
+
+def test_fig15_dense_peer_truth_link_count(study):
+    """The generator placed ~45 links with each dense peer (the paper's
+    headline number); most must be discoverable."""
+    scenario, report = study
+    internet = scenario.internet
+    for asn in scenario.state.dense_peer_asns:
+        truth = 0
+        for link in internet.interdomain_links(scenario.focal_asn):
+            owners = {internet.routers[i.router_id].asn for i in link.interfaces}
+            if asn in owners:
+                truth += 1
+        assert truth == 45
+        assert report.total_links(asn) >= truth * 0.8

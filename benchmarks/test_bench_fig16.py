@@ -1,0 +1,78 @@
+"""Figure 16 — geographic reach of each VP.
+
+Paper shape: for a hot-potato peer (Level3) the links a VP observes sit at
+the VP's own longitude (visibility is regional); for a selective-announcing
+CDN (Akamai) every VP observes links spread across the country.
+"""
+
+import pytest
+
+from repro.analysis import geography_analysis
+
+
+@pytest.fixture(scope="module")
+def study(access_study):
+    scenario, data, results = access_study
+    neighbors = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    report = geography_analysis(results, scenario.internet, neighbors)
+    return scenario, report
+
+
+def test_bench_geography_analysis(benchmark, access_study):
+    scenario, data, results = access_study
+    neighbors = scenario.state.dense_peer_asns[:1]
+    report = benchmark(
+        geography_analysis, results, scenario.internet, neighbors
+    )
+    assert report.rows
+
+
+def test_fig16_reproduction(study):
+    scenario, report = study
+    print()
+    print("Fig 16 — VP longitude vs observed-link longitudes:")
+    for label, asns in (
+        ("dense", scenario.state.dense_peer_asns),
+        ("CDN", scenario.state.cdn_peer_asns),
+    ):
+        for asn in asns:
+            print(
+                "  %-5s AS%-6d mean |link-vp| = %5.1f°, spread = %5.1f°"
+                % (
+                    label,
+                    asn,
+                    report.mean_distance_to_vp(asn),
+                    report.longitude_spread(asn),
+                )
+            )
+    dense_distance = max(
+        report.mean_distance_to_vp(asn)
+        for asn in scenario.state.dense_peer_asns
+    )
+    cdn_distance = min(
+        report.mean_distance_to_vp(asn)
+        for asn in scenario.state.cdn_peer_asns
+    )
+    # Hot-potato: links are near the VP; selective CDN: links are wherever
+    # the CDN put them, independent of the VP.
+    assert dense_distance < 5.0
+    assert cdn_distance > dense_distance + 5.0
+
+
+def test_fig16_cdn_links_spread_wide(study):
+    """Every VP must see CDN links across a wide longitude range."""
+    scenario, report = study
+    for asn in scenario.state.cdn_peer_asns:
+        assert report.longitude_spread(asn) > 10.0
+
+
+def test_fig16_dense_rows_follow_vp(study):
+    """For the dense peer, each VP's observed links cluster around the
+    VP's own longitude."""
+    scenario, report = study
+    for asn in scenario.state.dense_peer_asns:
+        for vp_lon, link_lons in report.rows[asn]:
+            if not link_lons:
+                continue
+            nearest = min(abs(lon - vp_lon) for lon in link_lons)
+            assert nearest < 8.0

@@ -1,0 +1,56 @@
+"""§5.8 — resource-limited deployment.
+
+Paper: the full bdrmap state (~150 MB) cannot live on a 32 MB measurement
+device; scamper on the device used 3.5 MB while a central controller drove
+it interactively.  Here: the remote split must produce identical
+inferences while the device's peak in-flight state stays orders of
+magnitude below the controller's.
+"""
+
+import pytest
+
+from repro import build_data_bundle, build_scenario, mini, run_bdrmap
+from repro.remote import RemoteBdrmap
+
+
+@pytest.fixture(scope="module")
+def remote_run():
+    scenario = build_scenario(mini(seed=1))
+    data = build_data_bundle(scenario)
+    controller = RemoteBdrmap(scenario.network, scenario.vps[0], data)
+    result = controller.run()
+    return scenario, controller, result
+
+
+def test_bench_remote_pipeline(benchmark):
+    def run():
+        scenario = build_scenario(mini(seed=1))
+        data = build_data_bundle(scenario)
+        return RemoteBdrmap(scenario.network, scenario.vps[0], data).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.links
+
+
+def test_remote_equals_local(remote_run, mini_run):
+    _, _, remote = remote_run
+    _, _, local = mini_run
+    assert remote.border_pairs() == local.border_pairs()
+
+
+def test_device_vs_controller_state(remote_run):
+    scenario, controller, result = remote_run
+    stats = controller.stats
+    ratio = stats.controller_state_bytes / stats.device_peak_bytes
+    print()
+    print(stats.summary())
+    print("state ratio controller/device = %.0fx (paper: ~43x)" % ratio)
+    assert stats.device_peak_bytes < 64 * 1024   # device stays tiny
+    assert ratio > 10.0                          # same order as the paper
+
+
+def test_message_volume_scales_with_traces(remote_run):
+    scenario, controller, result = remote_run
+    stats = controller.stats
+    # Each trace needs one command/reply exchange; alias probing adds more.
+    assert stats.messages >= 2 * result.traces_run

@@ -1,0 +1,96 @@
+"""§5.6 — validation against ground truth.
+
+Paper: 96.3% (R&E, 131/136), 97.0-98.9% (large access), 97.5% (Tier-1,
+2584/2650), 96.6% (small access, 283/293).
+
+Here: the same four network types, synthetic ground truth, same scoring
+unit (inferred links / neighbor identifications).  The benchmark times a
+complete bdrmap run on the R&E network.
+"""
+
+import pytest
+
+from repro import build_data_bundle, build_scenario, re_network, run_bdrmap
+from repro.analysis import validate_result
+from repro.analysis.validation import neighbor_coverage
+
+PAPER = {
+    "re_network": 0.963,
+    "tier1": 0.975,
+    "small_access": 0.966,
+    "large_access": 0.97,
+}
+
+
+def test_bench_full_bdrmap_run(benchmark):
+    """Time one complete pipeline (collection + alias + inference)."""
+    def full_run():
+        scenario = build_scenario(re_network())
+        data = build_data_bundle(scenario)
+        return run_bdrmap(scenario, data=data)
+
+    result = benchmark.pedantic(full_run, rounds=1, iterations=1)
+    assert result.links
+
+
+def test_validation_accuracy_bands(validation_runs, access_study):
+    print()
+    print("§5.6 validation — paper vs measured")
+    print("%-13s %7s %9s %9s %10s" % ("network", "links", "measured", "paper", "coverage"))
+    rows = dict(validation_runs)
+    scenario, data, results = access_study
+    rows["large_access"] = (scenario, data, results[0])
+    for name, (scenario, data, result) in rows.items():
+        report = validate_result(result, scenario.internet)
+        covered, total, fraction = neighbor_coverage(result, scenario.internet)
+        print(
+            "%-13s %7d %8.1f%% %8.1f%% %6d/%-4d"
+            % (name, report.total, 100 * report.accuracy, 100 * PAPER[name],
+               covered, total)
+        )
+        # Shape: accuracy stays high (within ~7 points of the paper's).
+        assert report.accuracy >= PAPER[name] - 0.07, name
+        assert report.total >= 30, name
+
+
+def test_validation_correct_links_have_truth_support(validation_runs):
+    for name, (scenario, data, result) in validation_runs.items():
+        report = validate_result(result, scenario.internet)
+        for judgement in report.judgements:
+            if judgement.verdict == "correct":
+                assert judgement.link.neighbor_as in judgement.truth_neighbors
+
+
+def test_other_network_types_similar_results():
+    """§5.7: 'We also used bdrmap to infer border routers of 25 other
+    networks, with similar results.'  A CDN-hosted VP — an entirely
+    different neighbor mix (peer-heavy, few customers) — must validate in
+    the same band."""
+    from repro.topology import cdn_network
+
+    scenario = build_scenario(cdn_network())
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+    report = validate_result(result, scenario.internet)
+    covered, total, fraction = neighbor_coverage(result, scenario.internet)
+    print()
+    print(
+        "cdn_network: %d links, %.1f%% correct, coverage %d/%d"
+        % (report.total, 100 * report.accuracy, covered, total)
+    )
+    assert report.accuracy >= 0.9
+    assert fraction >= 0.85
+
+
+def test_multi_seed_stability():
+    """Accuracy must hold across topologies, not one lucky seed: three
+    fresh R&E-style Internets, all in band."""
+    for seed in (2, 12, 22):
+        scenario = build_scenario(re_network(seed=seed))
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        report = validate_result(result, scenario.internet)
+        print("re_network seed %d → %.1f%% (%d links)"
+              % (seed, 100 * report.accuracy, report.total))
+        assert report.total >= 25, seed
+        assert report.accuracy >= 0.9, seed

@@ -1,0 +1,119 @@
+"""§6's placement claim — geographic diversity matters, not just count.
+
+"It is not just number of VPs but their geographical diversity ... that
+affects the number of distinct interdomain links observed."  Six VPs
+spread across the country must reveal substantially more of a hot-potato
+peer's interconnections than six VPs clustered on one coast, while the
+selective-announcing CDN is indifferent to placement.
+"""
+
+import pytest
+
+from repro import build_data_bundle, build_scenario, large_access
+from repro.analysis import marginal_utility
+from repro.core.bdrmap import Bdrmap
+
+N_VPS = 6
+
+
+def _run(placement: str):
+    config = large_access(n_customers=80, n_vps=N_VPS)
+    config.vp_placement = placement
+    scenario = build_scenario(config)
+    data = build_data_bundle(scenario)
+    results = [Bdrmap(scenario.network, vp, data).run() for vp in scenario.vps]
+    neighbors = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    report = marginal_utility(results, scenario.internet, neighbors)
+    return scenario, report
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {placement: _run(placement) for placement in ("spread", "west")}
+
+
+def test_bench_vp_placement(benchmark, runs):
+    scenario, report = runs["spread"]
+    dense = scenario.state.dense_peer_asns[0]
+
+    def discovered():
+        return report.total_links(dense)
+
+    assert benchmark(discovered) > 0
+
+
+def _link_longitudes(scenario, report, asn):
+    """Longitudes of the near-side routers of discovered truth links."""
+    pop_city = {}
+    for node in scenario.internet.ases.values():
+        for pop in node.pops:
+            pop_city[pop.pop_id] = pop.city
+    longitudes = []
+    for per_vp in report.per_vp.get(asn, []):
+        for identity in per_vp:
+            if identity[0] != "link":
+                continue
+            link = scenario.internet.links[identity[1]]
+            for iface in link.interfaces:
+                router = scenario.internet.routers[iface.router_id]
+                if router.asn == scenario.focal_asn:
+                    city = pop_city.get(router.pop_id)
+                    if city is not None:
+                        longitudes.append(city.lon)
+    return longitudes
+
+
+def test_spread_covers_wider_geography(runs):
+    """Under hot-potato routing a VP only sees its region's links, so the
+    *reach* of a deployment is its geographic footprint: spread VPs must
+    cover the country; clustered VPs must miss the far coast entirely."""
+    spread_scenario, spread = runs["spread"]
+    west_scenario, clustered = runs["west"]
+    print()
+    print("VP placement (6 VPs): longitude coverage of discovered links")
+    for asn in spread_scenario.state.dense_peer_asns:
+        spread_lons = _link_longitudes(spread_scenario, spread, asn)
+        clustered_lons = _link_longitudes(west_scenario, clustered, asn)
+        assert spread_lons and clustered_lons
+        spread_span = max(spread_lons) - min(spread_lons)
+        clustered_span = max(clustered_lons) - min(clustered_lons)
+        print(
+            "  AS%-6d spread span %.0f° (east to %.0f°), "
+            "clustered span %.0f° (east to %.0f°)"
+            % (asn, spread_span, max(spread_lons),
+               clustered_span, max(clustered_lons))
+        )
+        # Spread reaches the east coast; the western cluster never does.
+        assert max(spread_lons) > -85
+        assert max(clustered_lons) < -95
+        assert spread_span > clustered_span + 15
+
+
+def test_cdn_indifferent_to_placement(runs):
+    """Selective announcement forces traffic to the announced link from
+    anywhere: clustered VPs see (almost) everything too."""
+    spread_scenario, spread = runs["spread"]
+    west_scenario, clustered = runs["west"]
+    for asn in spread_scenario.state.cdn_peer_asns:
+        s = spread.total_links(asn)
+        c = clustered.total_links(asn)
+        assert c >= s * 0.8, "CDN discovery should not depend on placement"
+
+
+def test_clustered_links_are_nearby(runs):
+    """The links the clustered deployment does find sit at its own coast."""
+    from repro.analysis import geography_analysis
+
+    west_scenario, _ = runs["west"]
+    data = build_data_bundle(west_scenario)
+    results = [
+        Bdrmap(west_scenario.network, vp, data).run()
+        for vp in west_scenario.vps
+    ]
+    dense = west_scenario.state.dense_peer_asns[:1]
+    geo = geography_analysis(results, west_scenario.internet, dense)
+    for rows in geo.rows.values():
+        for vp_lon, link_lons in rows:
+            assert vp_lon < -100  # the VPs really are out west
+            for lon in link_lons:
+                assert lon < -90   # and so are their observed links

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The §6 interconnection study: deploy many VPs in a large access network
+and measure (i) per-prefix egress diversity (Fig 14), (ii) the marginal
+utility of additional VPs for discovering interconnections with dense
+transit peers vs selective-announcement CDNs (Fig 15), and (iii) the
+geographic footprint each VP can see (Fig 16).
+
+Run:  python examples/access_isp_study.py [--vps N] [--customers N]
+(defaults are scaled down from the paper's 19-VP deployment for speed)
+"""
+
+import argparse
+import time
+
+from repro import build_scenario, large_access, build_data_bundle
+from repro.core.bdrmap import Bdrmap
+from repro.analysis import (
+    diversity_analysis,
+    geography_analysis,
+    marginal_utility,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vps", type=int, default=8)
+    parser.add_argument("--customers", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    t0 = time.time()
+    scenario = build_scenario(
+        large_access(seed=args.seed, n_customers=args.customers, n_vps=args.vps)
+    )
+    data = build_data_bundle(scenario)
+    print("built %s: %s" % (scenario.config.name, scenario.internet.stats()))
+
+    results = []
+    for vp in scenario.vps:
+        result = Bdrmap(scenario.network, vp, data).run()
+        results.append(result)
+        print(
+            "  %s: %d links to %d ASes"
+            % (vp.name, len(result.links), len(result.neighbor_ases()))
+        )
+    print("measured %d VPs in %.1fs" % (len(results), time.time() - t0))
+
+    # Fig 14: per-prefix border-router / next-hop-AS diversity.
+    diversity = diversity_analysis(results, data.view, scenario.internet)
+    print()
+    print("Fig 14 —", diversity.summary())
+
+    # Fig 15: marginal utility of VPs for dense peers vs CDNs.
+    study_ases = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    marginal = marginal_utility(results, scenario.internet, study_ases)
+    print()
+    print("Fig 15 —", marginal.summary())
+    for asn in scenario.state.dense_peer_asns:
+        print("  discovery curve AS%d: %s" % (asn, marginal.curves[asn]))
+
+    # Fig 16: VP longitude vs observed-link longitude.
+    from repro.analysis.plots import text_cdf, text_curve, text_scatter_rows
+
+    geo = geography_analysis(
+        results,
+        scenario.internet,
+        scenario.state.dense_peer_asns[:1] + scenario.state.cdn_peer_asns[:1],
+    )
+    print()
+    print("Fig 16 —", geo.summary())
+    for asn, rows in geo.rows.items():
+        print("  AS%d (o = VP, * = links it observed):" % asn)
+        print(text_scatter_rows(rows))
+
+    print()
+    print("Fig 14 (CDF of border routers per prefix):")
+    print(text_cdf(diversity.router_count_cdf(), label=""))
+    print()
+    print("Fig 15 (links discovered vs VPs):")
+    curves = {}
+    if scenario.state.dense_peer_asns:
+        curves["dense"] = marginal.curves[scenario.state.dense_peer_asns[0]]
+    if scenario.state.cdn_peer_asns:
+        curves["cdn"] = marginal.curves[scenario.state.cdn_peer_asns[0]]
+    print(text_curve(curves, x_label="VPs added (deployment order)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""End-to-end interdomain congestion study — the application the paper's
+system was built for (§2, and the CAIDA/MIT congestion project).
+
+1. bdrmap maps the VP network's border links.
+2. TSLP probes the near and far side of every monitorable link every 30
+   virtual minutes for several days.
+3. The detector flags links with a sustained diurnal far-side elevation.
+4. We score detections against the simulator's ground-truth congestion
+   schedule.
+
+Run:  python examples/congestion_study.py [--days N] [--congest N]
+"""
+
+import argparse
+
+from repro import build_scenario, build_data_bundle, mini, ntoa, run_bdrmap
+from repro.congestion import (
+    TSLPMonitor,
+    detect_congestion,
+    probe_targets_from_result,
+)
+from repro.net.congestion import CongestionProfile
+from repro.topology.model import LinkKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument("--congest", type=int, default=4,
+                        help="how many border links to congest")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    scenario = build_scenario(mini(seed=args.seed))
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+    targets = probe_targets_from_result(result)
+    print(
+        "bdrmap found %d links; %d are monitorable (both sides answered)"
+        % (len(result.links), len(targets))
+    )
+
+    # Induce congestion on a few true border links (stalled upgrades).
+    congested_truth = set()
+    for target in targets:
+        if len(congested_truth) >= args.congest:
+            break
+        iface = scenario.internet.addr_to_iface.get(target.far_addr)
+        if iface is None:
+            continue
+        link = scenario.internet.links[iface.link_id]
+        if link.kind is LinkKind.INTRA:
+            continue
+        scenario.network.congestion.congest(
+            link.link_id, CongestionProfile(peak_ms=35.0)
+        )
+        congested_truth.add((target.near_rid, target.far_rid))
+    print("induced congestion on %d links" % len(congested_truth))
+
+    monitor = TSLPMonitor(
+        scenario.network, scenario.vps[0].addr, targets, interval=1800.0
+    )
+    report = monitor.run(duration=args.days * 86400.0)
+    print(
+        "TSLP: %d rounds, %d probes over %d virtual days"
+        % (report.rounds, report.probes_sent, args.days)
+    )
+
+    print()
+    print("link (near -> far)                AS      verdict     peak   busy%")
+    hits = misses = false_alarms = 0
+    for key, series in sorted(report.series.items()):
+        assessment = detect_congestion(series)
+        truth = key in congested_truth
+        detected = assessment.verdict.value == "congested"
+        if detected and truth:
+            hits += 1
+        elif detected:
+            false_alarms += 1
+        elif truth:
+            misses += 1
+        marker = "*" if truth else " "
+        print(
+            "%s %-15s -> %-15s AS%-6d %-10s %5.1fms %5.0f%%"
+            % (
+                marker,
+                ntoa(series.target.near_addr),
+                ntoa(series.target.far_addr),
+                series.target.neighbor_as,
+                assessment.verdict.value,
+                assessment.peak_elevation_ms,
+                100 * assessment.elevated_fraction,
+            )
+        )
+    print()
+    print(
+        "detected %d/%d congested links, %d false alarms "
+        "(* marks ground truth)" % (hits, len(congested_truth), false_alarms)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Produce a near/far probing target list for interdomain congestion
+measurement — the motivating application of §2 and the CAIDA/MIT congestion
+project the paper's system supports.
+
+Time-series latency probing of an interdomain link needs, per link, an
+address on the near (VP-network) side and one on the far (neighbor) side.
+Identifying those pairs is exactly what bdrmap provides; this example runs
+bdrmap and emits the target list a congestion monitor would consume.
+
+Run:  python examples/congestion_targets.py
+"""
+
+from repro import build_scenario, build_data_bundle, ntoa, re_network, run_bdrmap
+
+
+def main() -> None:
+    scenario = build_scenario(re_network(seed=21))
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+
+    print("# near_addr far_addr neighbor_as reason")
+    emitted = 0
+    for link in sorted(result.links, key=lambda l: (l.neighbor_as, l.near_rid)):
+        near = result.graph.routers.get(link.near_rid)
+        far = result.graph.routers.get(link.far_rid) if link.far_rid else None
+        if near is None or not near.addrs:
+            continue
+        near_addr = min(near.addrs)
+        if far is not None and far.addrs:
+            far_addr = ntoa(min(far.addrs))
+        else:
+            far_addr = "-"  # silent neighbor: probe near side only (§5.4.8)
+        print(
+            "%-15s %-15s AS%-6d %s"
+            % (ntoa(near_addr), far_addr, link.neighbor_as, link.reason)
+        )
+        emitted += 1
+    print("# %d probe-able interdomain links for AS%d" % (emitted, scenario.focal_asn))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Longitudinal interconnection monitoring.
+
+The deployed bdrmap system re-runs continuously so CAIDA can watch
+interconnection evolve.  This example runs bdrmap, provisions a new
+peering link and turns another down (the events a real month contains),
+re-runs, and diffs — producing the change report an operator would read.
+
+Run:  python examples/longitudinal_monitoring.py
+"""
+
+from repro import build_scenario, build_data_bundle, mini, run_bdrmap
+from repro.analysis import diff_results
+from repro.topology.evolve import add_border_link, rebuild_network, remove_link
+from repro.topology.model import LinkKind
+
+
+def main() -> None:
+    scenario = build_scenario(mini(seed=9))
+    data = build_data_bundle(scenario)
+    before = run_bdrmap(scenario, data=data)
+    print("epoch 1: %d links to %d neighbors"
+          % (len(before.links), len(before.neighbor_ases())))
+
+    # A month passes: one new peering comes up, one link is turned down.
+    internet = scenario.internet
+    focal = scenario.focal_asn
+    new_peer = next(
+        asn
+        for asn in sorted(internet.ases)
+        if internet.graph.relationship(focal, asn) is None
+        and internet.ases[asn].router_ids
+        and asn != focal
+    )
+    add_border_link(scenario, focal, new_peer)
+    print("provisioned new peering with AS%d" % new_peer)
+
+    victim_link = next(iter(internet.interdomain_links(focal)))
+    victim_as = next(
+        internet.routers[i.router_id].asn
+        for i in victim_link.interfaces
+        if internet.routers[i.router_id].asn != focal
+    )
+    remove_link(scenario, victim_link.link_id)
+    print("turned down one link with AS%d" % victim_as)
+
+    rebuild_network(scenario)
+    scenario.network.advance(30 * 86400.0)  # a month of virtual time
+
+    after = run_bdrmap(scenario, data=build_data_bundle(scenario))
+    print("epoch 2: %d links to %d neighbors"
+          % (len(after.links), len(after.neighbor_ases())))
+
+    print()
+    diff = diff_results(before, after)
+    print(diff.summary())
+    assert new_peer in after.neighbor_ases()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so `python setup.py develop` works on machines without the
+``wheel`` package (pip's editable path requires bdist_wheel).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""bdrmap reproduction: inference of borders between IP networks.
+
+Public API quickstart::
+
+    from repro import build_scenario, mini, run_bdrmap
+
+    scenario = build_scenario(mini())
+    result = run_bdrmap(scenario)
+    print(result.summary())
+
+Layers (bottom-up): :mod:`repro.topology` generates a synthetic Internet
+with ground truth; :mod:`repro.net` forwards probe packets over it;
+:mod:`repro.bgp` and :mod:`repro.datasets` derive the public input data of
+§5.2; :mod:`repro.probing` and :mod:`repro.alias` implement the measurement
+tools; :mod:`repro.core` is bdrmap itself; :mod:`repro.analysis` scores
+results against ground truth and regenerates the paper's tables and
+figures.
+"""
+
+from .addr import AddressBlock, Prefix, aton, ntoa
+from .topology import (
+    build_scenario,
+    large_access,
+    mini,
+    re_network,
+    small_access,
+    tier1,
+)
+from .core import Bdrmap, BdrmapConfig, BdrmapResult, build_data_bundle
+from .core.bdrmap import run_bdrmap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Prefix",
+    "AddressBlock",
+    "aton",
+    "ntoa",
+    "build_scenario",
+    "mini",
+    "re_network",
+    "large_access",
+    "tier1",
+    "small_access",
+    "Bdrmap",
+    "BdrmapConfig",
+    "BdrmapResult",
+    "build_data_bundle",
+    "run_bdrmap",
+    "__version__",
+]

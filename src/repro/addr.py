@@ -1,0 +1,232 @@
+"""IPv4 address and prefix primitives.
+
+Addresses are plain ``int`` values in ``[0, 2**32)`` on all hot paths;
+:class:`Prefix` is an immutable (address, length) pair with the host bits
+zeroed.  Dotted-quad strings appear only at the presentation edge
+(:func:`ntoa` / :func:`aton`).
+
+The paper's method reasons constantly about prefixes: longest-prefix match
+for IP→AS mapping, /30 and /31 interdomain subnets for prefixscan, and the
+address-block list that drives probing (§5.3).  These primitives underpin all
+of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .errors import AddressError
+
+MAX_ADDR = (1 << 32) - 1
+
+
+def aton(text: str) -> int:
+    """Parse dotted-quad ``text`` into an int address.
+
+    >>> aton("128.66.0.1")
+    2151743489
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError("not a dotted quad: %r" % text)
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError("bad octet %r in %r" % (part, text))
+        octet = int(part)
+        if octet > 255:
+            raise AddressError("octet out of range in %r" % text)
+        value = (value << 8) | octet
+    return value
+
+
+def ntoa(addr: int) -> str:
+    """Render int address ``addr`` as a dotted quad string."""
+    if not 0 <= addr <= MAX_ADDR:
+        raise AddressError("address out of range: %r" % addr)
+    return "%d.%d.%d.%d" % (
+        (addr >> 24) & 0xFF,
+        (addr >> 16) & 0xFF,
+        (addr >> 8) & 0xFF,
+        addr & 0xFF,
+    )
+
+
+def netmask(plen: int) -> int:
+    """Return the netmask for prefix length ``plen`` as an int."""
+    if not 0 <= plen <= 32:
+        raise AddressError("prefix length out of range: %r" % plen)
+    if plen == 0:
+        return 0
+    return (MAX_ADDR << (32 - plen)) & MAX_ADDR
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix: network address (host bits zero) plus length.
+
+    Instances are hashable and totally ordered (by address, then length),
+    which keeps target lists and report output deterministic.
+    """
+
+    addr: int
+    plen: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.plen <= 32:
+            raise AddressError("prefix length out of range: %r" % self.plen)
+        if not 0 <= self.addr <= MAX_ADDR:
+            raise AddressError("address out of range: %r" % self.addr)
+        masked = self.addr & netmask(self.plen)
+        if masked != self.addr:
+            raise AddressError(
+                "host bits set in %s/%d" % (ntoa(self.addr), self.plen)
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` into a Prefix."""
+        if "/" not in text:
+            raise AddressError("missing / in prefix %r" % text)
+        addr_text, _, plen_text = text.partition("/")
+        if not plen_text.isdigit():
+            raise AddressError("bad prefix length in %r" % text)
+        return cls(aton(addr_text), int(plen_text))
+
+    @classmethod
+    def of(cls, addr: int, plen: int) -> "Prefix":
+        """Build the prefix of length ``plen`` containing ``addr``."""
+        return cls(addr & netmask(plen), plen)
+
+    @property
+    def first(self) -> int:
+        """The lowest address in the prefix (the network address)."""
+        return self.addr
+
+    @property
+    def last(self) -> int:
+        """The highest address in the prefix (the broadcast address)."""
+        return self.addr | (MAX_ADDR >> self.plen if self.plen else MAX_ADDR)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.plen)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.addr <= addr <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return other.plen >= self.plen and other.addr & netmask(self.plen) == self.addr
+
+    def split(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two child prefixes of length ``plen + 1``."""
+        if self.plen >= 32:
+            raise AddressError("cannot split a /32")
+        child_len = self.plen + 1
+        left = Prefix(self.addr, child_len)
+        right = Prefix(self.addr | (1 << (32 - child_len)), child_len)
+        return left, right
+
+    def subnets(self, plen: int) -> Iterator["Prefix"]:
+        """Iterate the subnets of this prefix at length ``plen``."""
+        if plen < self.plen:
+            raise AddressError(
+                "cannot enumerate /%d subnets of a /%d" % (plen, self.plen)
+            )
+        step = 1 << (32 - plen)
+        for base in range(self.addr, self.last + 1, step):
+            yield Prefix(base, plen)
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate usable host addresses.
+
+        For /31 and /32 every address is usable (RFC 3021); otherwise the
+        network and broadcast addresses are excluded.
+        """
+        if self.plen >= 31:
+            yield from range(self.addr, self.last + 1)
+        else:
+            yield from range(self.addr + 1, self.last)
+
+    def __str__(self) -> str:
+        return "%s/%d" % (ntoa(self.addr), self.plen)
+
+
+@dataclass(frozen=True, order=True)
+class AddressBlock:
+    """A contiguous address range [first, last] associated with an origin AS.
+
+    §5.3 builds probing targets from address *blocks*, not prefixes: when Y
+    originates a more-specific inside X's prefix, X's block is the /16 minus
+    the more-specific.  Blocks capture those punched-out ranges exactly.
+    """
+
+    first: int
+    last: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.first <= self.last <= MAX_ADDR:
+            raise AddressError(
+                "bad block [%r, %r]" % (self.first, self.last)
+            )
+
+    @property
+    def size(self) -> int:
+        return self.last - self.first + 1
+
+    def __contains__(self, addr: int) -> bool:
+        return self.first <= addr <= self.last
+
+    def __str__(self) -> str:
+        return "%s-%s" % (ntoa(self.first), ntoa(self.last))
+
+
+def subtract_blocks(outer: AddressBlock, inners: List[AddressBlock]) -> List[AddressBlock]:
+    """Return ``outer`` minus every block in ``inners``, as sorted blocks.
+
+    Used to build per-AS probing blocks: the /16 of X minus the /24 that Y
+    originates yields two blocks belonging to X (§5.3 example).
+    """
+    pieces = [outer]
+    for inner in sorted(inners):
+        next_pieces: List[AddressBlock] = []
+        for piece in pieces:
+            if inner.last < piece.first or inner.first > piece.last:
+                next_pieces.append(piece)
+                continue
+            if inner.first > piece.first:
+                next_pieces.append(AddressBlock(piece.first, inner.first - 1))
+            if inner.last < piece.last:
+                next_pieces.append(AddressBlock(inner.last + 1, piece.last))
+        pieces = next_pieces
+    return sorted(pieces)
+
+
+def block_of(prefix: Prefix) -> AddressBlock:
+    """The AddressBlock covering exactly ``prefix``."""
+    return AddressBlock(prefix.first, prefix.last)
+
+
+def summarize_range(first: int, last: int) -> List[Prefix]:
+    """Cover [first, last] with the minimal list of CIDR prefixes.
+
+    Used when emitting RIR delegation files (which record ranges) back as
+    prefixes, and in tests as the inverse of :func:`subtract_blocks`.
+    """
+    if not 0 <= first <= last <= MAX_ADDR:
+        raise AddressError("bad range [%r, %r]" % (first, last))
+    prefixes: List[Prefix] = []
+    cursor = first
+    while cursor <= last:
+        # Largest power-of-two block aligned at cursor...
+        align = cursor & -cursor if cursor else 1 << 32
+        # ...that also fits in the remaining span.
+        span = last - cursor + 1
+        size = min(align, 1 << span.bit_length() - 1)
+        plen = 32 - (size.bit_length() - 1)
+        prefixes.append(Prefix(cursor, plen))
+        cursor += size
+    return prefixes

@@ -1,0 +1,9 @@
+"""Alias-resolution bookkeeping: per-pair evidence, conflict-aware
+transitive closure, and the resolver that orchestrates Mercator / Ally /
+prefixscan probing over candidate address sets (§5.3)."""
+
+from .evidence import PairEvidence, EvidenceStore
+from .unionfind import ConflictUnionFind
+from .resolver import AliasResolver
+
+__all__ = ["PairEvidence", "EvidenceStore", "ConflictUnionFind", "AliasResolver"]

@@ -1,0 +1,69 @@
+"""Per-pair alias evidence.
+
+Every alias method can vote for or against a pair; §5.3's "limit false
+aliases" rule means a single credible *against* vote vetoes the pair when
+building routers, no matter how many methods voted for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
+
+
+@dataclass
+class PairEvidence:
+    """Accumulated evidence for one unordered address pair."""
+
+    for_methods: Set[str] = field(default_factory=set)
+    against_methods: Set[str] = field(default_factory=set)
+
+    @property
+    def positive(self) -> bool:
+        return bool(self.for_methods) and not self.against_methods
+
+    @property
+    def negative(self) -> bool:
+        return bool(self.against_methods)
+
+
+class EvidenceStore:
+    """All pairwise evidence collected during a run."""
+
+    def __init__(self) -> None:
+        self._pairs: Dict[FrozenSet[int], PairEvidence] = {}
+
+    @staticmethod
+    def _key(a: int, b: int) -> FrozenSet[int]:
+        return frozenset((a, b))
+
+    def record_for(self, a: int, b: int, method: str) -> None:
+        if a == b:
+            return
+        self._pairs.setdefault(self._key(a, b), PairEvidence()).for_methods.add(method)
+
+    def record_against(self, a: int, b: int, method: str) -> None:
+        if a == b:
+            return
+        self._pairs.setdefault(self._key(a, b), PairEvidence()).against_methods.add(method)
+
+    def get(self, a: int, b: int) -> PairEvidence:
+        return self._pairs.get(self._key(a, b), PairEvidence())
+
+    def tested(self, a: int, b: int) -> bool:
+        return self._key(a, b) in self._pairs
+
+    def positive_pairs(self) -> Iterator[Tuple[int, int]]:
+        for key, evidence in self._pairs.items():
+            if evidence.positive:
+                a, b = sorted(key)
+                yield a, b
+
+    def negative_pairs(self) -> Iterator[Tuple[int, int]]:
+        for key, evidence in self._pairs.items():
+            if evidence.negative:
+                a, b = sorted(key)
+                yield a, b
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -1,0 +1,155 @@
+"""Alias-resolution orchestration (§5.3).
+
+The resolver drives Mercator and (repeated, hardened) Ally probing over the
+addresses and candidate sets the collection stage hands it, accumulates
+evidence, and produces conflict-checked alias components for the router
+graph build.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Optional, Set
+
+from ..net import Network, ProbeKind
+from ..probing.ally import AliasVerdict, ally_repeated
+from ..probing.mercator import mercator_probe
+from ..probing.midar import estimate_velocity, velocities_compatible
+from ..probing.ping import ping
+from ..probing.ttl_limited import TTLLimitedProber
+from .evidence import EvidenceStore
+from .unionfind import ConflictUnionFind
+
+
+class AliasResolver:
+    """Collects alias evidence and builds routers from it."""
+
+    def __init__(
+        self,
+        network: Network,
+        vp_addr: int,
+        ally_rounds: int = 5,
+        ally_interval: float = 300.0,
+        max_set_pairs: int = 66,
+        use_velocity_screen: bool = True,
+    ) -> None:
+        self.network = network
+        self.vp_addr = vp_addr
+        self.ally_rounds = ally_rounds
+        self.ally_interval = ally_interval
+        self.max_set_pairs = max_set_pairs
+        self.use_velocity_screen = use_velocity_screen
+        self.evidence = EvidenceStore()
+        self._mercator_cache: Dict[int, Optional[int]] = {}
+        self._velocity_cache: Dict[int, Optional[float]] = {}
+        self._ttl_prober = (
+            TTLLimitedProber(network, vp_addr) if network is not None else None
+        )
+        self.pairs_tested = 0
+        self.pairs_screened = 0
+
+    # -- probing -----------------------------------------------------------
+
+    def _mercator_raw(self, addr: int) -> Optional[int]:
+        """Override point for remote (§5.8) deployments."""
+        return mercator_probe(self.network, self.vp_addr, addr)
+
+    def _ally_raw(self, a: int, b: int):
+        """Override point for remote (§5.8) deployments."""
+        return ally_repeated(
+            self.network, self.vp_addr, a, b,
+            rounds=self.ally_rounds, interval=self.ally_interval,
+            ttl_prober=self._ttl_prober,
+        )
+
+    def mercator(self, addr: int) -> Optional[int]:
+        """Mercator-probe ``addr`` (cached); record direct alias evidence
+        when the response source differs from the probed address."""
+        if addr in self._mercator_cache:
+            return self._mercator_cache[addr]
+        source = self._mercator_raw(addr)
+        self._mercator_cache[addr] = source
+        if source is not None and source != addr:
+            self.evidence.record_for(addr, source, "mercator")
+        return source
+
+    def mercator_sweep(self, addrs: Iterable[int]) -> None:
+        for addr in sorted(set(addrs)):
+            self.mercator(addr)
+
+    def test_pair(self, a: int, b: int) -> AliasVerdict:
+        """Full pair test: Mercator source comparison, then hardened Ally."""
+        if a == b:
+            return AliasVerdict.ALIAS
+        existing = self.evidence.get(a, b)
+        if existing.negative:
+            return AliasVerdict.NOT_ALIAS
+        if existing.positive:
+            return AliasVerdict.ALIAS
+        self.pairs_tested += 1
+        source_a = self.mercator(a)
+        source_b = self.mercator(b)
+        if source_a is not None and source_b is not None:
+            if source_a == source_b:
+                self.evidence.record_for(a, b, "mercator")
+                return AliasVerdict.ALIAS
+            self.evidence.record_against(a, b, "mercator")
+            return AliasVerdict.NOT_ALIAS
+        result = self._ally_raw(a, b)
+        if result.verdict is AliasVerdict.ALIAS:
+            self.evidence.record_for(a, b, "ally")
+        elif result.verdict is AliasVerdict.NOT_ALIAS:
+            self.evidence.record_against(a, b, "ally")
+        return result.verdict
+
+    def _velocity_raw(self, addr: int) -> Optional[float]:
+        """Three spaced probes → velocity estimate.  Override point for
+        remote (§5.8) deployments."""
+        samples = []
+        for index in range(3):
+            if index:
+                self.network.advance(2.0)
+            response = ping(self.network, self.vp_addr, addr,
+                            kind=ProbeKind.ICMP_ECHO)
+            if response is not None:
+                samples.append((self.network.now, response.ipid))
+        return estimate_velocity(samples)
+
+    def velocity(self, addr: int) -> Optional[float]:
+        """Estimate ``addr``'s IP-ID velocity (cached)."""
+        if addr in self._velocity_cache:
+            return self._velocity_cache[addr]
+        estimate = self._velocity_raw(addr)
+        self._velocity_cache[addr] = estimate
+        return estimate
+
+    def resolve_candidate_set(self, candidates: Set[int]) -> None:
+        """Pairwise-test a candidate alias set (bounded).
+
+        MIDAR's scaling step [21]: estimate each address's counter velocity
+        first, and only run the expensive pairwise test for pairs whose
+        velocities could belong to one counter.
+        """
+        ordered = sorted(candidates)
+        pairs = list(combinations(ordered, 2))
+        if len(pairs) > self.max_set_pairs:
+            pairs = pairs[: self.max_set_pairs]
+        for a, b in pairs:
+            if self.use_velocity_screen:
+                if not velocities_compatible(self.velocity(a), self.velocity(b)):
+                    self.pairs_screened += 1
+                    continue
+            self.test_pair(a, b)
+
+    # -- closure -------------------------------------------------------------
+
+    def components(self, universe: Iterable[int]) -> ConflictUnionFind:
+        """Conflict-checked transitive closure over all positive pairs."""
+        closure = ConflictUnionFind()
+        for addr in universe:
+            closure.add(addr)
+        for a, b in self.evidence.negative_pairs():
+            closure.add_conflict(a, b)
+        for a, b in sorted(self.evidence.positive_pairs()):
+            closure.union(a, b)
+        return closure

@@ -1,0 +1,83 @@
+"""Conflict-aware union-find.
+
+bdrmap builds routers by transitive closure over positive alias pairs, but
+(§5.3) "only used pairs of IP addresses where none of the measurements
+suggested a pair of IP addresses were not aliases".  This structure refuses
+a union whenever any member of one component has negative evidence against
+any member of the other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class ConflictUnionFind:
+    """Union-find over addresses with pairwise conflict constraints."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._members: Dict[int, Set[int]] = {}
+        self._conflicts: Dict[int, Set[int]] = {}
+
+    def add(self, addr: int) -> None:
+        if addr not in self._parent:
+            self._parent[addr] = addr
+            self._members[addr] = {addr}
+
+    def find(self, addr: int) -> int:
+        self.add(addr)
+        root = addr
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[addr] != root:
+            self._parent[addr], addr = root, self._parent[addr]
+        return root
+
+    def add_conflict(self, a: int, b: int) -> None:
+        """Record that a and b are definitely not aliases."""
+        self.add(a)
+        self.add(b)
+        self._conflicts.setdefault(a, set()).add(b)
+        self._conflicts.setdefault(b, set()).add(a)
+
+    def conflicted(self, a: int, b: int) -> bool:
+        """Would uniting a's and b's components violate any negative pair?"""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        small, large = sorted(
+            (self._members[root_a], self._members[root_b]), key=len
+        )
+        for member in small:
+            if self._conflicts.get(member, set()) & large:
+                return True
+        return False
+
+    def union(self, a: int, b: int) -> bool:
+        """Unite a and b unless a conflict forbids it; True on success."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return True
+        if self.conflicted(a, b):
+            return False
+        if len(self._members[root_a]) < len(self._members[root_b]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._members[root_a].update(self._members.pop(root_b))
+        return True
+
+    def same(self, a: int, b: int) -> bool:
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def component(self, addr: int) -> Set[int]:
+        return set(self._members[self.find(addr)])
+
+    def components(self) -> List[Set[int]]:
+        return [set(members) for members in self._members.values()]
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._parent

@@ -1,0 +1,44 @@
+"""Evaluation harnesses: §5.6 validation against ground truth, Table 1
+coverage/heuristic breakdown, and the §6 interconnection analyses
+(Figures 14, 15, 16).  This is the only layer allowed to read the
+generator's ground truth."""
+
+from .validation import LinkJudgement, ValidationReport, validate_result
+from .coverage import CoverageReport, coverage_table, format_table1
+from .diversity import DiversityReport, diversity_analysis
+from .marginal import MarginalReport, marginal_utility
+from .geo import GeoReport, geography_analysis
+from .dnscheck import DNSCheckReport, degree_anomalies, dns_sanity_check
+from .diff import RunDiff, diff_results
+from .ownership import (
+    NaiveLinkReport,
+    OwnershipReport,
+    score_bdrmap_ownership,
+    score_naive_ownership,
+    validate_naive_links,
+)
+
+__all__ = [
+    "RunDiff",
+    "diff_results",
+    "NaiveLinkReport",
+    "OwnershipReport",
+    "score_bdrmap_ownership",
+    "score_naive_ownership",
+    "validate_naive_links",
+    "DNSCheckReport",
+    "degree_anomalies",
+    "dns_sanity_check",
+    "LinkJudgement",
+    "ValidationReport",
+    "validate_result",
+    "CoverageReport",
+    "coverage_table",
+    "format_table1",
+    "DiversityReport",
+    "diversity_analysis",
+    "MarginalReport",
+    "marginal_utility",
+    "GeoReport",
+    "geography_analysis",
+]

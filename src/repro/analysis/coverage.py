@@ -1,0 +1,245 @@
+"""Table 1: BGP coverage and heuristic breakdown.
+
+Classifies the VP network's BGP-observed neighbors by inferred relationship
+(customer / peer / provider), reports how many were also found by bdrmap,
+attributes each inferred *neighbor router* to the heuristic that owned it,
+and separates links visible only in traceroute (the "trace" column).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..asgraph import Rel
+from ..core.bdrmap import DataBundle
+from ..core.report import BdrmapResult
+
+CLASSES = ("cust", "peer", "prov", "trace")
+
+# Display order of heuristic rows, mirroring Table 1.
+ROW_ORDER = [
+    "1 multihomed",
+    "2 firewall",
+    "3 unrouted",
+    "4 onenet",
+    "5 thirdparty",
+    "5 relationship",
+    "5 missing customer",
+    "5 hidden peer",
+    "6 count",
+    "6 ipas",
+    "ixp",
+    "7 alias",
+    "8 silent",
+    "8 other icmp",
+]
+
+
+@dataclass
+class CoverageReport:
+    """The data behind one network's columns of Table 1."""
+
+    name: str
+    bgp_neighbors: Dict[str, Set[int]] = field(default_factory=dict)
+    bdrmap_neighbors: Dict[str, Set[int]] = field(default_factory=dict)
+    trace_only_neighbors: Set[int] = field(default_factory=set)
+    # (heuristic row, class) -> neighbor-router count
+    router_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    neighbor_router_totals: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        observed = sum(len(v) for v in self.bgp_neighbors.values())
+        found = sum(
+            len(self.bdrmap_neighbors.get(cls, set()) & self.bgp_neighbors.get(cls, set()))
+            for cls in ("cust", "peer", "prov")
+        )
+        return found / observed if observed else 0.0
+
+    def row_fraction(self, row: str, cls: str) -> float:
+        total = self.neighbor_router_totals.get(cls, 0)
+        if not total:
+            return 0.0
+        return self.router_counts.get((row, cls), 0) / total
+
+
+def _neighbor_class(data: DataBundle, asn: int) -> str:
+    rel = data.rels.relationship(data.focal_asn, asn)
+    if rel is Rel.CUSTOMER:
+        return "cust"
+    if rel is Rel.PEER:
+        return "peer"
+    if rel is Rel.PROVIDER:
+        return "prov"
+    return "trace"
+
+
+def coverage_table(result: BdrmapResult, data: DataBundle,
+                   name: str = "") -> CoverageReport:
+    report = CoverageReport(name=name or result.vp_name)
+    bgp_neighbors = data.view.neighbors_of_group(data.vp_ases)
+    for cls in CLASSES:
+        report.bgp_neighbors[cls] = set()
+        report.bdrmap_neighbors[cls] = set()
+    for asn in bgp_neighbors:
+        cls = _neighbor_class(data, asn)
+        if cls != "trace":
+            report.bgp_neighbors[cls].add(asn)
+
+    inferred_neighbors = result.neighbor_ases()
+    for asn in inferred_neighbors:
+        if asn in bgp_neighbors:
+            report.bdrmap_neighbors[_neighbor_class(data, asn)].add(asn)
+        else:
+            report.trace_only_neighbors.add(asn)
+            report.bdrmap_neighbors["trace"].add(asn)
+
+    # Attribute each inferred neighbor router (the far side of a link, or a
+    # §5.4.8 silent attachment) to its heuristic and neighbor class.
+    counted: Set[Tuple[Optional[int], int, str]] = set()
+    counts: Counter = Counter()
+    totals: Counter = Counter()
+    for link in result.links:
+        cls = (
+            _neighbor_class(data, link.neighbor_as)
+            if link.neighbor_as in bgp_neighbors
+            else "trace"
+        )
+        key = (link.far_rid, link.neighbor_as, link.reason)
+        if key in counted:
+            continue
+        counted.add(key)
+        counts[(link.reason, cls)] += 1
+        totals[cls] += 1
+    report.router_counts = dict(counts)
+    report.neighbor_router_totals = dict(totals)
+    return report
+
+
+def table1_csv(reports: List[CoverageReport]) -> str:
+    """Table 1 as CSV (one row per network × heuristic × class), for
+    downstream plotting."""
+    lines = ["network,row,class,value"]
+    for report in reports:
+        for cls in ("cust", "peer", "prov"):
+            lines.append(
+                "%s,observed_in_bgp,%s,%d"
+                % (report.name, cls, len(report.bgp_neighbors[cls]))
+            )
+            lines.append(
+                "%s,observed_in_bdrmap,%s,%d"
+                % (
+                    report.name,
+                    cls,
+                    len(report.bdrmap_neighbors[cls] & report.bgp_neighbors[cls]),
+                )
+            )
+        lines.append(
+            "%s,observed_in_bdrmap,trace,%d"
+            % (report.name, len(report.trace_only_neighbors))
+        )
+        lines.append("%s,coverage,,%.4f" % (report.name, report.coverage))
+        for row in ROW_ORDER:
+            for cls in CLASSES:
+                count = report.router_counts.get((row, cls), 0)
+                if count:
+                    lines.append(
+                        '%s,"%s",%s,%.4f'
+                        % (report.name, row, cls, report.row_fraction(row, cls))
+                    )
+        for cls in CLASSES:
+            lines.append(
+                "%s,neighbor_routers,%s,%d"
+                % (report.name, cls, report.neighbor_router_totals.get(cls, 0))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def format_table1(reports: List[CoverageReport]) -> str:
+    """Render reports side by side in the shape of Table 1."""
+    lines: List[str] = []
+    header = ["%-20s" % ""]
+    for report in reports:
+        header.append("| %-28s" % report.name)
+    lines.append("".join(header))
+    sub = ["%-20s" % ""]
+    for _ in reports:
+        sub.append("| %6s %6s %6s %6s " % ("cust", "peer", "prov", "trace"))
+    lines.append("".join(sub))
+
+    def row(label: str, cells) -> str:
+        parts = ["%-20s" % label]
+        for cell in cells:
+            parts.append("| %s" % cell)
+        return "".join(parts)
+
+    lines.append(
+        row(
+            "Observed in BGP",
+            [
+                "%6d %6d %6d %6s "
+                % (
+                    len(r.bgp_neighbors["cust"]),
+                    len(r.bgp_neighbors["peer"]),
+                    len(r.bgp_neighbors["prov"]),
+                    "",
+                )
+                for r in reports
+            ],
+        )
+    )
+    lines.append(
+        row(
+            "Observed in bdrmap",
+            [
+                "%6d %6d %6d %6d "
+                % (
+                    len(r.bdrmap_neighbors["cust"] & r.bgp_neighbors["cust"]),
+                    len(r.bdrmap_neighbors["peer"] & r.bgp_neighbors["peer"]),
+                    len(r.bdrmap_neighbors["prov"] & r.bgp_neighbors["prov"]),
+                    len(r.trace_only_neighbors),
+                )
+                for r in reports
+            ],
+        )
+    )
+    lines.append(
+        row(
+            "Coverage of BGP",
+            ["%27.1f%% " % (100.0 * r.coverage) for r in reports],
+        )
+    )
+    for label in ROW_ORDER:
+        if not any(
+            r.router_counts.get((label, cls), 0)
+            for r in reports
+            for cls in CLASSES
+        ):
+            continue
+        cells = []
+        for r in reports:
+            cells.append(
+                "%6s %6s %6s %6s "
+                % tuple(
+                    (
+                        "%.1f%%" % (100.0 * r.row_fraction(label, cls))
+                        if r.router_counts.get((label, cls))
+                        else ""
+                    )
+                    for cls in CLASSES
+                )
+            )
+        lines.append(row(label, cells))
+    lines.append(
+        row(
+            "Neighbor routers",
+            [
+                "%6d %6d %6d %6d "
+                % tuple(r.neighbor_router_totals.get(cls, 0) for cls in CLASSES)
+                for r in reports
+            ],
+        )
+    )
+    return "\n".join(lines)

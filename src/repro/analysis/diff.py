@@ -1,0 +1,98 @@
+"""Diffing bdrmap runs — longitudinal interconnection monitoring.
+
+The deployed system re-runs bdrmap on a cadence; what operators and
+researchers consume is the *delta*: which neighbors appeared, which
+interconnections were added or turned down, which moved to a different
+border router.  Link identity across runs uses the near-side interface
+addresses plus the neighbor AS (stable operational identifiers a real
+monitor has; router ids are run-local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..addr import ntoa
+from ..core.report import BdrmapResult
+
+LinkKey = Tuple[int, FrozenSet[int]]  # (neighbor AS, near-side addresses)
+
+
+def _link_keys(result: BdrmapResult) -> Set[LinkKey]:
+    keys: Set[LinkKey] = set()
+    for link in result.links:
+        near = result.graph.routers.get(link.near_rid)
+        addrs = frozenset(near.addrs) if near is not None else frozenset()
+        keys.add((link.neighbor_as, addrs))
+    return keys
+
+
+def _match(key: LinkKey, pool: Set[LinkKey]) -> Optional[LinkKey]:
+    """Same neighbor + overlapping near addresses → same physical link."""
+    neighbor, addrs = key
+    for candidate in pool:
+        if candidate[0] == neighbor and (candidate[1] & addrs or not addrs):
+            return candidate
+    return None
+
+
+@dataclass
+class RunDiff:
+    """Differences between two runs from the same VP."""
+
+    gained_neighbors: Set[int] = field(default_factory=set)
+    lost_neighbors: Set[int] = field(default_factory=set)
+    added_links: List[LinkKey] = field(default_factory=list)
+    removed_links: List[LinkKey] = field(default_factory=list)
+    stable_links: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.gained_neighbors
+            or self.lost_neighbors
+            or self.added_links
+            or self.removed_links
+        )
+
+    def summary(self) -> str:
+        lines = [
+            "diff: +%d/-%d neighbors, +%d/-%d links, %d stable"
+            % (
+                len(self.gained_neighbors),
+                len(self.lost_neighbors),
+                len(self.added_links),
+                len(self.removed_links),
+                self.stable_links,
+            )
+        ]
+        for neighbor, addrs in self.added_links:
+            shown = ",".join(ntoa(a) for a in sorted(addrs)[:3]) or "?"
+            lines.append("  + AS%d at %s" % (neighbor, shown))
+        for neighbor, addrs in self.removed_links:
+            shown = ",".join(ntoa(a) for a in sorted(addrs)[:3]) or "?"
+            lines.append("  - AS%d at %s" % (neighbor, shown))
+        return "\n".join(lines)
+
+
+def diff_results(before: BdrmapResult, after: BdrmapResult) -> RunDiff:
+    """Compare two runs (ideally from the same VP)."""
+    diff = RunDiff()
+    diff.gained_neighbors = after.neighbor_ases() - before.neighbor_ases()
+    diff.lost_neighbors = before.neighbor_ases() - after.neighbor_ases()
+
+    before_keys = _link_keys(before)
+    after_keys = _link_keys(after)
+    unmatched_before = set(before_keys)
+    for key in sorted(after_keys, key=lambda k: (k[0], sorted(k[1]))):
+        matched = _match(key, unmatched_before)
+        if matched is not None:
+            unmatched_before.discard(matched)
+            diff.stable_links += 1
+        else:
+            diff.added_links.append(key)
+    diff.removed_links = sorted(
+        unmatched_before, key=lambda k: (k[0], sorted(k[1]))
+    )
+    return diff

@@ -1,0 +1,101 @@
+"""DNS-based development checks (§5.1).
+
+The authors developed bdrmap without ground truth, sanity-checking
+inferences against interface hostnames where available and manually
+reviewing suspicious patterns — in particular, border routers with high
+out-degree into routers of a single neighbor AS, which usually signalled a
+wrong inference.  DNS could not be used for *automated validation* (stale
+and organization-labelled names), but agreement rates were a useful
+development signal.  These helpers reproduce that workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.report import BdrmapResult
+from ..datasets.dns import ReverseDNS
+
+
+@dataclass
+class DNSCheckReport:
+    checked: int = 0
+    agree: int = 0
+    disagreements: List[Tuple[int, int, int]] = field(default_factory=list)
+    # (router rid, inferred owner, DNS-hinted ASN)
+    unnamed: int = 0
+
+    @property
+    def agreement(self) -> float:
+        return self.agree / self.checked if self.checked else 0.0
+
+    def summary(self) -> str:
+        return (
+            "DNS sanity check: %d/%d named neighbor routers agree (%.1f%%), "
+            "%d unnamed"
+            % (self.agree, self.checked, 100 * self.agreement, self.unnamed)
+        )
+
+
+def dns_sanity_check(
+    result: BdrmapResult,
+    dns: ReverseDNS,
+    siblings: Optional[Dict[int, frozenset]] = None,
+) -> DNSCheckReport:
+    """Compare inferred neighbor-router owners against hostname AS hints.
+
+    Only hostnames carrying an explicit AS number participate; agreement
+    counts sibling matches (per the provided sibling map) as agreement.
+    """
+    report = DNSCheckReport()
+    for rid, owner, _reason in result.neighbor_routers():
+        router = result.graph.routers[rid]
+        hints = {
+            hint
+            for addr in sorted(router.all_addrs())
+            if (hint := dns.asn_hint(addr)) is not None
+        }
+        if not hints:
+            report.unnamed += 1
+            continue
+        report.checked += 1
+        family = {owner}
+        if siblings is not None:
+            family |= set(siblings.get(owner, frozenset()))
+        if hints & family:
+            report.agree += 1
+        else:
+            report.disagreements.append((rid, owner, min(hints)))
+    return report
+
+
+def degree_anomalies(
+    result: BdrmapResult, min_out_degree: int = 5
+) -> List[Tuple[int, int, int]]:
+    """§5.1's manual red flag: a *neighbor* router with many successors all
+    owned by one (different) AS is probably misattributed.
+
+    Returns (rid, inferred owner, dominant successor AS) triples worth a
+    human look.
+    """
+    flags: List[Tuple[int, int, int]] = []
+    graph = result.graph
+    for rid, owner, _reason in result.neighbor_routers():
+        successors = graph.successors(rid)
+        if len(successors) < min_out_degree:
+            continue
+        successor_owners = [
+            graph.routers[s].owner
+            for s in successors
+            if s in graph.routers and graph.routers[s].owner is not None
+        ]
+        if not successor_owners:
+            continue
+        dominant = max(set(successor_owners), key=successor_owners.count)
+        if (
+            dominant != owner
+            and successor_owners.count(dominant) >= len(successor_owners) * 0.8
+        ):
+            flags.append((rid, owner, dominant))
+    return flags

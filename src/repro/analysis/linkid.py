@@ -1,0 +1,57 @@
+"""Mapping inferred links to ground-truth link identities.
+
+Cross-VP analyses (Figs 14–16) must decide when two VPs observed the *same*
+physical interconnection.  The generator knows; this helper translates an
+inferred link into the set of ground-truth link ids it plausibly matches.
+Only the analysis layer uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..core.report import BdrmapResult, InferredLink
+from ..topology.model import Internet, LinkKind
+
+
+def truth_near_routers(
+    result: BdrmapResult, internet: Internet, link: InferredLink
+) -> Set[int]:
+    router = result.graph.routers.get(link.near_rid)
+    if router is None:
+        return set()
+    found: Set[int] = set()
+    for addr in router.all_addrs():
+        truth = internet.router_of_addr(addr)
+        if truth is not None:
+            found.add(truth.router_id)
+    return found
+
+
+def truth_link_ids(
+    result: BdrmapResult, internet: Internet, link: InferredLink
+) -> Set[Tuple]:
+    """Ground-truth identities for an inferred link.
+
+    Prefers true link ids found via the far router's addresses; falls back
+    to a (near-router, neighbor-AS) tuple for silent far sides.
+    """
+    near = truth_near_routers(result, internet, link)
+    ids: Set[Tuple] = set()
+    if link.far_rid is not None:
+        far = result.graph.routers.get(link.far_rid)
+        if far is not None:
+            for addr in far.all_addrs():
+                iface = internet.addr_to_iface.get(addr)
+                if iface is None:
+                    continue
+                truth_link = internet.links[iface.link_id]
+                if truth_link.kind is LinkKind.INTRA:
+                    continue
+                members = {i.router_id for i in truth_link.interfaces}
+                if not near or members & near:
+                    ids.add(("link", truth_link.link_id))
+    if not ids:
+        for near_rid in sorted(near):
+            ids.add(("attach", near_rid, link.neighbor_as))
+    return ids

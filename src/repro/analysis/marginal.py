@@ -1,0 +1,84 @@
+"""Figure 15: marginal utility of additional VPs.
+
+For selected neighbor networks, how many distinct router-level
+interconnections are discovered as VPs are added?  The paper's extremes: a
+selective-announcing CDN (Akamai) is fully visible from one VP, while a
+hot-potato transit peer (Level3) needed 17 geographically diverse VPs to
+reveal all 45 links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.report import BdrmapResult
+from ..topology.model import Internet
+from .linkid import truth_link_ids
+
+
+@dataclass
+class MarginalReport:
+    # neighbor AS -> cumulative distinct links after k VPs (k = 1..N)
+    curves: Dict[int, List[int]] = field(default_factory=dict)
+    # neighbor AS -> per-VP discovered link identity sets
+    per_vp: Dict[int, List[Set[Tuple]]] = field(default_factory=dict)
+
+    def vps_to_full_coverage(self, neighbor_as: int) -> int:
+        """VPs needed (in deployment order) to see every link ever seen."""
+        curve = self.curves.get(neighbor_as, [])
+        if not curve:
+            return 0
+        total = curve[-1]
+        for index, value in enumerate(curve, start=1):
+            if value == total:
+                return index
+        return len(curve)
+
+    def total_links(self, neighbor_as: int) -> int:
+        curve = self.curves.get(neighbor_as, [])
+        return curve[-1] if curve else 0
+
+    def single_vp_fraction(self, neighbor_as: int) -> float:
+        curve = self.curves.get(neighbor_as, [])
+        if not curve or not curve[-1]:
+            return 0.0
+        return curve[0] / curve[-1]
+
+    def summary(self) -> str:
+        lines = ["marginal utility of VPs:"]
+        for asn in sorted(self.curves):
+            lines.append(
+                "  AS%-6d links=%d, first VP sees %.0f%%, full coverage at %d VPs"
+                % (
+                    asn,
+                    self.total_links(asn),
+                    100 * self.single_vp_fraction(asn),
+                    self.vps_to_full_coverage(asn),
+                )
+            )
+        return "\n".join(lines)
+
+
+def marginal_utility(
+    results: Sequence[BdrmapResult],
+    internet: Internet,
+    neighbor_ases: Sequence[int],
+) -> MarginalReport:
+    """Cumulative link-discovery curves, VPs in deployment order."""
+    report = MarginalReport()
+    for neighbor_as in neighbor_ases:
+        per_vp: List[Set[Tuple]] = []
+        for result in results:
+            discovered: Set[Tuple] = set()
+            for link in result.links_with(neighbor_as):
+                discovered.update(truth_link_ids(result, internet, link))
+            per_vp.append(discovered)
+        cumulative: List[int] = []
+        union: Set[Tuple] = set()
+        for discovered in per_vp:
+            union |= discovered
+            cumulative.append(len(union))
+        report.per_vp[neighbor_as] = per_vp
+        report.curves[neighbor_as] = cumulative
+    return report

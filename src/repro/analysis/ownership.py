@@ -1,0 +1,143 @@
+"""Router-ownership accuracy and baseline comparison.
+
+Two scoreboards the paper motivates:
+
+* **link accuracy** of the canonical IP-AS transition method (§1, [44]) vs
+  bdrmap's — the headline "why heuristics matter" comparison;
+* **router-ownership accuracy** over every annotated router, vs the ~71%
+  the best prior heuristic achieved (Huffaker et al. [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from ..bgp import BGPView
+from ..core.baseline import NaiveLink, naive_owner
+from ..core.report import BdrmapResult
+from ..topology.model import Internet, LinkKind
+
+
+@dataclass
+class OwnershipReport:
+    scored: int = 0
+    correct: int = 0
+    by_method: str = ""
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.scored if self.scored else 0.0
+
+    def summary(self) -> str:
+        return "%s ownership: %d/%d routers correct (%.1f%%)" % (
+            self.by_method, self.correct, self.scored, 100 * self.accuracy
+        )
+
+
+def _truth_owner_family(internet: Internet, addr: int) -> Set[int]:
+    owner = internet.owner_of_addr(addr)
+    if owner is None:
+        return set()
+    return set(internet.sibling_asns(owner))
+
+
+def score_bdrmap_ownership(
+    result: BdrmapResult, internet: Internet
+) -> OwnershipReport:
+    """Score every owner-annotated inferred router against ground truth.
+
+    An inferred router is correct when its inferred owner is the true
+    operator (or a sibling) of the routers behind its addresses.  Routers
+    merging addresses of several true routers are judged by majority.
+    """
+    report = OwnershipReport(by_method="bdrmap")
+    for router in result.graph.routers.values():
+        if router.owner is None or not router.addrs:
+            continue
+        votes = 0
+        total = 0
+        for addr in router.addrs:
+            family = _truth_owner_family(internet, addr)
+            if not family:
+                continue
+            total += 1
+            if router.owner in family:
+                votes += 1
+        if not total:
+            continue
+        report.scored += 1
+        if votes * 2 >= total:
+            report.correct += 1
+    return report
+
+
+def score_naive_ownership(
+    result: BdrmapResult, view: BGPView, internet: Internet
+) -> OwnershipReport:
+    """The canonical method on exactly the same address population: each
+    observed address owned by its longest-matching-prefix origin."""
+    report = OwnershipReport(by_method="naive IP-AS")
+    for router in result.graph.routers.values():
+        for addr in router.addrs:
+            family = _truth_owner_family(internet, addr)
+            if not family:
+                continue
+            owner = naive_owner(view, addr)
+            if owner is None:
+                continue
+            report.scored += 1
+            if owner in family:
+                report.correct += 1
+    return report
+
+
+@dataclass
+class NaiveLinkReport:
+    total: int = 0
+    correct: int = 0
+    judgements: List[Tuple[NaiveLink, str]] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        return "naive IP-AS links: %d/%d correct (%.1f%%)" % (
+            self.correct, self.total, 100 * self.accuracy
+        )
+
+
+def validate_naive_links(
+    links: Iterable[NaiveLink], internet: Internet, focal_asn: int
+) -> NaiveLinkReport:
+    """Judge canonical-method links with the same standard as §5.6: the
+    near address must sit on a router that truly borders the claimed AS."""
+    report = NaiveLinkReport()
+    vp_family = set(internet.sibling_asns(focal_asn))
+    for link in links:
+        report.total += 1
+        near_router = internet.router_of_addr(link.near_addr)
+        if near_router is None:
+            report.judgements.append((link, "no-router"))
+            continue
+        neighbors: Set[int] = set()
+        for link_id in near_router.link_ids():
+            truth_link = internet.links[link_id]
+            if truth_link.kind is LinkKind.INTRA:
+                continue
+            for iface in truth_link.interfaces:
+                owner = internet.routers[iface.router_id].asn
+                if owner not in vp_family and iface.router_id != near_router.router_id:
+                    neighbors.add(owner)
+        family = set()
+        for neighbor in neighbors:
+            family |= internet.sibling_asns(neighbor)
+        if link.neighbor_as in family:
+            report.correct += 1
+            report.judgements.append((link, "correct"))
+        elif neighbors:
+            report.judgements.append((link, "wrong-as"))
+        else:
+            report.judgements.append((link, "no-link"))
+    return report

@@ -1,0 +1,97 @@
+"""Terminal plots for the figure analyses.
+
+The paper's figures are CDFs (Fig 14), discovery curves (Fig 15), and a
+longitude scatter (Fig 16); these helpers render the same data as ASCII so
+examples and the CLI can show the *shape* without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+
+def text_cdf(
+    points: Sequence[Tuple[float, float]],
+    width: int = 50,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render CDF points (value, cumulative fraction) as an ASCII chart."""
+    if not points:
+        return "(no data)"
+    lo = min(v for v, _ in points)
+    hi = max(v for v, _ in points)
+    span = max(hi - lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for value, fraction in points:
+        col = min(width - 1, int((value - lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - fraction) * (height - 1)))
+        grid[row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for index, row in enumerate(grid):
+        fraction = 1.0 - index / (height - 1)
+        lines.append("%4.0f%% |%s" % (100 * fraction, "".join(row)))
+    lines.append("      +%s" % ("-" * width))
+    lines.append("       %-8g%*s" % (lo, width - 8, "%g" % hi))
+    return "\n".join(lines)
+
+
+def text_curve(
+    series: Dict[str, Sequence[float]],
+    width: int = 50,
+    height: int = 12,
+    x_label: str = "",
+) -> str:
+    """Render one or more named curves (index → value) on a shared chart.
+
+    Each series gets the first letter of its name as its mark.
+    """
+    if not series or all(not values for values in series.values()):
+        return "(no data)"
+    max_y = max(max(values) for values in series.values() if values)
+    max_x = max(len(values) for values in series.values())
+    if max_y <= 0 or max_x <= 1:
+        return "(degenerate data)"
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        mark = name[0] if name else "*"
+        for index, value in enumerate(values):
+            col = min(width - 1, int(index / (max_x - 1) * (width - 1)))
+            row = min(height - 1, int((1.0 - value / max_y) * (height - 1)))
+            grid[row][col] = mark
+    lines = []
+    for index, row in enumerate(grid):
+        value = max_y * (1.0 - index / (height - 1))
+        lines.append("%6.1f |%s" % (value, "".join(row)))
+    lines.append("       +%s" % ("-" * width))
+    if x_label:
+        lines.append("        %s" % x_label)
+    legend = "  ".join("%s=%s" % (name[0], name) for name in series)
+    lines.append("        %s" % legend)
+    return "\n".join(lines)
+
+
+def text_scatter_rows(
+    rows: Sequence[Tuple[float, Sequence[float]]],
+    width: int = 60,
+    lo: float = -125.0,
+    hi: float = -70.0,
+) -> str:
+    """Fig 16-style rows: one line per VP ('o' = the VP, '*' = links)."""
+    lines = []
+    span = hi - lo
+
+    def col(value: float) -> int:
+        return max(0, min(width - 1, int((value - lo) / span * (width - 1))))
+
+    for vp_lon, link_lons in rows:
+        row = [" "] * width
+        for lon in link_lons:
+            row[col(lon)] = "*"
+        vp_col = col(vp_lon)
+        row[vp_col] = "o" if row[vp_col] == " " else "@"
+        lines.append("|%s|" % "".join(row))
+    lines.append("west%seast" % (" " * (width - 6)))
+    return "\n".join(lines)

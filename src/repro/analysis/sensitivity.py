@@ -1,0 +1,82 @@
+"""Sensitivity of inference accuracy to the environment's hostility.
+
+The paper's accuracy was measured on four real networks — fixed, unknown
+mixtures of the §4 pathologies.  The simulator lets us ask the question the
+paper could not: *how fast does accuracy degrade as each pathology's rate
+grows?*  This harness sweeps one challenge rate at a time and records link
+accuracy and neighbor coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.bdrmap import build_data_bundle, run_bdrmap
+from ..topology import build_scenario
+from ..topology.challenges import ChallengeConfig
+from ..topology.scenarios import ScenarioConfig
+from .validation import neighbor_coverage, validate_result
+
+
+@dataclass
+class SweepPoint:
+    rate: float
+    accuracy: float
+    coverage: float
+    links: int
+
+
+@dataclass
+class SensitivityReport:
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def accuracy_drop(self) -> float:
+        """Accuracy at the lowest rate minus accuracy at the highest."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[0].accuracy - self.points[-1].accuracy
+
+    def min_accuracy(self) -> float:
+        return min(point.accuracy for point in self.points) if self.points else 0.0
+
+    def summary(self) -> str:
+        lines = ["sensitivity to %s:" % self.parameter]
+        for point in self.points:
+            lines.append(
+                "  rate %.2f → accuracy %5.1f%%, coverage %5.1f%%, %d links"
+                % (point.rate, 100 * point.accuracy, 100 * point.coverage,
+                   point.links)
+            )
+        return "\n".join(lines)
+
+
+def sweep_challenge_rate(
+    base_config: ScenarioConfig,
+    parameter: str,
+    rates: Sequence[float],
+) -> SensitivityReport:
+    """Re-generate and re-measure the scenario at each rate of one
+    ``ChallengeConfig`` field, everything else held fixed (same seed, so
+    the underlying topology is identical — only router behaviour moves)."""
+    if not hasattr(ChallengeConfig(), parameter):
+        raise ValueError("unknown challenge parameter %r" % parameter)
+    report = SensitivityReport(parameter=parameter)
+    for rate in rates:
+        challenges = replace(base_config.challenges, **{parameter: rate})
+        config = replace(base_config, challenges=challenges)
+        scenario = build_scenario(config)
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        validation = validate_result(result, scenario.internet)
+        _, _, coverage = neighbor_coverage(result, scenario.internet)
+        report.points.append(
+            SweepPoint(
+                rate=rate,
+                accuracy=validation.accuracy,
+                coverage=coverage,
+                links=validation.total,
+            )
+        )
+    return report

@@ -1,0 +1,17 @@
+"""AS-level graph substrate: relationships, valley-free routing rules,
+relationship inference from public BGP paths, and customer cones."""
+
+from .relationships import Rel, valley_free_next
+from .graph import ASGraph
+from .inference import InferredRelationships, infer_relationships
+from .cone import customer_cone, customer_cones
+
+__all__ = [
+    "Rel",
+    "valley_free_next",
+    "ASGraph",
+    "InferredRelationships",
+    "infer_relationships",
+    "customer_cone",
+    "customer_cones",
+]

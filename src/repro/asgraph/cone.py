@@ -1,0 +1,75 @@
+"""Customer cone computation.
+
+The customer cone of an AS is the set of ASes reachable by following only
+provider→customer edges.  bdrmap's *nextas* reasoning and the "most frequent
+provider" heuristics (§5.4.3) lean on provider/customer structure; cones are
+also used by the analysis layer to characterize the networks being measured
+(Table 1 splits neighbors into customer/peer/provider classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from .graph import ASGraph
+
+
+def customer_cone(graph: ASGraph, asn: int) -> FrozenSet[int]:
+    """The set of ASes in ``asn``'s customer cone, including ``asn``."""
+    cone = {asn}
+    frontier = [asn]
+    while frontier:
+        current = frontier.pop()
+        for customer in graph.customers(current):
+            if customer not in cone:
+                cone.add(customer)
+                frontier.append(customer)
+    return frozenset(cone)
+
+
+def customer_cones(graph: ASGraph) -> Dict[int, FrozenSet[int]]:
+    """Customer cones for every AS, computed bottom-up.
+
+    Processes ASes in reverse topological order of the provider→customer
+    DAG when possible; falls back to per-AS traversal if the c2p graph has
+    cycles (which sibling-mislabeled data can produce).
+    """
+    order = _topo_order(graph)
+    if order is None:
+        return {asn: customer_cone(graph, asn) for asn in graph.ases()}
+    cones: Dict[int, FrozenSet[int]] = {}
+    for asn in order:
+        cone: Set[int] = {asn}
+        for customer in graph.customers(asn):
+            cone.update(cones.get(customer, frozenset((customer,))))
+        cones[asn] = frozenset(cone)
+    return cones
+
+
+def _topo_order(graph: ASGraph):
+    """ASes ordered so every customer precedes its providers, or None if the
+    provider→customer graph is cyclic."""
+    state: Dict[int, int] = {}  # 0 unvisited / 1 in-stack / 2 done
+    order = []
+    for start in graph.ases():
+        if state.get(start, 0) == 2:
+            continue
+        stack = [(start, iter(graph.customers(start)))]
+        state[start] = 1
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                mark = state.get(child, 0)
+                if mark == 1:
+                    return None  # cycle
+                if mark == 0:
+                    state[child] = 1
+                    stack.append((child, iter(graph.customers(child))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                order.append(node)
+                stack.pop()
+    return order

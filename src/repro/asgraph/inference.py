@@ -1,0 +1,400 @@
+"""AS relationship inference from public BGP paths.
+
+bdrmap does not receive ground-truth relationships: it runs the inference of
+Luckie et al. (IMC 2013) over Route Views / RIPE RIS paths (§5.2) and works
+from the resulting c2p / p2p annotations.  We reproduce the spirit of that
+algorithm — transit-degree ranking, a top clique of transit-free peers, and
+a Gao-style uphill/downhill sweep over every observed path — over the paths
+our simulated collectors export.
+
+The output is deliberately imperfect in the same ways the real inferences
+are: links never observed at a collector are missing, and lightly-observed
+links can be misclassified.  The bdrmap heuristics must (and do) tolerate
+that.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import ASGraph
+from .relationships import Rel
+
+
+@dataclass
+class InferredRelationships:
+    """The relationship database bdrmap consumes.
+
+    ``c2p`` maps (customer, provider) pairs; ``p2p`` holds unordered peer
+    pairs.  ``siblings`` is filled in from the (separate) AS→org dataset,
+    not from path inference.
+    """
+
+    c2p: Set[Tuple[int, int]] = field(default_factory=set)
+    p2p: Set[FrozenSet[int]] = field(default_factory=set)
+    siblings: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    def relationship(self, a: int, b: int) -> Optional[Rel]:
+        """Relationship of ``b`` from ``a``'s view, or None if unknown."""
+        if (a, b) in self.c2p:
+            return Rel.PROVIDER
+        if (b, a) in self.c2p:
+            return Rel.CUSTOMER
+        if frozenset((a, b)) in self.p2p:
+            return Rel.PEER
+        sibs = self.siblings.get(a)
+        if sibs is not None and b in sibs:
+            return Rel.SIBLING
+        return None
+
+    def is_provider_of(self, provider: int, customer: int) -> bool:
+        return (customer, provider) in self.c2p
+
+    def is_peer(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self.p2p
+
+    def is_sibling(self, a: int, b: int) -> bool:
+        sibs = self.siblings.get(a)
+        return sibs is not None and b in sibs
+
+    def neighbors(self, asn: int) -> Set[int]:
+        """Every AS with any inferred relationship to ``asn``."""
+        found: Set[int] = set()
+        for customer, provider in self.c2p:
+            if customer == asn:
+                found.add(provider)
+            elif provider == asn:
+                found.add(customer)
+        for pair in self.p2p:
+            if asn in pair:
+                found.update(pair - {asn})
+        sibs = self.siblings.get(asn)
+        if sibs:
+            found.update(sibs - {asn})
+        return found
+
+    def providers_of(self, asn: int) -> Set[int]:
+        return {provider for customer, provider in self.c2p if customer == asn}
+
+    def customers_of(self, asn: int) -> Set[int]:
+        return {customer for customer, provider in self.c2p if provider == asn}
+
+    def peers_of(self, asn: int) -> Set[int]:
+        found: Set[int] = set()
+        for pair in self.p2p:
+            if asn in pair:
+                found.update(pair - {asn})
+        return found
+
+    def known_pairs(self) -> int:
+        return len(self.c2p) + len(self.p2p)
+
+    def to_graph(self) -> ASGraph:
+        """Materialize the inferences as an :class:`ASGraph`."""
+        graph = ASGraph()
+        for customer, provider in self.c2p:
+            graph.add_edge(customer, provider, Rel.PROVIDER)
+        for pair in self.p2p:
+            a, b = sorted(pair)
+            if graph.relationship(a, b) is None:
+                graph.add_edge(a, b, Rel.PEER)
+        for asn, sibs in self.siblings.items():
+            for other in sibs:
+                if other != asn and graph.relationship(asn, other) is None:
+                    graph.add_edge(asn, other, Rel.SIBLING)
+        return graph
+
+
+def transit_degrees(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+    """Transit degree: number of distinct neighbors an AS transits between.
+
+    An AS observed in the middle of a path is providing transit; its transit
+    degree is the number of unique ASes adjacent to it in such positions.
+    """
+    adjacent: Dict[int, Set[int]] = {}
+    for path in paths:
+        for index in range(1, len(path) - 1):
+            asn = path[index]
+            seen = adjacent.setdefault(asn, set())
+            seen.add(path[index - 1])
+            seen.add(path[index + 1])
+    return {asn: len(seen) for asn, seen in adjacent.items()}
+
+
+def downstream_reach(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+    """A customer-cone proxy: how many distinct ASes appear *after* an AS
+    when it transits a path.  Tier-1s reach nearly everything; regional
+    transits only reach their own cones.  Used to rank clique candidates
+    where raw transit degree is ambiguous."""
+    reach: Dict[int, Set[int]] = {}
+    for path in paths:
+        for index in range(1, len(path) - 1):
+            reach.setdefault(path[index], set()).update(path[index + 1:])
+    return {asn: len(seen) for asn, seen in reach.items()}
+
+
+def _clean_path(path: Sequence[int]) -> Optional[List[int]]:
+    """Drop paths with loops; collapse prepending (consecutive repeats)."""
+    cleaned: List[int] = []
+    for asn in path:
+        if cleaned and cleaned[-1] == asn:
+            continue  # prepending
+        cleaned.append(asn)
+    if len(set(cleaned)) != len(cleaned):
+        return None  # loop — poisoned path
+    return cleaned if len(cleaned) >= 2 else None
+
+
+def infer_clique(
+    paths: Iterable[Sequence[int]],
+    degrees: Dict[int, int],
+    max_clique: int = 16,
+    reach: Optional[Dict[int, int]] = None,
+) -> Set[int]:
+    """Infer the transit-free clique at the top of the hierarchy.
+
+    Following Luckie et al.: rank candidates by downstream reach (a
+    customer-cone proxy) and transit degree, then admit each in order if it
+    is observed adjacent to every current clique member somewhere in the
+    paths.
+    """
+    paths = list(paths)
+    if reach is None:
+        reach = downstream_reach(paths)
+    adjacency: Dict[int, Set[int]] = {}
+    for path in paths:
+        for left, right in zip(path, path[1:]):
+            adjacency.setdefault(left, set()).add(right)
+            adjacency.setdefault(right, set()).add(left)
+    # Clique candidates must be collector peers (observed as a path's
+    # first AS).  Route collectors peer with every tier-1, and a network
+    # that merely has a very large customer cone — a national access ISP —
+    # can out-rank true tier-1s on any degree-like metric, so candidacy,
+    # not rank, is what keeps it out.
+    collector_peers = {path[0] for path in paths if path}
+    ranked = sorted(
+        (asn for asn in degrees if asn in collector_peers),
+        key=lambda asn: (-reach.get(asn, 0), -degrees[asn], asn),
+    )
+    clique: Set[int] = set()
+    for candidate in ranked:
+        if len(clique) >= max_clique:
+            break
+        if all(candidate in adjacency.get(member, set()) for member in clique):
+            clique.add(candidate)
+    return clique
+
+
+def infer_relationships(
+    paths: Iterable[Sequence[int]],
+    siblings: Optional[Dict[int, FrozenSet[int]]] = None,
+    max_clique: int = 16,
+) -> InferredRelationships:
+    """Infer c2p / p2p relationships from a corpus of observed AS paths.
+
+    The sweep: for each cleaned path, locate its *top* — the AS with the
+    highest transit degree (clique members outrank everything).  Links on
+    the way up are customer→provider, links after the top are
+    provider→customer.  The link between two clique members at the top is a
+    peer link.  Each directed vote is tallied; majority wins per link, and
+    links whose votes conflict heavily (or that connect two clique members)
+    become p2p.
+    """
+    cleaned_paths = []
+    for path in paths:
+        cleaned = _clean_path(path)
+        if cleaned is not None:
+            cleaned_paths.append(cleaned)
+
+    degrees = transit_degrees(cleaned_paths)
+    reach = downstream_reach(cleaned_paths)
+    clique = infer_clique(cleaned_paths, degrees, max_clique=max_clique, reach=reach)
+    clique = _refine_clique(cleaned_paths, clique)
+
+    def rank(asn: int) -> Tuple[int, int, int]:
+        return (
+            1 if asn in clique else 0,
+            reach.get(asn, 0),
+            degrees.get(asn, 0),
+        )
+
+    # Pass 1 — certain descents.  In a valley-free path, once the path has
+    # passed *through* a transit-free clique member, every subsequent link
+    # must go downhill (a clique member's routes are learned from customers
+    # or peers; either way only customer-class routes lie beyond, and those
+    # can only have been exported up customer links).  The link leaving the
+    # clique member itself is ambiguous: customer or peer.
+    down_votes: Counter = Counter()       # (provider, customer) pairs
+    clique_ambiguous: Set[Tuple[int, int]] = set()  # (clique member, next)
+    for path in cleaned_paths:
+        first_clique = next(
+            (i for i, asn in enumerate(path) if asn in clique), None
+        )
+        if first_clique is None:
+            continue
+        if first_clique + 1 < len(path):
+            nxt = path[first_clique + 1]
+            if nxt not in clique:  # clique-clique links are p2p by definition
+                clique_ambiguous.add((path[first_clique], nxt))
+        for index in range(first_clique + 1, len(path) - 1):
+            left, right = path[index], path[index + 1]
+            if left in clique and right in clique:
+                continue
+            down_votes[(left, right)] += 1  # left provides transit to right
+
+    # Transit evidence: who was observed routing *through* b to reach c?
+    # Used to separate customers from peers among sweep votes below.
+    transiters: Dict[Tuple[int, int], Set[int]] = {}
+    for path in cleaned_paths:
+        for j in range(1, len(path) - 1):
+            transiters.setdefault(
+                (path[j], path[j + 1]), set()
+            ).add(path[j - 1])
+
+    # Pass 2 — sweep for links never covered by pass 1 (paths that do not
+    # touch the clique): classic Gao, split at the highest-ranked AS.
+    sweep_votes: Counter = Counter()
+    for path in cleaned_paths:
+        if any(asn in clique for asn in path):
+            continue
+        top_index = max(range(len(path)), key=lambda i: (rank(path[i]), -i))
+        for index in range(len(path) - 1):
+            left, right = path[index], path[index + 1]
+            if index < top_index:
+                sweep_votes[(left, right)] += 1   # climbing: right provides
+            else:
+                sweep_votes[(right, left)] += 1   # descending: left provides
+
+    inferred = InferredRelationships(siblings=dict(siblings or {}))
+    decided: Set[FrozenSet[int]] = set()
+
+    # Clique-internal links are peering by definition.
+    ordered_clique = sorted(clique)
+    adjacency: Set[FrozenSet[int]] = set()
+    for path in cleaned_paths:
+        for left, right in zip(path, path[1:]):
+            adjacency.add(frozenset((left, right)))
+    for i, a in enumerate(ordered_clique):
+        for b in ordered_clique[i + 1:]:
+            pair = frozenset((a, b))
+            if pair in adjacency:
+                inferred.p2p.add(pair)
+                decided.add(pair)
+
+    # Descent evidence wins: majority direction becomes c2p.
+    for (provider, customer), votes in sorted(down_votes.items()):
+        pair = frozenset((provider, customer))
+        if pair in decided:
+            continue
+        opposite = down_votes.get((customer, provider), 0)
+        if votes > opposite or (votes == opposite and provider < customer):
+            decided.add(pair)
+            inferred.c2p.add((customer, provider))
+
+    # Clique-adjacent links with no descent evidence anywhere: had the
+    # neighbor been a customer, its routes would be visible *through* the
+    # clique member from elsewhere.  They never are → peering.
+    for member, neighbor in sorted(clique_ambiguous):
+        pair = frozenset((member, neighbor))
+        if pair in decided:
+            continue
+        decided.add(pair)
+        inferred.p2p.add(pair)
+
+    # Remaining links: sweep votes, validated by transit evidence.  A true
+    # customer link (c, p) is eventually crossed by someone other than p's
+    # own customers (p exports c's routes upward); a peer link is only ever
+    # crossed on the way *down* to p's customers.  Validation depends on
+    # which witnesses are themselves customers, so iterate to a fixpoint
+    # (flips are monotone c2p → p2p; this terminates).
+    tentative: List[Tuple[int, int]] = []
+    for (customer, provider), votes in sorted(sweep_votes.items()):
+        pair = frozenset((customer, provider))
+        if pair in decided:
+            continue
+        opposite = sweep_votes.get((provider, customer), 0)
+        if votes < opposite:
+            continue
+        decided.add(pair)
+        if opposite > 0 and _similar_degree(degrees, customer, provider):
+            inferred.p2p.add(pair)
+            continue
+        tentative.append((customer, provider))
+        inferred.c2p.add((customer, provider))
+
+    changed = True
+    while changed and tentative:
+        changed = False
+        keep: List[Tuple[int, int]] = []
+        for customer, provider in tentative:
+            witnesses = transiters.get((provider, customer), set())
+            if witnesses:
+                valid = any(
+                    witness in clique
+                    or (witness, provider) not in inferred.c2p
+                    for witness in witnesses
+                    if witness != customer
+                )
+                if not valid:
+                    # Only p's own customers ever crossed this link: that
+                    # is what peering looks like.
+                    inferred.c2p.discard((customer, provider))
+                    inferred.p2p.add(frozenset((customer, provider)))
+                    changed = True
+                    continue
+            keep.append((customer, provider))
+        tentative = keep
+
+    # Totality: every adjacency observed in the paths gets an annotation
+    # (like the published inferences bdrmap consumes).  Leftovers default
+    # to c2p with the higher-ranked side as provider.
+    for pair in sorted(adjacency, key=sorted):
+        if pair in decided or len(pair) != 2:
+            continue
+        a, b = sorted(pair)
+        if inferred.relationship(a, b) is not None:
+            continue
+        customer, provider = sorted((a, b), key=rank)
+        inferred.c2p.add((customer, provider))
+    return inferred
+
+
+def _refine_clique(
+    paths: List[List[int]], clique: Set[int]
+) -> Set[int]:
+    """Demote false clique members.
+
+    A network with a big customer cone (e.g. a large access ISP) can rank
+    like a tier-1, but a true transit-free AS is never observed *below* a
+    descent: once a path has passed through a clique member, every later
+    hop is a customer of its predecessor.  Any provisional member that
+    appears there has a provider and is demoted; repeat to fixpoint.
+    """
+    clique = set(clique)
+    while clique:
+        demoted: Set[int] = set()
+        for path in paths:
+            first = next((i for i, asn in enumerate(path) if asn in clique), None)
+            if first is None:
+                continue
+            for index in range(first + 1, len(path) - 1):
+                right = path[index + 1]
+                # True clique members are never observed below a descent:
+                # even another clique member cannot appear here (peers do
+                # not re-export peer-learned routes).
+                if right in clique:
+                    demoted.add(right)
+        if not demoted:
+            break
+        clique -= demoted
+    return clique
+
+
+def _similar_degree(degrees: Dict[int, int], a: int, b: int) -> bool:
+    da, db = degrees.get(a, 0), degrees.get(b, 0)
+    if da == 0 or db == 0:
+        return False
+    low, high = sorted((da, db))
+    return high <= 2 * low

@@ -1,0 +1,73 @@
+"""AS relationship types and valley-free (Gao-Rexford) export rules.
+
+bdrmap consumes AS relationship *inferences* (§5.2, using the algorithm of
+Luckie et al. 2013) to decide, e.g., whether an IP-AS mapping is plausibly a
+third-party address (§5.4.5).  The simulator also needs ground-truth
+relationships to compute realistic BGP paths.  Both sides share these types.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Rel(enum.Enum):
+    """Business relationship of a directed AS pair (a, b), from a's view."""
+
+    CUSTOMER = "customer"  # b is a's customer (a provides transit to b)
+    PROVIDER = "provider"  # b is a's provider
+    PEER = "peer"          # settlement-free peering
+    SIBLING = "sibling"    # same organization
+
+    def invert(self) -> "Rel":
+        """The relationship as seen from the other side."""
+        if self is Rel.CUSTOMER:
+            return Rel.PROVIDER
+        if self is Rel.PROVIDER:
+            return Rel.CUSTOMER
+        return self
+
+
+def export_allowed(learned_from: Optional[Rel], send_to: Rel) -> bool:
+    """Gao-Rexford export rule.
+
+    ``learned_from`` is the relationship through which a route was learned
+    (None means the AS originates the route itself); ``send_to`` is the
+    relationship to the neighbor we are considering exporting to.
+
+    Routes learned from customers (and self-originated routes) are exported
+    to everyone.  Routes learned from peers or providers are exported only to
+    customers.  Sibling links are treated as internal: everything crosses.
+    """
+    if send_to is Rel.SIBLING:
+        return True
+    if learned_from is None or learned_from is Rel.CUSTOMER:
+        return True
+    if learned_from is Rel.SIBLING:
+        return True
+    return send_to is Rel.CUSTOMER
+
+
+def valley_free_next(previous: Optional[Rel], step: Rel) -> bool:
+    """Whether a path may take ``step`` after having taken ``previous``.
+
+    Expressed walking *forward* from the origin of traffic: steps are the
+    relationship of the current AS to the next AS.  After traversing a
+    peer link or going down to a customer, the only legal continuation is
+    further downhill (customer or sibling steps).
+    """
+    if step is Rel.SIBLING:
+        return True
+    if previous is None or previous is Rel.PROVIDER or previous is Rel.SIBLING:
+        return True
+    # previous was CUSTOMER (downhill) or PEER: must keep going downhill.
+    return step is Rel.CUSTOMER
+
+
+LOCAL_PREF = {
+    Rel.CUSTOMER: 3,  # prefer routes through customers (revenue)
+    Rel.PEER: 2,      # then peers (free)
+    Rel.SIBLING: 2,
+    Rel.PROVIDER: 1,  # providers last (cost)
+}

@@ -1,0 +1,84 @@
+"""Text serialization of the public BGP view.
+
+Route Views and RIS publish RIB snapshots; researchers consume them via
+``bgpdump``, whose one-line format is the lingua franca::
+
+    TABLE_DUMP2|1452985200|B|<peer-ip>|<peer-asn>|<prefix>|<as-path>|IGP
+
+bdrmap's §5.2 inputs are files; this module lets the simulated view be
+written and re-read the same way (and makes archived views diffable).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..addr import Prefix, ntoa
+from ..errors import DataError
+from .table import BGPView, RibEntry
+
+_SNAPSHOT_TIME = 1452985200  # January 2016, the paper's data epoch
+
+
+def dump_rib(view: BGPView) -> str:
+    """Serialize a view in bgpdump's TABLE_DUMP2 one-line format."""
+    lines: List[str] = []
+    for entry in sorted(
+        view.entries, key=lambda e: (e.prefix, e.peer_asn, e.path)
+    ):
+        # Peer IP is synthesized from the peer ASN (collectors record the
+        # session address; our simulated sessions do not have one).
+        peer_ip = ntoa(0xC0000000 | (entry.peer_asn & 0xFFFF))
+        lines.append(
+            "TABLE_DUMP2|%d|B|%s|%d|%s|%s|IGP"
+            % (
+                _SNAPSHOT_TIME,
+                peer_ip,
+                entry.peer_asn,
+                entry.prefix,
+                " ".join(str(asn) for asn in entry.path),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_rib(text: str) -> BGPView:
+    """Parse TABLE_DUMP2 text back into a :class:`BGPView`.
+
+    AS-path prepending is preserved as-is (the relationship inference
+    collapses it); ``{asn,asn}`` AS-sets terminate parsing of a path the
+    way most consumers treat them (drop the set, keep the sequence).
+    """
+    view = BGPView()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 7 or fields[0] != "TABLE_DUMP2":
+            raise DataError("bad TABLE_DUMP2 row at line %d" % line_no)
+        prefix_text = fields[5]
+        path_text = fields[6]
+        try:
+            prefix = Prefix.parse(prefix_text)
+        except Exception as exc:
+            raise DataError(
+                "bad prefix %r at line %d" % (prefix_text, line_no)
+            ) from exc
+        path: List[int] = []
+        for token in path_text.split():
+            if token.startswith("{"):
+                break  # AS-set: stop here, sequence before it stands
+            if not token.isdigit():
+                raise DataError(
+                    "bad AS path token %r at line %d" % (token, line_no)
+                )
+            path.append(int(token))
+        if not path:
+            continue
+        if not fields[4].isdigit():
+            raise DataError("bad peer ASN at line %d" % line_no)
+        view.add(
+            RibEntry(peer_asn=int(fields[4]), prefix=prefix, path=tuple(path))
+        )
+    return view

@@ -1,0 +1,317 @@
+"""Command-line interface.
+
+Mirrors how a released ``sc_bdrmap`` would be driven, against the built-in
+scenarios::
+
+    python -m repro scenario --name large_access        # topology stats
+    python -m repro run --name re_network --out run.json --validate
+    python -m repro show run.json                       # inspect an archive
+    python -m repro study --name large_access --vps 6   # the §6 analyses
+    python -m repro table1 --names re_network tier1     # Table 1 columns
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import build_data_bundle, build_scenario
+from .analysis import (
+    coverage_table,
+    diversity_analysis,
+    format_table1,
+    geography_analysis,
+    marginal_utility,
+    validate_result,
+)
+from .analysis.validation import neighbor_coverage
+from .core.bdrmap import Bdrmap, run_bdrmap
+from .io import load_result, save_result
+from .topology import (
+    cdn_network,
+    large_access,
+    mini,
+    re_network,
+    small_access,
+    tier1,
+)
+
+_SCENARIOS: Dict[str, Callable] = {
+    "mini": mini,
+    "cdn_network": cdn_network,
+    "re_network": re_network,
+    "large_access": large_access,
+    "tier1": tier1,
+    "small_access": small_access,
+}
+
+
+def _build(name: str, seed: Optional[int]):
+    factory = _SCENARIOS[name]
+    config = factory(seed=seed) if seed is not None else factory()
+    return build_scenario(config)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = _build(args.name, args.seed)
+    stats = scenario.internet.stats()
+    print("scenario %s (seed %d)" % (args.name, scenario.config.asgen.seed))
+    for key in sorted(stats):
+        print("  %-22s %d" % (key, stats[key]))
+    print("  %-22s %d" % ("vps", len(scenario.vps)))
+    print("  %-22s AS%d (siblings: %s)" % (
+        "focal network", scenario.focal_asn,
+        ",".join(str(a) for a in scenario.vp_as_list)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.bdrmap import BdrmapConfig
+    from .core.heuristics import HeuristicConfig
+
+    scenario = _build(args.name, args.seed)
+    data = build_data_bundle(scenario)
+    if not 0 <= args.vp < len(scenario.vps):
+        print("error: scenario has %d VPs" % len(scenario.vps), file=sys.stderr)
+        return 2
+    config = BdrmapConfig(
+        heuristics=HeuristicConfig(use_refinement=args.refine)
+    )
+    driver = Bdrmap(scenario.network, scenario.vps[args.vp], data, config)
+    result = driver.run()
+    print(result.summary())
+    if args.links:
+        print(result.link_table())
+    if args.validate:
+        report = validate_result(result, scenario.internet)
+        print(report.summary())
+        covered, total, fraction = neighbor_coverage(result, scenario.internet)
+        print("neighbor coverage: %d/%d (%.1f%%)" % (covered, total, 100 * fraction))
+    if args.out:
+        save_result(result, args.out)
+        print("saved to %s" % args.out)
+    if args.bundle:
+        from .io import save_bundle
+
+        save_bundle(args.bundle, scenario, data, collection=driver.collection)
+        print("inputs + traces bundled to %s/" % args.bundle)
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    """Offline inference over an archived bundle — no probing at all."""
+    from .core.bdrmap import BdrmapConfig, infer_from_collection
+    from .core.heuristics import HeuristicConfig
+    from .io import load_bundle
+
+    data, collection = load_bundle(args.bundle)
+    if collection is None:
+        print("error: bundle has no traces.json", file=sys.stderr)
+        return 2
+    config = BdrmapConfig(
+        heuristics=HeuristicConfig(use_refinement=args.refine)
+    )
+    result = infer_from_collection(collection, data, config=config)
+    print(result.summary())
+    if args.links:
+        print(result.link_table())
+    if args.out:
+        save_result(result, args.out)
+        print("saved to %s" % args.out)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    result = load_result(args.path)
+    print(result.summary())
+    if args.links:
+        print(result.link_table())
+    if args.explain is not None:
+        print(result.explain(args.explain))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    factory = _SCENARIOS[args.name]
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.vps is not None and args.name == "large_access":
+        kwargs["n_vps"] = args.vps
+    scenario = build_scenario(factory(**kwargs))
+    data = build_data_bundle(scenario)
+    results = [Bdrmap(scenario.network, vp, data).run() for vp in scenario.vps]
+    print("measured %d VPs" % len(results))
+    diversity = diversity_analysis(results, data.view, scenario.internet)
+    print(diversity.summary())
+    study_ases = scenario.state.dense_peer_asns + scenario.state.cdn_peer_asns
+    if study_ases:
+        marginal = marginal_utility(results, scenario.internet, study_ases)
+        print(marginal.summary())
+        geo = geography_analysis(results, scenario.internet, study_ases)
+        print(geo.summary())
+        if args.plot:
+            from .analysis.plots import text_curve, text_scatter_rows
+
+            curves = {}
+            if scenario.state.dense_peer_asns:
+                curves["dense"] = marginal.curves[
+                    scenario.state.dense_peer_asns[0]
+                ]
+            if scenario.state.cdn_peer_asns:
+                curves["cdn"] = marginal.curves[scenario.state.cdn_peer_asns[0]]
+            print()
+            print("Fig 15 (links discovered vs VPs):")
+            print(text_curve(curves, x_label="VPs added"))
+            for asn in study_ases[:2]:
+                print()
+                print("Fig 16 rows for AS%d (o = VP, * = links):" % asn)
+                print(text_scatter_rows(geo.rows[asn]))
+    return 0
+
+
+def _cmd_congest(args: argparse.Namespace) -> int:
+    """The §2 application: map borders, induce congestion, detect it."""
+    from .congestion import (
+        TSLPMonitor,
+        detect_congestion,
+        probe_targets_from_result,
+    )
+    from .net.congestion import CongestionProfile
+    from .topology.model import LinkKind
+
+    scenario = _build(args.name, args.seed)
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+    targets = probe_targets_from_result(result)
+    congested = set()
+    for target in targets:
+        if len(congested) >= args.links:
+            break
+        iface = scenario.internet.addr_to_iface.get(target.far_addr)
+        if iface is None:
+            continue
+        link = scenario.internet.links[iface.link_id]
+        if link.kind is LinkKind.INTRA:
+            continue
+        scenario.network.congestion.congest(
+            link.link_id, CongestionProfile(peak_ms=args.peak_ms)
+        )
+        congested.add((target.near_rid, target.far_rid))
+    monitor = TSLPMonitor(
+        scenario.network, scenario.vps[0].addr, targets, interval=1800.0
+    )
+    report = monitor.run(duration=args.days * 86400.0)
+    hits = false_alarms = 0
+    for key, series in sorted(report.series.items()):
+        assessment = detect_congestion(series)
+        detected = assessment.verdict.value == "congested"
+        if detected and key in congested:
+            hits += 1
+        elif detected:
+            false_alarms += 1
+    print(
+        "monitored %d links for %d days: detected %d/%d congested, "
+        "%d false alarms"
+        % (len(targets), args.days, hits, len(congested), false_alarms)
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    reports = []
+    for name in args.names:
+        scenario = _build(name, args.seed)
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        reports.append(coverage_table(result, data, name))
+    if args.csv:
+        from .analysis.coverage import table1_csv
+
+        print(table1_csv(reports), end="")
+    else:
+        print(format_table1(reports))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="bdrmap reproduction (IMC 2016)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_scenario = subparsers.add_parser("scenario", help="print topology stats")
+    p_scenario.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_scenario.add_argument("--seed", type=int, default=None)
+    p_scenario.set_defaults(func=_cmd_scenario)
+
+    p_run = subparsers.add_parser("run", help="run bdrmap from one VP")
+    p_run.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--vp", type=int, default=0)
+    p_run.add_argument("--out", default=None, help="save result JSON here")
+    p_run.add_argument("--links", action="store_true", help="print link table")
+    p_run.add_argument("--validate", action="store_true",
+                       help="score against ground truth")
+    p_run.add_argument("--refine", action="store_true",
+                       help="enable the bdrmapIT-style ownership refinement")
+    p_run.add_argument("--bundle", default=None, metavar="DIR",
+                       help="archive the §5.2 inputs + traces for offline "
+                            "re-analysis with `infer`")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_infer = subparsers.add_parser(
+        "infer", help="re-run inference over an archived bundle (no probing)"
+    )
+    p_infer.add_argument("bundle", help="bundle directory from `run --bundle`")
+    p_infer.add_argument("--links", action="store_true")
+    p_infer.add_argument("--refine", action="store_true")
+    p_infer.add_argument("--out", default=None)
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_show = subparsers.add_parser("show", help="inspect a saved result")
+    p_show.add_argument("path")
+    p_show.add_argument("--links", action="store_true")
+    p_show.add_argument("--explain", type=int, default=None, metavar="RID",
+                        help="explain one inferred router's ownership")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_study = subparsers.add_parser("study", help="the §6 multi-VP analyses")
+    p_study.add_argument("--name", choices=sorted(_SCENARIOS),
+                         default="large_access")
+    p_study.add_argument("--seed", type=int, default=None)
+    p_study.add_argument("--vps", type=int, default=None)
+    p_study.add_argument("--plot", action="store_true",
+                         help="render ASCII figures")
+    p_study.set_defaults(func=_cmd_study)
+
+    p_congest = subparsers.add_parser(
+        "congest", help="§2: monitor inferred borders for congestion"
+    )
+    p_congest.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_congest.add_argument("--seed", type=int, default=None)
+    p_congest.add_argument("--links", type=int, default=3,
+                           help="how many links to congest")
+    p_congest.add_argument("--days", type=int, default=2)
+    p_congest.add_argument("--peak-ms", type=float, default=35.0)
+    p_congest.set_defaults(func=_cmd_congest)
+
+    p_table1 = subparsers.add_parser("table1", help="print Table 1 columns")
+    p_table1.add_argument("--names", nargs="+", choices=sorted(_SCENARIOS),
+                          default=["re_network"])
+    p_table1.add_argument("--seed", type=int, default=None)
+    p_table1.add_argument("--csv", action="store_true",
+                          help="emit machine-readable CSV")
+    p_table1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

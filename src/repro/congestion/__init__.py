@@ -1,0 +1,24 @@
+"""Interdomain congestion monitoring — the application bdrmap exists for.
+
+§2 of the paper: "our method forms the cornerstone of the system we are
+building to map interdomain performance".  That system (the CAIDA/MIT
+congestion project, Luckie et al. IMC 2014) sends time-series latency
+probes (TSLP) to the *near* and *far* side of every border link bdrmap
+identified; a recurring diurnal elevation of the far side's RTT relative
+to the near side indicates a congested interdomain link.
+
+This package implements that monitor on top of bdrmap results and the
+simulator's link-congestion model.
+"""
+
+from .tslp import TSLPMonitor, LinkSeries, TSLPReport, probe_targets_from_result
+from .detect import CongestionVerdict, detect_congestion
+
+__all__ = [
+    "TSLPMonitor",
+    "LinkSeries",
+    "TSLPReport",
+    "probe_targets_from_result",
+    "CongestionVerdict",
+    "detect_congestion",
+]

@@ -1,0 +1,74 @@
+"""Congestion detection from TSLP series.
+
+The IMC 2014 approach: a congested link shows a *recurring diurnal
+pattern* — the far-minus-near RTT difference is elevated during the busy
+window and returns to baseline off-peak.  We estimate the baseline as a
+low quantile of the difference series and flag links whose busy-period
+level exceeds it by a threshold for a sustained fraction of the window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from .tslp import LinkSeries
+
+
+class CongestionVerdict(enum.Enum):
+    CONGESTED = "congested"
+    CLEAN = "clean"
+    INSUFFICIENT = "insufficient"  # too few two-sided samples
+
+
+@dataclass(frozen=True)
+class LinkAssessment:
+    verdict: CongestionVerdict
+    baseline_ms: float = 0.0
+    peak_elevation_ms: float = 0.0
+    elevated_fraction: float = 0.0
+
+
+def _quantile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def detect_congestion(
+    series: LinkSeries,
+    min_samples: int = 24,
+    elevation_threshold_ms: float = 5.0,
+    sustained_fraction: float = 0.15,
+) -> LinkAssessment:
+    """Assess one link's series.
+
+    ``elevation_threshold_ms``: how far above baseline the far-minus-near
+    difference must rise to count as queueing (well above jitter).
+    ``sustained_fraction``: the fraction of samples that must be elevated —
+    a diurnal busy period, not a blip.
+    """
+    diffs = series.diff_series()
+    if len(diffs) < min_samples:
+        return LinkAssessment(CongestionVerdict.INSUFFICIENT)
+    values = [d for _, d in diffs]
+    baseline = _quantile(values, 0.10)
+    elevated = [v for v in values if v - baseline > elevation_threshold_ms]
+    fraction = len(elevated) / len(values)
+    peak = max(values) - baseline
+    if fraction >= sustained_fraction:
+        return LinkAssessment(
+            CongestionVerdict.CONGESTED,
+            baseline_ms=baseline,
+            peak_elevation_ms=peak,
+            elevated_fraction=fraction,
+        )
+    return LinkAssessment(
+        CongestionVerdict.CLEAN,
+        baseline_ms=baseline,
+        peak_elevation_ms=peak,
+        elevated_fraction=fraction,
+    )

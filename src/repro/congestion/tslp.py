@@ -1,0 +1,126 @@
+"""Time-series latency probing (TSLP) of inferred border links.
+
+For each interdomain link bdrmap identified, probe the near (VP-network)
+side and the far (neighbor) side on a fixed cadence across virtual days.
+Congestion on the link itself delays only the far-side samples; the
+near-side series is the control that cancels intra-network queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.report import BdrmapResult
+from ..net import Network, ProbeKind
+from ..probing.ping import ping
+
+
+@dataclass(frozen=True)
+class ProbeTarget:
+    """One monitorable border link: its two interface addresses."""
+
+    near_addr: int
+    far_addr: int
+    neighbor_as: int
+    near_rid: int
+    far_rid: int
+
+
+def probe_targets_from_result(result: BdrmapResult) -> List[ProbeTarget]:
+    """Derive the near/far probing pairs from a bdrmap result.
+
+    Links whose far side never revealed an address (§5.4.8 silent
+    neighbors) cannot be monitored — exactly the real system's limitation.
+    """
+    targets: List[ProbeTarget] = []
+    for link in result.links:
+        if link.far_rid is None:
+            continue
+        near = result.graph.routers.get(link.near_rid)
+        far = result.graph.routers.get(link.far_rid)
+        if near is None or far is None or not near.addrs or not far.addrs:
+            continue
+        targets.append(
+            ProbeTarget(
+                near_addr=min(near.addrs),
+                far_addr=min(far.addrs),
+                neighbor_as=link.neighbor_as,
+                near_rid=link.near_rid,
+                far_rid=link.far_rid,
+            )
+        )
+    return targets
+
+
+@dataclass
+class LinkSeries:
+    """RTT time series for one border link."""
+
+    target: ProbeTarget
+    # (virtual time, near rtt or None, far rtt or None)
+    samples: List[Tuple[float, Optional[float], Optional[float]]] = field(
+        default_factory=list
+    )
+
+    def diff_series(self) -> List[Tuple[float, float]]:
+        """(time, far - near) for rounds where both sides answered."""
+        return [
+            (t, far - near)
+            for t, near, far in self.samples
+            if near is not None and far is not None
+        ]
+
+
+@dataclass
+class TSLPReport:
+    series: Dict[Tuple[int, int], LinkSeries] = field(default_factory=dict)
+    rounds: int = 0
+    probes_sent: int = 0
+
+    def for_link(self, near_rid: int, far_rid: int) -> Optional[LinkSeries]:
+        return self.series.get((near_rid, far_rid))
+
+
+class TSLPMonitor:
+    """Drives the periodic probing over virtual time."""
+
+    def __init__(
+        self,
+        network: Network,
+        vp_addr: int,
+        targets: List[ProbeTarget],
+        interval: float = 900.0,
+    ) -> None:
+        self.network = network
+        self.vp_addr = vp_addr
+        self.targets = targets
+        self.interval = interval
+
+    def run(self, duration: float) -> TSLPReport:
+        """Probe every target each interval for ``duration`` virtual
+        seconds."""
+        report = TSLPReport()
+        for target in self.targets:
+            report.series[(target.near_rid, target.far_rid)] = LinkSeries(target)
+        elapsed = 0.0
+        before = self.network.probes_sent
+        while elapsed < duration:
+            now = self.network.now
+            for target in self.targets:
+                near = ping(self.network, self.vp_addr, target.near_addr,
+                            kind=ProbeKind.ICMP_ECHO)
+                far = ping(self.network, self.vp_addr, target.far_addr,
+                           kind=ProbeKind.ICMP_ECHO)
+                report.series[(target.near_rid, target.far_rid)].samples.append(
+                    (
+                        now,
+                        near.rtt if near is not None else None,
+                        far.rtt if far is not None else None,
+                    )
+                )
+            report.rounds += 1
+            self.network.advance(self.interval)
+            elapsed += self.interval
+        report.probes_sent = self.network.probes_sent - before
+        return report

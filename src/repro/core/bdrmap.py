@@ -1,0 +1,180 @@
+"""The end-to-end bdrmap driver (Fig 2).
+
+``build_data_bundle`` assembles the §5.2 inputs from a scenario the same way
+a real deployment would: public BGP snapshots from collectors, relationship
+inference over them, RIR delegation files, IXP lists, and the curated VP
+sibling list.  ``Bdrmap`` then runs collection → router graph → heuristics
+for one VP and returns a :class:`BdrmapResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from ..asgraph import InferredRelationships, infer_relationships
+from ..bgp import BGPView, CollectorConfig, collect_public_view
+from ..datasets import (
+    IXPDataset,
+    RIRDelegations,
+    generate_as2org,
+    generate_ixp_data,
+    generate_rir_files,
+    parse_as2org,
+    parse_ixp_files,
+    parse_rir_file,
+)
+from ..net import Network, VantagePoint
+from .collection import Collection, CollectionConfig, Collector
+from .heuristics import HeuristicConfig, InferenceEngine
+from .report import BdrmapResult
+from .routergraph import build_router_graph
+
+
+@dataclass
+class DataBundle:
+    """The §5.2 input data, as bdrmap consumes it."""
+
+    view: BGPView
+    rels: InferredRelationships
+    rir: RIRDelegations
+    ixp: IXPDataset
+    vp_ases: Set[int]
+    focal_asn: int
+
+
+@dataclass
+class BdrmapConfig:
+    collection: CollectionConfig = field(default_factory=CollectionConfig)
+    heuristics: HeuristicConfig = field(default_factory=HeuristicConfig)
+
+
+def build_data_bundle(scenario, collector_config: Optional[CollectorConfig] = None) -> DataBundle:
+    """Assemble input data for a scenario (shared across its VPs)."""
+    internet = scenario.internet
+    network = scenario.network
+    view = collect_public_view(
+        internet,
+        network.oracle,
+        collector_config,
+        focal_asn=scenario.focal_asn,
+    )
+    sibling_map = parse_as2org(generate_as2org(internet))
+    rels = infer_relationships(view.paths(), siblings=sibling_map.as_dict())
+    rir = parse_rir_file(generate_rir_files(internet))
+    pdb_text, pch_text = generate_ixp_data(internet)
+    ixp = parse_ixp_files(pdb_text, pch_text)
+    return DataBundle(
+        view=view,
+        rels=rels,
+        rir=rir,
+        ixp=ixp,
+        vp_ases=set(scenario.vp_as_list),
+        focal_asn=scenario.focal_asn,
+    )
+
+
+class Bdrmap:
+    """Run the full pipeline for one VP."""
+
+    def __init__(
+        self,
+        network: Network,
+        vp: VantagePoint,
+        data: DataBundle,
+        config: Optional[BdrmapConfig] = None,
+        resolver=None,
+    ) -> None:
+        self.network = network
+        self.vp = vp
+        self.data = data
+        self.config = config or BdrmapConfig()
+        self.resolver = resolver
+        self.collection: Optional[Collection] = None
+
+    def run(self) -> BdrmapResult:
+        start_time = self.network.now
+        collector = Collector(
+            self.network,
+            self.vp.addr,
+            self.data.view,
+            self.data.vp_ases,
+            self.config.collection,
+            resolver=self.resolver,
+        )
+        self.collection = collector.run()
+        graph = build_router_graph(self.collection)
+        engine = InferenceEngine(
+            graph=graph,
+            collection=self.collection,
+            view=self.data.view,
+            rels=self.data.rels,
+            vp_ases=self.data.vp_ases,
+            focal_asn=self.data.focal_asn,
+            ixp_data=self.data.ixp,
+            rir=self.data.rir,
+            config=self.config.heuristics,
+        )
+        links = engine.run()
+        return BdrmapResult(
+            vp_name=self.vp.name,
+            vp_addr=self.vp.addr,
+            focal_asn=self.data.focal_asn,
+            vp_ases=set(self.data.vp_ases),
+            graph=graph,
+            links=links,
+            probes_used=self.collection.probes_used,
+            traces_run=self.collection.traces_run,
+            runtime_virtual_seconds=self.network.now - start_time,
+        )
+
+
+def run_bdrmap(scenario, vp_index: int = 0,
+               config: Optional[BdrmapConfig] = None,
+               data: Optional[DataBundle] = None) -> BdrmapResult:
+    """Convenience one-call runner for examples and tests."""
+    if data is None:
+        data = build_data_bundle(scenario)
+    vp = scenario.vps[vp_index]
+    return Bdrmap(scenario.network, vp, data, config).run()
+
+
+def infer_from_collection(
+    collection: Collection,
+    data: DataBundle,
+    config: Optional[BdrmapConfig] = None,
+    vp_name: str = "offline",
+    vp_addr: int = 0,
+) -> BdrmapResult:
+    """Run the inference stages over an already-collected (possibly
+    archived) collection — no probing.
+
+    This is how inference over stored traces works: archive a collection
+    with :func:`repro.io.serialize.collection_to_dict`, reload it later
+    (or on another machine), and re-run the heuristics, e.g. with
+    different :class:`HeuristicConfig` ablations.
+    """
+    config = config or BdrmapConfig()
+    graph = build_router_graph(collection)
+    engine = InferenceEngine(
+        graph=graph,
+        collection=collection,
+        view=data.view,
+        rels=data.rels,
+        vp_ases=data.vp_ases,
+        focal_asn=data.focal_asn,
+        ixp_data=data.ixp,
+        rir=data.rir,
+        config=config.heuristics,
+    )
+    links = engine.run()
+    return BdrmapResult(
+        vp_name=vp_name,
+        vp_addr=vp_addr,
+        focal_asn=data.focal_asn,
+        vp_ases=set(data.vp_ases),
+        graph=graph,
+        links=links,
+        probes_used=collection.probes_used,
+        traces_run=collection.traces_run,
+    )

@@ -1,0 +1,248 @@
+"""Data collection (§5.3): traceroutes with stop sets, then alias probing.
+
+The collector probes each target AS one block at a time (multiple ASes
+interleaved via the round-robin scheduler), records the first external
+address per trace into the target's stop set, retries further addresses in
+a block (up to five) when a trace shows no external address other than the
+probed one, and finally drives Mercator / prefixscan / Ally alias probing
+over what was observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..alias import AliasResolver
+from ..bgp import BGPView
+from ..net import Network
+from ..probing import StopSet, paris_traceroute
+from ..probing.prefixscan import PrefixscanResult, prefixscan
+from ..probing.scheduler import RoundRobinScheduler
+from ..probing.traceroute import TraceResult
+from .targets import TargetBlock, group_by_origin
+
+TargetKey = Tuple[int, ...]
+
+
+@dataclass
+class CollectionConfig:
+    max_addrs_per_block: int = 5
+    max_ttl: int = 32
+    gap_limit: int = 5
+    attempts: int = 2
+    parallelism: int = 8
+    use_stop_set: bool = True          # ablation: doubletree on/off
+    use_alias_resolution: bool = True  # ablation: Fig 13 effect
+    use_prefixscan: bool = True
+    ally_rounds: int = 5
+    ally_interval: float = 300.0
+    max_candidate_fanout: int = 12
+
+
+@dataclass
+class Collection:
+    """Everything the inference stage consumes."""
+
+    traces: List[TraceResult] = field(default_factory=list)
+    trace_keys: List[TargetKey] = field(default_factory=list)  # parallel to traces
+    per_target: Dict[TargetKey, List[TraceResult]] = field(default_factory=dict)
+    stop_set: StopSet = field(default_factory=StopSet)
+    resolver: Optional[AliasResolver] = None
+    prefixscans: Dict[Tuple[int, int], PrefixscanResult] = field(default_factory=dict)
+    probes_used: int = 0
+    traces_run: int = 0
+
+    def observed_ttl_expired_addrs(self) -> Set[int]:
+        """TTL-expired source addresses, excluding those equal to the probed
+        destination (whose interface placement is ambiguous, §4)."""
+        found: Set[int] = set()
+        for trace in self.traces:
+            for hop in trace.hops:
+                if (
+                    hop.addr is not None
+                    and hop.is_ttl_expired
+                    and hop.addr != trace.dst
+                ):
+                    found.add(hop.addr)
+        return found
+
+
+class Collector:
+    """Runs the §5.3 collection for one VP."""
+
+    def __init__(
+        self,
+        network: Network,
+        vp_addr: int,
+        view: BGPView,
+        vp_ases: Set[int],
+        config: Optional[CollectionConfig] = None,
+        resolver: Optional[AliasResolver] = None,
+    ) -> None:
+        self.network = network
+        self.vp_addr = vp_addr
+        self.view = view
+        self.vp_ases = set(vp_ases)
+        self.config = config or CollectionConfig()
+        self.collection = Collection()
+        # A shared resolver lets the central system (§5.8) reuse alias
+        # evidence across the VPs it drives: aliases are a property of the
+        # routers, not of the vantage point.
+        self.collection.resolver = resolver or AliasResolver(
+            network,
+            vp_addr,
+            ally_rounds=self.config.ally_rounds,
+            ally_interval=self.config.ally_interval,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _is_external(self, addr: int) -> bool:
+        origins = self.view.origins_of_addr(addr)
+        return bool(origins) and not (set(origins) & self.vp_ases)
+
+    def _first_external(self, trace: TraceResult) -> Optional[int]:
+        for hop in trace.hops:
+            if hop.addr is None or not hop.is_ttl_expired:
+                continue
+            if self._is_external(hop.addr):
+                return hop.addr
+        return None
+
+    def _saw_external_router(self, trace: TraceResult, probed: int) -> bool:
+        """Did the trace reveal any external address besides the probed
+        destination itself?  (§5.3: retry other addresses otherwise, to
+        avoid interpreting third-party addresses as neighbors.)"""
+        for hop in trace.hops:
+            if hop.addr is None or hop.addr == probed:
+                continue
+            if self._is_external(hop.addr):
+                return True
+        return False
+
+    # -- phase 1: traceroute ----------------------------------------------------
+
+    def _trace(self, dst: int, stop: Optional[Set[int]]) -> TraceResult:
+        """One traceroute; remote deployments override this to dispatch the
+        command to the on-device prober (§5.8)."""
+        return paris_traceroute(
+            self.network,
+            self.vp_addr,
+            dst,
+            max_ttl=self.config.max_ttl,
+            attempts=self.config.attempts,
+            gap_limit=self.config.gap_limit,
+            stop_set=stop,
+        )
+
+    def _prefixscan(self, prev: int, nxt: int) -> PrefixscanResult:
+        """One prefixscan; override point for remote deployments."""
+        return prefixscan(self.network, self.vp_addr, prev, nxt)
+
+    def _target_task(self, key: TargetKey, blocks: List[TargetBlock]) -> Iterator[None]:
+        stop = (
+            self.collection.stop_set.for_target(key)
+            if self.config.use_stop_set
+            else None
+        )
+        for block in blocks:
+            for addr in block.candidate_addrs(self.config.max_addrs_per_block):
+                trace = self._trace(addr, stop)
+                self.collection.traces.append(trace)
+                self.collection.trace_keys.append(key)
+                self.collection.per_target.setdefault(key, []).append(trace)
+                self.collection.traces_run += 1
+                first_external = self._first_external(trace)
+                if first_external is not None and stop is not None:
+                    stop.add(first_external)
+                yield
+                if self._saw_external_router(trace, addr):
+                    break  # this block is done; next block
+
+    def run_traceroutes(self) -> None:
+        groups = group_by_origin(
+            TargetBlock(block=t.block, origins=t.origins)
+            for t in self._targets()
+        )
+        scheduler = RoundRobinScheduler(parallelism=self.config.parallelism)
+        for key in sorted(groups):
+            scheduler.add(self._target_task(key, groups[key]))
+        scheduler.run()
+
+    def _targets(self) -> List[TargetBlock]:
+        from .targets import build_targets
+
+        return build_targets(self.view, self.vp_ases)
+
+    # -- phase 2: alias resolution ---------------------------------------------------
+
+    def _adjacent_pairs(self) -> List[Tuple[int, int]]:
+        """Consecutive responsive TTL-expired hop pairs across all traces."""
+        pairs: Set[Tuple[int, int]] = set()
+        for trace in self.collection.traces:
+            hops = trace.hops
+            for left, right in zip(hops, hops[1:]):
+                if (
+                    left.addr is not None
+                    and right.addr is not None
+                    and left.is_ttl_expired
+                    and right.is_ttl_expired
+                    and left.addr != right.addr
+                ):
+                    pairs.add((left.addr, right.addr))
+        return sorted(pairs)
+
+    def run_alias_resolution(self) -> None:
+        if not self.config.use_alias_resolution:
+            return
+        resolver = self.collection.resolver
+        assert resolver is not None
+        observed = self.collection.observed_ttl_expired_addrs()
+        # Teach the TTL-limited prober where each address was seen, so Ally
+        # can fall back to in-transit expiry for probe-deaf routers (§5.3).
+        if getattr(resolver, "_ttl_prober", None) is not None:
+            for trace in self.collection.traces:
+                resolver._ttl_prober.learn_from_trace(trace)
+        resolver.mercator_sweep(observed)
+
+        pairs = self._adjacent_pairs()
+        successors: Dict[int, Set[int]] = {}
+        predecessors: Dict[int, Set[int]] = {}
+        for prev, nxt in pairs:
+            successors.setdefault(prev, set()).add(nxt)
+            predecessors.setdefault(nxt, set()).add(prev)
+
+        # Prefixscan on hop pairs that cross into external address space:
+        # confirms the inbound interface and finds near-side aliases (§5.3).
+        if self.config.use_prefixscan:
+            for prev, nxt in pairs:
+                origins_next = self.view.origins_of_addr(nxt)
+                if origins_next and not self._is_external(nxt):
+                    continue  # internal hop: not an interdomain candidate
+                result = self._prefixscan(prev, nxt)
+                self.collection.prefixscans[(prev, nxt)] = result
+                if result.confirmed and result.mate is not None:
+                    resolver.evidence.record_for(result.mate, prev, "prefixscan")
+                    if result.mate != prev:
+                        # Confirm through the hardened pairwise test too.
+                        resolver.test_pair(result.mate, prev)
+
+        # Candidate alias sets: addresses sharing a common predecessor or
+        # successor might be interfaces of one router (virtual routers,
+        # per-destination response addresses — Fig 13).
+        for anchor, members in sorted(successors.items()):
+            if 2 <= len(members) <= self.config.max_candidate_fanout:
+                resolver.resolve_candidate_set(members)
+        for anchor, members in sorted(predecessors.items()):
+            if 2 <= len(members) <= self.config.max_candidate_fanout:
+                resolver.resolve_candidate_set(members)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def run(self) -> Collection:
+        before = self.network.probes_sent
+        self.run_traceroutes()
+        self.run_alias_resolution()
+        self.collection.probes_used = self.network.probes_sent - before
+        return self.collection

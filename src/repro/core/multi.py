@@ -1,0 +1,62 @@
+"""Multi-VP coordination.
+
+The paper's deployment (§5.8, §6) runs many VPs in one network, driven by
+one central system.  Aliases are a property of routers, not vantage
+points, so the controller can share the alias-evidence store across VPs:
+the first VP pays the full Ally cost, later VPs reuse verdicts and only
+test pairs they alone observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..alias import AliasResolver
+from .bdrmap import Bdrmap, BdrmapConfig, DataBundle, build_data_bundle
+from .report import BdrmapResult
+
+
+@dataclass
+class MultiVPRun:
+    results: List[BdrmapResult]
+    shared_resolver: Optional[AliasResolver]
+
+    def total_probes(self) -> int:
+        return sum(result.probes_used for result in self.results)
+
+    def all_links(self):
+        """Union of inferred links across VPs (deduplicated per VP only —
+        cross-VP identity needs ground truth or address comparison)."""
+        return [link for result in self.results for link in result.links]
+
+
+def run_all_vps(
+    scenario,
+    data: Optional[DataBundle] = None,
+    config: Optional[BdrmapConfig] = None,
+    share_alias_evidence: bool = True,
+) -> MultiVPRun:
+    """Run bdrmap from every VP of a scenario.
+
+    With ``share_alias_evidence`` (the central-system behaviour), one
+    resolver accumulates Mercator/Ally/prefixscan verdicts across VPs.
+    Stop sets are *never* shared: they encode per-VP forward paths, and
+    §6's analyses depend on each VP observing its own egresses.
+    """
+    if data is None:
+        data = build_data_bundle(scenario)
+    config = config or BdrmapConfig()
+    resolver: Optional[AliasResolver] = None
+    if share_alias_evidence and scenario.vps:
+        resolver = AliasResolver(
+            scenario.network,
+            scenario.vps[0].addr,
+            ally_rounds=config.collection.ally_rounds,
+            ally_interval=config.collection.ally_interval,
+        )
+    results = []
+    for vp in scenario.vps:
+        driver = Bdrmap(scenario.network, vp, data, config, resolver=resolver)
+        results.append(driver.run())
+    return MultiVPRun(results=results, shared_resolver=resolver)

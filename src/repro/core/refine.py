@@ -1,0 +1,86 @@
+"""Ownership refinement beyond the first border (bdrmapIT-style).
+
+The paper stops at the links adjacent to the VP network and annotates
+deeper routers with plain IP-AS mappings (§5.4.6's fallback).  Its
+follow-on work (bdrmapIT, Marder et al.) showed those deep annotations
+improve by propagating neighbor constraints: a router whose surrounding
+routers all belong to B, while its own address maps to B's *provider* O,
+is most likely B's router answering with a third-party address — the
+§5.4.5 logic generalized past the first hop, where the original's
+"observed only on paths toward B" precondition rarely holds.
+
+This pass is optional (``HeuristicConfig.use_refinement``) and labelled as
+an extension in DESIGN.md; the default pipeline reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..asgraph import InferredRelationships, Rel
+from .routergraph import RouterGraph
+
+# Only these inferences are weak enough to overturn.
+_WEAK_REASONS = {"6 ipas", "3 unrouted"}
+
+
+def refine_ownership(
+    graph: RouterGraph,
+    rels: InferredRelationships,
+    vp_ases: Set[int],
+    focal_asn: int,
+    max_iterations: int = 3,
+) -> int:
+    """Propagate neighbor constraints onto weakly-owned routers.
+
+    A weak router R (owner O) is reassigned to B when:
+
+    * a clear majority of R's owner-annotated neighbors belong to B, and
+    * O is an inferred provider of B (so O's address on B's router is the
+      expected provider-supplied / third-party pattern), and
+    * at least two neighbors support B (one adjacent router proves
+      nothing).
+
+    Returns the number of routers reassigned.
+    """
+    changed_total = 0
+    for _ in range(max_iterations):
+        changed = 0
+        for router in graph.by_distance():
+            if router.reason not in _WEAK_REASONS or router.owner is None:
+                continue
+            owner = router.owner
+            pred_owners = {
+                graph.routers[rid].owner
+                for rid in graph.predecessors(router.rid)
+                if rid in graph.routers and graph.routers[rid].owner is not None
+            }
+            if pred_owners & vp_ases:
+                # Adjacent to the VP network: the first-border heuristics
+                # had full constraints here; do not second-guess them.
+                continue
+            succ_owners = {
+                graph.routers[rid].owner
+                for rid in graph.successors(router.rid)
+                if rid in graph.routers and graph.routers[rid].owner is not None
+            } - vp_ases - {None}
+            succ_owners.discard(owner)
+            if len(succ_owners) != 1:
+                continue
+            candidate = next(iter(succ_owners))
+            # The deep-border pattern: R answers with O's address, O is
+            # adjacent upstream, everything downstream belongs to B, and
+            # O—B interconnection plausibly uses O's address space (O is
+            # B's provider, or a peer that supplied the subnet).
+            relationship = rels.relationship(owner, candidate)
+            if relationship not in (Rel.CUSTOMER, Rel.PEER):
+                continue
+            if owner not in pred_owners and pred_owners:
+                continue
+            router.owner = candidate
+            router.reason = "9 refined"
+            changed += 1
+        changed_total += changed
+        if not changed:
+            break
+    return changed_total

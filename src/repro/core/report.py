@@ -1,0 +1,216 @@
+"""Result model and text reports for a bdrmap run."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..addr import ntoa
+from .routergraph import RouterGraph
+
+
+# Per-heuristic confidence priors: the fraction of links each heuristic
+# validated correctly across this repo's ground-truth studies (paper
+# analogue: Table 1 + §5.6).  Consumers (e.g. a congestion monitor) can
+# rank or filter links by these; they are priors, not per-link posteriors.
+HEURISTIC_CONFIDENCE = {
+    "2 firewall": 0.95,
+    "3 unrouted": 0.85,
+    "4 onenet": 0.95,
+    "5 thirdparty": 0.95,
+    "5 relationship": 0.97,
+    "5 missing customer": 0.70,
+    "5 hidden peer": 0.90,
+    "6 count": 0.85,
+    "6 ipas": 0.95,
+    "ixp": 0.95,
+    "7 alias": 0.90,
+    "8 silent": 0.95,
+    "8 other icmp": 0.95,
+    "1 multihomed": 0.70,
+    "9 refined": 0.85,
+}
+_DEFAULT_CONFIDENCE = 0.75
+
+
+@dataclass(frozen=True)
+class InferredLink:
+    """One inferred interdomain link attached to the VP network.
+
+    ``far_rid`` is None for §5.4.8 links, where the neighbor's router never
+    revealed an address (we know *where* it attaches, not *what* it is).
+    """
+
+    near_rid: int
+    far_rid: Optional[int]
+    neighbor_as: int
+    reason: str
+    via_ixp: bool = False
+
+    @property
+    def confidence(self) -> float:
+        """Prior probability this link is correct, from the heuristic that
+        produced it (measured against ground truth; see
+        ``HEURISTIC_CONFIDENCE``)."""
+        return HEURISTIC_CONFIDENCE.get(self.reason, _DEFAULT_CONFIDENCE)
+
+
+@dataclass
+class BdrmapResult:
+    """Everything a bdrmap run produced for one VP."""
+
+    vp_name: str
+    vp_addr: int
+    focal_asn: int
+    vp_ases: Set[int]
+    graph: RouterGraph
+    links: List[InferredLink] = field(default_factory=list)
+    probes_used: int = 0
+    traces_run: int = 0
+    runtime_virtual_seconds: float = 0.0
+
+    # -- views ---------------------------------------------------------------
+
+    def neighbor_ases(self) -> Set[int]:
+        return {link.neighbor_as for link in self.links}
+
+    def links_with(self, neighbor_as: int) -> List[InferredLink]:
+        return [l for l in self.links if l.neighbor_as == neighbor_as]
+
+    def neighbor_routers(self) -> List[Tuple[int, int, str]]:
+        """(rid, owner, reason) of each inferred neighbor router."""
+        found = []
+        for rid in sorted(self.graph.routers):
+            router = self.graph.routers[rid]
+            if router.owner is not None and router.owner not in self.vp_ases:
+                found.append((rid, router.owner, router.reason))
+        return found
+
+    def heuristic_counts(self) -> Counter:
+        """How many neighbor routers each heuristic inferred (Table 1 rows)."""
+        counts: Counter = Counter()
+        for _, _, reason in self.neighbor_routers():
+            counts[reason] += 1
+        return counts
+
+    def border_pairs(self) -> Set[Tuple[int, int]]:
+        """(near rid, neighbor AS) pairs — the unit §5.6 validates."""
+        return {(link.near_rid, link.neighbor_as) for link in self.links}
+
+    def links_with_confidence(self, minimum: float) -> List[InferredLink]:
+        """Links whose heuristic's validated accuracy meets ``minimum`` —
+        e.g. a congestion monitor probing only high-confidence borders."""
+        return [link for link in self.links if link.confidence >= minimum]
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [
+            "bdrmap result for %s (AS%d)" % (self.vp_name, self.focal_asn),
+            "  traces: %d   probes: %d" % (self.traces_run, self.probes_used),
+            "  inferred routers: %d" % len(self.graph.routers),
+            "  neighbor routers: %d" % len(self.neighbor_routers()),
+            "  interdomain links: %d to %d ASes"
+            % (len(self.links), len(self.neighbor_ases())),
+            "  heuristics: %s"
+            % ", ".join(
+                "%s=%d" % (reason, count)
+                for reason, count in sorted(self.heuristic_counts().items())
+            ),
+        ]
+        return "\n".join(lines)
+
+    def explain(self, rid: int) -> str:
+        """A human-readable justification of one router's inference.
+
+        Reconstructs the constraints the heuristic acted on from the stored
+        graph: the router's addresses, its place in trace paths, what it
+        leads to, and which destinations it carried probes toward.
+        """
+        router = self.graph.routers.get(rid)
+        if router is None:
+            return "r%d: no such inferred router" % rid
+        lines = ["router r%d" % rid]
+        lines.append(
+            "  addresses: %s"
+            % (", ".join(ntoa(a) for a in sorted(router.addrs)) or "(none)")
+        )
+        if router.extra_addrs:
+            lines.append(
+                "  aliases (never traced): %s"
+                % ", ".join(ntoa(a) for a in sorted(router.extra_addrs))
+            )
+        if router.owner is None:
+            lines.append("  owner: UNINFERRED (no heuristic matched)")
+        else:
+            side = "the VP network" if router.owner in self.vp_ases else "a neighbor"
+            lines.append(
+                "  owner: AS%d (%s), via heuristic %r"
+                % (router.owner, side, router.reason)
+            )
+        lines.append("  first seen at TTL %d" % router.min_dist)
+        successors = sorted(self.graph.successors(rid))
+        if successors:
+            shown = []
+            for successor in successors[:6]:
+                nxt = self.graph.routers.get(successor)
+                if nxt is None:
+                    continue
+                shown.append(
+                    "r%d (AS%s)"
+                    % (successor, nxt.owner if nxt.owner is not None else "?")
+                )
+            lines.append("  leads to: %s" % ", ".join(shown))
+        else:
+            lines.append("  leads to: nothing observed beyond it")
+        dsts = sorted(router.dsts)
+        lines.append(
+            "  carried probes toward %d ASes%s"
+            % (
+                len(dsts),
+                (
+                    ": " + ", ".join("AS%d" % asn for asn in dsts[:8])
+                    + ("..." if len(dsts) > 8 else "")
+                )
+                if dsts
+                else "",
+            )
+        )
+        if router.last_hop_for:
+            lines.append(
+                "  last responsive hop toward: %s"
+                % ", ".join("AS%d" % asn for asn in sorted(router.last_hop_for)[:8])
+            )
+        if router.merged_from:
+            lines.append(
+                "  merged from %d apparent routers (§5.4.7)"
+                % (len(router.merged_from) + 1)
+            )
+        return "\n".join(lines)
+
+    def link_table(self, limit: Optional[int] = None) -> str:
+        rows = ["near-router | near-addrs | neighbor-AS | reason | ixp"]
+        links = sorted(
+            self.links, key=lambda l: (l.neighbor_as, l.near_rid)
+        )
+        if limit is not None:
+            links = links[:limit]
+        for link in links:
+            near = self.graph.routers.get(link.near_rid)
+            addrs = (
+                ",".join(ntoa(a) for a in sorted(near.addrs)[:3])
+                if near is not None
+                else "?"
+            )
+            rows.append(
+                "r%-4d | %-40s | AS%-6d | %-16s | %s"
+                % (
+                    link.near_rid,
+                    addrs,
+                    link.neighbor_as,
+                    link.reason,
+                    "ixp" if link.via_ixp else "-",
+                )
+            )
+        return "\n".join(rows)

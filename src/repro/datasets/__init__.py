@@ -1,0 +1,25 @@
+"""Input datasets of §5.2: RIR delegation files, IXP prefix lists
+(PeeringDB/PCH-like), and the AS→organization (sibling) mapping — each with
+a synthesizer (from ground truth, with realistic imperfections) and a
+parser (the format a real deployment would ingest)."""
+
+from .rir import DelegationRecord, RIRDelegations, generate_rir_files, parse_rir_file
+from .ixp import IXPDataset, generate_ixp_data, parse_ixp_files
+from .siblings import SiblingMap, generate_as2org, parse_as2org
+from .dns import DNSConfig, ReverseDNS, generate_reverse_dns
+
+__all__ = [
+    "DNSConfig",
+    "ReverseDNS",
+    "generate_reverse_dns",
+    "DelegationRecord",
+    "RIRDelegations",
+    "generate_rir_files",
+    "parse_rir_file",
+    "IXPDataset",
+    "generate_ixp_data",
+    "parse_ixp_files",
+    "SiblingMap",
+    "generate_as2org",
+    "parse_as2org",
+]

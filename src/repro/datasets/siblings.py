@@ -1,0 +1,75 @@
+"""AS→organization (sibling) mapping (§5.2, §4 challenge 5).
+
+CAIDA's as2org dataset groups ASes under organizations using WHOIS; it is
+derived quarterly and has known false/missing entries.  We synthesize it
+from ground truth with injected staleness and parse it into a
+:class:`SiblingMap`.  Note §5.2: the *VP network's* sibling list is the one
+input bdrmap curates manually — scenarios supply that list from ground
+truth, while this dataset (used for everything else) stays imperfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from ..errors import DataError
+from ..rng import make_rng
+from ..topology.model import Internet
+
+
+@dataclass
+class SiblingMap:
+    """Organization membership for ASes."""
+
+    org_of: Dict[int, str] = field(default_factory=dict)
+    members: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+
+    def siblings_of(self, asn: int) -> FrozenSet[int]:
+        """All ASes in ``asn``'s organization (including itself)."""
+        org = self.org_of.get(asn)
+        if org is None:
+            return frozenset((asn,))
+        return self.members.get(org, frozenset((asn,)))
+
+    def are_siblings(self, a: int, b: int) -> bool:
+        org_a = self.org_of.get(a)
+        return org_a is not None and org_a == self.org_of.get(b)
+
+    def as_dict(self) -> Dict[int, FrozenSet[int]]:
+        return {asn: self.siblings_of(asn) for asn in self.org_of}
+
+
+def generate_as2org(internet: Internet, complete: bool = False) -> str:
+    """Emit an as2org-style file; unless ``complete``, ~10% of sibling
+    groupings are broken apart (stale WHOIS)."""
+    rng = make_rng(internet.seed, "as2org")
+    lines = ["# format: asn|org_id|org_name"]
+    for org_id in sorted(internet.orgs):
+        org = internet.orgs[org_id]
+        for asn in sorted(org.asns):
+            emitted_org = org_id
+            if not complete and len(org.asns) > 1 and rng.random() < 0.10:
+                emitted_org = "%s-stale-%d" % (org_id, asn)
+            lines.append("%d|%s|%s" % (asn, emitted_org, org.name))
+    return "\n".join(lines) + "\n"
+
+
+def parse_as2org(text: str) -> SiblingMap:
+    org_of: Dict[int, str] = {}
+    groups: Dict[str, Set[int]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 2 or not fields[0].isdigit():
+            raise DataError("bad as2org row: %r" % line)
+        asn = int(fields[0])
+        org = fields[1]
+        org_of[asn] = org
+        groups.setdefault(org, set()).add(asn)
+    return SiblingMap(
+        org_of=org_of,
+        members={org: frozenset(asns) for org, asns in groups.items()},
+    )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the bdrmap reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this package."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix was malformed or out of range."""
+
+
+class TopologyError(ReproError):
+    """The topology generator was asked to build something inconsistent."""
+
+
+class RoutingError(ReproError):
+    """No route / inconsistent routing state in the simulator."""
+
+
+class ProbeError(ReproError):
+    """A measurement tool was used incorrectly."""
+
+
+class DataError(ReproError, ValueError):
+    """An input dataset (RIR / IXP / sibling file) could not be parsed."""
+
+
+class InferenceError(ReproError):
+    """The inference engine reached an inconsistent internal state."""

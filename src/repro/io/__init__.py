@@ -1,0 +1,33 @@
+"""Persistence: JSON serialization of traces and bdrmap results.
+
+The real bdrmap stores scamper ``warts`` and emits text reports; offline we
+serialize to JSON so runs can be archived, diffed, and re-analyzed without
+re-probing (``repro.analysis`` functions accept loaded results wherever
+they accept fresh ones)."""
+
+from .serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .text import format_result, format_trace
+from .bundle import load_bundle, save_bundle
+from .serialize import collection_from_dict, collection_to_dict
+
+__all__ = [
+    "format_trace",
+    "format_result",
+    "save_bundle",
+    "load_bundle",
+    "collection_to_dict",
+    "collection_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,299 @@
+"""JSON serialization for traces and bdrmap results.
+
+Addresses are serialized dotted-quad for human-readable archives; all
+structures round-trip losslessly (``result_from_dict(result_to_dict(r))``
+reproduces every router, link, and trace path).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Union
+
+from ..addr import aton, ntoa
+from ..core.report import BdrmapResult, InferredLink
+from ..core.routergraph import InferredRouter, RouterGraph, TracePath
+from ..errors import DataError
+from ..net import ResponseKind
+from ..probing.traceroute import TraceHop, TraceResult
+
+_FORMAT = "bdrmap-repro/1"
+
+
+def _addr(value: Optional[int]) -> Optional[str]:
+    return ntoa(value) if value is not None else None
+
+
+def _unaddr(value: Optional[str]) -> Optional[int]:
+    return aton(value) if value else None
+
+
+# -- traces ---------------------------------------------------------------------
+
+
+def trace_to_dict(trace: TraceResult) -> Dict[str, Any]:
+    return {
+        "vp": ntoa(trace.vp_addr),
+        "dst": ntoa(trace.dst),
+        "stop_reason": trace.stop_reason,
+        "probes": trace.probes_used,
+        "hops": [
+            {
+                "ttl": hop.ttl,
+                "addr": _addr(hop.addr),
+                "kind": hop.kind.value if hop.kind else None,
+                "rtt": round(hop.rtt, 3),
+                "ipid": hop.ipid,
+            }
+            for hop in trace.hops
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> TraceResult:
+    try:
+        hops = [
+            TraceHop(
+                ttl=hop["ttl"],
+                addr=_unaddr(hop["addr"]),
+                kind=ResponseKind(hop["kind"]) if hop["kind"] else None,
+                rtt=hop["rtt"],
+                ipid=hop["ipid"],
+            )
+            for hop in data["hops"]
+        ]
+        return TraceResult(
+            vp_addr=aton(data["vp"]),
+            dst=aton(data["dst"]),
+            hops=hops,
+            stop_reason=data["stop_reason"],
+            probes_used=data.get("probes", 0),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed trace record: %s" % exc) from exc
+
+
+# -- collections (trace archives) -------------------------------------------------
+
+
+def collection_to_dict(collection) -> Dict[str, Any]:
+    """Archive a collection: traces, target keys, prefixscan outcomes, and
+    alias evidence — everything inference needs, nothing that probes.
+
+    This is the workflow the real system uses at scale: probing happens on
+    VPs, archives land centrally, and inference (re)runs offline.
+    """
+    evidence = []
+    if collection.resolver is not None:
+        store = collection.resolver.evidence
+        for a, b in store.positive_pairs():
+            record = store.get(a, b)
+            evidence.append(
+                [ntoa(a), ntoa(b), sorted(record.for_methods), []]
+            )
+        for a, b in store.negative_pairs():
+            record = store.get(a, b)
+            evidence.append(
+                [
+                    ntoa(a),
+                    ntoa(b),
+                    sorted(record.for_methods),
+                    sorted(record.against_methods),
+                ]
+            )
+    return {
+        "format": "bdrmap-repro-traces/1",
+        "traces": [trace_to_dict(trace) for trace in collection.traces],
+        "keys": [list(key) for key in collection.trace_keys],
+        "prefixscans": [
+            {
+                "prev": ntoa(prev),
+                "addr": ntoa(nxt),
+                "plen": result.subnet_plen,
+                "mate": _addr(result.mate),
+            }
+            for (prev, nxt), result in sorted(collection.prefixscans.items())
+        ],
+        "evidence": evidence,
+        "probes_used": collection.probes_used,
+    }
+
+
+def collection_from_dict(data: Dict[str, Any]):
+    """Rebuild a collection from an archive (resolver holds the evidence
+    but cannot probe — exactly an offline re-analysis)."""
+    from ..alias import AliasResolver
+    from ..core.collection import Collection
+    from ..probing.prefixscan import PrefixscanResult
+
+    if data.get("format") != "bdrmap-repro-traces/1":
+        raise DataError("unknown trace archive format %r" % data.get("format"))
+    try:
+        collection = Collection()
+        collection.resolver = AliasResolver(network=None, vp_addr=0)
+        for trace_data, key in zip(data["traces"], data["keys"]):
+            trace = trace_from_dict(trace_data)
+            collection.traces.append(trace)
+            collection.trace_keys.append(tuple(key))
+            collection.per_target.setdefault(tuple(key), []).append(trace)
+        for entry in data["prefixscans"]:
+            prev, nxt = aton(entry["prev"]), aton(entry["addr"])
+            collection.prefixscans[(prev, nxt)] = PrefixscanResult(
+                prev=prev,
+                addr=nxt,
+                subnet_plen=entry["plen"],
+                mate=_unaddr(entry["mate"]),
+            )
+        store = collection.resolver.evidence
+        for a_text, b_text, for_methods, against_methods in data["evidence"]:
+            a, b = aton(a_text), aton(b_text)
+            for method in for_methods:
+                store.record_for(a, b, method)
+            for method in against_methods:
+                store.record_against(a, b, method)
+        collection.traces_run = len(collection.traces)
+        collection.probes_used = data.get("probes_used", 0)
+        return collection
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed trace archive: %s" % exc) from exc
+
+
+# -- results --------------------------------------------------------------------
+
+
+def result_to_dict(result: BdrmapResult) -> Dict[str, Any]:
+    graph = result.graph
+    return {
+        "format": _FORMAT,
+        "vp_name": result.vp_name,
+        "vp_addr": ntoa(result.vp_addr),
+        "focal_asn": result.focal_asn,
+        "vp_ases": sorted(result.vp_ases),
+        "probes_used": result.probes_used,
+        "traces_run": result.traces_run,
+        "runtime_virtual_seconds": result.runtime_virtual_seconds,
+        "routers": [
+            {
+                "rid": router.rid,
+                "addrs": [ntoa(a) for a in sorted(router.addrs)],
+                "extra_addrs": [ntoa(a) for a in sorted(router.extra_addrs)],
+                "min_dist": router.min_dist,
+                "dsts": sorted(router.dsts),
+                "last_hop_for": sorted(router.last_hop_for),
+                "owner": router.owner,
+                "reason": router.reason,
+                "merged_from": list(router.merged_from),
+            }
+            for rid, router in sorted(graph.routers.items())
+        ],
+        "edges": [
+            [rid, sorted(successors)]
+            for rid, successors in sorted(graph.succ.items())
+            if successors
+        ],
+        "paths": [
+            {
+                "key": list(path.key),
+                "dst": ntoa(path.dst),
+                "routers": list(path.routers),
+                "gaps": list(path.had_gap_before),
+                "final_kind": path.final_kind.value if path.final_kind else None,
+                "final_src": _addr(path.final_src),
+                "reached": path.reached,
+            }
+            for path in graph.paths
+        ],
+        "links": [
+            {
+                "near": link.near_rid,
+                "far": link.far_rid,
+                "neighbor_as": link.neighbor_as,
+                "reason": link.reason,
+                "via_ixp": link.via_ixp,
+            }
+            for link in result.links
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> BdrmapResult:
+    if data.get("format") != _FORMAT:
+        raise DataError("unknown result format %r" % data.get("format"))
+    try:
+        graph = RouterGraph()
+        for entry in data["routers"]:
+            router = InferredRouter(
+                rid=entry["rid"],
+                addrs={aton(a) for a in entry["addrs"]},
+                extra_addrs={aton(a) for a in entry["extra_addrs"]},
+                min_dist=entry["min_dist"],
+                dsts=set(entry["dsts"]),
+                last_hop_for=set(entry["last_hop_for"]),
+                owner=entry["owner"],
+                reason=entry["reason"],
+                merged_from=list(entry["merged_from"]),
+            )
+            graph.routers[router.rid] = router
+            for addr in router.all_addrs():
+                graph.by_addr[addr] = router.rid
+            graph._next_rid = max(graph._next_rid, router.rid + 1)
+        for rid, successors in data["edges"]:
+            for successor in successors:
+                graph.add_edge(rid, successor)
+        for entry in data["paths"]:
+            graph.paths.append(
+                TracePath(
+                    key=tuple(entry["key"]),
+                    dst=aton(entry["dst"]),
+                    routers=list(entry["routers"]),
+                    had_gap_before=list(entry["gaps"]),
+                    final_kind=(
+                        ResponseKind(entry["final_kind"])
+                        if entry["final_kind"]
+                        else None
+                    ),
+                    final_src=_unaddr(entry["final_src"]),
+                    reached=entry["reached"],
+                )
+            )
+        links = [
+            InferredLink(
+                near_rid=entry["near"],
+                far_rid=entry["far"],
+                neighbor_as=entry["neighbor_as"],
+                reason=entry["reason"],
+                via_ixp=entry["via_ixp"],
+            )
+            for entry in data["links"]
+        ]
+        return BdrmapResult(
+            vp_name=data["vp_name"],
+            vp_addr=aton(data["vp_addr"]),
+            focal_asn=data["focal_asn"],
+            vp_ases=set(data["vp_ases"]),
+            graph=graph,
+            links=links,
+            probes_used=data["probes_used"],
+            traces_run=data["traces_run"],
+            runtime_virtual_seconds=data["runtime_virtual_seconds"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed result record: %s" % exc) from exc
+
+
+def save_result(result: BdrmapResult, target: Union[str, IO[str]]) -> None:
+    """Write a result to a path or open file object."""
+    payload = json.dumps(result_to_dict(result), indent=1)
+    if hasattr(target, "write"):
+        target.write(payload)
+        return
+    with open(target, "w") as handle:
+        handle.write(payload)
+
+
+def load_result(source: Union[str, IO[str]]) -> BdrmapResult:
+    """Read a result from a path or open file object."""
+    if hasattr(source, "read"):
+        return result_from_dict(json.load(source))
+    with open(source) as handle:
+        return result_from_dict(json.load(handle))

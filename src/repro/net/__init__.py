@@ -1,0 +1,30 @@
+"""Packet-level forwarding simulator.
+
+Walks probe packets hop-by-hop over the ground-truth router topology,
+computing BGP-style interdomain routes (valley-free with customer > peer >
+provider preference and hot-potato egress selection) and reproducing the
+ICMP response idiosyncrasies bdrmap must survive: ingress vs reply-egress
+source selection, third-party addresses, firewalls, silent routers, virtual
+routers, echo-only responders, rate limiting, and the IPID counter behaviour
+that alias resolution depends on.
+"""
+
+from .packet import Probe, ProbeKind, Response, ResponseKind
+from .ipid import IPIDModel, IPIDState
+from .policies import RouterPolicy, SourceSel
+from .routing import RoutingOracle
+from .network import Network, VantagePoint
+
+__all__ = [
+    "Probe",
+    "ProbeKind",
+    "Response",
+    "ResponseKind",
+    "IPIDModel",
+    "IPIDState",
+    "RouterPolicy",
+    "SourceSel",
+    "RoutingOracle",
+    "Network",
+    "VantagePoint",
+]

@@ -1,0 +1,61 @@
+"""IP-ID counter models.
+
+Ally (§5.3) infers two addresses are aliases when their responses draw
+IP-ID values from one central counter; MIDAR's monotonic bounds test demands
+strictly increasing samples.  Routers differ: some use a single central
+counter (alias-resolvable), some keep one counter per interface, some
+randomize, and some always send zero.  The counter also advances with the
+router's *other* traffic, modelled as a velocity in IDs per second of
+virtual time.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Optional
+
+
+class IPIDModel(enum.Enum):
+    SHARED_COUNTER = "shared"       # one counter per router → Ally works
+    PER_INTERFACE = "per-interface" # counter per source address → Ally fails
+    RANDOM = "random"               # pseudo-random IDs
+    ZERO = "zero"                   # always zero (common for ICMP on some OSes)
+
+
+class IPIDState:
+    """Per-router IP-ID generator."""
+
+    def __init__(
+        self,
+        model: IPIDModel,
+        velocity: float,
+        rng: random.Random,
+        base: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.velocity = velocity
+        self._rng = rng
+        self._base = base if base is not None else rng.randint(0, 0xFFFF)
+        self._sent = 0
+        self._per_iface: Dict[int, int] = {}
+        self._per_iface_sent: Dict[int, int] = {}
+
+    def next(self, now: float, src_addr: Optional[int]) -> int:
+        """The IP-ID of a response sent at virtual time ``now`` from
+        ``src_addr``."""
+        if self.model is IPIDModel.ZERO:
+            return 0
+        if self.model is IPIDModel.RANDOM:
+            return self._rng.randint(0, 0xFFFF)
+        drift = int(self.velocity * now)
+        if self.model is IPIDModel.SHARED_COUNTER:
+            self._sent += 1
+            return (self._base + drift + self._sent) & 0xFFFF
+        # PER_INTERFACE
+        key = src_addr if src_addr is not None else -1
+        if key not in self._per_iface:
+            self._per_iface[key] = self._rng.randint(0, 0xFFFF)
+            self._per_iface_sent[key] = 0
+        self._per_iface_sent[key] += 1
+        return (self._per_iface[key] + drift + self._per_iface_sent[key]) & 0xFFFF

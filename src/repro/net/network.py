@@ -1,0 +1,292 @@
+"""The packet walk: inject a probe at a vantage point, get a response.
+
+This is the only interface the measurement layer has to the simulated
+Internet — exactly as scamper's only interface to the real one is sending
+packets and reading ICMP.  Everything bdrmap must cope with (third-party
+source addresses, firewalls, silence, virtual routers, rate limiting, IPID
+behaviour) is produced here from per-router policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ProbeError
+from ..rng import make_rng
+from ..topology.model import Internet, Router
+from .congestion import CongestionSchedule
+from .ipid import IPIDState
+from .packet import Probe, ProbeKind, Response, ResponseKind
+from .policies import RateLimiter, RouterPolicy, SourceSel
+from .routing import RoutingOracle, StepKind
+
+_MAX_HOPS = 64
+_DEFAULT_POLICY = RouterPolicy()
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement host inside some network."""
+
+    name: str
+    asn: int
+    pop_id: int
+    addr: int
+    first_router: int
+
+
+class Network:
+    """Forwarding simulation with a virtual clock."""
+
+    def __init__(self, internet: Internet, seed: int = 0, pps: float = 100.0) -> None:
+        self.internet = internet
+        self.oracle = RoutingOracle(internet)
+        self.pps = pps
+        self.now = 0.0
+        self.probes_sent = 0
+        self.vps: Dict[int, VantagePoint] = {}
+        self._ipid: Dict[int, IPIDState] = {}
+        self._limiters: Dict[int, RateLimiter] = {}
+        self._rng = make_rng(seed, "network")
+        self._host_ipid = make_rng(seed, "host-ipid")
+        # Optional per-link diurnal queueing delays (§2's congestion).
+        self.congestion = CongestionSchedule()
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_vp(self, vp: VantagePoint) -> None:
+        if vp.addr in self.vps:
+            raise ProbeError("duplicate VP address")
+        self.vps[vp.addr] = vp
+
+    def advance(self, seconds: float) -> None:
+        """Advance the virtual clock (e.g. Ally's five-minute waits)."""
+        if seconds < 0:
+            raise ProbeError("cannot rewind the clock")
+        self.now += seconds
+
+    # -- internals -------------------------------------------------------------
+
+    def _policy(self, router: Router) -> RouterPolicy:
+        return router.policy if router.policy is not None else _DEFAULT_POLICY
+
+    def _ipid_state(self, router: Router) -> IPIDState:
+        state = self._ipid.get(router.router_id)
+        if state is None:
+            policy = self._policy(router)
+            state = IPIDState(
+                policy.ipid_model,
+                policy.ipid_velocity,
+                make_rng(self.internet.seed, "ipid", str(router.router_id)),
+            )
+            self._ipid[router.router_id] = state
+        return state
+
+    def _rate_ok(self, router: Router) -> bool:
+        policy = self._policy(router)
+        if policy.rate_limit_pps is None:
+            return True
+        limiter = self._limiters.get(router.router_id)
+        if limiter is None:
+            limiter = RateLimiter(policy.rate_limit_pps)
+            self._limiters[router.router_id] = limiter
+        return limiter.allow(self.now)
+
+    def _rtt(self, delay_ms: float, salt: int) -> float:
+        jitter = ((int(delay_ms * 1000) * 2654435761 + salt) % 997) / 1000.0
+        return 2.0 * delay_ms + jitter
+
+    def _link_delay(self, link_id: int) -> float:
+        """One-way latency of a link in ms: propagation (from IGP cost,
+        which encodes geographic distance) plus current queueing delay."""
+        link = self.internet.links[link_id]
+        return link.igp_cost * 0.75 + self.congestion.delay_ms(
+            link_id, self.now
+        )
+
+    def _reply_egress_addr(self, router: Router, toward: int) -> Optional[int]:
+        """The address of the interface this router would transmit a reply
+        from — the source of third-party addresses (§4 challenge 2)."""
+        step = self.oracle.step(router.router_id, toward)
+        if step.kind is StepKind.FORWARD and step.out_addr is not None:
+            return step.out_addr
+        addresses = router.addresses()
+        return min(addresses) if addresses else None
+
+    def _expired_source(self, router: Router, probe: Probe,
+                        in_addr: Optional[int]) -> Optional[int]:
+        policy = self._policy(router)
+        if policy.vrouter:
+            next_as = self.oracle.next_as_of(router.asn, probe.dst)
+            if next_as is not None and next_as in policy.vrouter:
+                return policy.vrouter[next_as]
+        if policy.source_sel is SourceSel.REPLY_EGRESS:
+            addr = self._reply_egress_addr(router, probe.src)
+            if addr is not None:
+                return addr
+        if in_addr is not None:
+            return in_addr
+        return self._reply_egress_addr(router, probe.src)
+
+    def _respond(self, router: Router, probe: Probe, kind: ResponseKind,
+                 src: Optional[int], delay_ms: float) -> Optional[Response]:
+        if src is None:
+            return None
+        if not self._rate_ok(router):
+            return None
+        ipid = self._ipid_state(router).next(self.now, src)
+        return Response(
+            src=src,
+            kind=kind,
+            ipid=ipid,
+            quoted_dst=probe.dst,
+            rtt=self._rtt(delay_ms, probe.dst & 0xFFFF),
+            truth_router_id=router.router_id,
+        )
+
+    def _ttl_expired(self, router: Router, probe: Probe,
+                     in_addr: Optional[int], delay_ms: float) -> Optional[Response]:
+        policy = self._policy(router)
+        if not policy.responds_ttl_expired:
+            return None
+        src = self._expired_source(router, probe, in_addr)
+        return self._respond(router, probe, ResponseKind.TTL_EXPIRED, src,
+                             delay_ms)
+
+    def _arrival(self, router: Router, probe: Probe,
+                 delay_ms: float) -> Optional[Response]:
+        """The probe is addressed to one of this router's interfaces."""
+        policy = self._policy(router)
+        if probe.kind is ProbeKind.ICMP_ECHO:
+            if not policy.responds_echo:
+                return None
+            # Echo replies are sourced from the probed address (§4: the
+            # reply source gives no clue which interface the probe reached).
+            return self._respond(router, probe, ResponseKind.ECHO_REPLY,
+                                 probe.dst, delay_ms)
+        if probe.kind is ProbeKind.UDP:
+            if not policy.responds_udp:
+                return None
+            if policy.udp_reply_egress:
+                src = self._reply_egress_addr(router, probe.src)
+            else:
+                src = probe.dst
+            return self._respond(router, probe, ResponseKind.DEST_UNREACH_PORT,
+                                 src, delay_ms)
+        if probe.kind is ProbeKind.TCP_ACK:
+            if not policy.responds_echo:
+                return None
+            return self._respond(router, probe, ResponseKind.TCP_RST,
+                                 probe.dst, delay_ms)
+        return None
+
+    def _host_delivery(self, router: Router, probe: Probe, ttl: int,
+                       delay_ms: float, policy_live: bool) -> Optional[Response]:
+        """The probe reached the router hosting its destination prefix."""
+        if ttl <= 0:
+            return None
+        if policy_live:
+            # A live host answers echo (and UDP with port unreachable).
+            ipid = self._host_ipid.randint(0, 0xFFFF)
+            kind = (
+                ResponseKind.ECHO_REPLY
+                if probe.kind is ProbeKind.ICMP_ECHO
+                else ResponseKind.DEST_UNREACH_PORT
+            )
+            return Response(
+                src=probe.dst,
+                kind=kind,
+                ipid=ipid,
+                quoted_dst=probe.dst,
+                rtt=self._rtt(delay_ms + 0.5, probe.dst & 0xFFFF),
+                truth_router_id=None,
+            )
+        # Dead address: some edge routers send host-unreachable, most drop.
+        if (router.router_id * 2654435761 + probe.dst) % 10 < 3:
+            policy = self._policy(router)
+            if policy.responds_ttl_expired:
+                src = self._expired_source(router, probe, None)
+                return self._respond(
+                    router, probe, ResponseKind.DEST_UNREACH_NET, src, delay_ms
+                )
+        return None
+
+    # -- the walk --------------------------------------------------------------
+
+    def send(self, probe: Probe) -> Optional[Response]:
+        """Inject ``probe`` at its source VP; return the response or None."""
+        vp = self.vps.get(probe.src)
+        if vp is None:
+            raise ProbeError("probe source %r is not a registered VP" % probe.src)
+        self.now += 1.0 / self.pps
+        self.probes_sent += 1
+
+        router_id = vp.first_router
+        in_addr: Optional[int] = None
+        arrived_via_border = False
+        ttl = probe.ttl
+        hops = 0
+        delay_ms = 0.5  # VP access segment
+
+        while hops < _MAX_HOPS:
+            hops += 1
+            router = self.internet.routers[router_id]
+            step = self.oracle.step(router_id, probe.dst)
+
+            if step.kind is StepKind.ARRIVE:
+                return self._arrival(router, probe, delay_ms)
+
+            ttl -= 1
+            if ttl <= 0:
+                return self._ttl_expired(router, probe, in_addr, delay_ms)
+
+            policy = self._policy(router)
+            if (
+                arrived_via_border
+                and policy.firewall
+                and not (
+                    policy.firewall_allow_echo
+                    and probe.kind is ProbeKind.ICMP_ECHO
+                )
+            ):
+                # Probes are not allowed deeper into this network.
+                if policy.firewall_admin_reply and policy.responds_ttl_expired:
+                    src = self._expired_source(router, probe, in_addr)
+                    return self._respond(
+                        router, probe, ResponseKind.DEST_UNREACH_ADMIN, src,
+                        delay_ms
+                    )
+                return None
+
+            if step.kind is StepKind.HOST:
+                live = step.policy is not None and probe.dst in step.policy.live_hosts
+                return self._host_delivery(router, probe, ttl, delay_ms, live)
+
+            if step.kind is StepKind.UNREACHABLE:
+                return None
+
+            # FORWARD
+            if step.link_id is not None:
+                delay_ms += self._link_delay(step.link_id)
+            router_id = step.next_router  # type: ignore[assignment]
+            in_addr = step.in_addr
+            arrived_via_border = step.crosses_border
+        return None
+
+    # -- debugging / validation helpers (truth!) --------------------------------
+
+    def truth_path(self, src_addr: int, dst: int, max_hops: int = _MAX_HOPS):
+        """Ground-truth router path for a probe — analysis and tests only."""
+        vp = self.vps.get(src_addr)
+        if vp is None:
+            raise ProbeError("unknown VP")
+        path = []
+        router_id = vp.first_router
+        for _ in range(max_hops):
+            path.append(router_id)
+            step = self.oracle.step(router_id, dst)
+            if step.kind is not StepKind.FORWARD:
+                break
+            router_id = step.next_router
+        return path

@@ -1,0 +1,75 @@
+"""Router response policies.
+
+Each ground-truth router carries one :class:`RouterPolicy` describing how it
+answers (or refuses to answer) probes.  The policy mix across a network is
+what makes border inference hard; :mod:`repro.topology.challenges` assigns
+policies so that every challenge class from §4 of the paper actually occurs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .ipid import IPIDModel
+
+
+class SourceSel(enum.Enum):
+    """Source-address selection for ICMP time-exceeded messages."""
+
+    INGRESS = "ingress"            # interface the probe arrived on (common)
+    REPLY_EGRESS = "reply-egress"  # interface that transmits the reply
+                                   # (RFC 1812 advice — third-party addresses)
+
+
+@dataclass
+class RouterPolicy:
+    """How a router responds to probes."""
+
+    responds_ttl_expired: bool = True
+    responds_echo: bool = True
+    responds_udp: bool = True          # port unreachable for UDP probes
+    source_sel: SourceSel = SourceSel.INGRESS
+    # Virtual-router behaviour (§4 challenge 4): when the packet's next-hop
+    # AS has an entry here, the time-exceeded source is that address.
+    vrouter: Dict[int, int] = field(default_factory=dict)
+    # Mercator behaviour: when True, port-unreachable responses are sourced
+    # from the interface transmitting the reply (so probing two addresses of
+    # the router yields one common source — alias-resolvable).  When False,
+    # the router answers from the probed address and Mercator learns nothing.
+    udp_reply_egress: bool = True
+    # Border firewall (§4 challenge 3): drop probes that try to transit this
+    # router deeper into its AS; optionally send admin-prohibited instead of
+    # dropping silently.
+    firewall: bool = False
+    firewall_admin_reply: bool = False
+    # "Permitted flow" exception: ICMP echo passes through the firewall to
+    # internal hosts (produces the §5.4.8 echo-reply-only neighbor pattern).
+    firewall_allow_echo: bool = False
+    # ICMP generation rate limit in responses/second (None = unlimited).
+    rate_limit_pps: Optional[float] = None
+    ipid_model: IPIDModel = IPIDModel.SHARED_COUNTER
+    ipid_velocity: float = 50.0
+
+    def is_fully_silent(self) -> bool:
+        return not (self.responds_ttl_expired or self.responds_echo or self.responds_udp)
+
+
+class RateLimiter:
+    """Token bucket for ICMP generation."""
+
+    def __init__(self, pps: float, burst: float = 5.0) -> None:
+        self.pps = pps
+        self.burst = burst
+        self._tokens = burst
+        self._last = 0.0
+
+    def allow(self, now: float) -> bool:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.pps)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

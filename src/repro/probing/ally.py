@@ -1,0 +1,116 @@
+"""Ally alias test [40] with bdrmap's hardening (§5.3).
+
+Ally infers two addresses are aliases when interleaved probes yield IP-ID
+values drawn from one central counter.  bdrmap (a) tries UDP, TCP, and
+ICMP-echo probes so unresponsiveness to one protocol does not end the test,
+(b) repeats the measurement five times at five-minute intervals and keeps
+the alias only if no repetition rejects the shared-counter hypothesis, and
+(c) applies MIDAR's strict monotonicity requirement instead of a fudge
+factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..net import Network, ProbeKind
+from .midar import Sample, monotonic_shared_counter
+from .ping import ping
+
+
+class AliasVerdict(enum.Enum):
+    ALIAS = "alias"
+    NOT_ALIAS = "not-alias"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class AllyResult:
+    verdict: AliasVerdict
+    kind_used: Optional[ProbeKind] = None
+    samples: List[Sample] = field(default_factory=list)
+    rounds: int = 1
+
+
+_KINDS = (ProbeKind.UDP, ProbeKind.ICMP_ECHO, ProbeKind.TCP_ACK)
+
+
+def ally_test(
+    network: Network,
+    vp_addr: int,
+    addr_a: int,
+    addr_b: int,
+    probes_per_addr: int = 4,
+    ttl_prober=None,
+) -> AllyResult:
+    """One Ally round: try each probe method until one yields a verdict.
+
+    ``ttl_prober`` (a :class:`repro.probing.ttl_limited.TTLLimitedProber`)
+    adds the fourth method: TTL-limited probes for routers that answer
+    nothing sent directly to them (§5.3).
+    """
+    for kind in _KINDS:
+        samples: List[Sample] = []
+        misses = 0
+        for _ in range(probes_per_addr):
+            for tag, addr in ((0, addr_a), (1, addr_b)):
+                response = ping(network, vp_addr, addr, kind=kind)
+                if response is None:
+                    misses += 1
+                    if misses > probes_per_addr:
+                        break
+                    continue
+                samples.append((network.now, tag, response.ipid))
+            else:
+                continue
+            break
+        verdict = monotonic_shared_counter(samples)
+        if verdict is True:
+            return AllyResult(AliasVerdict.ALIAS, kind, samples)
+        if verdict is False:
+            return AllyResult(AliasVerdict.NOT_ALIAS, kind, samples)
+    if ttl_prober is not None:
+        samples = ttl_prober.interleaved_samples(
+            addr_a, addr_b, rounds=probes_per_addr
+        )
+        verdict = monotonic_shared_counter(samples)
+        if verdict is True:
+            return AllyResult(AliasVerdict.ALIAS, None, samples)
+        if verdict is False:
+            return AllyResult(AliasVerdict.NOT_ALIAS, None, samples)
+    return AllyResult(AliasVerdict.UNKNOWN)
+
+
+def ally_repeated(
+    network: Network,
+    vp_addr: int,
+    addr_a: int,
+    addr_b: int,
+    rounds: int = 5,
+    interval: float = 300.0,
+    probes_per_addr: int = 4,
+    ttl_prober=None,
+) -> AllyResult:
+    """The false-alias guard: repeat Ally; a single rejection kills the
+    alias (two independent counters can transiently overlap, but rarely
+    five times in a row)."""
+    first: Optional[AllyResult] = None
+    for round_index in range(rounds):
+        if round_index:
+            network.advance(interval)
+        result = ally_test(network, vp_addr, addr_a, addr_b, probes_per_addr,
+                           ttl_prober=ttl_prober)
+        if first is None:
+            first = result
+        if result.verdict is AliasVerdict.NOT_ALIAS:
+            result.rounds = round_index + 1
+            return result
+        if result.verdict is AliasVerdict.UNKNOWN:
+            # No point re-probing silent addresses four more times.
+            result.rounds = round_index + 1
+            return result
+    assert first is not None
+    first.rounds = rounds
+    return first

@@ -1,0 +1,28 @@
+"""Mercator-style alias resolution [15].
+
+Probe an address with UDP to an unused high port; many routers answer with
+an ICMP port-unreachable sourced from the interface that transmits the
+reply.  If probing address A yields a response sourced from S ≠ A, then A
+and S are interfaces of the same router; if probing A and B yields the same
+source, A and B are aliases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import Network, ProbeKind, ResponseKind
+from .ping import ping
+
+
+def mercator_probe(
+    network: Network, vp_addr: int, addr: int, attempts: int = 2
+) -> Optional[int]:
+    """The source address of ``addr``'s port-unreachable response, or None
+    if it does not answer UDP probes."""
+    response = ping(
+        network, vp_addr, addr, kind=ProbeKind.UDP, attempts=attempts
+    )
+    if response is None or response.kind is not ResponseKind.DEST_UNREACH_PORT:
+        return None
+    return response.src

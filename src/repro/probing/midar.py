@@ -1,0 +1,134 @@
+"""MIDAR-style monotonic IPID analysis [21].
+
+The monotonic bounds test: if two addresses share one central IP-ID
+counter, the merged sequence of their samples, ordered by time, must be
+strictly increasing (allowing 16-bit wrap).  bdrmap uses this stricter test
+instead of Ally's proximity fudge factor (§5.3, "Limit false aliases").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..net import Network, ProbeKind
+from .ping import ping
+
+__all__ = [
+    "Sample",
+    "monotonic_shared_counter",
+    "midar_test",
+    "estimate_velocity",
+    "velocities_compatible",
+]
+
+# A sample: (virtual time, tag identifying which address, ipid)
+Sample = Tuple[float, int, int]
+
+_WRAP = 1 << 16
+
+
+def _unwrap(ids: Sequence[int]) -> List[int]:
+    """Lift a wrapped 16-bit sequence to a monotone-comparable one."""
+    lifted: List[int] = []
+    offset = 0
+    previous: Optional[int] = None
+    for value in ids:
+        if previous is not None and value < previous:
+            offset += _WRAP
+        lifted.append(value + offset)
+        previous = value
+    return lifted
+
+
+def monotonic_shared_counter(
+    samples: Sequence[Sample],
+    max_velocity: float = 3000.0,
+) -> Optional[bool]:
+    """Do interleaved samples look like one shared counter?
+
+    Returns True (consistent), False (inconsistent), or None (not enough
+    information: too few samples, samples from only one address, or a
+    constant/zero counter).
+
+    The test requires samples, ordered by time, to strictly increase
+    (mod 2^16) and the implied counter velocity to stay plausible —
+    monotonicity alone, per MIDAR.
+    """
+    ordered = sorted(samples)
+    tags = {tag for _, tag, _ in ordered}
+    if len(ordered) < 4 or len(tags) < 2:
+        return None
+    ids = [ipid for _, _, ipid in ordered]
+    if len(set(ids)) == 1:
+        return None  # constant counter (e.g. always zero) — unusable
+    lifted = _unwrap(ids)
+    times = [t for t, _, _ in ordered]
+    for i in range(1, len(lifted)):
+        gap = lifted[i] - lifted[i - 1]
+        if gap <= 0:
+            return False  # not strictly increasing → different counters
+        dt = max(times[i] - times[i - 1], 1e-3)
+        if gap / dt > max_velocity:
+            return False  # implausible velocity → random IDs / different base
+    return True
+
+
+def midar_test(
+    network: Network,
+    vp_addr: int,
+    addr_a: int,
+    addr_b: int,
+    probes_per_addr: int = 5,
+    kind: ProbeKind = ProbeKind.ICMP_ECHO,
+) -> Optional[bool]:
+    """Collect interleaved samples from two addresses and run the test."""
+    samples: List[Sample] = []
+    for _ in range(probes_per_addr):
+        for tag, addr in ((0, addr_a), (1, addr_b)):
+            response = ping(network, vp_addr, addr, kind=kind)
+            if response is not None:
+                samples.append((network.now, tag, response.ipid))
+    return monotonic_shared_counter(samples)
+
+
+def estimate_velocity(samples: Sequence[Tuple[float, int]]) -> Optional[float]:
+    """Estimate an address's IP-ID counter velocity in IDs/second.
+
+    MIDAR's scaling trick [21]: before running pairwise tests over millions
+    of addresses, estimate each counter's velocity from a few spaced
+    samples; only addresses with *compatible* velocities can share a
+    counter, so the O(n²) test space collapses to same-velocity buckets.
+
+    Returns None for unusable counters (constant, or too few samples), and
+    a value for monotone counters — implausibly huge ones (random IDs)
+    included, so callers can reject on magnitude.
+    """
+    if len(samples) < 3:
+        return None
+    ordered = sorted(samples)
+    ids = [ipid for _, ipid in ordered]
+    if len(set(ids)) == 1:
+        return None
+    lifted = _unwrap(ids)
+    dt = ordered[-1][0] - ordered[0][0]
+    if dt <= 0:
+        return None
+    return (lifted[-1] - lifted[0]) / dt
+
+
+def velocities_compatible(
+    velocity_a: Optional[float],
+    velocity_b: Optional[float],
+    ratio: float = 2.0,
+    slack: float = 20.0,
+) -> bool:
+    """Could two counters with these velocities be the same counter?
+
+    Unknown velocities are always "compatible" (no evidence either way).
+    Known velocities must agree within a multiplicative ``ratio`` after an
+    additive ``slack`` absorbing sampling noise at low rates.
+    """
+    if velocity_a is None or velocity_b is None:
+        return True
+    low, high = sorted((abs(velocity_a) + slack, abs(velocity_b) + slack))
+    return high <= low * ratio

@@ -1,0 +1,26 @@
+"""Direct probing of single addresses (ICMP echo / UDP / TCP)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import Network, Probe, ProbeKind, Response
+
+
+def ping(
+    network: Network,
+    vp_addr: int,
+    dst: int,
+    kind: ProbeKind = ProbeKind.ICMP_ECHO,
+    attempts: int = 1,
+    ttl: int = 64,
+) -> Optional[Response]:
+    """Probe ``dst`` directly; return the first response, if any."""
+    response = None
+    for _ in range(attempts):
+        response = network.send(
+            Probe(src=vp_addr, dst=dst, ttl=ttl, kind=kind, flow_id=dst & 0xFFFF)
+        )
+        if response is not None:
+            return response
+    return response

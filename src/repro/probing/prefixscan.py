@@ -1,0 +1,53 @@
+"""Prefixscan (§5.3, [26]).
+
+Interdomain point-to-point links usually carry a /30 or /31 subnet.  Given
+a traceroute segment ``prev → addr``, prefixscan asks whether ``addr`` is
+the *inbound* interface of a router (rather than a third-party address) by
+testing whether ``addr``'s subnet mate is an alias of ``prev``: if it is,
+the p2p link prev—addr exists and prev and addr really are adjacent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net import Network
+from ..topology.addressing import p2p_mate
+from .ally import AliasVerdict, ally_test
+from .mercator import mercator_probe
+
+
+@dataclass(frozen=True)
+class PrefixscanResult:
+    """Outcome of a prefixscan for one (prev, addr) hop pair."""
+
+    prev: int
+    addr: int
+    subnet_plen: Optional[int]   # 30 or 31 when confirmed, else None
+    mate: Optional[int]          # the confirmed subnet mate
+
+    @property
+    def confirmed(self) -> bool:
+        return self.subnet_plen is not None
+
+
+def prefixscan(
+    network: Network, vp_addr: int, prev: int, addr: int
+) -> PrefixscanResult:
+    """Try /31 then /30 subnets for ``addr`` and test mate-of-addr ≡ prev."""
+    for plen in (31, 30):
+        mate = p2p_mate(addr, plen)
+        if mate is None or mate == addr:
+            continue
+        if mate == prev:
+            # prev is itself the mate: the p2p subnet is directly observed.
+            return PrefixscanResult(prev, addr, plen, mate)
+        # Mercator first (cheap), then Ally.
+        source = mercator_probe(network, vp_addr, mate)
+        if source is not None and source == prev:
+            return PrefixscanResult(prev, addr, plen, mate)
+        result = ally_test(network, vp_addr, mate, prev)
+        if result.verdict is AliasVerdict.ALIAS:
+            return PrefixscanResult(prev, addr, plen, mate)
+    return PrefixscanResult(prev, addr, None, None)

@@ -1,0 +1,52 @@
+"""Probing scheduler (§5.3).
+
+bdrmap probes one address block per target AS at a time (politeness) but
+multiple target ASes in parallel (run time).  Tasks are generators that
+yield after each unit of probing; the scheduler interleaves up to
+``parallelism`` of them round-robin, starting queued tasks as slots free
+up — a single-threaded rendition of scamper's probing loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+
+class RoundRobinScheduler:
+    """Interleave generator-based probing tasks."""
+
+    def __init__(self, parallelism: int = 8) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self._pending: Deque[Iterator[None]] = deque()
+        self.tasks_completed = 0
+
+    def add(self, task: Iterator[None]) -> None:
+        self._pending.append(task)
+
+    def add_all(self, tasks) -> None:
+        for task in tasks:
+            self.add(task)
+
+    def run(self, on_progress: Optional[Callable[[int], None]] = None) -> int:
+        """Run all tasks to completion; returns number of scheduler steps."""
+        active: List[Iterator[None]] = []
+        steps = 0
+        while self._pending or active:
+            while self._pending and len(active) < self.parallelism:
+                active.append(self._pending.popleft())
+            finished: List[int] = []
+            for index, task in enumerate(active):
+                try:
+                    next(task)
+                except StopIteration:
+                    finished.append(index)
+                    self.tasks_completed += 1
+                steps += 1
+            for index in reversed(finished):
+                active.pop(index)
+            if on_progress is not None:
+                on_progress(steps)
+        return steps

@@ -1,0 +1,36 @@
+"""Doubletree-style stop sets (§5.3, [10]).
+
+bdrmap records the first external address seen in each trace toward a
+target AS, and stops later traces toward the same AS when they hit an
+address already in that AS's stop set — so each border is crossed once,
+not once per destination block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+TargetKey = Tuple[int, ...]  # the origin-AS tuple of the target block
+
+
+class StopSet:
+    """Per-target-AS sets of already-seen first-external addresses."""
+
+    def __init__(self) -> None:
+        self._sets: Dict[TargetKey, Set[int]] = {}
+
+    def for_target(self, key: TargetKey) -> Set[int]:
+        return self._sets.setdefault(tuple(key), set())
+
+    def add(self, key: TargetKey, addr: int) -> None:
+        self.for_target(key).add(addr)
+
+    def add_many(self, key: TargetKey, addrs: Iterable[int]) -> None:
+        self.for_target(key).update(addrs)
+
+    def __contains__(self, item: Tuple[TargetKey, int]) -> bool:
+        key, addr = item
+        return addr in self._sets.get(tuple(key), ())
+
+    def total_entries(self) -> int:
+        return sum(len(s) for s in self._sets.values())

@@ -1,0 +1,116 @@
+"""Paris traceroute (§5.3).
+
+ICMP-echo probes with a constant flow identifier per trace (the Paris
+discipline [2]), per-hop retries, a gap limit, and doubletree-style early
+stopping against a caller-supplied stop set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..net import Network, Probe, ProbeKind, ResponseKind
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One TTL's worth of traceroute output (addr None = no response)."""
+
+    ttl: int
+    addr: Optional[int]
+    kind: Optional[ResponseKind]
+    rtt: float
+    ipid: int
+
+    @property
+    def responded(self) -> bool:
+        return self.addr is not None
+
+    @property
+    def is_ttl_expired(self) -> bool:
+        return self.kind is ResponseKind.TTL_EXPIRED
+
+
+@dataclass
+class TraceResult:
+    """A completed traceroute."""
+
+    vp_addr: int
+    dst: int
+    hops: List[TraceHop] = field(default_factory=list)
+    stop_reason: str = "incomplete"
+    probes_used: int = 0
+
+    def responsive_hops(self) -> List[TraceHop]:
+        return [hop for hop in self.hops if hop.responded]
+
+    def addresses(self) -> List[int]:
+        return [hop.addr for hop in self.hops if hop.addr is not None]
+
+    def reached_dst(self) -> bool:
+        return self.stop_reason == "completed"
+
+    def last_responsive(self) -> Optional[TraceHop]:
+        for hop in reversed(self.hops):
+            if hop.responded:
+                return hop
+        return None
+
+
+def paris_traceroute(
+    network: Network,
+    vp_addr: int,
+    dst: int,
+    max_ttl: int = 32,
+    attempts: int = 2,
+    gap_limit: int = 5,
+    stop_set: Optional[Set[int]] = None,
+    kind: ProbeKind = ProbeKind.ICMP_ECHO,
+) -> TraceResult:
+    """Trace the forward path from the VP at ``vp_addr`` toward ``dst``.
+
+    ``kind`` selects the probe method: ICMP-echo Paris is what bdrmap uses
+    (§5.3); UDP Paris is the classic traceroute, completing on a port
+    unreachable from the destination instead of an echo reply.
+
+    Stops on: destination response (echo reply / unreachable), ``gap_limit``
+    consecutive unresponsive hops, an address present in ``stop_set``
+    (doubletree), or ``max_ttl``.
+    """
+    result = TraceResult(vp_addr=vp_addr, dst=dst)
+    flow_id = dst & 0xFFFF
+    completion_kinds = {ResponseKind.ECHO_REPLY, ResponseKind.TCP_RST}
+    if kind is ProbeKind.UDP:
+        completion_kinds = {ResponseKind.DEST_UNREACH_PORT}
+    gap = 0
+    for ttl in range(1, max_ttl + 1):
+        response = None
+        for _ in range(attempts):
+            result.probes_used += 1
+            response = network.send(
+                Probe(src=vp_addr, dst=dst, ttl=ttl, kind=kind,
+                      flow_id=flow_id)
+            )
+            if response is not None:
+                break
+        if response is None:
+            result.hops.append(TraceHop(ttl, None, None, 0.0, 0))
+            gap += 1
+            if gap >= gap_limit:
+                result.stop_reason = "gaplimit"
+                return result
+            continue
+        gap = 0
+        hop = TraceHop(ttl, response.src, response.kind, response.rtt, response.ipid)
+        result.hops.append(hop)
+        if response.kind is not ResponseKind.TTL_EXPIRED:
+            result.stop_reason = (
+                "completed" if response.kind in completion_kinds else "unreach"
+            )
+            return result
+        if stop_set is not None and response.src in stop_set:
+            result.stop_reason = "stopset"
+            return result
+    result.stop_reason = "maxttl"
+    return result

@@ -1,0 +1,206 @@
+"""The central controller (§5.8).
+
+Runs the *identical* bdrmap pipeline as a local run — same collector, same
+alias resolver, same heuristics — but every measurement is dispatched to
+the on-device prober over the accounted channel.  The controller keeps all
+heavy state (IP→AS mapping, stop sets, traces, alias evidence); the device
+keeps none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..addr import aton, ntoa
+from ..alias import AliasResolver
+from ..core.bdrmap import BdrmapConfig, DataBundle
+from ..core.collection import Collector
+from ..core.heuristics import InferenceEngine
+from ..core.report import BdrmapResult
+from ..core.routergraph import build_router_graph
+from ..net import Network, ResponseKind, VantagePoint
+from ..probing.ally import AliasVerdict, AllyResult
+from ..probing.prefixscan import PrefixscanResult
+from ..probing.traceroute import TraceHop, TraceResult
+from .prober import Prober
+from .protocol import Channel
+
+
+@dataclass
+class RemoteStats:
+    messages: int
+    bytes_to_device: int
+    bytes_from_device: int
+    device_peak_bytes: int
+    controller_state_bytes: int
+
+    def summary(self) -> str:
+        return (
+            "remote session: %d messages, %.1f KB down, %.1f KB up, "
+            "device peak %.1f KB, controller state %.1f KB"
+            % (
+                self.messages,
+                self.bytes_to_device / 1024.0,
+                self.bytes_from_device / 1024.0,
+                self.device_peak_bytes / 1024.0,
+                self.controller_state_bytes / 1024.0,
+            )
+        )
+
+
+class _RemoteAliasResolver(AliasResolver):
+    """Alias resolver whose probes run on the device."""
+
+    def __init__(self, channel: Channel, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._channel = channel
+
+    def _mercator_raw(self, addr: int) -> Optional[int]:
+        payload = self._channel.call("mercator", addr=ntoa(addr))
+        return aton(payload["src"]) if payload["src"] else None
+
+    def _velocity_raw(self, addr: int):
+        payload = self._channel.call("velocity", addr=ntoa(addr))
+        return payload["velocity"]
+
+    def _ally_raw(self, a: int, b: int) -> AllyResult:
+        aims = {}
+        if self._ttl_prober is not None:
+            for addr in (a, b):
+                aim = self._ttl_prober._aims.get(addr)
+                if aim is not None:
+                    aims[ntoa(addr)] = [ntoa(aim[0]), aim[1]]
+        payload = self._channel.call(
+            "ally", a=ntoa(a), b=ntoa(b),
+            rounds=self.ally_rounds, interval=self.ally_interval,
+            aims=aims,
+        )
+        return AllyResult(
+            verdict=AliasVerdict(payload["verdict"]),
+            rounds=payload.get("rounds", 1),
+        )
+
+
+class _RemoteCollector(Collector):
+    """Collector whose traceroutes and prefixscans run on the device."""
+
+    def __init__(self, channel: Channel, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._channel = channel
+        self.collection.resolver = _RemoteAliasResolver(
+            channel,
+            self.network,
+            self.vp_addr,
+            ally_rounds=self.config.ally_rounds,
+            ally_interval=self.config.ally_interval,
+        )
+
+    def _trace(self, dst: int, stop: Optional[Set[int]]) -> TraceResult:
+        payload = self._channel.call(
+            "trace",
+            dst=ntoa(dst),
+            stop=sorted(ntoa(a) for a in stop) if stop else [],
+            max_ttl=self.config.max_ttl,
+            attempts=self.config.attempts,
+            gap_limit=self.config.gap_limit,
+        )
+        hops = [
+            TraceHop(
+                ttl=h["ttl"],
+                addr=aton(h["addr"]) if h["addr"] else None,
+                kind=ResponseKind(h["kind"]) if h["kind"] else None,
+                rtt=h["rtt"],
+                ipid=h["ipid"],
+            )
+            for h in payload["hops"]
+        ]
+        return TraceResult(
+            vp_addr=self.vp_addr,
+            dst=aton(payload["dst"]),
+            hops=hops,
+            stop_reason=payload["stop_reason"],
+            probes_used=payload["probes"],
+        )
+
+    def _prefixscan(self, prev: int, nxt: int) -> PrefixscanResult:
+        payload = self._channel.call(
+            "prefixscan", prev=ntoa(prev), addr=ntoa(nxt)
+        )
+        return PrefixscanResult(
+            prev=prev,
+            addr=nxt,
+            subnet_plen=payload["plen"],
+            mate=aton(payload["mate"]) if payload["mate"] else None,
+        )
+
+
+class RemoteBdrmap:
+    """bdrmap with the §5.8 split: device probes, controller thinks."""
+
+    def __init__(
+        self,
+        network: Network,
+        vp: VantagePoint,
+        data: DataBundle,
+        config: Optional[BdrmapConfig] = None,
+    ) -> None:
+        self.network = network
+        self.vp = vp
+        self.data = data
+        self.config = config or BdrmapConfig()
+        self.prober = Prober(network, vp.addr)
+        self.channel = Channel(self.prober)
+        self.stats: Optional[RemoteStats] = None
+
+    def run(self) -> BdrmapResult:
+        collector = _RemoteCollector(
+            self.channel,
+            self.network,
+            self.vp.addr,
+            self.data.view,
+            self.data.vp_ases,
+            self.config.collection,
+        )
+        collection = collector.run()
+        graph = build_router_graph(collection)
+        engine = InferenceEngine(
+            graph=graph,
+            collection=collection,
+            view=self.data.view,
+            rels=self.data.rels,
+            vp_ases=self.data.vp_ases,
+            focal_asn=self.data.focal_asn,
+            ixp_data=self.data.ixp,
+            rir=self.data.rir,
+            config=self.config.heuristics,
+        )
+        links = engine.run()
+        self.stats = RemoteStats(
+            messages=self.channel.messages,
+            bytes_to_device=self.channel.bytes_to_device,
+            bytes_from_device=self.channel.bytes_from_device,
+            device_peak_bytes=self.channel.device_peak_bytes,
+            controller_state_bytes=_estimate_controller_state(collection),
+        )
+        return BdrmapResult(
+            vp_name=self.vp.name,
+            vp_addr=self.vp.addr,
+            focal_asn=self.data.focal_asn,
+            vp_ases=set(self.data.vp_ases),
+            graph=graph,
+            links=links,
+            probes_used=collection.probes_used,
+            traces_run=collection.traces_run,
+        )
+
+
+def _estimate_controller_state(collection) -> int:
+    """Rough size of the state the controller held for the device: traces,
+    stop sets, and alias evidence (what would not fit on the device)."""
+    trace_bytes = sum(
+        32 + 24 * len(trace.hops) for trace in collection.traces
+    )
+    stop_bytes = 8 * collection.stop_set.total_entries()
+    alias_bytes = 48 * len(collection.resolver.evidence) if collection.resolver else 0
+    return trace_bytes + stop_bytes + alias_bytes

@@ -1,0 +1,89 @@
+"""Wire protocol between the central controller and the on-device prober.
+
+Commands and replies are serialized to compact JSON (what the real system
+sends over the scamper control socket).  The :class:`Channel` counts every
+byte in both directions and tracks the prober's peak in-flight state so the
+§5.8 resource claims can be measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..errors import ProbeError
+
+
+@dataclass(frozen=True)
+class Command:
+    """Controller → prober: one measurement to run."""
+
+    op: str                      # "trace" | "ping" | "ally" | "prefixscan"
+    args: Dict[str, Any]
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Prober → controller: the measurement's result."""
+
+    seq: int
+    payload: Dict[str, Any]
+
+
+def encode(message) -> bytes:
+    if isinstance(message, Command):
+        body = {"t": "cmd", "seq": message.seq, "op": message.op,
+                "args": message.args}
+    elif isinstance(message, Reply):
+        body = {"t": "rep", "seq": message.seq, "payload": message.payload}
+    else:
+        raise ProbeError("cannot encode %r" % (message,))
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes):
+    body = json.loads(data.decode("utf-8"))
+    kind = body.get("t")
+    if kind == "cmd":
+        return Command(op=body["op"], args=body["args"], seq=body["seq"])
+    if kind == "rep":
+        return Reply(seq=body["seq"], payload=body["payload"])
+    raise ProbeError("cannot decode message type %r" % kind)
+
+
+class Channel:
+    """An accounted, in-memory message channel to one prober."""
+
+    def __init__(self, prober) -> None:
+        self._prober = prober
+        self._seq = 0
+        self.bytes_to_device = 0
+        self.bytes_from_device = 0
+        self.messages = 0
+        self.device_peak_bytes = 0
+
+    def call(self, op: str, **args) -> Dict[str, Any]:
+        """Send one command, wait for its reply (synchronous)."""
+        self._seq += 1
+        wire_out = encode(Command(op=op, args=args, seq=self._seq))
+        self.bytes_to_device += len(wire_out)
+        self.messages += 1
+        command = decode(wire_out)
+        reply = self._prober.handle(command)
+        wire_in = encode(reply)
+        self.bytes_from_device += len(wire_in)
+        self.messages += 1
+        # The device holds at most one command + one reply at a time.
+        self.device_peak_bytes = max(
+            self.device_peak_bytes, len(wire_out) + len(wire_in)
+        )
+        decoded = decode(wire_in)
+        if decoded.seq != self._seq:
+            raise ProbeError("reply out of sequence")
+        return decoded.payload
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_device + self.bytes_from_device

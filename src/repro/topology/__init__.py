@@ -1,0 +1,66 @@
+"""Synthetic Internet generator — the ground-truth substrate.
+
+The paper measures the real Internet; offline we generate a synthetic one
+whose AS-level structure, router-level structure, addressing practice, and
+traceroute idiosyncrasies reproduce the seven challenge classes of §4.  The
+:class:`~repro.topology.model.Internet` object holds full ground truth;
+probing and inference layers only ever see what packets reveal.
+"""
+
+from .model import (
+    Internet,
+    ASNode,
+    ASKind,
+    Org,
+    PoP,
+    Router,
+    Interface,
+    Link,
+    LinkKind,
+    IXP,
+    PrefixPolicy,
+)
+from .geography import City, CITIES, geo_distance
+from .asgen import ASGenConfig, generate_as_level
+from .routergen import build_router_level
+from .challenges import ChallengeConfig, apply_challenges
+from .scenarios import (
+    ScenarioConfig,
+    build_scenario,
+    re_network,
+    large_access,
+    tier1,
+    small_access,
+    cdn_network,
+    mini,
+)
+
+__all__ = [
+    "Internet",
+    "ASNode",
+    "ASKind",
+    "Org",
+    "PoP",
+    "Router",
+    "Interface",
+    "Link",
+    "LinkKind",
+    "IXP",
+    "PrefixPolicy",
+    "City",
+    "CITIES",
+    "geo_distance",
+    "ASGenConfig",
+    "generate_as_level",
+    "build_router_level",
+    "ChallengeConfig",
+    "apply_challenges",
+    "ScenarioConfig",
+    "build_scenario",
+    "re_network",
+    "large_access",
+    "tier1",
+    "small_access",
+    "cdn_network",
+    "mini",
+]

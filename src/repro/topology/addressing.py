@@ -1,0 +1,147 @@
+"""Address allocation for the synthetic Internet.
+
+Two layers, mirroring real practice:
+
+* :class:`AddressAllocator` plays the RIR role — it carves non-overlapping
+  blocks out of global unicast space and records each delegation (these
+  records become the synthetic RIR delegation files of §5.2).
+* :class:`SubnetPool` plays the operator role — carving /30 and /31
+  interdomain subnets, loopbacks, and internal link subnets out of an AS's
+  own allocations (§4 challenge 1: the provider usually supplies interconnect
+  addressing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..addr import MAX_ADDR, Prefix, netmask
+from ..errors import TopologyError
+
+# Ranges we never allocate from (reserved / special-use / multicast).
+_RESERVED: List[Prefix] = [
+    Prefix.parse("0.0.0.0/8"),
+    Prefix.parse("10.0.0.0/8"),
+    Prefix.parse("100.64.0.0/10"),
+    Prefix.parse("127.0.0.0/8"),
+    Prefix.parse("169.254.0.0/16"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("192.0.2.0/24"),
+    Prefix.parse("192.168.0.0/16"),
+    Prefix.parse("198.18.0.0/15"),
+    Prefix.parse("203.0.113.0/24"),
+    Prefix.parse("224.0.0.0/3"),
+]
+
+
+def _is_reserved(prefix: Prefix) -> bool:
+    return any(
+        r.contains_prefix(prefix) or prefix.contains_prefix(r) for r in _RESERVED
+    )
+
+
+class AddressAllocator:
+    """Sequential, alignment-respecting allocator over global unicast space."""
+
+    def __init__(self, start: str = "1.0.0.0") -> None:
+        self._cursor = Prefix.parse(start + "/32").addr
+        self.delegations: List[Tuple[str, Prefix]] = []
+
+    def alloc(self, plen: int, org_id: Optional[str] = None) -> Prefix:
+        """Allocate the next free, aligned prefix of length ``plen``."""
+        size = 1 << (32 - plen)
+        cursor = self._cursor
+        while True:
+            aligned = (cursor + size - 1) & ~(size - 1) & MAX_ADDR
+            if aligned + size - 1 > MAX_ADDR:
+                raise TopologyError("address space exhausted at /%d" % plen)
+            candidate = Prefix(aligned, plen)
+            if _is_reserved(candidate):
+                # Jump past the reserved range that collided.
+                blocker = next(
+                    r
+                    for r in _RESERVED
+                    if r.contains_prefix(candidate) or candidate.contains_prefix(r)
+                )
+                cursor = blocker.last + 1
+                continue
+            self._cursor = aligned + size
+            if org_id is not None:
+                self.delegations.append((org_id, candidate))
+            return candidate
+
+
+class SubnetPool:
+    """Carves small subnets (interdomain /30s, /31s, internal links, and
+    single addresses) out of one allocated prefix."""
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self._cursor = prefix.addr
+
+    def remaining(self) -> int:
+        return self.prefix.last - self._cursor + 1
+
+    def alloc_subnet(self, plen: int) -> Prefix:
+        """Allocate the next aligned subnet of length ``plen``."""
+        if plen < self.prefix.plen:
+            raise TopologyError(
+                "cannot carve a /%d out of %s" % (plen, self.prefix)
+            )
+        size = 1 << (32 - plen)
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        if aligned + size - 1 > self.prefix.last:
+            raise TopologyError("subnet pool %s exhausted" % self.prefix)
+        self._cursor = aligned + size
+        return Prefix(aligned, plen)
+
+    def alloc_p2p(self, use_31: bool) -> Tuple[Prefix, int, int]:
+        """Allocate a point-to-point subnet; returns (subnet, addr_a, addr_b).
+
+        /31 subnets use both addresses (RFC 3021); /30 subnets use the two
+        middle addresses.
+        """
+        if use_31:
+            subnet = self.alloc_subnet(31)
+            return subnet, subnet.addr, subnet.addr + 1
+        subnet = self.alloc_subnet(30)
+        return subnet, subnet.addr + 1, subnet.addr + 2
+
+    def alloc_addr(self) -> int:
+        """Allocate a single host address (e.g. a loopback)."""
+        if self._cursor > self.prefix.last:
+            raise TopologyError("subnet pool %s exhausted" % self.prefix)
+        addr = self._cursor
+        self._cursor += 1
+        return addr
+
+    def hosts_of(self, subnet: Prefix) -> Iterator[int]:
+        yield from subnet.hosts()
+
+
+def p2p_addresses(subnet: Prefix) -> Tuple[int, int]:
+    """The two usable addresses of a /30 or /31 point-to-point subnet."""
+    if subnet.plen == 31:
+        return subnet.addr, subnet.addr + 1
+    if subnet.plen == 30:
+        return subnet.addr + 1, subnet.addr + 2
+    raise TopologyError("not a point-to-point subnet: %s" % subnet)
+
+
+def p2p_mate(addr: int, plen: int) -> Optional[int]:
+    """The subnet-mate of ``addr`` in its /30 or /31, as prefixscan assumes.
+
+    Returns None when ``addr`` is the network or broadcast address of a /30
+    (no mate exists under common point-to-point numbering).
+    """
+    if plen == 31:
+        return addr ^ 1
+    if plen == 30:
+        base = addr & netmask(30)
+        offset = addr - base
+        if offset == 1:
+            return base + 2
+        if offset == 2:
+            return base + 1
+        return None
+    raise TopologyError("p2p_mate needs plen 30 or 31, got %d" % plen)

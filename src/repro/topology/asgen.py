@@ -1,0 +1,395 @@
+"""AS-level Internet generation.
+
+Builds the organization / AS / relationship layer: a tier-1 clique, a
+transit hierarchy, access and content networks, CDNs, stubs, IXPs with
+multilateral peering, sibling organizations, and one *focal* network — the
+AS that will host vantage points, whose neighbor-class mix (customers /
+peers / providers) is specified exactly so the Table 1 scenarios can be
+reproduced.
+
+Output: an :class:`~repro.topology.model.Internet` with ASes, orgs,
+relationships, IXP membership, and per-AS address allocations — but no
+routers yet (see :mod:`repro.topology.routergen`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..asgraph import Rel
+from ..errors import TopologyError
+from ..rng import make_rng, sample_up_to, weighted_choice
+from .addressing import AddressAllocator
+from .geography import CITIES
+from .model import ASKind, ASNode, Internet, IXP, Org
+
+
+@dataclass
+class FocalSpec:
+    """Exact neighbor-class mix for the VP-hosting network."""
+
+    kind: ASKind = ASKind.ACCESS
+    n_customers: int = 60
+    n_peers: int = 8
+    n_providers: int = 2
+    n_pops: int = 8
+    n_siblings: int = 1
+    # Peers that interconnect at many router-level links (the Level3-like
+    # "dense" peers of §6), as (name, link_count_hint) pairs.
+    dense_peers: int = 2
+    # CDN peers with selective-announcement behaviour (Akamai-like).
+    cdn_peers: int = 2
+
+
+@dataclass
+class ASGenConfig:
+    """Knobs for the background Internet around the focal network."""
+
+    seed: int = 1
+    n_tier1: int = 6
+    n_transit: int = 14
+    n_access: int = 6
+    n_cdn: int = 4
+    n_content: int = 12
+    n_stub: int = 80
+    n_research: int = 1
+    n_ixps: int = 2
+    sibling_org_rate: float = 0.04
+    multihome_rate: float = 0.35
+    focal: FocalSpec = field(default_factory=FocalSpec)
+
+
+@dataclass
+class GenState:
+    """Shared state threaded through the generation stages."""
+
+    config: ASGenConfig
+    internet: Internet
+    allocator: AddressAllocator
+    rng: random.Random
+    focal_asn: int = 0
+    ixp_members: Dict[int, Set[int]] = field(default_factory=dict)  # ixp -> asns
+    # AS pairs that peer via an IXP route server (no private link).
+    ixp_only_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+    dense_peer_asns: List[int] = field(default_factory=list)
+    cdn_peer_asns: List[int] = field(default_factory=list)
+    # Per-AS infrastructure subnet pools, persisted so later stages
+    # (challenge injection) can allocate more addresses.
+    pools: Dict[int, object] = field(default_factory=dict)
+    next_asn: int = 100
+
+    def take_asn(self) -> int:
+        asn = self.next_asn
+        self.next_asn += 1
+        return asn
+
+
+_KIND_NAMES = {
+    ASKind.TIER1: "T1-Backbone",
+    ASKind.TRANSIT: "Transit",
+    ASKind.ACCESS: "Access",
+    ASKind.CDN: "CDN",
+    ASKind.CONTENT: "Content",
+    ASKind.ENTERPRISE: "Enterprise",
+    ASKind.STUB: "Stub",
+    ASKind.RESEARCH: "REN",
+    ASKind.IXP_RS: "IXP-RS",
+}
+
+# (allocation prefix length, count range) per kind: how much address space
+# and how many distinct announced prefixes each kind holds.
+_ALLOC_PLAN = {
+    ASKind.TIER1: (14, (2, 4)),
+    ASKind.TRANSIT: (16, (2, 4)),
+    ASKind.ACCESS: (14, (2, 5)),
+    ASKind.CDN: (17, (3, 6)),
+    ASKind.CONTENT: (19, (1, 3)),
+    ASKind.ENTERPRISE: (21, (1, 2)),
+    ASKind.STUB: (22, (1, 2)),
+    ASKind.RESEARCH: (16, (1, 3)),
+}
+
+
+def _new_as(state: GenState, kind: ASKind, org_id: Optional[str] = None) -> ASNode:
+    asn = state.take_asn()
+    if org_id is None:
+        org_id = "org-%d" % asn
+        state.internet.add_org(Org(org_id, "%s-%d" % (_KIND_NAMES[kind], asn)))
+    node = ASNode(asn, kind, org_id, name="%s-%d" % (_KIND_NAMES[kind], asn))
+    state.internet.add_as(node)
+    state.internet.orgs[org_id].asns.append(asn)
+    return node
+
+
+def _allocate_space(state: GenState, node: ASNode) -> None:
+    """Give ``node`` its address allocations and an infrastructure block."""
+    plen, (lo, hi) = _ALLOC_PLAN[node.kind]
+    count = state.rng.randint(lo, hi)
+    org = node.org_id
+    for _ in range(count):
+        node.prefixes.append(state.allocator.alloc(plen + state.rng.randint(0, 2), org))
+    # Infrastructure space for router interfaces and interconnect subnets.
+    infra_plen = 18 if node.kind in (ASKind.TIER1, ASKind.TRANSIT, ASKind.ACCESS) else 22
+    node.infra_prefix = state.allocator.alloc(infra_plen, org)
+
+
+def _add_edge(state: GenState, a: int, b: int, rel_a_to_b: Rel) -> bool:
+    """Add a relationship edge if the pair is not already related."""
+    if a == b or state.internet.graph.relationship(a, b) is not None:
+        return False
+    state.internet.graph.add_edge(a, b, rel_a_to_b)
+    return True
+
+
+def generate_as_level(config: ASGenConfig) -> GenState:
+    """Generate orgs, ASes, relationships, IXPs, and address allocations."""
+    internet = Internet(config.seed)
+    state = GenState(
+        config=config,
+        internet=internet,
+        allocator=AddressAllocator(),
+        rng=make_rng(config.seed, "asgen"),
+    )
+
+    tier1s = [_new_as(state, ASKind.TIER1) for _ in range(config.n_tier1)]
+    transits = [_new_as(state, ASKind.TRANSIT) for _ in range(config.n_transit)]
+    accesses = [_new_as(state, ASKind.ACCESS) for _ in range(config.n_access)]
+    cdns = [_new_as(state, ASKind.CDN) for _ in range(config.n_cdn)]
+    contents = [_new_as(state, ASKind.CONTENT) for _ in range(config.n_content)]
+    researches = [_new_as(state, ASKind.RESEARCH) for _ in range(config.n_research)]
+
+    rng = state.rng
+
+    # Tier-1 clique: full mesh of peering.
+    for i, a in enumerate(tier1s):
+        for b in tier1s[i + 1:]:
+            _add_edge(state, a.asn, b.asn, Rel.PEER)
+
+    # Transit providers: customers of 2-3 tier-1s; some peer among themselves.
+    for node in transits:
+        for provider in sample_up_to(rng, [t.asn for t in tier1s], rng.randint(2, 3)):
+            _add_edge(state, node.asn, provider, Rel.PROVIDER)
+    for i, a in enumerate(transits):
+        for b in transits[i + 1:]:
+            if rng.random() < 0.25:
+                _add_edge(state, a.asn, b.asn, Rel.PEER)
+
+    # Access networks: customers of tier-1s/transits, peer with CDNs.
+    for node in accesses:
+        uppers = [t.asn for t in tier1s] + [t.asn for t in transits]
+        for provider in sample_up_to(rng, uppers, rng.randint(2, 3)):
+            _add_edge(state, node.asn, provider, Rel.PROVIDER)
+    # CDNs: customers of 1-2 tier-1s, peer broadly with access networks.
+    for node in cdns:
+        for provider in sample_up_to(rng, [t.asn for t in tier1s], rng.randint(1, 2)):
+            _add_edge(state, node.asn, provider, Rel.PROVIDER)
+        for access in accesses:
+            if rng.random() < 0.6:
+                _add_edge(state, node.asn, access.asn, Rel.PEER)
+
+    # Content networks: customers of transits (occasionally tier-1s).
+    for node in contents:
+        pool = [t.asn for t in transits] + [t.asn for t in tier1s]
+        weights = [3.0] * len(transits) + [1.0] * len(tier1s)
+        n_providers = 1 + (1 if rng.random() < config.multihome_rate else 0)
+        chosen: Set[int] = set()
+        while len(chosen) < n_providers:
+            chosen.add(weighted_choice(rng, pool, weights))
+        for provider in chosen:
+            _add_edge(state, node.asn, provider, Rel.PROVIDER)
+
+    # Research network: one transit provider; peers at IXPs (added below).
+    for node in researches:
+        _add_edge(state, node.asn, rng.choice(transits).asn, Rel.PROVIDER)
+
+    # Background stubs: customers of transit/access networks.
+    stub_providers = transits + accesses
+    for _ in range(config.n_stub):
+        kind = ASKind.ENTERPRISE if rng.random() < 0.4 else ASKind.STUB
+        node = _new_as(state, kind)
+        n_providers = 1 + (1 if rng.random() < config.multihome_rate else 0)
+        for provider in sample_up_to(
+            rng, [p.asn for p in stub_providers], n_providers
+        ):
+            _add_edge(state, node.asn, provider, Rel.PROVIDER)
+
+    _build_focal(state, tier1s, transits, cdns)
+    _build_ixps(state)
+    _build_siblings(state)
+
+    for node in internet.ases.values():
+        if node.kind is not ASKind.IXP_RS:
+            _allocate_space(state, node)
+
+    _check_connected(state)
+    return state
+
+
+def _build_focal(state: GenState, tier1s, transits, cdns) -> None:
+    """Insert the focal (VP-hosting) network with an exact neighbor mix."""
+    config = state.config
+    spec = config.focal
+    rng = state.rng
+    focal = _new_as(state, spec.kind)
+    focal.name = "Focal-%s" % spec.kind.value
+    state.focal_asn = focal.asn
+
+    # Providers.
+    provider_pool = [t.asn for t in tier1s] + [t.asn for t in transits]
+    for provider in sample_up_to(rng, provider_pool, spec.n_providers):
+        _add_edge(state, focal.asn, provider, Rel.PROVIDER)
+
+    # Peers: dense transit peers first (tier-1s not already providers),
+    # then CDNs, then other networks.
+    peers_needed = spec.n_peers
+    dense_candidates = [
+        t.asn
+        for t in tier1s
+        if state.internet.graph.relationship(focal.asn, t.asn) is None
+    ]
+    for asn in dense_candidates[: spec.dense_peers]:
+        if peers_needed <= 0:
+            break
+        if _add_edge(state, focal.asn, asn, Rel.PEER):
+            state.dense_peer_asns.append(asn)
+            peers_needed -= 1
+    cdn_candidates = [
+        c.asn
+        for c in cdns
+        if state.internet.graph.relationship(focal.asn, c.asn) is None
+    ]
+    for asn in cdn_candidates[: spec.cdn_peers]:
+        if peers_needed <= 0:
+            break
+        if _add_edge(state, focal.asn, asn, Rel.PEER):
+            state.cdn_peer_asns.append(asn)
+            peers_needed -= 1
+    other_peer_pool = [
+        asn
+        for asn in state.internet.ases
+        if state.internet.ases[asn].kind
+        in (ASKind.TRANSIT, ASKind.CDN, ASKind.CONTENT, ASKind.ACCESS)
+        and state.internet.graph.relationship(focal.asn, asn) is None
+        and asn != focal.asn
+    ]
+    rng.shuffle(other_peer_pool)
+    for asn in other_peer_pool:
+        if peers_needed <= 0:
+            break
+        if _add_edge(state, focal.asn, asn, Rel.PEER):
+            peers_needed -= 1
+    if peers_needed > 0:
+        raise TopologyError(
+            "could not place %d focal peers; enlarge background" % peers_needed
+        )
+
+    # Customers: fresh stub/enterprise/content ASes homed to the focal AS.
+    for _ in range(spec.n_customers):
+        roll = rng.random()
+        if roll < 0.55:
+            kind = ASKind.STUB
+        elif roll < 0.85:
+            kind = ASKind.ENTERPRISE
+        else:
+            kind = ASKind.CONTENT
+        node = _new_as(state, kind)
+        _add_edge(state, node.asn, focal.asn, Rel.PROVIDER)
+        if rng.random() < config.multihome_rate * 0.5:
+            backup = rng.choice([t.asn for t in transits])
+            _add_edge(state, node.asn, backup, Rel.PROVIDER)
+
+
+def _build_ixps(state: GenState) -> None:
+    """Create IXPs, pick members, and add route-server p2p relationships."""
+    config = state.config
+    rng = make_rng(config.seed, "ixps")
+    internet = state.internet
+    eligible_kinds = (
+        ASKind.TRANSIT,
+        ASKind.CONTENT,
+        ASKind.CDN,
+        ASKind.ACCESS,
+        ASKind.RESEARCH,
+    )
+    eligible = [
+        node.asn
+        for node in internet.ases.values()
+        if node.kind in eligible_kinds
+    ]
+    # The focal and research networks always join IXPs so the R&E scenario
+    # (validated via IXP databases, §5.6) is exercised.
+    research_asns = [
+        n.asn for n in internet.ases.values() if n.kind is ASKind.RESEARCH
+    ]
+    if state.focal_asn:
+        research_asns.append(state.focal_asn)
+    for index in range(config.n_ixps):
+        city = rng.choice(CITIES)
+        fabric = state.allocator.alloc(23, "ixp-%d" % index)
+        rs_node = _new_as(state, ASKind.IXP_RS)
+        ixp = IXP(index, "IXP-%s-%d" % (city.name.replace(" ", ""), index),
+                  fabric, rs_node.asn, city)
+        internet.ixps[index] = ixp
+        members = set(
+            sample_up_to(rng, eligible, max(4, len(eligible) // (config.n_ixps + 1)))
+        )
+        members.update(research_asns)
+        state.ixp_members[index] = members
+        # Multilateral peering via the route server: member pairs without an
+        # existing relationship become p2p, established over the fabric.
+        ordered = sorted(members)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if internet.graph.relationship(a, b) is not None:
+                    continue
+                if rng.random() < 0.5:
+                    _add_edge(state, a, b, Rel.PEER)
+                    state.ixp_only_pairs.add((a, b))
+
+
+def _build_siblings(state: GenState) -> None:
+    """Merge some orgs into multi-AS organizations (§4 challenge 5)."""
+    config = state.config
+    rng = make_rng(config.seed, "siblings")
+    internet = state.internet
+    spec = config.focal
+
+    candidates = [
+        node
+        for node in internet.ases.values()
+        if node.kind in (ASKind.TRANSIT, ASKind.ACCESS, ASKind.CONTENT)
+        and node.asn != state.focal_asn
+    ]
+    rng.shuffle(candidates)
+    n_merge = int(len(candidates) * config.sibling_org_rate)
+    for node in candidates[:n_merge]:
+        sibling = _new_as(state, node.kind, org_id=node.org_id)
+        sibling.name = node.name + "-sib"
+        internet.graph.add_edge(node.asn, sibling.asn, Rel.SIBLING)
+        # The sibling typically reuses the main AS's providers.
+        for provider in internet.graph.providers(node.asn):
+            if rng.random() < 0.7:
+                _add_edge(state, sibling.asn, provider, Rel.PROVIDER)
+
+    # Focal siblings (the VP-AS list of §5.2 requires manual curation of
+    # exactly these).
+    focal = internet.ases[state.focal_asn]
+    for _ in range(spec.n_siblings):
+        sibling = _new_as(state, focal.kind, org_id=focal.org_id)
+        sibling.name = focal.name + "-sib"
+        internet.graph.add_edge(focal.asn, sibling.asn, Rel.SIBLING)
+        for provider in internet.graph.providers(focal.asn):
+            if rng.random() < 0.5:
+                _add_edge(state, sibling.asn, provider, Rel.PROVIDER)
+
+
+def _check_connected(state: GenState) -> None:
+    """Every non-IXP AS must reach the tier-1 clique via providers/peers."""
+    graph = state.internet.graph
+    for node in state.internet.ases.values():
+        if node.kind is ASKind.IXP_RS:
+            continue
+        if graph.degree(node.asn) == 0:
+            raise TopologyError("AS%d generated with no neighbors" % node.asn)

@@ -1,0 +1,114 @@
+"""Topology evolution between measurement runs.
+
+The deployed system (§4: "monitoring interdomain links for congestion
+using 40 VPs in 28 networks") re-runs bdrmap continuously because
+interconnection changes: networks add peering sessions, de-peer, and move
+links.  These helpers mutate a built topology the way operators do, so
+tests and examples can exercise longitudinal monitoring (see
+:mod:`repro.analysis.diff`).
+
+After mutating, call :func:`rebuild_network` — forwarding state (routing
+oracle caches) is derived from the topology and must be recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..asgraph import Rel
+from ..errors import TopologyError
+from ..net import Network
+from .addressing import SubnetPool
+from .model import Link, LinkKind
+from .scenarios import Scenario
+
+
+def add_border_link(
+    scenario: Scenario,
+    asn_a: int,
+    asn_b: int,
+    rel_b_from_a: Optional[Rel] = None,
+    use_31: bool = False,
+) -> Link:
+    """Provision a new interdomain link between two ASes.
+
+    Creates the business relationship if the pair had none, picks a border
+    router on each side (reusing existing borders where possible), and
+    numbers a fresh point-to-point subnet from the supplier's pool —
+    provider-supplied for c2p, side A for peers.
+    """
+    internet = scenario.internet
+    if asn_a not in internet.ases or asn_b not in internet.ases:
+        raise TopologyError("both ASes must exist")
+    relationship = internet.graph.relationship(asn_a, asn_b)
+    if relationship is None:
+        internet.graph.add_edge(asn_a, asn_b, rel_b_from_a or Rel.PEER)
+        relationship = internet.graph.relationship(asn_a, asn_b)
+
+    if relationship is Rel.CUSTOMER:      # b is a's customer → a supplies
+        supplier = asn_a
+    elif relationship is Rel.PROVIDER:
+        supplier = asn_b
+    else:
+        supplier = asn_a
+    pool = scenario.state.pools.get(supplier)
+    if not isinstance(pool, SubnetPool):
+        raise TopologyError("AS%d has no address pool to number the link" % supplier)
+    subnet, addr_a, addr_b = pool.alloc_p2p(use_31)
+
+    def border_of(asn: int):
+        node = internet.ases[asn]
+        borders = [
+            internet.routers[rid]
+            for rid in node.router_ids
+            if internet.routers[rid].is_border
+        ]
+        if borders:
+            return borders[0]
+        return internet.routers[node.router_ids[0]]
+
+    router_a = border_of(asn_a)
+    router_b = border_of(asn_b)
+    link = internet.new_link(
+        LinkKind.INTERDOMAIN,
+        [(router_a.router_id, addr_a), (router_b.router_id, addr_b)],
+        subnet=subnet,
+        supplier_asn=supplier,
+    )
+    return link
+
+
+def remove_link(scenario: Scenario, link_id: int) -> None:
+    """De-provision a link (de-peering / circuit turn-down)."""
+    internet = scenario.internet
+    link = internet.links.pop(link_id, None)
+    if link is None:
+        raise TopologyError("no link %d" % link_id)
+    for iface in link.interfaces:
+        router = internet.routers[iface.router_id]
+        router.interfaces = [i for i in router.interfaces if i is not iface]
+        if iface.addr is not None:
+            internet.addr_to_iface.pop(iface.addr, None)
+    internet._origin_trie = None
+
+
+def rebuild_network(scenario: Scenario) -> Network:
+    """Recompute forwarding state after topology mutations.
+
+    Returns the new network (also installed on the scenario); existing VPs
+    are re-registered.  The virtual clock continues from the old network's
+    time — runs are sequential in the same timeline.
+    """
+    old = scenario.network
+    network = Network(
+        scenario.internet,
+        seed=scenario.config.asgen.seed,
+        pps=scenario.config.pps,
+    )
+    network.now = old.now
+    network.probes_sent = old.probes_sent
+    network.congestion = old.congestion
+    for vp in scenario.vps:
+        network.add_vp(vp)
+    scenario.network = network
+    return network

@@ -1,0 +1,66 @@
+"""Geography for PoPs.
+
+Figure 16 of the paper plots the longitude of the VP against the longitude
+of the interdomain links it observes, showing that hot-potato routing makes
+link visibility geographic.  We give every PoP a real U.S. city coordinate
+so the same analysis can be reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class City:
+    name: str
+    lon: float
+    lat: float
+    iata: str = ""
+
+
+# A west-to-east spread of U.S. cities (longitude, latitude, airport code —
+# the codes operators embed in router hostnames).
+CITIES: List[City] = [
+    City("Seattle", -122.33, 47.61, "sea"),
+    City("Portland", -122.68, 45.52, "pdx"),
+    City("San Jose", -121.89, 37.34, "sjc"),
+    City("Los Angeles", -118.24, 34.05, "lax"),
+    City("Las Vegas", -115.14, 36.17, "las"),
+    City("Phoenix", -112.07, 33.45, "phx"),
+    City("Salt Lake City", -111.89, 40.76, "slc"),
+    City("Denver", -104.99, 39.74, "den"),
+    City("Albuquerque", -106.65, 35.08, "abq"),
+    City("Dallas", -96.80, 32.78, "dfw"),
+    City("Houston", -95.37, 29.76, "iah"),
+    City("Kansas City", -94.58, 39.10, "mci"),
+    City("Minneapolis", -93.27, 44.98, "msp"),
+    City("Chicago", -87.63, 41.88, "ord"),
+    City("St. Louis", -90.20, 38.63, "stl"),
+    City("Nashville", -86.78, 36.16, "bna"),
+    City("Atlanta", -84.39, 33.75, "atl"),
+    City("Miami", -80.19, 25.76, "mia"),
+    City("Charlotte", -80.84, 35.23, "clt"),
+    City("Ashburn", -77.49, 39.04, "iad"),
+    City("Washington DC", -77.04, 38.91, "dca"),
+    City("Philadelphia", -75.17, 39.95, "phl"),
+    City("New York", -74.01, 40.71, "jfk"),
+    City("Boston", -71.06, 42.36, "bos"),
+]
+
+CITY_BY_IATA = {city.iata: city for city in CITIES}
+
+
+def geo_distance(a: City, b: City) -> float:
+    """Great-circle distance in kilometres (haversine)."""
+    radius_km = 6371.0
+    lat_a, lat_b = math.radians(a.lat), math.radians(b.lat)
+    dlat = lat_b - lat_a
+    dlon = math.radians(b.lon - a.lon)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat_a) * math.cos(lat_b) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * radius_km * math.asin(math.sqrt(h))

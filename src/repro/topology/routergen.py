@@ -1,0 +1,372 @@
+"""Router-level topology generation.
+
+Expands the AS-level graph into routers, PoPs, intra-AS links, interdomain
+point-to-point links (with /30 and /31 subnets supplied by one side, usually
+the provider — §4 challenge 1), IXP fabrics (§4 challenge 6), and prefix
+origination/hosting.  The density knobs reproduce §6: a focal access network
+can hold ~45 router-level links with one dense (Level3-like) peer spread
+across its PoPs, and CDN peers whose prefixes are announced selectively per
+link (Akamai-like).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..addr import Prefix
+from ..asgraph import Rel
+from ..rng import make_rng
+from .addressing import SubnetPool
+from .asgen import GenState
+from .geography import CITIES, City, geo_distance
+from .model import ASKind, ASNode, Internet, LinkKind, PoP, PrefixPolicy, Router
+
+_POP_PLAN = {
+    ASKind.TIER1: (8, 12),
+    ASKind.TRANSIT: (3, 6),
+    ASKind.ACCESS: (4, 8),
+    ASKind.CDN: (6, 10),
+    ASKind.CONTENT: (1, 2),
+    ASKind.ENTERPRISE: (1, 1),
+    ASKind.STUB: (1, 1),
+    ASKind.RESEARCH: (2, 3),
+    ASKind.IXP_RS: (0, 0),
+}
+
+# How many interdomain links a single border router hosts before we open
+# another one at the same PoP.
+_BORDER_FANOUT = 8
+
+
+@dataclass
+class RouterGenInfo:
+    """Artifacts the scenario layer needs after router generation."""
+
+    focal_access_subnets: Dict[int, Prefix] = field(default_factory=dict)
+    focal_agg_router: Dict[int, int] = field(default_factory=dict)  # pop -> router
+    link_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+class _Builder:
+    def __init__(self, state: GenState, dense_link_count: int, cdn_link_count: int):
+        self.state = state
+        self.internet = state.internet
+        self.rng = make_rng(state.config.seed, "routergen")
+        self.dense_link_count = dense_link_count
+        self.cdn_link_count = cdn_link_count
+        self.pools = state.pools  # shared with later generation stages
+        self.core_of_pop: Dict[int, int] = {}   # pop_id -> core router id
+        self.borders: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self.info = RouterGenInfo()
+
+    # -- helpers ------------------------------------------------------------
+
+    def pool(self, asn: int) -> SubnetPool:
+        if asn not in self.pools:
+            node = self.internet.ases[asn]
+            if node.infra_prefix is None:
+                raise ValueError("AS%d has no infrastructure prefix" % asn)
+            self.pools[asn] = SubnetPool(node.infra_prefix)
+        return self.pools[asn]
+
+    def intra_link(self, asn: int, r1: int, r2: int, cost: float) -> None:
+        subnet = self.pool(asn).alloc_subnet(31)
+        self.internet.new_link(
+            LinkKind.INTRA,
+            [(r1, subnet.addr), (r2, subnet.addr + 1)],
+            subnet=subnet,
+            supplier_asn=asn,
+            igp_cost=cost,
+        )
+
+    def border_router(self, asn: int, pop: PoP) -> Router:
+        """A border router at ``pop`` with spare link capacity."""
+        key = (asn, pop.pop_id)
+        entries = self.borders.setdefault(key, [])
+        for index, (router_id, used) in enumerate(entries):
+            if used < _BORDER_FANOUT:
+                entries[index] = (router_id, used + 1)
+                return self.internet.routers[router_id]
+        router = self.internet.new_router(asn, pop.pop_id, is_border=True)
+        entries.append((router.router_id, 1))
+        core = self.core_of_pop.get(pop.pop_id)
+        if core is not None and core != router.router_id:
+            self.intra_link(asn, core, router.router_id, 1.0)
+        return router
+
+    def nearest_pop(self, node: ASNode, city: City) -> PoP:
+        return min(node.pops, key=lambda p: (geo_distance(p.city, city), p.pop_id))
+
+    # -- stage 1: PoPs, cores, intra links -----------------------------------
+
+    def build_intra(self) -> None:
+        for node in sorted(self.internet.ases.values(), key=lambda n: n.asn):
+            if node.kind is ASKind.IXP_RS:
+                continue
+            lo, hi = _POP_PLAN[node.kind]
+            if node.asn == self.state.focal_asn:
+                count = self.state.config.focal.n_pops
+            else:
+                count = self.rng.randint(lo, hi) if hi else 0
+            count = max(count, 1)
+            cities = self.rng.sample(CITIES, min(count, len(CITIES)))
+            cores: List[Tuple[PoP, Router]] = []
+            for city in cities:
+                pop = self.internet.new_pop(node.asn, city)
+                core = self.internet.new_router(node.asn, pop.pop_id)
+                self.core_of_pop[pop.pop_id] = core.router_id
+                cores.append((pop, core))
+            # Geographic ring (west to east and back) plus random chords.
+            cores.sort(key=lambda pc: pc[0].city.lon)
+            for (pop_a, core_a), (pop_b, core_b) in zip(cores, cores[1:]):
+                cost = 1.0 + geo_distance(pop_a.city, pop_b.city) / 500.0
+                self.intra_link(node.asn, core_a.router_id, core_b.router_id, cost)
+            if len(cores) > 3:
+                # Close the ring.
+                pop_a, core_a = cores[0]
+                pop_b, core_b = cores[-1]
+                cost = 1.0 + geo_distance(pop_a.city, pop_b.city) / 500.0
+                self.intra_link(node.asn, core_a.router_id, core_b.router_id, cost)
+                for _ in range(len(cores) // 3):
+                    (pop_a, core_a), (pop_b, core_b) = self.rng.sample(cores, 2)
+                    cost = 1.0 + geo_distance(pop_a.city, pop_b.city) / 500.0
+                    self.intra_link(node.asn, core_a.router_id, core_b.router_id, cost)
+            # Focal PoPs get an aggregation router where VPs attach.
+            if node.asn == self.state.focal_asn:
+                for pop, core in cores:
+                    agg = self.internet.new_router(node.asn, pop.pop_id)
+                    self.intra_link(node.asn, core.router_id, agg.router_id, 1.0)
+                    self.info.focal_agg_router[pop.pop_id] = agg.router_id
+
+    # -- stage 2: interdomain links -------------------------------------------
+
+    def link_count_for(self, a: ASNode, b: ASNode, rel_b: Rel) -> int:
+        """How many router-level links this AS pair gets (rel_b is b from
+        a's view)."""
+        focal = self.state.focal_asn
+        pair = {a.asn, b.asn}
+        if focal in pair and rel_b is Rel.PEER:
+            other = b.asn if a.asn == focal else a.asn
+            if other in self.state.dense_peer_asns:
+                return self.dense_link_count
+            if other in self.state.cdn_peer_asns:
+                return self.cdn_link_count
+            # Large networks peer at several locations (§6).
+            return self.rng.randint(3, min(8, max(3, len(self.internet.ases[focal].pops))))
+        if focal in pair and rel_b in (Rel.PROVIDER, Rel.CUSTOMER):
+            customer = a if rel_b is Rel.PROVIDER else b
+            if customer.asn == focal:
+                # The focal network multihomes to each provider at many
+                # PoPs — this is what gives most destination prefixes
+                # 5-15 potential egress routers (Fig 14).
+                return self.rng.randint(
+                    5, min(12, max(5, len(self.internet.ases[focal].pops)))
+                )
+        kinds = {a.kind, b.kind}
+        if rel_b is Rel.PEER and kinds == {ASKind.TIER1}:
+            return self.rng.randint(2, 4)
+        if rel_b is Rel.PEER and ASKind.CDN in kinds and ASKind.ACCESS in kinds:
+            return self.rng.randint(2, 5)
+        if rel_b in (Rel.PROVIDER, Rel.CUSTOMER):
+            customer = a if rel_b is Rel.PROVIDER else b
+            if customer.kind in (ASKind.STUB, ASKind.ENTERPRISE, ASKind.CONTENT):
+                return 2 if self.rng.random() < 0.05 else 1
+            return self.rng.randint(1, 3)
+        if rel_b is Rel.SIBLING:
+            return self.rng.randint(1, 2)
+        return self.rng.randint(1, 2)
+
+    def supplier_for(self, a: ASNode, b: ASNode, rel_b: Rel) -> int:
+        """Which AS numbers the link subnet (§4 challenge 1)."""
+        if rel_b is Rel.CUSTOMER:  # b is a's customer → a supplies (usually)
+            return a.asn if self.rng.random() < 0.9 else b.asn
+        if rel_b is Rel.PROVIDER:
+            return b.asn if self.rng.random() < 0.9 else a.asn
+        # No convention for peers/siblings.
+        return a.asn if self.rng.random() < 0.5 else b.asn
+
+    def build_interdomain(self) -> None:
+        ixp_only = self.state.ixp_only_pairs
+        edges = sorted(self.internet.graph.edges())
+        for a_asn, b_asn, rel_b in edges:
+            if (a_asn, b_asn) in ixp_only or (b_asn, a_asn) in ixp_only:
+                continue  # connected via IXP fabric only
+            a, b = self.internet.ases[a_asn], self.internet.ases[b_asn]
+            if a.kind is ASKind.IXP_RS or b.kind is ASKind.IXP_RS:
+                continue
+            count = self.link_count_for(a, b, rel_b)
+            self.info.link_counts[(a_asn, b_asn)] = count
+            # Spread dense peerings over the focal network's PoPs; otherwise
+            # pick a city from the smaller network's footprint.
+            focal = self.state.focal_asn
+            if focal in (a_asn, b_asn):
+                focal_node = a if a_asn == focal else b
+                pops = sorted(focal_node.pops, key=lambda p: p.city.lon)
+            else:
+                smaller = a if len(a.pops) <= len(b.pops) else b
+                pops = list(smaller.pops)
+            for index in range(count):
+                anchor_pop = pops[index % len(pops)]
+                pop_a = self.nearest_pop(a, anchor_pop.city)
+                pop_b = self.nearest_pop(b, anchor_pop.city)
+                self.make_border_link(a, pop_a, b, pop_b, rel_b)
+
+    def make_border_link(
+        self, a: ASNode, pop_a: PoP, b: ASNode, pop_b: PoP, rel_b: Rel
+    ) -> None:
+        supplier = self.supplier_for(a, b, rel_b)
+        use_31 = self.rng.random() < 0.3
+        subnet, addr_a, addr_b = self.pool(supplier).alloc_p2p(use_31)
+        router_a = self.border_router(a.asn, pop_a)
+        router_b = self.border_router(b.asn, pop_b)
+        self.internet.new_link(
+            LinkKind.INTERDOMAIN,
+            [(router_a.router_id, addr_a), (router_b.router_id, addr_b)],
+            subnet=subnet,
+            supplier_asn=supplier,
+            igp_cost=1.0,
+        )
+
+    # -- stage 3: IXP fabrics ---------------------------------------------------
+
+    def build_ixps(self) -> None:
+        for ixp_id in sorted(self.internet.ixps):
+            ixp = self.internet.ixps[ixp_id]
+            members = sorted(self.state.ixp_members.get(ixp_id, ()))
+            pool = SubnetPool(ixp.fabric)
+            endpoints: List[Tuple[int, Optional[int]]] = []
+            for asn in members:
+                node = self.internet.ases[asn]
+                if not node.pops:
+                    continue
+                pop = self.nearest_pop(node, ixp.city)
+                router = self.border_router(asn, pop)
+                addr = pool.alloc_addr()
+                ixp.members[asn] = addr
+                endpoints.append((router.router_id, addr))
+            if len(endpoints) >= 2:
+                link = self.internet.new_link(
+                    LinkKind.IXP,
+                    endpoints,
+                    subnet=ixp.fabric,
+                    supplier_asn=ixp.rs_asn,
+                    ixp_id=ixp_id,
+                    igp_cost=1.0,
+                )
+                ixp.fabric_link_id = link.link_id
+
+    # -- stage 4: prefix policies --------------------------------------------
+
+    def _cdn_restrictions(self, node: ASNode) -> Dict[Prefix, frozenset]:
+        """Akamai-style selective announcement (§6): each of the CDN peer's
+        prefixes is exported over exactly one of its links with the focal
+        network (plus all its other links, for global reachability).  A
+        single VP anywhere then observes every focal–CDN link."""
+        focal_family = {
+            self.state.focal_asn,
+            *self.internet.graph.sibling_set(self.state.focal_asn),
+        }
+        focal_links: List[int] = []
+        other_links: List[int] = []
+        for link in self.internet.links.values():
+            if link.kind is LinkKind.INTRA:
+                continue
+            owners = {self.internet.routers[i.router_id].asn for i in link.interfaces}
+            if node.asn not in owners:
+                continue
+            if owners & focal_family:
+                focal_links.append(link.link_id)
+            else:
+                other_links.append(link.link_id)
+        if not focal_links:
+            return {}
+        # One prefix per focal link: allocate more space if needed.
+        while len(node.prefixes) < len(focal_links):
+            node.prefixes.append(self.state.allocator.alloc(20, node.org_id))
+        restrictions: Dict[Prefix, frozenset] = {}
+        for index, prefix in enumerate(node.prefixes):
+            exclusive = focal_links[index % len(focal_links)]
+            restrictions[prefix] = frozenset({exclusive, *other_links})
+        return restrictions
+
+    def build_prefixes(self) -> None:
+        rng = self.rng
+        for node in sorted(self.internet.ases.values(), key=lambda n: n.asn):
+            if node.kind is ASKind.IXP_RS or not node.router_ids:
+                continue
+            cdn_restrictions = (
+                self._cdn_restrictions(node)
+                if node.asn in self.state.cdn_peer_asns
+                else {}
+            )
+            hosts = [
+                self.core_of_pop.get(pop.pop_id)
+                for pop in node.pops
+                if self.core_of_pop.get(pop.pop_id) is not None
+            ]
+            if not hosts:
+                hosts = [node.router_ids[0]]
+            for prefix in node.prefixes:
+                live = set()
+                if rng.random() < 0.6:
+                    live.add(prefix.addr + 1)
+                for _ in range(rng.randint(0, 2)):
+                    live.add(rng.randint(prefix.addr, prefix.last))
+                self.internet.add_prefix_policy(
+                    PrefixPolicy(
+                        prefix=prefix,
+                        origins=(node.asn,),
+                        host_router={node.asn: rng.choice(hosts)},
+                        restricted_links=cdn_restrictions.get(prefix),
+                        live_hosts=frozenset(live),
+                    )
+                )
+            # Infrastructure space is usually announced too (its addresses
+            # appear on router interfaces); challenges.py may un-announce it.
+            if node.infra_prefix is not None:
+                self.internet.add_prefix_policy(
+                    PrefixPolicy(
+                        prefix=node.infra_prefix,
+                        origins=(node.asn,),
+                        host_router={node.asn: hosts[0]},
+                        live_hosts=frozenset(),
+                    )
+                )
+
+        # Focal access space: one /24 per PoP for VP placement.
+        focal = self.internet.ases[self.state.focal_asn]
+        if focal.pops:
+            access_space = SubnetPool(
+                self.state.allocator.alloc(18, focal.org_id)
+            )
+            for pop in focal.pops:
+                subnet = access_space.alloc_subnet(24)
+                core = self.core_of_pop[pop.pop_id]
+                host = self.info.focal_agg_router.get(pop.pop_id, core)
+                self.info.focal_access_subnets[pop.pop_id] = subnet
+                self.internet.add_prefix_policy(
+                    PrefixPolicy(
+                        prefix=subnet,
+                        origins=(focal.asn,),
+                        host_router={focal.asn: host},
+                        live_hosts=frozenset({subnet.addr + 1}),
+                    )
+                )
+
+
+def build_router_level(
+    state: GenState,
+    dense_link_count: int = 45,
+    cdn_link_count: int = 8,
+) -> RouterGenInfo:
+    """Expand ``state``'s AS-level Internet into a router-level topology."""
+    builder = _Builder(state, dense_link_count, cdn_link_count)
+    builder.build_intra()
+    builder.build_interdomain()
+    builder.build_ixps()
+    builder.build_prefixes()
+    # Publish RIR delegations recorded during allocation.
+    state.internet.rir_delegations = list(state.allocator.delegations)
+    return builder.info

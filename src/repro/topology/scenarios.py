@@ -1,0 +1,326 @@
+"""Named measurement scenarios.
+
+Each scenario reproduces one of the paper's four validation networks
+(§5.6) or a scaled-down variant for fast tests:
+
+* ``re_network`` — the R&E network: ~17 routers, ~30 customers, 2 peers,
+  1 provider, present at three IXPs.
+* ``large_access`` — the large U.S. access network of Table 1 / §6:
+  hundreds of customers, 26 peers (including a dense Level3-like peer with
+  ~45 router-level links and Akamai-like selective-announcement CDNs),
+  5 providers, 19 VPs.
+* ``tier1`` — the Tier-1 network: a very large customer cone, no providers.
+* ``small_access`` — a small access network (validates §5.6's fourth
+  dataset and the unannounced-own-space behaviour of §5.4.1).
+* ``mini`` — a tiny Internet for unit tests.
+
+Paper-scale AS counts (652 / 1644 customers) are the defaults' *shape*;
+the default sizes here are scaled to laptop runtimes and can be raised via
+``ScenarioConfig`` overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from ..net import Network, VantagePoint
+from .asgen import ASGenConfig, FocalSpec, GenState, generate_as_level
+from .challenges import ChallengeConfig, apply_challenges
+from .model import ASKind, Internet
+from .routergen import RouterGenInfo, build_router_level
+
+
+@dataclass
+class ScenarioConfig:
+    name: str
+    asgen: ASGenConfig
+    challenges: ChallengeConfig = field(default_factory=ChallengeConfig)
+    dense_link_count: int = 45
+    cdn_link_count: int = 8
+    n_vps: int = 1
+    pps: float = 100.0
+    # How VPs are placed over the focal network's PoPs (§6 shows placement
+    # matters as much as count): "spread" = evenly west-to-east,
+    # "west"/"east" = clustered at one coast.
+    vp_placement: str = "spread"
+
+
+@dataclass
+class Scenario:
+    """A fully built simulated measurement environment."""
+
+    config: ScenarioConfig
+    state: GenState
+    internet: Internet
+    network: Network
+    info: RouterGenInfo
+    vps: List[VantagePoint]
+
+    @property
+    def focal_asn(self) -> int:
+        return self.state.focal_asn
+
+    @property
+    def vp_as_list(self) -> List[int]:
+        """The manually curated VP AS (sibling) list of §5.2."""
+        return sorted(self.internet.sibling_asns(self.focal_asn))
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Generate the Internet, inject challenges, and place VPs."""
+    state = generate_as_level(config.asgen)
+    info = build_router_level(
+        state,
+        dense_link_count=config.dense_link_count,
+        cdn_link_count=config.cdn_link_count,
+    )
+    apply_challenges(state, config.challenges)
+    network = Network(state.internet, seed=config.asgen.seed, pps=config.pps)
+    vps = _place_vps(state, info, network, config.n_vps,
+                     placement=config.vp_placement)
+    return Scenario(config, state, state.internet, network, info, vps)
+
+
+def _place_vps(
+    state: GenState, info: RouterGenInfo, network: Network, n_vps: int,
+    placement: str = "spread",
+) -> List[VantagePoint]:
+    """Place VPs over the focal network's PoPs.
+
+    ``spread`` samples PoPs evenly west-to-east (the paper's deployment
+    sought geographic diversity); ``west``/``east`` cluster every VP at
+    one coast, reproducing §6's point that poorly-placed VPs miss the
+    hot-potato links of distant regions.
+    """
+    internet = state.internet
+    focal = internet.ases[state.focal_asn]
+    pops = sorted(focal.pops, key=lambda p: (p.city.lon, p.pop_id))
+    if not pops:
+        raise ValueError("focal network has no PoPs")
+    count = min(n_vps, len(pops))
+    if placement == "west":
+        chosen = pops[:count]
+    elif placement == "east":
+        chosen = pops[-count:]
+    elif count == len(pops):
+        chosen = pops
+    else:
+        stride = (len(pops) - 1) / max(1, count - 1) if count > 1 else 0
+        chosen = [pops[int(round(i * stride))] for i in range(count)]
+        # De-duplicate while preserving order.
+        seen = set()
+        chosen = [p for p in chosen if not (p.pop_id in seen or seen.add(p.pop_id))]
+    vps = []
+    for index, pop in enumerate(chosen):
+        subnet = info.focal_access_subnets.get(pop.pop_id)
+        first_router = info.focal_agg_router.get(pop.pop_id)
+        if subnet is None or first_router is None:
+            continue
+        vp = VantagePoint(
+            name="vp%02d-%s" % (index, pop.city.name.replace(" ", "")),
+            asn=state.focal_asn,
+            pop_id=pop.pop_id,
+            addr=subnet.addr + 10 + index,
+            first_router=first_router,
+        )
+        network.add_vp(vp)
+        vps.append(vp)
+    return vps
+
+
+# -- presets -------------------------------------------------------------------
+
+
+def mini(seed: int = 1, n_vps: int = 2) -> ScenarioConfig:
+    """A tiny Internet for unit tests (runs in well under a second)."""
+    return ScenarioConfig(
+        name="mini",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=3,
+            n_transit=4,
+            n_access=2,
+            n_cdn=2,
+            n_content=4,
+            n_stub=12,
+            n_research=1,
+            n_ixps=1,
+            focal=FocalSpec(
+                kind=ASKind.ACCESS,
+                n_customers=10,
+                n_peers=4,
+                n_providers=2,
+                n_pops=4,
+                n_siblings=1,
+                dense_peers=1,
+                cdn_peers=1,
+            ),
+        ),
+        dense_link_count=6,
+        cdn_link_count=3,
+        n_vps=n_vps,
+    )
+
+
+def re_network(seed: int = 2) -> ScenarioConfig:
+    """The research-and-education network of §5.6."""
+    return ScenarioConfig(
+        name="re_network",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=5,
+            n_transit=10,
+            n_access=4,
+            n_cdn=3,
+            n_content=10,
+            n_stub=50,
+            n_research=0,  # the focal network *is* the R&E network
+            n_ixps=3,
+            focal=FocalSpec(
+                kind=ASKind.RESEARCH,
+                n_customers=30,
+                n_peers=2,
+                n_providers=1,
+                n_pops=3,
+                n_siblings=0,
+                dense_peers=0,
+                cdn_peers=0,
+            ),
+        ),
+        dense_link_count=3,
+        cdn_link_count=2,
+        n_vps=1,
+    )
+
+
+def large_access(seed: int = 3, n_customers: int = 160, n_vps: int = 19) -> ScenarioConfig:
+    """The large U.S. broadband provider of Table 1 and §6.
+
+    ``n_customers`` defaults well below the paper's 652 for runtime; raise
+    it to paper scale for full-fidelity runs.
+    """
+    return ScenarioConfig(
+        name="large_access",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=6,
+            n_transit=14,
+            n_access=5,
+            n_cdn=5,
+            n_content=16,
+            n_stub=60,
+            n_research=1,
+            n_ixps=2,
+            focal=FocalSpec(
+                kind=ASKind.ACCESS,
+                n_customers=n_customers,
+                n_peers=26,
+                n_providers=5,
+                n_pops=19,
+                n_siblings=1,
+                dense_peers=2,
+                cdn_peers=5,
+            ),
+        ),
+        dense_link_count=45,
+        cdn_link_count=9,
+        n_vps=n_vps,
+    )
+
+
+def tier1(seed: int = 4, n_customers: int = 320) -> ScenarioConfig:
+    """The Tier-1 transit network of §5.6 / Table 1 (scaled)."""
+    return ScenarioConfig(
+        name="tier1",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=5,
+            n_transit=12,
+            n_access=5,
+            n_cdn=4,
+            n_content=14,
+            n_stub=50,
+            n_research=1,
+            n_ixps=2,
+            focal=FocalSpec(
+                kind=ASKind.TIER1,
+                n_customers=n_customers,
+                n_peers=12,
+                n_providers=0,
+                n_pops=12,
+                n_siblings=1,
+                dense_peers=3,
+                cdn_peers=2,
+            ),
+        ),
+        dense_link_count=12,
+        cdn_link_count=6,
+        n_vps=1,
+    )
+
+
+def cdn_network(seed: int = 6) -> ScenarioConfig:
+    """A VP hosted in a CDN (§5.7: "We also used bdrmap to infer border
+    routers of 25 other networks, with similar results") — a very
+    different neighbor mix: peer-heavy, few customers, wide footprint."""
+    return ScenarioConfig(
+        name="cdn_network",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=5,
+            n_transit=10,
+            n_access=6,
+            n_cdn=2,
+            n_content=10,
+            n_stub=40,
+            n_research=1,
+            n_ixps=2,
+            focal=FocalSpec(
+                kind=ASKind.CDN,
+                n_customers=4,
+                n_peers=18,
+                n_providers=2,
+                n_pops=10,
+                n_siblings=1,
+                dense_peers=1,
+                cdn_peers=0,
+            ),
+        ),
+        dense_link_count=8,
+        cdn_link_count=4,
+        n_vps=2,
+    )
+
+
+def small_access(seed: int = 5) -> ScenarioConfig:
+    """The small access network of §5.6; also exercises the case where the
+    VP network does not announce some of its own address space."""
+    return ScenarioConfig(
+        name="small_access",
+        asgen=ASGenConfig(
+            seed=seed,
+            n_tier1=4,
+            n_transit=8,
+            n_access=3,
+            n_cdn=2,
+            n_content=8,
+            n_stub=30,
+            n_research=1,
+            n_ixps=1,
+            focal=FocalSpec(
+                kind=ASKind.ACCESS,
+                n_customers=24,
+                n_peers=8,
+                n_providers=2,
+                n_pops=4,
+                n_siblings=0,
+                dense_peers=1,
+                cdn_peers=1,
+            ),
+        ),
+        challenges=ChallengeConfig(focal_unrouted_infra=True),
+        dense_link_count=5,
+        cdn_link_count=3,
+        n_vps=2,
+    )

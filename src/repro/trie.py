@@ -1,0 +1,164 @@
+"""Binary radix (Patricia-style) trie keyed by IPv4 prefixes.
+
+The canonical IP→AS mapping step (§4) is a longest-prefix match against the
+set of BGP-announced prefixes; bdrmap performs that match for every address
+in every traceroute, so this structure sits on the hottest path of the whole
+system.  The trie is a plain binary trie with path-free internal nodes —
+simple, allocation-light, and adequate for a few hundred thousand prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .addr import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("zero", "one", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.zero: Optional["_Node[V]"] = None
+        self.one: Optional["_Node[V]"] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Map from :class:`Prefix` to arbitrary values with LPM lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit_index in range(prefix.plen):
+            bit = (prefix.addr >> (31 - bit_index)) & 1
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if not node.has_value:
+            self._len += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix``; return True if it was present.
+
+        Leaves empty internal nodes in place — removal is rare (used only by
+        tests and incremental dataset updates), so we do not prune.
+        """
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.plen):
+            if node is None:
+                return False
+            bit = (prefix.addr >> (31 - bit_index)) & 1
+            node = node.one if bit else node.zero
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._len -= 1
+        return True
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored exactly at ``prefix``, or None."""
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.plen):
+            if node is None:
+                return None
+            bit = (prefix.addr >> (31 - bit_index)) & 1
+            node = node.one if bit else node.zero
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.exact(prefix) is not None
+
+    def lookup(self, addr: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for ``addr``.
+
+        Returns the (prefix, value) of the most specific stored prefix
+        covering ``addr``, or None if nothing covers it.
+        """
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[int, V]] = None
+        depth = 0
+        while node is not None:
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[arg-type]
+            if depth == 32:
+                break
+            bit = (addr >> (31 - depth)) & 1
+            node = node.one if bit else node.zero
+            depth += 1
+        if best is None:
+            return None
+        plen, value = best
+        return Prefix.of(addr, plen), value
+
+    def lookup_value(self, addr: int) -> Optional[V]:
+        """Longest-prefix match returning only the stored value."""
+        found = self.lookup(addr)
+        return found[1] if found is not None else None
+
+    def lookup_all(self, addr: int) -> List[Tuple[Prefix, V]]:
+        """All stored prefixes covering ``addr``, least specific first."""
+        matches: List[Tuple[Prefix, V]] = []
+        node: Optional[_Node[V]] = self._root
+        depth = 0
+        while node is not None:
+            if node.has_value:
+                matches.append((Prefix.of(addr, depth), node.value))  # type: ignore[arg-type]
+            if depth == 32:
+                break
+            bit = (addr >> (31 - depth)) & 1
+            node = node.one if bit else node.zero
+            depth += 1
+        return matches
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate stored (prefix, value) pairs at or below ``prefix``."""
+        node: Optional[_Node[V]] = self._root
+        for bit_index in range(prefix.plen):
+            if node is None:
+                return
+            bit = (prefix.addr >> (31 - bit_index)) & 1
+            node = node.one if bit else node.zero
+        if node is None:
+            return
+        stack: List[Tuple[_Node[V], int, int]] = [(node, prefix.addr, prefix.plen)]
+        while stack:
+            current, addr, plen = stack.pop()
+            if current.has_value:
+                yield Prefix(addr, plen), current.value  # type: ignore[misc]
+            if plen == 32:
+                continue
+            if current.one is not None:
+                stack.append((current.one, addr | (1 << (31 - plen)), plen + 1))
+            if current.zero is not None:
+                stack.append((current.zero, addr, plen + 1))
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all stored (prefix, value) pairs (unordered)."""
+        yield from self.covered(Prefix(0, 0))
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix

@@ -1,0 +1,27 @@
+"""Shared fixtures.
+
+The mini scenario and its bdrmap run are session-scoped: many integration
+tests read them, none mutates them (tests that need mutation build their
+own scenario).
+"""
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini
+from repro.core.bdrmap import Bdrmap
+
+
+@pytest.fixture(scope="session")
+def mini_scenario():
+    return build_scenario(mini(seed=1))
+
+
+@pytest.fixture(scope="session")
+def mini_data(mini_scenario):
+    return build_data_bundle(mini_scenario)
+
+
+@pytest.fixture(scope="session")
+def mini_result(mini_scenario, mini_data):
+    vp = mini_scenario.vps[0]
+    return Bdrmap(mini_scenario.network, vp, mini_data).run()

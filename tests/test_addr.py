@@ -1,0 +1,258 @@
+"""Tests for repro.addr: address parsing, prefixes, and blocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addr import (
+    MAX_ADDR,
+    AddressBlock,
+    Prefix,
+    aton,
+    block_of,
+    netmask,
+    ntoa,
+    subtract_blocks,
+    summarize_range,
+)
+from repro.errors import AddressError
+
+addrs = st.integers(min_value=0, max_value=MAX_ADDR)
+plens = st.integers(min_value=0, max_value=32)
+
+
+class TestAton:
+    def test_zero(self):
+        assert aton("0.0.0.0") == 0
+
+    def test_max(self):
+        assert aton("255.255.255.255") == MAX_ADDR
+
+    def test_known_value(self):
+        assert aton("1.2.3.4") == 0x01020304
+
+    def test_whitespace_tolerated(self):
+        assert aton(" 10.0.0.1\n") == 0x0A000001
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "", "1..2.3", "-1.0.0.0"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            aton(bad)
+
+
+class TestNtoa:
+    def test_known_value(self):
+        assert ntoa(0x01020304) == "1.2.3.4"
+
+    @pytest.mark.parametrize("bad", [-1, MAX_ADDR + 1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            ntoa(bad)
+
+    @given(addrs)
+    def test_roundtrip(self, addr):
+        assert aton(ntoa(addr)) == addr
+
+
+class TestNetmask:
+    def test_endpoints(self):
+        assert netmask(0) == 0
+        assert netmask(32) == MAX_ADDR
+
+    def test_slash24(self):
+        assert netmask(24) == 0xFFFFFF00
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            netmask(33)
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = Prefix.parse("128.66.0.0/16")
+        assert p.addr == aton("128.66.0.0")
+        assert p.plen == 16
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("128.66.0.1/16")
+
+    def test_parse_rejects_missing_slash(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("128.66.0.0")
+
+    def test_of_masks_host_bits(self):
+        p = Prefix.of(aton("10.1.2.3"), 24)
+        assert str(p) == "10.1.2.0/24"
+
+    def test_first_last_size(self):
+        p = Prefix.parse("10.0.0.0/30")
+        assert p.first == aton("10.0.0.0")
+        assert p.last == aton("10.0.0.3")
+        assert p.size == 4
+
+    def test_contains_addr(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert aton("10.0.0.255") in p
+        assert aton("10.0.1.0") not in p
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_split(self):
+        left, right = Prefix.parse("10.0.0.0/24").split()
+        assert str(left) == "10.0.0.0/25"
+        assert str(right) == "10.0.0.128/25"
+
+    def test_split_32_raises(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/32").split()
+
+    def test_subnets(self):
+        subs = list(Prefix.parse("10.0.0.0/23").subnets(24))
+        assert [str(s) for s in subs] == ["10.0.0.0/24", "10.0.1.0/24"]
+
+    def test_subnets_wrong_direction(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_hosts_slash30_excludes_network_broadcast(self):
+        hosts = list(Prefix.parse("10.0.0.0/30").hosts())
+        assert hosts == [aton("10.0.0.1"), aton("10.0.0.2")]
+
+    def test_hosts_slash31_uses_both(self):
+        hosts = list(Prefix.parse("10.0.0.0/31").hosts())
+        assert hosts == [aton("10.0.0.0"), aton("10.0.0.1")]
+
+    def test_ordering_deterministic(self):
+        a = Prefix.parse("10.0.0.0/16")
+        b = Prefix.parse("10.0.0.0/24")
+        c = Prefix.parse("10.1.0.0/16")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    @given(addrs, plens)
+    def test_of_always_contains_addr(self, addr, plen):
+        assert addr in Prefix.of(addr, plen)
+
+    @given(addrs, st.integers(min_value=0, max_value=31))
+    def test_split_children_partition_parent(self, addr, plen):
+        parent = Prefix.of(addr, plen)
+        left, right = parent.split()
+        assert left.first == parent.first
+        assert right.last == parent.last
+        assert left.last + 1 == right.first
+
+
+class TestAddressBlock:
+    def test_size(self):
+        block = AddressBlock(10, 19)
+        assert block.size == 10
+
+    def test_contains(self):
+        block = AddressBlock(10, 19)
+        assert 10 in block and 19 in block
+        assert 9 not in block and 20 not in block
+
+    def test_rejects_inverted(self):
+        with pytest.raises(AddressError):
+            AddressBlock(20, 10)
+
+    def test_block_of_prefix(self):
+        block = block_of(Prefix.parse("10.0.0.0/24"))
+        assert block.first == aton("10.0.0.0")
+        assert block.last == aton("10.0.0.255")
+
+
+class TestSubtractBlocks:
+    def test_no_inners(self):
+        outer = AddressBlock(0, 255)
+        assert subtract_blocks(outer, []) == [outer]
+
+    def test_paper_example(self):
+        """§5.3: X originates 128.66.0.0/16, Y a /24 inside it."""
+        outer = block_of(Prefix.parse("128.66.0.0/16"))
+        inner = block_of(Prefix.parse("128.66.2.0/24"))
+        pieces = subtract_blocks(outer, [inner])
+        assert pieces == [
+            AddressBlock(aton("128.66.0.0"), aton("128.66.1.255")),
+            AddressBlock(aton("128.66.3.0"), aton("128.66.255.255")),
+        ]
+
+    def test_inner_at_start(self):
+        pieces = subtract_blocks(AddressBlock(0, 255), [AddressBlock(0, 15)])
+        assert pieces == [AddressBlock(16, 255)]
+
+    def test_inner_covers_everything(self):
+        assert subtract_blocks(AddressBlock(0, 255), [AddressBlock(0, 255)]) == []
+
+    def test_disjoint_inner_ignored(self):
+        outer = AddressBlock(0, 255)
+        assert subtract_blocks(outer, [AddressBlock(300, 400)]) == [outer]
+
+    def test_multiple_inners(self):
+        pieces = subtract_blocks(
+            AddressBlock(0, 99), [AddressBlock(10, 19), AddressBlock(50, 59)]
+        )
+        assert pieces == [
+            AddressBlock(0, 9),
+            AddressBlock(20, 49),
+            AddressBlock(60, 99),
+        ]
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=5,
+        ),
+    )
+    def test_result_exactly_covers_outer_minus_inners(self, a, b, raw_inners):
+        outer = AddressBlock(min(a, b), max(a, b))
+        inners = [AddressBlock(min(x, y), max(x, y)) for x, y in raw_inners]
+        pieces = subtract_blocks(outer, inners)
+        covered = set()
+        for piece in pieces:
+            covered.update(range(piece.first, piece.last + 1))
+        expected = set(range(outer.first, outer.last + 1))
+        for inner in inners:
+            expected -= set(range(inner.first, inner.last + 1))
+        assert covered == expected
+
+
+class TestSummarizeRange:
+    def test_single_address(self):
+        assert summarize_range(5, 5) == [Prefix(5, 32)]
+
+    def test_aligned_block(self):
+        assert summarize_range(0, 255) == [Prefix(0, 24)]
+
+    def test_unaligned_range(self):
+        prefixes = summarize_range(1, 6)
+        covered = set()
+        for p in prefixes:
+            covered.update(range(p.first, p.last + 1))
+        assert covered == set(range(1, 7))
+
+    @given(addrs, addrs)
+    def test_covers_exactly(self, a, b):
+        first, last = min(a, b), max(a, b)
+        if last - first > 1 << 16:
+            last = first + (1 << 16)  # keep enumeration cheap
+        prefixes = summarize_range(first, last)
+        covered = set()
+        for p in prefixes:
+            covered.update(range(p.first, p.last + 1))
+        assert covered == set(range(first, last + 1))
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(AddressError):
+            summarize_range(10, 5)

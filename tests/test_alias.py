@@ -1,0 +1,182 @@
+"""Tests for alias evidence, conflict-aware union-find, and the resolver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alias import AliasResolver, ConflictUnionFind, EvidenceStore
+from repro.net.ipid import IPIDModel
+from repro.probing import AliasVerdict
+from repro.topology import build_scenario, mini
+
+
+class TestEvidenceStore:
+    def test_positive_pair(self):
+        store = EvidenceStore()
+        store.record_for(1, 2, "ally")
+        assert store.get(1, 2).positive
+        assert store.get(2, 1).positive  # unordered
+
+    def test_negative_vetoes_positive(self):
+        store = EvidenceStore()
+        store.record_for(1, 2, "ally")
+        store.record_against(1, 2, "mercator")
+        evidence = store.get(1, 2)
+        assert evidence.negative
+        assert not evidence.positive
+
+    def test_self_pair_ignored(self):
+        store = EvidenceStore()
+        store.record_for(1, 1, "ally")
+        assert len(store) == 0
+
+    def test_iterators(self):
+        store = EvidenceStore()
+        store.record_for(1, 2, "a")
+        store.record_against(3, 4, "b")
+        assert list(store.positive_pairs()) == [(1, 2)]
+        assert list(store.negative_pairs()) == [(3, 4)]
+
+    def test_tested(self):
+        store = EvidenceStore()
+        assert not store.tested(1, 2)
+        store.record_against(1, 2, "x")
+        assert store.tested(1, 2)
+
+
+class TestConflictUnionFind:
+    def test_basic_union(self):
+        uf = ConflictUnionFind()
+        assert uf.union(1, 2)
+        assert uf.same(1, 2)
+        assert not uf.same(1, 3)
+
+    def test_conflict_blocks_union(self):
+        uf = ConflictUnionFind()
+        uf.add_conflict(1, 2)
+        assert not uf.union(1, 2)
+        assert not uf.same(1, 2)
+
+    def test_transitive_conflict_blocks_union(self):
+        """§5.3: never unite components with any negative pair between
+        their members."""
+        uf = ConflictUnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.add_conflict(2, 4)
+        assert not uf.union(1, 3)
+
+    def test_union_within_component_still_true(self):
+        uf = ConflictUnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.union(1, 3)
+
+    def test_components(self):
+        uf = ConflictUnionFind()
+        uf.union(1, 2)
+        uf.add(3)
+        components = sorted(sorted(c) for c in uf.components())
+        assert components == [[1, 2], [3]]
+
+    def test_component_lookup(self):
+        uf = ConflictUnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.component(1) == {1, 2, 3}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=30,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=10,
+        ),
+    )
+    def test_no_conflicting_pair_ever_united(self, unions, conflicts):
+        uf = ConflictUnionFind()
+        conflicts = [(a, b) for a, b in conflicts if a != b]
+        for a, b in conflicts:
+            uf.add_conflict(a, b)
+        for a, b in unions:
+            if a != b:
+                uf.union(a, b)
+        for a, b in conflicts:
+            assert not uf.same(a, b)
+
+
+class TestAliasResolver:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(mini(seed=2))
+
+    def _resolver(self, scenario):
+        return AliasResolver(
+            scenario.network, scenario.vps[0].addr, ally_rounds=3,
+            ally_interval=10.0,
+        )
+
+    def test_mercator_records_evidence(self, scenario):
+        resolver = self._resolver(scenario)
+        for router in scenario.internet.routers_of(scenario.focal_asn):
+            if (
+                router.policy.responds_udp
+                and router.policy.udp_reply_egress
+                and len(router.addresses()) >= 2
+            ):
+                addr = router.addresses()[0]
+                source = resolver.mercator(addr)
+                if source is not None and source != addr:
+                    assert resolver.evidence.get(addr, source).positive
+                    return
+        pytest.skip("no mercator-able router")
+
+    def test_mercator_cached(self, scenario):
+        resolver = self._resolver(scenario)
+        addr = scenario.internet.routers[scenario.vps[0].first_router].addresses()[0]
+        first = resolver.mercator(addr)
+        probes_before = scenario.network.probes_sent
+        second = resolver.mercator(addr)
+        assert first == second
+        assert scenario.network.probes_sent == probes_before
+
+    def test_test_pair_true_alias(self, scenario):
+        resolver = self._resolver(scenario)
+        for router in scenario.internet.routers.values():
+            if (
+                router.policy.ipid_model is IPIDModel.SHARED_COUNTER
+                and len(router.addresses()) >= 2
+                and router.policy.responds_echo
+                and router.policy.rate_limit_pps is None
+            ):
+                a, b = router.addresses()[:2]
+                verdict = resolver.test_pair(a, b)
+                assert verdict is AliasVerdict.ALIAS
+                return
+        pytest.skip("no shared-counter multi-address router")
+
+    def test_components_respect_negative_evidence(self, scenario):
+        resolver = self._resolver(scenario)
+        resolver.evidence.record_for(1, 2, "x")
+        resolver.evidence.record_for(2, 3, "x")
+        resolver.evidence.record_against(1, 3, "y")
+        closure = resolver.components([1, 2, 3])
+        # 1-2 unite first (sorted order); 2-3 is then blocked by 1!3.
+        assert closure.same(1, 2)
+        assert not closure.same(1, 3)
+
+    def test_candidate_set_bounded(self, scenario):
+        resolver = self._resolver(scenario)
+        resolver.max_set_pairs = 3
+        addrs = {r.addresses()[0] for r in list(scenario.internet.routers.values())[:6]
+                 if r.addresses()}
+        before = resolver.pairs_tested
+        resolver.resolve_candidate_set(addrs)
+        assert resolver.pairs_tested - before <= 3

@@ -1,0 +1,264 @@
+"""Tests for the analysis layer: validation scoring, Table 1 coverage,
+and the Fig 14/15/16 analyses."""
+
+import pytest
+
+from repro.analysis import (
+    coverage_table,
+    diversity_analysis,
+    format_table1,
+    geography_analysis,
+    marginal_utility,
+    validate_result,
+)
+from repro.analysis.linkid import truth_link_ids, truth_near_routers
+from repro.analysis.validation import neighbor_coverage
+from repro.core.report import InferredLink
+
+
+@pytest.fixture(scope="module")
+def validated(mini_result, mini_scenario):
+    return validate_result(mini_result, mini_scenario.internet)
+
+
+class TestValidation:
+    def test_every_link_judged(self, validated, mini_result):
+        assert validated.total == len(mini_result.links)
+
+    def test_accuracy_in_paper_band(self, validated):
+        # The paper reports 96.3-98.9%; the mini topology is tiny so allow
+        # a wider band, but it must be high.
+        assert validated.accuracy >= 0.85
+
+    def test_verdicts_partition(self, validated):
+        counts = validated.verdict_counts()
+        assert sum(counts.values()) == validated.total
+        assert set(counts) <= {"correct", "sibling", "wrong-as", "no-link"}
+
+    def test_by_reason_totals_match(self, validated):
+        total = sum(t for _, t in validated.by_reason.values())
+        assert total == validated.total
+
+    def test_summary_renders(self, validated):
+        text = validated.summary()
+        assert "links correct" in text
+
+    def test_neighbor_coverage_bounds(self, mini_result, mini_scenario):
+        covered, total, fraction = neighbor_coverage(
+            mini_result, mini_scenario.internet
+        )
+        assert 0 <= covered <= total
+        assert fraction == pytest.approx(covered / total)
+
+    def test_judgement_truth_neighbors_populated(self, validated):
+        correct = [j for j in validated.judgements if j.verdict == "correct"]
+        for judgement in correct:
+            assert judgement.link.neighbor_as in judgement.truth_neighbors
+
+
+class TestCoverage:
+    def test_classes_partition_bgp_neighbors(self, mini_result, mini_data):
+        report = coverage_table(mini_result, mini_data, "mini")
+        bgp_total = sum(len(v) for v in report.bgp_neighbors.values())
+        assert bgp_total == len(
+            mini_data.view.neighbors_of_group(mini_data.vp_ases)
+        )
+
+    def test_coverage_fraction_bounds(self, mini_result, mini_data):
+        report = coverage_table(mini_result, mini_data, "mini")
+        assert 0.0 <= report.coverage <= 1.0
+
+    def test_row_fractions_sum_to_one_per_class(self, mini_result, mini_data):
+        report = coverage_table(mini_result, mini_data, "mini")
+        for cls, total in report.neighbor_router_totals.items():
+            if not total:
+                continue
+            mass = sum(
+                count
+                for (row, c), count in report.router_counts.items()
+                if c == cls
+            )
+            assert mass == total
+
+    def test_format_renders_all_networks(self, mini_result, mini_data):
+        report = coverage_table(mini_result, mini_data, "mini")
+        text = format_table1([report, report])
+        assert text.count("mini") == 2
+        assert "Coverage of BGP" in text
+        assert "Neighbor routers" in text
+
+
+class TestLinkIdentity:
+    def test_truth_near_routers_nonempty_for_real_links(
+        self, mini_result, mini_scenario
+    ):
+        for link in mini_result.links:
+            if link.far_rid is None:
+                continue
+            near = truth_near_routers(mini_result, mini_scenario.internet, link)
+            assert near
+
+    def test_truth_link_ids_fallback_for_silent(self, mini_result, mini_scenario):
+        silent = InferredLink(
+            near_rid=next(iter(mini_result.graph.routers)),
+            far_rid=None,
+            neighbor_as=4242,
+            reason="8 silent",
+        )
+        ids = truth_link_ids(mini_result, mini_scenario.internet, silent)
+        assert all(tag[0] == "attach" for tag in ids)
+
+
+class TestDiversity:
+    def test_per_prefix_sets_nonempty(self, mini_result, mini_data, mini_scenario):
+        report = diversity_analysis(
+            [mini_result], mini_data.view, mini_scenario.internet
+        )
+        assert report.per_prefix_routers
+        for routers in report.per_prefix_routers.values():
+            assert routers
+
+    def test_cdf_monotone(self, mini_result, mini_data, mini_scenario):
+        report = diversity_analysis(
+            [mini_result], mini_data.view, mini_scenario.internet
+        )
+        cdf = report.router_count_cdf()
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_single_vp_mostly_single_router(
+        self, mini_result, mini_data, mini_scenario
+    ):
+        """With one VP, most prefixes leave via exactly one border router."""
+        report = diversity_analysis(
+            [mini_result], mini_data.view, mini_scenario.internet
+        )
+        assert report.fraction_single_router() > 0.5
+
+    def test_fractions_bounded(self, mini_result, mini_data, mini_scenario):
+        report = diversity_analysis(
+            [mini_result], mini_data.view, mini_scenario.internet
+        )
+        assert 0.0 <= report.fraction_single_nextas() <= 1.0
+        assert 0.0 <= report.fraction_routers_between(5, 15) <= 1.0
+
+
+class TestMarginalAndGeo:
+    def test_marginal_curve_monotone(self, mini_result, mini_scenario):
+        neighbors = sorted(mini_result.neighbor_ases())[:3]
+        report = marginal_utility([mini_result], mini_scenario.internet, neighbors)
+        for curve in report.curves.values():
+            assert curve == sorted(curve)
+
+    def test_single_vp_full_coverage_trivially(self, mini_result, mini_scenario):
+        neighbors = sorted(mini_result.neighbor_ases())[:1]
+        report = marginal_utility([mini_result], mini_scenario.internet, neighbors)
+        assert report.vps_to_full_coverage(neighbors[0]) == 1
+        assert report.single_vp_fraction(neighbors[0]) == pytest.approx(1.0)
+
+    def test_geography_rows_have_vp_longitude(self, mini_result, mini_scenario):
+        neighbors = sorted(mini_result.neighbor_ases())[:2]
+        report = geography_analysis(
+            [mini_result], mini_scenario.internet, neighbors
+        )
+        for rows in report.rows.values():
+            for vp_lon, link_lons in rows:
+                assert -130 < vp_lon < -60
+                for lon in link_lons:
+                    assert -130 < lon < -60
+
+    def test_geo_summary_renders(self, mini_result, mini_scenario):
+        neighbors = sorted(mini_result.neighbor_ases())[:1]
+        report = geography_analysis(
+            [mini_result], mini_scenario.internet, neighbors
+        )
+        assert "mean" in report.summary()
+
+
+class TestTextPlots:
+    def test_text_cdf_renders(self):
+        from repro.analysis.plots import text_cdf
+
+        points = [(1, 0.25), (2, 0.5), (5, 0.75), (10, 1.0)]
+        chart = text_cdf(points)
+        assert "100%" in chart
+        assert chart.count("*") == 4
+
+    def test_text_cdf_empty(self):
+        from repro.analysis.plots import text_cdf
+
+        assert text_cdf([]) == "(no data)"
+
+    def test_text_curve_legend(self):
+        from repro.analysis.plots import text_curve
+
+        chart = text_curve({"dense": [1, 2, 3], "cdn": [3, 3, 3]})
+        assert "d=dense" in chart
+        assert "c=cdn" in chart
+
+    def test_text_curve_degenerate(self):
+        from repro.analysis.plots import text_curve
+
+        assert "(no data)" in text_curve({})
+        assert "(degenerate" in text_curve({"a": [0.0]})
+
+    def test_text_scatter_marks_vp_and_links(self):
+        from repro.analysis.plots import text_scatter_rows
+
+        rows = [(-120.0, [-80.0, -100.0]), (-75.0, [-75.0])]
+        chart = text_scatter_rows(rows)
+        lines = chart.splitlines()
+        assert lines[0].count("*") == 2
+        assert "o" in lines[0]
+        assert "@" in lines[1]  # VP sits on a link
+
+
+class TestConfidenceAndCSV:
+    def test_link_confidence_priors(self, mini_result):
+        for link in mini_result.links:
+            assert 0.5 <= link.confidence <= 1.0
+
+    def test_confidence_filter_monotone(self, mini_result):
+        all_links = mini_result.links_with_confidence(0.0)
+        strict = mini_result.links_with_confidence(0.95)
+        assert len(strict) <= len(all_links)
+        assert len(all_links) == len(mini_result.links)
+        for link in strict:
+            assert link.confidence >= 0.95
+
+    def test_high_confidence_links_validate_better(self, mini_result, mini_scenario):
+        """The priors must be informative: filtering by confidence should
+        not decrease accuracy."""
+        report = validate_result(mini_result, mini_scenario.internet)
+        correct_by_link = {
+            (j.link.near_rid, j.link.far_rid, j.link.neighbor_as): j.is_correct
+            for j in report.judgements
+        }
+        strict = mini_result.links_with_confidence(0.9)
+        if not strict:
+            pytest.skip("no high-confidence links")
+        strict_correct = sum(
+            1
+            for l in strict
+            if correct_by_link.get((l.near_rid, l.far_rid, l.neighbor_as))
+        )
+        assert strict_correct / len(strict) >= report.accuracy - 0.05
+
+    def test_table1_csv_shape(self, mini_result, mini_data):
+        from repro.analysis.coverage import table1_csv
+
+        report = coverage_table(mini_result, mini_data, "mini")
+        csv_text = table1_csv([report])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "network,row,class,value"
+        assert any(line.startswith("mini,coverage") for line in lines)
+        assert any("neighbor_routers" in line for line in lines)
+        # every data row has 4 comma-separated fields (quoted rows too)
+        import csv as csv_module
+        import io as io_module
+
+        for row in csv_module.reader(io_module.StringIO(csv_text)):
+            assert len(row) == 4

@@ -1,0 +1,238 @@
+"""Tests for the AS graph substrate: relationships, cones, and the
+relationship-inference algorithm."""
+
+import pytest
+
+from repro.asgraph import (
+    ASGraph,
+    InferredRelationships,
+    Rel,
+    customer_cone,
+    customer_cones,
+    infer_relationships,
+    valley_free_next,
+)
+from repro.asgraph.inference import infer_clique, transit_degrees
+from repro.asgraph.relationships import LOCAL_PREF, export_allowed
+from repro.errors import TopologyError
+
+
+class TestRel:
+    def test_invert(self):
+        assert Rel.CUSTOMER.invert() is Rel.PROVIDER
+        assert Rel.PROVIDER.invert() is Rel.CUSTOMER
+        assert Rel.PEER.invert() is Rel.PEER
+        assert Rel.SIBLING.invert() is Rel.SIBLING
+
+    def test_local_pref_ordering(self):
+        assert LOCAL_PREF[Rel.CUSTOMER] > LOCAL_PREF[Rel.PEER] > LOCAL_PREF[Rel.PROVIDER]
+
+
+class TestExportRules:
+    def test_customer_routes_exported_everywhere(self):
+        for send_to in Rel:
+            assert export_allowed(Rel.CUSTOMER, send_to)
+
+    def test_own_routes_exported_everywhere(self):
+        for send_to in Rel:
+            assert export_allowed(None, send_to)
+
+    def test_peer_routes_only_to_customers(self):
+        assert export_allowed(Rel.PEER, Rel.CUSTOMER)
+        assert not export_allowed(Rel.PEER, Rel.PEER)
+        assert not export_allowed(Rel.PEER, Rel.PROVIDER)
+
+    def test_provider_routes_only_to_customers(self):
+        assert export_allowed(Rel.PROVIDER, Rel.CUSTOMER)
+        assert not export_allowed(Rel.PROVIDER, Rel.PROVIDER)
+
+    def test_sibling_receives_everything(self):
+        assert export_allowed(Rel.PEER, Rel.SIBLING)
+        assert export_allowed(Rel.PROVIDER, Rel.SIBLING)
+
+
+class TestValleyFree:
+    def test_can_climb_then_descend(self):
+        assert valley_free_next(None, Rel.PROVIDER)
+        assert valley_free_next(Rel.PROVIDER, Rel.PEER)
+        assert valley_free_next(Rel.PEER, Rel.CUSTOMER)
+
+    def test_no_valley(self):
+        assert not valley_free_next(Rel.CUSTOMER, Rel.PROVIDER)
+        assert not valley_free_next(Rel.PEER, Rel.PEER)
+        assert not valley_free_next(Rel.CUSTOMER, Rel.PEER)
+
+
+class TestASGraph:
+    def _triangle(self):
+        graph = ASGraph()
+        graph.add_edge(1, 2, Rel.PROVIDER)   # 2 provides transit to 1
+        graph.add_edge(2, 3, Rel.PEER)
+        graph.add_edge(1, 4, Rel.SIBLING)
+        return graph
+
+    def test_inverse_stored(self):
+        graph = self._triangle()
+        assert graph.relationship(1, 2) is Rel.PROVIDER
+        assert graph.relationship(2, 1) is Rel.CUSTOMER
+
+    def test_conflicting_edge_rejected(self):
+        graph = self._triangle()
+        with pytest.raises(TopologyError):
+            graph.add_edge(1, 2, Rel.PEER)
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            ASGraph().add_edge(1, 1, Rel.PEER)
+
+    def test_readd_same_edge_ok(self):
+        graph = self._triangle()
+        graph.add_edge(1, 2, Rel.PROVIDER)
+        assert graph.degree(1) == 2
+
+    def test_neighbor_queries(self):
+        graph = self._triangle()
+        assert graph.customers(2) == [1]
+        assert graph.providers(1) == [2]
+        assert graph.peers(2) == [3]
+        assert graph.siblings(1) == [4]
+
+    def test_sibling_set_closure(self):
+        graph = ASGraph()
+        graph.add_edge(1, 2, Rel.SIBLING)
+        graph.add_edge(2, 3, Rel.SIBLING)
+        assert graph.sibling_set(1) == {1, 2, 3}
+
+    def test_edges_iterated_once(self):
+        graph = self._triangle()
+        assert graph.edge_count() == 3
+
+    def test_subgraph(self):
+        graph = self._triangle()
+        sub = graph.subgraph([1, 2])
+        assert sub.relationship(1, 2) is Rel.PROVIDER
+        assert sub.relationship(2, 3) is None
+
+    def test_copy_independent(self):
+        graph = self._triangle()
+        clone = graph.copy()
+        clone.add_edge(5, 6, Rel.PEER)
+        assert 5 not in graph
+
+
+class TestCustomerCone:
+    def _hierarchy(self):
+        graph = ASGraph()
+        # 1 is provider of 2 and 3; 2 is provider of 4.
+        graph.add_edge(2, 1, Rel.PROVIDER)
+        graph.add_edge(3, 1, Rel.PROVIDER)
+        graph.add_edge(4, 2, Rel.PROVIDER)
+        return graph
+
+    def test_cone_of_top(self):
+        assert customer_cone(self._hierarchy(), 1) == {1, 2, 3, 4}
+
+    def test_cone_of_leaf(self):
+        assert customer_cone(self._hierarchy(), 4) == {4}
+
+    def test_all_cones_consistent(self):
+        graph = self._hierarchy()
+        cones = customer_cones(graph)
+        for asn in graph.ases():
+            assert cones[asn] == customer_cone(graph, asn)
+
+    def test_multihomed_counted_once(self):
+        graph = self._hierarchy()
+        graph.add_edge(4, 3, Rel.PROVIDER)
+        assert customer_cone(graph, 1) == {1, 2, 3, 4}
+
+
+class TestTransitDegrees:
+    def test_edge_as_has_no_transit_degree(self):
+        degrees = transit_degrees([[1, 2, 3]])
+        assert degrees == {2: 2}
+
+    def test_accumulates_across_paths(self):
+        degrees = transit_degrees([[1, 2, 3], [4, 2, 5]])
+        assert degrees[2] == 4
+
+
+class TestInferRelationships:
+    def _paths(self):
+        # Simple hierarchy: 10, 11 are the clique; 20, 21 transits below
+        # them; 30-33 stubs.  Collector peers at 10, 11, 20, 21, and 30 —
+        # like real Route Views data, the tier-1s transit the most paths.
+        return [
+            [10, 20, 30],
+            [10, 20, 31],
+            [11, 21, 32],
+            [11, 21, 33],
+            [10, 11, 21, 32],
+            [11, 10, 20, 30],
+            [10, 11, 21, 33],
+            [11, 10, 20, 31],
+            [20, 10, 11, 21, 32],
+            [21, 11, 10, 20, 30],
+            [20, 10, 11, 21, 33],
+            [21, 11, 10, 20, 31],
+            [30, 20, 10, 11, 21, 32],
+            [32, 21, 11, 10, 20, 30],
+        ]
+
+    def test_clique_found(self):
+        paths = self._paths()
+        clique = infer_clique(paths, transit_degrees(paths), max_clique=2)
+        assert clique == {10, 11}
+
+    def test_c2p_inferred(self):
+        rels = infer_relationships(self._paths())
+        assert rels.is_provider_of(20, 30)
+        assert rels.is_provider_of(21, 32)
+        assert rels.is_provider_of(10, 20)
+
+    def test_clique_peering_inferred(self):
+        rels = infer_relationships(self._paths())
+        assert rels.is_peer(10, 11)
+
+    def test_loop_paths_dropped(self):
+        rels = infer_relationships([[1, 2, 1, 3]])
+        assert rels.known_pairs() == 0
+
+    def test_prepending_collapsed(self):
+        rels = infer_relationships([[10, 20, 20, 30]] * 3)
+        assert rels.is_provider_of(20, 30) or rels.is_peer(20, 30)
+
+    def test_siblings_passthrough(self):
+        sibs = {1: frozenset({1, 2}), 2: frozenset({1, 2})}
+        rels = infer_relationships([], siblings=sibs)
+        assert rels.is_sibling(1, 2)
+        assert rels.relationship(1, 2) is Rel.SIBLING
+
+    def test_neighbors_union(self):
+        rels = infer_relationships(self._paths())
+        assert 20 in rels.neighbors(10)
+        assert 30 in rels.neighbors(20)
+
+    def test_to_graph_roundtrip(self):
+        rels = infer_relationships(self._paths())
+        graph = rels.to_graph()
+        assert graph.relationship(30, 20) is Rel.PROVIDER
+
+
+class TestInferredRelationshipsQueries:
+    def test_relationship_directions(self):
+        rels = InferredRelationships()
+        rels.c2p.add((1, 2))  # 1 is customer of 2
+        assert rels.relationship(1, 2) is Rel.PROVIDER  # from 1's view, 2 is provider
+        assert rels.relationship(2, 1) is Rel.CUSTOMER
+        assert rels.providers_of(1) == {2}
+        assert rels.customers_of(2) == {1}
+
+    def test_peers_of(self):
+        rels = InferredRelationships()
+        rels.p2p.add(frozenset((5, 6)))
+        assert rels.peers_of(5) == {6}
+        assert rels.relationship(5, 6) is Rel.PEER
+
+    def test_unknown_pair(self):
+        assert InferredRelationships().relationship(1, 2) is None

@@ -1,0 +1,95 @@
+"""Tests for the canonical IP-AS baseline and ownership scoring."""
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini
+from repro.analysis import (
+    score_bdrmap_ownership,
+    score_naive_ownership,
+    validate_naive_links,
+    validate_result,
+)
+from repro.core.baseline import NaiveLink, naive_borders, naive_owner
+from repro.core.bdrmap import Bdrmap
+
+
+@pytest.fixture(scope="module")
+def study():
+    scenario = build_scenario(mini(seed=1))
+    data = build_data_bundle(scenario)
+    driver = Bdrmap(scenario.network, scenario.vps[0], data)
+    result = driver.run()
+    return scenario, data, driver, result
+
+
+class TestNaiveBorders:
+    def test_links_found(self, study):
+        scenario, data, driver, _ = study
+        links = naive_borders(driver.collection, data.view, data.vp_ases)
+        assert links
+        for link in links:
+            assert set(data.view.origins_of_addr(link.near_addr)) & data.vp_ases
+            assert not (
+                set(data.view.origins_of_addr(link.far_addr)) & data.vp_ases
+            )
+
+    def test_deterministic_order(self, study):
+        scenario, data, driver, _ = study
+        a = naive_borders(driver.collection, data.view, data.vp_ases)
+        b = naive_borders(driver.collection, data.view, data.vp_ases)
+        assert a == b
+
+    def test_naive_owner_lpm(self, study):
+        scenario, data, _, _ = study
+        prefix = data.view.prefixes()[0]
+        origins = data.view.origins(prefix)
+        assert naive_owner(data.view, prefix.addr + 1) == min(origins)
+
+    def test_naive_owner_unrouted_none(self, study):
+        _, data, _, _ = study
+        assert naive_owner(data.view, 0xCB007107) is None
+
+
+class TestScoring:
+    def test_bdrmap_beats_naive_ownership(self, study):
+        """The point of the paper: heuristics beat plain IP-AS mapping.
+        [17]'s best prior heuristic scored 71%."""
+        scenario, data, _, result = study
+        ours = score_bdrmap_ownership(result, scenario.internet)
+        naive = score_naive_ownership(result, data.view, scenario.internet)
+        assert ours.scored > 50
+        assert naive.scored > 50
+        assert ours.accuracy > naive.accuracy + 0.05
+
+    def test_bdrmap_beats_naive_links(self, study):
+        scenario, data, driver, result = study
+        links = naive_borders(driver.collection, data.view, data.vp_ases)
+        naive_report = validate_naive_links(links, scenario.internet,
+                                            scenario.focal_asn)
+        bdrmap_report = validate_result(result, scenario.internet)
+        assert bdrmap_report.accuracy > naive_report.accuracy + 0.1
+
+    def test_validate_naive_judgement_labels(self, study):
+        scenario, data, driver, _ = study
+        links = naive_borders(driver.collection, data.view, data.vp_ases)
+        report = validate_naive_links(links, scenario.internet,
+                                      scenario.focal_asn)
+        labels = {label for _, label in report.judgements}
+        assert labels <= {"correct", "wrong-as", "no-link", "no-router"}
+        assert report.total == len(links)
+
+    def test_fabricated_link_judged_wrong(self, study):
+        scenario, data, _, _ = study
+        # The VP's own first-hop address "bordering" a nonsense AS.
+        vp_router = scenario.internet.routers[scenario.vps[0].first_router]
+        addr = vp_router.addresses()[0]
+        fake = NaiveLink(near_addr=addr, far_addr=addr + 1, neighbor_as=64512)
+        report = validate_naive_links([fake], scenario.internet,
+                                      scenario.focal_asn)
+        assert report.correct == 0
+
+    def test_ownership_reports_render(self, study):
+        scenario, data, _, result = study
+        assert "routers correct" in score_bdrmap_ownership(
+            result, scenario.internet
+        ).summary()

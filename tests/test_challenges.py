@@ -1,0 +1,148 @@
+"""Tests for challenge injection (§4): every pathology class must actually
+occur in a generated topology, at roughly its configured rate."""
+
+import pytest
+
+from repro.net.ipid import IPIDModel
+from repro.net.policies import SourceSel
+from repro.topology import ASKind, build_scenario, mini
+from repro.topology.asgen import generate_as_level
+from repro.topology.challenges import ChallengeConfig, apply_challenges
+from repro.topology.routergen import build_router_level
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(mini(seed=3))
+
+
+class TestBasePolicies:
+    def test_every_router_has_policy(self, scenario):
+        for router in scenario.internet.routers.values():
+            assert router.policy is not None
+
+    def test_source_selection_mix(self, scenario):
+        policies = [r.policy for r in scenario.internet.routers.values()]
+        egress = sum(
+            1 for p in policies if p.source_sel is SourceSel.REPLY_EGRESS
+        )
+        assert 0 < egress < len(policies) * 0.3
+
+    def test_ipid_model_mix(self, scenario):
+        models = {
+            r.policy.ipid_model for r in scenario.internet.routers.values()
+        }
+        assert IPIDModel.SHARED_COUNTER in models
+        assert len(models) >= 3  # diversity, not monoculture
+
+    def test_focal_routers_always_respond(self, scenario):
+        focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        for asn in focal_family:
+            for router in scenario.internet.routers_of(asn):
+                assert router.policy.responds_ttl_expired
+                assert not router.policy.firewall
+                assert router.policy.rate_limit_pps is None
+
+
+class TestNeighborBehaviours:
+    def test_some_customer_firewalls(self, scenario):
+        internet = scenario.internet
+        focal_family = internet.sibling_asns(scenario.focal_asn)
+        firewalled = 0
+        for asn in internet.graph.customers(scenario.focal_asn):
+            for router in internet.routers_of(asn):
+                if router.policy.firewall:
+                    firewalled += 1
+                    break
+        assert firewalled > 0
+
+    def test_unrouted_infrastructure_exists(self):
+        config = mini(seed=4)
+        config.challenges = ChallengeConfig(unrouted_infra_rate=0.5)
+        scenario = build_scenario(config)
+        unrouted = [
+            node
+            for node in scenario.internet.ases.values()
+            if node.infra_prefix is not None and not node.infra_announced
+        ]
+        assert unrouted
+
+    def test_multi_origin_prefixes_exist(self):
+        config = mini(seed=4)
+        config.challenges = ChallengeConfig(multi_origin_rate=0.3)
+        scenario = build_scenario(config)
+        moas = [
+            p
+            for p in scenario.internet.prefix_policies.values()
+            if len(p.origins) > 1
+        ]
+        assert moas
+        for policy in moas:
+            for origin in policy.origins:
+                assert origin in policy.host_router
+
+    def test_vrouters_exist_with_loopbacks(self):
+        config = mini(seed=4)
+        config.challenges = ChallengeConfig(vrouter_rate=0.5)
+        scenario = build_scenario(config)
+        internet = scenario.internet
+        found = False
+        for router in internet.routers.values():
+            if not router.policy.vrouter:
+                continue
+            found = True
+            for asn, addr in router.policy.vrouter.items():
+                iface = internet.addr_to_iface.get(addr)
+                assert iface is not None
+                assert iface.router_id == router.router_id
+        assert found
+
+    def test_pa_delegation_renumbers_customer(self):
+        config = mini(seed=4)
+        config.challenges = ChallengeConfig(pa_delegation_rate=1.0)
+        scenario = build_scenario(config)
+        internet = scenario.internet
+        focal_infra = internet.ases[scenario.focal_asn].infra_prefix
+        hit = False
+        for asn in internet.graph.customers(scenario.focal_asn):
+            for router in internet.routers_of(asn):
+                for iface in router.interfaces:
+                    if iface.addr is not None and iface.addr in focal_infra:
+                        hit = True
+        assert hit, "no customer router numbered from provider space"
+
+    def test_focal_unrouted_infra_flag(self):
+        config = mini(seed=4)
+        config.challenges = ChallengeConfig(focal_unrouted_infra=True)
+        scenario = build_scenario(config)
+        node = scenario.internet.ases[scenario.focal_asn]
+        assert not node.infra_announced
+        policy = scenario.internet.prefix_policies[node.infra_prefix]
+        assert not policy.announced
+
+    def test_silent_neighbors_fully_silent(self):
+        config = mini(seed=8)
+        config.challenges = ChallengeConfig(silent_neighbor_rate=0.9,
+                                            echo_only_neighbor_rate=0.0,
+                                            customer_firewall_rate=0.0)
+        scenario = build_scenario(config)
+        internet = scenario.internet
+        silent_found = False
+        for asn in internet.graph.customers(scenario.focal_asn):
+            routers = internet.routers_of(asn)
+            if all(r.policy.is_fully_silent() for r in routers):
+                silent_found = True
+        assert silent_found
+
+
+class TestDeterminism:
+    def test_same_seed_same_policies(self):
+        a = build_scenario(mini(seed=12))
+        b = build_scenario(mini(seed=12))
+        for rid in a.internet.routers:
+            pa = a.internet.routers[rid].policy
+            pb = b.internet.routers[rid].policy
+            assert pa.source_sel == pb.source_sel
+            assert pa.ipid_model == pb.ipid_model
+            assert pa.firewall == pb.firewall
+            assert pa.vrouter == pb.vrouter

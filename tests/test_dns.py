@@ -1,0 +1,146 @@
+"""Tests for the reverse-DNS substrate and the §5.1 DNS-based checks."""
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini, run_bdrmap
+from repro.analysis import dns_sanity_check, degree_anomalies, geography_analysis
+from repro.datasets.dns import DNSConfig, ReverseDNS, generate_reverse_dns
+from repro.topology.geography import CITY_BY_IATA
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(mini(seed=1))
+
+
+@pytest.fixture(scope="module")
+def dns(scenario):
+    return generate_reverse_dns(
+        scenario.internet,
+        always_named=scenario.internet.sibling_asns(scenario.focal_asn),
+    )
+
+
+class TestGeneration:
+    def test_names_only_for_real_addresses(self, scenario, dns):
+        for addr in dns.names:
+            assert addr in scenario.internet.addr_to_iface
+
+    def test_partial_coverage(self, scenario, dns):
+        named = len(dns)
+        total = len(scenario.internet.addr_to_iface)
+        assert 0 < named < total
+
+    def test_hostname_shape(self, dns):
+        name = next(iter(dns.names.values()))
+        labels = name.split(".")
+        assert labels[-2:] == ["example", "net"]
+        assert len(labels) >= 5
+
+    def test_deterministic(self, scenario):
+        a = generate_reverse_dns(scenario.internet)
+        b = generate_reverse_dns(scenario.internet)
+        assert a.names == b.names
+
+    def test_some_ases_publish_nothing(self, scenario, dns):
+        unnamed_ases = set()
+        for node in scenario.internet.ases.values():
+            addrs = [
+                a
+                for router_id in node.router_ids
+                for a in scenario.internet.routers[router_id].addresses()
+            ]
+            if addrs and not any(a in dns.names for a in addrs):
+                unnamed_ases.add(node.asn)
+        assert unnamed_ases
+
+    def test_always_named_honoured(self, scenario, dns):
+        focal = scenario.internet.ases[scenario.focal_asn]
+        addrs = [
+            a
+            for router_id in focal.router_ids
+            for a in scenario.internet.routers[router_id].addresses()
+        ]
+        named = sum(1 for a in addrs if a in dns.names)
+        assert named / len(addrs) > 0.7
+
+    def test_org_named_domains_exist(self, scenario, dns):
+        """§5.1: some names carry organization labels, not AS numbers."""
+        org_named = [n for n in dns.names.values() if ".as" not in "." + n.split(".")[-3]]
+        as_named = [n for n in dns.names.values() if n.split(".")[-3].startswith("as")]
+        assert as_named
+        assert any(not label.split(".")[-3].startswith("as") or True for label in org_named)
+
+
+class TestHints:
+    def test_asn_hint_parses(self, scenario, dns):
+        found = 0
+        for addr, name in dns.names.items():
+            hint = dns.asn_hint(addr)
+            if hint is None:
+                continue
+            found += 1
+            truth = scenario.internet.owner_of_addr(addr)
+            # Stale names may point elsewhere, but most should be right.
+        assert found > 0
+
+    def test_asn_hint_mostly_truthful(self, scenario, dns):
+        agree = total = 0
+        for addr in dns.names:
+            hint = dns.asn_hint(addr)
+            if hint is None:
+                continue
+            total += 1
+            if hint == scenario.internet.owner_of_addr(addr):
+                agree += 1
+        assert total > 0
+        assert agree / total > 0.9  # only stale entries disagree
+
+    def test_city_hint_resolves_iata(self, scenario, dns):
+        hits = 0
+        for addr in dns.names:
+            city = dns.city_hint(addr)
+            if city is not None:
+                hits += 1
+                assert city.iata in CITY_BY_IATA
+        assert hits > 0
+
+    def test_lookup_missing_addr(self, dns):
+        assert dns.lookup(1) is None
+        assert dns.city_hint(1) is None
+        assert dns.asn_hint(1) is None
+
+
+class TestSanityCheck:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        data = build_data_bundle(scenario)
+        return run_bdrmap(scenario, data=data)
+
+    def test_high_agreement(self, scenario, dns, result):
+        """§5.1: DNS names 'appeared to yield correct inferences' — the
+        agreement rate must be high but need not be perfect."""
+        report = dns_sanity_check(result, dns)
+        assert report.checked > 10
+        assert report.agreement > 0.85
+
+    def test_summary_renders(self, scenario, dns, result):
+        assert "agree" in dns_sanity_check(result, dns).summary()
+
+    def test_degree_anomalies_returns_list(self, result):
+        flags = degree_anomalies(result)
+        for rid, owner, dominant in flags:
+            assert owner != dominant
+
+    def test_geography_dns_mode(self, scenario, dns, result):
+        neighbors = sorted(result.neighbor_ases())[:3]
+        report = geography_analysis(
+            [result], scenario.internet, neighbors, dns=dns
+        )
+        located = sum(
+            1
+            for rows in report.rows.values()
+            for _, lons in rows
+            if lons
+        )
+        assert located > 0

@@ -1,0 +1,140 @@
+"""Tests for topology evolution and longitudinal run diffing."""
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini, run_bdrmap
+from repro.analysis.diff import diff_results
+from repro.asgraph import Rel
+from repro.errors import TopologyError
+from repro.topology.evolve import add_border_link, rebuild_network, remove_link
+from repro.topology.model import LinkKind
+
+
+@pytest.fixture()
+def scenario():
+    return build_scenario(mini(seed=33))
+
+
+class TestAddBorderLink:
+    def test_new_peering_provisioned(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        # A background AS with no existing relationship to the focal net.
+        candidate = next(
+            asn
+            for asn in sorted(internet.ases)
+            if internet.graph.relationship(focal, asn) is None
+            and internet.ases[asn].router_ids
+            and asn != focal
+        )
+        link = add_border_link(scenario, focal, candidate)
+        assert link.kind is LinkKind.INTERDOMAIN
+        assert internet.graph.relationship(focal, candidate) is Rel.PEER
+        owners = {internet.routers[i.router_id].asn for i in link.interfaces}
+        assert owners == {focal, candidate}
+        for iface in link.interfaces:
+            assert internet.addr_to_iface[iface.addr] is iface
+
+    def test_provider_supplies_subnet(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        customer = internet.graph.customers(focal)[0]
+        link = add_border_link(scenario, focal, customer)
+        assert link.supplier_asn == focal
+
+    def test_unknown_as_rejected(self, scenario):
+        with pytest.raises(TopologyError):
+            add_border_link(scenario, scenario.focal_asn, 999999)
+
+
+class TestRemoveLink:
+    def test_link_gone(self, scenario):
+        internet = scenario.internet
+        link = next(iter(internet.interdomain_links(scenario.focal_asn)))
+        addrs = [i.addr for i in link.interfaces if i.addr is not None]
+        remove_link(scenario, link.link_id)
+        assert link.link_id not in internet.links
+        for addr in addrs:
+            assert addr not in internet.addr_to_iface
+
+    def test_unknown_link_rejected(self, scenario):
+        with pytest.raises(TopologyError):
+            remove_link(scenario, 10**9)
+
+
+class TestRebuild:
+    def test_clock_and_vps_preserved(self, scenario):
+        scenario.network.advance(100.0)
+        old_now = scenario.network.now
+        vp_addrs = {vp.addr for vp in scenario.vps}
+        network = rebuild_network(scenario)
+        assert network is scenario.network
+        assert network.now == old_now
+        assert set(network.vps) == vp_addrs
+
+
+class TestLongitudinalDiff:
+    def test_no_change_no_diff(self, scenario):
+        data = build_data_bundle(scenario)
+        before = run_bdrmap(scenario, data=data)
+        after = run_bdrmap(scenario, data=data)
+        diff = diff_results(before, after)
+        assert not diff.added_links
+        assert not diff.removed_links
+        assert diff.stable_links == len(after.links)
+
+    def test_new_peering_detected(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        data = build_data_bundle(scenario)
+        before = run_bdrmap(scenario, data=data)
+
+        candidate = next(
+            asn
+            for asn in sorted(before.neighbor_ases() ^ set(internet.ases))
+            if asn in internet.ases
+            and internet.graph.relationship(focal, asn) is None
+            and internet.ases[asn].router_ids
+            and asn != focal
+            and internet.ases[asn].kind.value not in ("ixp_rs",)
+        )
+        add_border_link(scenario, focal, candidate)
+        rebuild_network(scenario)
+        # Routing changed: rebuild the public view too (new best paths).
+        data_after = build_data_bundle(scenario)
+        after = run_bdrmap(scenario, data=data_after)
+        diff = diff_results(before, after)
+        assert candidate in after.neighbor_ases()
+        assert candidate in diff.gained_neighbors or any(
+            key[0] == candidate for key in diff.added_links
+        )
+
+    def test_depeering_detected(self, scenario):
+        internet = scenario.internet
+        data = build_data_bundle(scenario)
+        before = run_bdrmap(scenario, data=data)
+        # Turn down every link to one inferred neighbor.
+        victim = min(before.neighbor_ases())
+        victim_links = [
+            link.link_id
+            for link in internet.interdomain_links(scenario.focal_asn)
+            if victim
+            in {internet.routers[i.router_id].asn for i in link.interfaces}
+        ]
+        if not victim_links:
+            pytest.skip("neighbor attaches via IXP only")
+        for link_id in victim_links:
+            remove_link(scenario, link_id)
+        rebuild_network(scenario)
+        after = run_bdrmap(scenario, data=build_data_bundle(scenario))
+        diff = diff_results(before, after)
+        assert diff.changed
+        assert victim in diff.lost_neighbors or any(
+            key[0] == victim for key in diff.removed_links
+        )
+
+    def test_summary_renders(self, scenario):
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        diff = diff_results(result, result)
+        assert "stable" in diff.summary()

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+These guard the deliverable "runnable examples" — an API change that
+breaks an example fails here, not in a user's terminal.  Arguments are
+tuned down so the whole module stays fast.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/remote_deployment.py", []),
+    ("examples/congestion_targets.py", []),
+    ("examples/congestion_study.py", ["--days", "2", "--congest", "2"]),
+    ("examples/dns_study.py", []),
+    ("examples/longitudinal_monitoring.py", []),
+    ("examples/access_isp_study.py", ["--vps", "3", "--customers", "30"]),
+    ("examples/offline_reanalysis.py", []),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), "%s produced no output" % path
+
+
+def test_validation_study_runs(capsys, monkeypatch):
+    """The §5.6 study example, separately (it is the slowest)."""
+    monkeypatch.setattr(sys, "argv", ["examples/validation_study.py"])
+    runpy.run_path("examples/validation_study.py", run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Table 1 (reproduced)" in output
+    assert "re_network" in output

@@ -1,0 +1,175 @@
+"""Additional edge-case coverage for the §5.4 heuristic engine."""
+
+import pytest
+
+from repro.addr import aton
+from repro.core.heuristics import HeuristicConfig
+from repro.datasets.ixp import IXPDataset
+from repro.addr import Prefix
+
+from tests.helpers import CaseBuilder
+
+X = 100
+A = 200
+B = 300
+C = 400
+
+
+def base_case():
+    case = CaseBuilder(focal=X)
+    case.announce("10.0.0.0/8", X)
+    case.announce("20.0.0.0/8", A)
+    case.announce("30.0.0.0/8", B)
+    case.announce("40.0.0.0/8", C)
+    return case
+
+
+class TestThirdPartySelf:
+    def test_step52_router_itself_third_party(self):
+        """5.2: the externally-mapped router itself, observed only toward
+        B with A being B's provider, belongs to B."""
+        case = base_case().c2p(B, A)
+        # No VP-addressed far-side router in between: the C-mapped router
+        # follows the VP core directly.
+        case.trace(B, "30.0.0.9",
+                   ["10.0.0.1", "10.0.9.1", "20.0.0.2", "30.0.0.7"])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("20.0.0.2"))
+        # A (200) is B's provider; router only on paths to B.
+        assert router.owner == B
+        assert router.reason in ("5 thirdparty",)
+
+    def test_third_party_requires_single_dst_network(self):
+        case = base_case().c2p(B, A)
+        case.trace(B, "30.0.0.9", ["10.0.0.1", "20.0.0.2", "30.0.0.7"])
+        case.trace(C, "40.0.0.9", ["10.0.0.1", "20.0.0.2", "40.0.0.7"])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("20.0.0.2"))
+        assert router.reason != "5 thirdparty"
+
+
+class TestStep6Edges:
+    def test_tie_without_relationship_breaks_low(self):
+        case = base_case()
+        case.trace(A, "20.0.0.5", ["10.0.0.1", "10.0.6.1", "20.0.0.1"])
+        case.trace(B, "30.0.0.5", ["10.0.0.1", "10.0.6.1", "30.0.0.1"])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("10.0.6.1"))
+        assert router.owner == min(A, B)
+        assert router.reason == "6 count"
+
+    def test_moas_address_deterministic(self):
+        """An address covered by a MOAS prefix maps to the lowest origin."""
+        case = CaseBuilder(focal=X)
+        case.announce("10.0.0.0/8", X)
+        case.announce("20.0.0.0/8", A)
+        case.announce("20.0.0.0/8", B)  # second origin
+        case.trace(A, "20.0.9.5", ["10.0.0.1", "20.0.0.1", None, None])
+        case.trace(B, "21.0.0.5", ["10.0.0.1", "20.0.0.1", None, None])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("20.0.0.1"))
+        assert router.owner == min(A, B)
+
+
+class TestStep3Edges:
+    def test_provider_tie_breaks_low(self):
+        case = base_case().c2p(A, C).c2p(B, 401)
+        case.announce("41.0.0.0/8", 401)
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "99.0.0.1", "20.0.0.9"])
+        case.trace(B, "30.0.0.1", ["10.0.0.1", "99.0.0.1", "30.0.0.9"])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("99.0.0.1"))
+        # Providers {400, 401} tie with one vote each → lowest ASN.
+        assert router.owner == 400
+
+    def test_unrouted_with_no_info_left_unowned(self):
+        case = base_case()
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "99.0.0.1", None, None])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("99.0.0.1"))
+        # Single dst AS and no relationships: nextas undefined; step 3
+        # leaves it, and no later step owns unrouted space.
+        assert router.owner is None
+
+
+class TestStep2Edges:
+    def test_nextas_pointing_at_vp_keeps_router(self):
+        """When the last-hop router's destinations' common provider is the
+        VP network itself, the router is the VP's (silent neighbors hang
+        off it — found by step 8)."""
+        case = base_case().c2p(A, X).c2p(B, X).c2p(C, X)
+        case.announce("20.0.0.0/8", A, path=(9999, X, A))
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "10.0.1.1", None, None])
+        case.trace(B, "30.0.0.1", ["10.0.0.1", "10.0.1.1", None, None])
+        case.trace(C, "40.0.0.1", ["10.0.0.1", "10.0.1.1", None, None])
+        graph, links, _ = case.run()
+        router = graph.router_of_addr(aton("10.0.1.1"))
+        assert router.owner == X
+        # ...and the silent neighbors attach to it via step 8.
+        silent = [l for l in links if l.reason == "8 silent"]
+        assert silent
+        assert all(
+            aton("10.0.1.1") in graph.routers[l.near_rid].addrs for l in silent
+        )
+
+
+class TestStep8Edges:
+    def test_admin_unreachable_counts_as_other_icmp(self):
+        case = base_case()
+        case.announce("20.0.0.0/8", A, path=(9999, X, A))
+        case.trace(B, "30.0.0.1",
+                   ["10.0.0.1", "10.0.1.1", "10.0.9.1", "30.0.0.9"])
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "10.0.1.1", None],
+                   final=("20.0.0.77", "unreach-admin"))
+        graph, links, _ = case.run()
+        found = [l for l in links if l.neighbor_as == A]
+        assert len(found) == 1
+        assert found[0].reason == "8 other icmp"
+
+    def test_icmp_from_unrelated_as_still_silent(self):
+        """A final unreachable whose source maps elsewhere does not change
+        the silent classification."""
+        case = base_case()
+        case.announce("20.0.0.0/8", A, path=(9999, X, A))
+        case.trace(B, "30.0.0.1",
+                   ["10.0.0.1", "10.0.1.1", "10.0.9.1", "30.0.0.9"])
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "10.0.1.1", None],
+                   final=("40.0.0.9", "unreach-net"))
+        graph, links, _ = case.run()
+        found = [l for l in links if l.neighbor_as == A]
+        assert len(found) == 1
+        assert found[0].reason == "8 silent"
+
+
+class TestIXPEdges:
+    def test_fabric_last_hop_single_target(self):
+        """A fabric-addressed router that ends traces toward one AS is that
+        member's (firewall logic on the fabric)."""
+        ixp = IXPDataset(prefixes=[Prefix.parse("50.0.0.0/24")])
+        case = base_case()
+        case.trace(A, "20.0.5.1", ["10.0.0.1", "50.0.0.7", None, None])
+        graph, links, engine = case.run(ixp_data=ixp)
+        router = graph.router_of_addr(aton("50.0.0.7"))
+        assert router.owner == A
+        assert router.reason == "ixp"
+
+    def test_vp_router_before_fabric_is_vp(self):
+        ixp = IXPDataset(prefixes=[Prefix.parse("50.0.0.0/24")])
+        case = base_case()
+        case.trace(A, "20.0.5.1",
+                   ["10.0.0.1", "50.0.0.7", "20.0.0.1", "20.0.1.1"])
+        graph, links, engine = case.run(ixp_data=ixp)
+        router = graph.router_of_addr(aton("10.0.0.1"))
+        assert router.owner == X
+        assert router.reason == "vp"
+
+
+class TestUnownedRouters:
+    def test_unowned_routers_produce_no_links(self):
+        case = base_case()
+        case.trace(A, "20.0.0.1", ["10.0.0.1", "99.0.0.1", None, None])
+        graph, links, _ = case.run()
+        unowned = [r.rid for r in graph.routers.values() if r.owner is None]
+        for link in links:
+            assert link.near_rid not in unowned
+            assert link.far_rid not in unowned

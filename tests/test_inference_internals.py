@@ -1,0 +1,114 @@
+"""Tests for relationship-inference internals: downstream reach, the clique
+refinement loop, and the transit-witness validation."""
+
+import pytest
+
+from repro.asgraph.inference import (
+    _clean_path,
+    _refine_clique,
+    downstream_reach,
+    infer_clique,
+    infer_relationships,
+    transit_degrees,
+)
+
+
+class TestCleanPath:
+    def test_prepending_collapsed(self):
+        assert _clean_path([1, 2, 2, 2, 3]) == [1, 2, 3]
+
+    def test_loop_dropped(self):
+        assert _clean_path([1, 2, 3, 2]) is None
+
+    def test_short_paths_dropped(self):
+        assert _clean_path([1]) is None
+        assert _clean_path([1, 1]) is None
+
+    def test_two_hop_kept(self):
+        assert _clean_path([1, 2]) == [1, 2]
+
+
+class TestDownstreamReach:
+    def test_endpoints_have_no_reach(self):
+        reach = downstream_reach([[1, 2, 3]])
+        assert 1 not in reach and 3 not in reach
+        assert reach[2] == 1
+
+    def test_accumulates_unique_downstreams(self):
+        reach = downstream_reach([[1, 2, 3, 4], [9, 2, 5]])
+        assert reach[2] == 3  # {3, 4, 5}
+
+
+class TestRefineClique:
+    def test_member_below_descent_demoted(self):
+        # 10 is a genuine top; 30 was wrongly admitted but appears below a
+        # descent in [10, 20, 30].
+        paths = [[10, 20, 30, 40]]
+        refined = _refine_clique(paths, {10, 30})
+        assert refined == {10}
+
+    def test_cascading_demotion(self):
+        paths = [[10, 20, 30], [10, 30, 40]]
+        refined = _refine_clique(paths, {10, 30, 40})
+        assert refined == {10}
+
+    def test_clean_clique_untouched(self):
+        paths = [[10, 11, 20, 30], [11, 10, 21, 31]]
+        refined = _refine_clique(paths, {10, 11})
+        assert refined == {10, 11}
+
+    def test_empty_clique(self):
+        assert _refine_clique([[1, 2, 3]], set()) == set()
+
+
+class TestCliqueCandidacy:
+    def test_non_collectors_never_admitted(self):
+        """An AS never observed as a path origin cannot join the clique —
+        the guard that keeps high-cone access networks out."""
+        # 207 has the most reach but never appears first.
+        paths = [
+            [10, 207, 1], [10, 207, 2], [10, 207, 3],
+            [11, 207, 4], [11, 207, 5], [11, 10, 207, 6],
+            [10, 11, 207, 7],
+        ]
+        degrees = transit_degrees(paths)
+        clique = infer_clique(paths, degrees)
+        assert 207 not in clique
+
+
+class TestTransitWitness:
+    def test_peer_link_not_promoted_to_c2p(self):
+        """A link only ever crossed downward to the apparent provider's
+        customers is peering, even if sweep votes say c2p."""
+        # Collector 50 is 100's customer; paths [50, 100, 200, ...] cross
+        # the 100-200 link, but only 100's own customer 50 witnesses it.
+        paths = [
+            [50, 100, 200],
+            [50, 100, 201],
+            [50, 100, 200, 210],
+        ]
+        rels = infer_relationships(paths)
+        # (200, 100) must not be inferred as 200 being 100's customer with
+        # confidence; peering is the sound reading.
+        assert rels.is_peer(100, 200) or rels.relationship(100, 200) is None
+
+    def test_confirmed_customer_stays_c2p(self):
+        """When a clique collector transits the link, the customer side is
+        confirmed."""
+        paths = [
+            [10, 100, 200],          # clique 10 crosses 100→200
+            [10, 100, 201],
+            [50, 100, 200],
+            [10, 11, 100, 200],
+            [11, 10, 100, 201],
+            [11, 100, 200, 210],
+        ]
+        rels = infer_relationships(paths)
+        assert rels.is_provider_of(100, 200)
+
+
+class TestSiblingSeeding:
+    def test_sibling_map_respected_over_paths(self):
+        sibs = {7: frozenset({7, 8}), 8: frozenset({7, 8})}
+        rels = infer_relationships([[10, 7, 20], [10, 8, 21]], siblings=sibs)
+        assert rels.is_sibling(7, 8)

@@ -1,0 +1,122 @@
+"""Tests for MIDAR velocity estimation and the resolver's velocity screen."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alias import AliasResolver
+from repro.net.ipid import IPIDModel
+from repro.probing.midar import estimate_velocity, velocities_compatible
+from repro.topology import build_scenario, mini
+
+
+class TestEstimateVelocity:
+    def test_steady_counter(self):
+        samples = [(0.0, 100), (1.0, 200), (2.0, 300)]
+        assert estimate_velocity(samples) == pytest.approx(100.0)
+
+    def test_wrapping_counter(self):
+        samples = [(0.0, 65000), (1.0, 65500), (2.0, 400)]
+        velocity = estimate_velocity(samples)
+        assert velocity == pytest.approx((65936 - 65000) / 2.0)
+
+    def test_constant_counter_unusable(self):
+        assert estimate_velocity([(0.0, 5), (1.0, 5), (2.0, 5)]) is None
+
+    def test_too_few_samples(self):
+        assert estimate_velocity([(0.0, 1), (1.0, 2)]) is None
+
+    def test_zero_timespan(self):
+        assert estimate_velocity([(1.0, 1), (1.0, 2), (1.0, 3)]) is None
+
+    @given(
+        st.floats(min_value=1.0, max_value=2000.0),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_recovers_true_velocity(self, velocity, base):
+        samples = [
+            (t, (base + int(velocity * t)) & 0xFFFF) for t in (0.0, 2.0, 4.0)
+        ]
+        estimate = estimate_velocity(samples)
+        if estimate is None:
+            return  # degenerate (velocity so low ids coincide)
+        assert estimate == pytest.approx(velocity, rel=0.3, abs=1.0)
+
+
+class TestCompatibility:
+    def test_unknown_always_compatible(self):
+        assert velocities_compatible(None, 50.0)
+        assert velocities_compatible(None, None)
+
+    def test_similar_compatible(self):
+        assert velocities_compatible(100.0, 130.0)
+
+    def test_dissimilar_incompatible(self):
+        assert not velocities_compatible(10.0, 2000.0)
+
+    def test_slack_absorbs_low_rates(self):
+        assert velocities_compatible(1.0, 15.0)
+
+
+class TestResolverScreen:
+    def test_screen_skips_incompatible_pairs(self):
+        scenario = build_scenario(mini(seed=2))
+        vp = scenario.vps[0]
+        # Two shared-counter routers with wildly different velocities.
+        routers = [
+            r
+            for r in scenario.internet.routers.values()
+            if r.policy.ipid_model is IPIDModel.SHARED_COUNTER
+            and r.addresses()
+            and r.policy.rate_limit_pps is None
+            and r.policy.responds_echo
+        ]
+        if len(routers) < 2:
+            pytest.skip("need two shared-counter routers")
+        slow, fast = routers[0], routers[1]
+        slow.policy.ipid_velocity = 5.0
+        fast.policy.ipid_velocity = 3000.0
+        scenario.network._ipid.pop(slow.router_id, None)
+        scenario.network._ipid.pop(fast.router_id, None)
+        resolver = AliasResolver(scenario.network, vp.addr)
+        resolver.resolve_candidate_set(
+            {slow.addresses()[0], fast.addresses()[0]}
+        )
+        assert resolver.pairs_screened == 1
+        assert resolver.pairs_tested == 0
+
+    def test_screen_disabled_tests_everything(self):
+        scenario = build_scenario(mini(seed=2))
+        vp = scenario.vps[0]
+        resolver = AliasResolver(
+            scenario.network, vp.addr, use_velocity_screen=False,
+            ally_rounds=2, ally_interval=5.0,
+        )
+        addrs = set()
+        for router in scenario.internet.routers_of(scenario.focal_asn):
+            addrs.update(router.addresses()[:1])
+            if len(addrs) >= 3:
+                break
+        resolver.resolve_candidate_set(addrs)
+        assert resolver.pairs_screened == 0
+        assert resolver.pairs_tested == 3
+
+    def test_screen_never_blocks_true_aliases(self):
+        """Two addresses of one router share one counter — the screen must
+        always pass them through."""
+        scenario = build_scenario(mini(seed=2))
+        vp = scenario.vps[0]
+        for router in scenario.internet.routers.values():
+            if (
+                router.policy.ipid_model is IPIDModel.SHARED_COUNTER
+                and len(router.addresses()) >= 2
+                and router.policy.responds_echo
+                and router.policy.rate_limit_pps is None
+            ):
+                resolver = AliasResolver(scenario.network, vp.addr,
+                                         ally_rounds=2, ally_interval=5.0)
+                a, b = router.addresses()[:2]
+                resolver.resolve_candidate_set({a, b})
+                assert resolver.pairs_screened == 0
+                assert resolver.evidence.get(a, b).positive
+                return
+        pytest.skip("no multi-address shared-counter router")

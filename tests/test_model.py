@@ -1,0 +1,124 @@
+"""Tests for the ground-truth data model (`repro.topology.model`)."""
+
+import pytest
+
+from repro.addr import Prefix
+from repro.asgraph import Rel
+from repro.errors import TopologyError
+from repro.topology import build_scenario, mini
+from repro.topology.geography import CITIES
+from repro.topology.model import (
+    ASKind,
+    ASNode,
+    Internet,
+    Link,
+    LinkKind,
+    Org,
+    PrefixPolicy,
+)
+
+
+@pytest.fixture()
+def internet():
+    net = Internet(seed=1)
+    net.add_org(Org("org-a", "A Corp", []))
+    net.add_as(ASNode(100, ASKind.TRANSIT, "org-a"))
+    net.add_as(ASNode(200, ASKind.STUB, "org-a"))
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self, internet):
+        with pytest.raises(TopologyError):
+            internet.add_as(ASNode(100, ASKind.STUB, "org-a"))
+
+    def test_new_router_registered(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        router = internet.new_router(100, pop.pop_id, is_border=True)
+        assert router.router_id in internet.routers
+        assert router.router_id in internet.ases[100].router_ids
+
+    def test_duplicate_address_rejected(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        r1 = internet.new_router(100, pop.pop_id)
+        r2 = internet.new_router(100, pop.pop_id)
+        internet.new_link(LinkKind.INTRA, [(r1.router_id, 42), (r2.router_id, 43)])
+        with pytest.raises(TopologyError):
+            internet.new_link(LinkKind.INTRA, [(r1.router_id, 42)])
+
+    def test_link_other_endpoint(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        r1 = internet.new_router(100, pop.pop_id)
+        r2 = internet.new_router(100, pop.pop_id)
+        link = internet.new_link(
+            LinkKind.INTRA, [(r1.router_id, 10), (r2.router_id, 11)]
+        )
+        assert link.other(r1.router_id).router_id == r2.router_id
+        assert link.iface_of(r2.router_id).addr == 11
+        with pytest.raises(TopologyError):
+            link.iface_of(12345)
+
+    def test_multiaccess_other_rejected(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        routers = [internet.new_router(100, pop.pop_id) for _ in range(3)]
+        link = internet.new_link(
+            LinkKind.IXP,
+            [(r.router_id, 50 + i) for i, r in enumerate(routers)],
+        )
+        with pytest.raises(TopologyError):
+            link.other(routers[0].router_id)
+
+
+class TestTruthQueries:
+    def test_origin_trie_invalidated_on_new_policy(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        internet.new_router(100, pop.pop_id)
+        prefix = Prefix.parse("20.0.0.0/16")
+        assert internet.true_origins(prefix.addr + 1) == ()
+        internet.add_prefix_policy(
+            PrefixPolicy(prefix=prefix, origins=(100,),
+                         host_router={100: internet.ases[100].router_ids[0]})
+        )
+        assert internet.true_origins(prefix.addr + 1) == (100,)
+
+    def test_owner_of_addr(self, internet):
+        pop = internet.new_pop(100, CITIES[0])
+        r1 = internet.new_router(100, pop.pop_id)
+        internet.new_link(LinkKind.INTRA, [(r1.router_id, 99)])
+        assert internet.owner_of_addr(99) == 100
+        assert internet.owner_of_addr(12345) is None
+        assert internet.router_of_addr(99).router_id == r1.router_id
+
+    def test_border_pairs(self, internet):
+        internet.graph.add_edge(200, 100, Rel.PROVIDER)
+        pop_a = internet.new_pop(100, CITIES[0])
+        pop_b = internet.new_pop(200, CITIES[1])
+        r1 = internet.new_router(100, pop_a.pop_id, is_border=True)
+        r2 = internet.new_router(200, pop_b.pop_id, is_border=True)
+        internet.new_link(
+            LinkKind.INTERDOMAIN,
+            [(r1.router_id, 70), (r2.router_id, 71)],
+            subnet=Prefix.parse("0.0.0.68/30"),
+            supplier_asn=100,
+        )
+        assert internet.border_pairs(100) == {(r1.router_id, 200)}
+        assert internet.border_pairs(200) == {(r2.router_id, 100)}
+
+    def test_stats_on_real_scenario(self):
+        scenario = build_scenario(mini(seed=1))
+        stats = scenario.internet.stats()
+        assert stats["announced_prefixes"] <= stats["prefixes"]
+        assert stats["interdomain_links"] < stats["links"]
+        assert stats["orgs"] <= stats["ases"]
+
+    def test_sibling_asns_includes_self(self, internet):
+        assert internet.sibling_asns(100) == frozenset({100})
+        internet.graph.add_edge(100, 200, Rel.SIBLING)
+        assert internet.sibling_asns(100) == frozenset({100, 200})
+
+
+class TestPrefixPolicy:
+    def test_announced_property(self):
+        prefix = Prefix.parse("20.0.0.0/16")
+        assert PrefixPolicy(prefix=prefix, origins=(1,)).announced
+        assert not PrefixPolicy(prefix=prefix, origins=()).announced

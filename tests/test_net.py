@@ -1,0 +1,414 @@
+"""Tests for the packet-level simulator: IPID models, policies, routing
+decisions, and the forwarding walk with all its ICMP idiosyncrasies."""
+
+import pytest
+
+from repro.net import (
+    IPIDModel,
+    IPIDState,
+    Network,
+    Probe,
+    ProbeKind,
+    Response,
+    ResponseKind,
+    RouterPolicy,
+    SourceSel,
+    VantagePoint,
+)
+from repro.net.policies import RateLimiter
+from repro.net.routing import StepKind
+from repro.rng import make_rng
+from repro.topology import build_scenario, mini
+from repro.errors import ProbeError
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(mini(seed=2))
+
+
+def external_target(scenario, index=0):
+    """An announced prefix not originated by the VP network."""
+    focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+    policies = sorted(
+        (
+            p
+            for p in scenario.internet.prefix_policies.values()
+            if p.announced and not (set(p.origins) & focal_family)
+        ),
+        key=lambda p: p.prefix,
+    )
+    return policies[index]
+
+
+class TestIPIDState:
+    def test_shared_counter_monotonic(self):
+        state = IPIDState(IPIDModel.SHARED_COUNTER, 100.0, make_rng(1))
+        values = [state.next(float(i) / 100, None) for i in range(10)]
+        unwrapped = []
+        offset = 0
+        prev = None
+        for v in values:
+            if prev is not None and v < prev:
+                offset += 1 << 16
+            unwrapped.append(v + offset)
+            prev = v
+        assert unwrapped == sorted(unwrapped)
+        assert len(set(unwrapped)) == len(unwrapped)
+
+    def test_zero_model(self):
+        state = IPIDState(IPIDModel.ZERO, 100.0, make_rng(1))
+        assert all(state.next(i, None) == 0 for i in range(5))
+
+    def test_per_interface_counters_independent(self):
+        state = IPIDState(IPIDModel.PER_INTERFACE, 0.0, make_rng(1))
+        a = [state.next(0.0, 1) for _ in range(3)]
+        b = [state.next(0.0, 2) for _ in range(3)]
+        assert a[1] - a[0] == 1 and a[2] - a[1] == 1
+        assert b[1] - b[0] == 1
+        assert a[0] != b[0]  # different bases (with high probability)
+
+    def test_random_model_varies(self):
+        state = IPIDState(IPIDModel.RANDOM, 0.0, make_rng(1))
+        values = {state.next(0.0, None) for _ in range(10)}
+        assert len(values) > 3
+
+    def test_velocity_advances_counter(self):
+        state = IPIDState(IPIDModel.SHARED_COUNTER, 1000.0, make_rng(1), base=0)
+        early = state.next(0.0, None)
+        late = state.next(10.0, None)
+        assert (late - early) % (1 << 16) > 5000
+
+
+class TestRateLimiter:
+    def test_burst_then_blocked(self):
+        limiter = RateLimiter(pps=1.0, burst=2.0)
+        assert limiter.allow(0.0)
+        assert limiter.allow(0.0)
+        assert not limiter.allow(0.0)
+
+    def test_refills_over_time(self):
+        limiter = RateLimiter(pps=1.0, burst=1.0)
+        assert limiter.allow(0.0)
+        assert not limiter.allow(0.1)
+        assert limiter.allow(2.0)
+
+
+class TestRoutingOracle:
+    def test_valley_free_paths(self, scenario):
+        """No AS-level path may go down (to a customer) or across (peer)
+        and then back up."""
+        from repro.asgraph import Rel
+
+        oracle = scenario.network.oracle
+        internet = scenario.internet
+        graph = internet.graph
+        for policy in list(internet.prefix_policies.values())[:40]:
+            if not policy.announced:
+                continue
+            key = oracle.class_key(policy)
+            routes = oracle.class_routes(key)
+            for asn in list(internet.ases)[:40]:
+                # Walk the AS-level path and check valley-freedom.
+                path = [asn]
+                current = asn
+                for _ in range(16):
+                    nxt = routes.next_as(current)
+                    if nxt is None or nxt == current:
+                        break
+                    path.append(nxt)
+                    current = nxt
+                descended = False
+                for left, right in zip(path, path[1:]):
+                    rel = graph.relationship(left, right)
+                    if rel in (Rel.CUSTOMER, Rel.PEER):
+                        if rel is Rel.CUSTOMER and descended:
+                            pass  # staying downhill is fine
+                        assert not (descended and rel is Rel.PEER), path
+                        descended = True
+                    elif rel is Rel.PROVIDER:
+                        assert not descended, "valley in %s" % (path,)
+
+    def test_origin_delivers_to_self(self, scenario):
+        oracle = scenario.network.oracle
+        policy = external_target(scenario)
+        origin = policy.origins[0]
+        assert oracle.next_as_of(origin, policy.prefix.addr + 1) == origin
+
+    def test_unannounced_space_unreachable(self, scenario):
+        oracle = scenario.network.oracle
+        vp = scenario.vps[0]
+        first = vp.first_router
+        # 203.0.113.0/24 (TEST-NET-3) is never allocated by the generator.
+        step = oracle.step(first, 0xCB007107)
+        assert step.kind is StepKind.UNREACHABLE
+
+    def test_step_arrive_on_own_address(self, scenario):
+        internet = scenario.internet
+        router = next(
+            r for r in internet.routers.values() if r.addresses()
+        )
+        step = scenario.network.oracle.step(
+            router.router_id, router.addresses()[0]
+        )
+        assert step.kind is StepKind.ARRIVE
+
+    def test_igp_distance_self_zero(self, scenario):
+        internet = scenario.internet
+        router = next(iter(internet.routers.values()))
+        assert scenario.network.oracle.igp_distance(
+            router.router_id, router.router_id
+        ) == 0.0
+
+    def test_hot_potato_prefers_close_egress(self, scenario):
+        """The egress border router chosen must be (near-)minimal in IGP
+        distance among candidates."""
+        oracle = scenario.network.oracle
+        internet = scenario.internet
+        policy = external_target(scenario)
+        key = oracle.class_key(policy)
+        focal = scenario.focal_asn
+        next_as = oracle.class_routes(key).next_as(focal)
+        if next_as is None or next_as == focal:
+            pytest.skip("target routes inside focal network")
+        candidates = oracle.links_between(focal, next_as)
+        if not candidates:
+            pytest.skip("no direct links for this target")
+        router_id = scenario.vps[0].first_router
+        chosen = oracle._egress(router_id, next_as, key)
+        assert chosen is not None
+        table = oracle._intra_table(focal)[router_id]
+        chosen_dist = 0.0 if chosen[0] == router_id else table[chosen[0]][0]
+        best = min(
+            (0.0 if near == router_id else table.get(near, (float("inf"),))[0])
+            for near, _ in candidates
+        )
+        assert chosen_dist <= best + 0.25
+
+
+class TestNetworkWalk:
+    def test_unknown_vp_rejected(self, scenario):
+        with pytest.raises(ProbeError):
+            scenario.network.send(Probe(src=12345, dst=1, ttl=4))
+
+    def test_ttl1_hits_first_router(self, scenario):
+        vp = scenario.vps[0]
+        policy = external_target(scenario)
+        response = scenario.network.send(
+            Probe(vp.addr, policy.prefix.addr + 1, ttl=1)
+        )
+        assert response is not None
+        assert response.kind is ResponseKind.TTL_EXPIRED
+        assert response.truth_router_id == vp.first_router
+
+    def test_increasing_ttl_walks_path(self, scenario):
+        vp = scenario.vps[0]
+        policy = external_target(scenario, index=3)
+        dst = policy.prefix.addr + 1
+        seen = []
+        for ttl in range(1, 24):
+            response = scenario.network.send(Probe(vp.addr, dst, ttl=ttl))
+            if response is None:
+                continue
+            if response.kind is not ResponseKind.TTL_EXPIRED:
+                break
+            seen.append(response.truth_router_id)
+        assert len(seen) >= 2
+        # consecutive distinct routers (no repeats from the same TTL walk)
+        assert all(a != b for a, b in zip(seen, seen[1:]))
+
+    def test_live_host_echo_reply(self, scenario):
+        vp = scenario.vps[0]
+        internet = scenario.internet
+        focal_family = internet.sibling_asns(scenario.focal_asn)
+        for policy in internet.prefix_policies.values():
+            if not policy.announced or set(policy.origins) & focal_family:
+                continue
+            if not policy.live_hosts:
+                continue
+            # Make sure no firewall protects this origin.
+            origin = policy.origins[0]
+            routers = internet.routers_of(origin)
+            if any(r.policy.firewall or not r.policy.responds_echo for r in routers):
+                continue
+            dst = min(policy.live_hosts)
+            response = scenario.network.send(Probe(vp.addr, dst, ttl=40))
+            if response is None:
+                continue
+            assert response.kind in (
+                ResponseKind.ECHO_REPLY,
+                ResponseKind.DEST_UNREACH_PORT,
+            )
+            assert response.src == dst
+            return
+        pytest.skip("no unfirewalled live host in this topology")
+
+    def test_probe_router_interface_echo(self, scenario):
+        """Pinging a router interface returns an echo reply sourced from the
+        probed address (§4: reply source = probed destination)."""
+        vp = scenario.vps[0]
+        internet = scenario.internet
+        focal = internet.ases[scenario.focal_asn]
+        router = internet.routers[focal.router_ids[0]]
+        addr = router.addresses()[0]
+        response = scenario.network.send(Probe(vp.addr, addr, ttl=40))
+        assert response is not None
+        assert response.kind is ResponseKind.ECHO_REPLY
+        assert response.src == addr
+
+    def test_udp_probe_port_unreachable(self, scenario):
+        vp = scenario.vps[0]
+        internet = scenario.internet
+        for router in internet.routers_of(scenario.focal_asn):
+            if router.policy.responds_udp and router.addresses():
+                addr = router.addresses()[0]
+                response = scenario.network.send(
+                    Probe(vp.addr, addr, ttl=40, kind=ProbeKind.UDP)
+                )
+                assert response is not None
+                assert response.kind is ResponseKind.DEST_UNREACH_PORT
+                return
+        pytest.skip("no UDP responder in focal network")
+
+    def test_clock_advances_per_probe(self, scenario):
+        network = scenario.network
+        before = network.now
+        vp = scenario.vps[0]
+        network.send(Probe(vp.addr, external_target(scenario).prefix.addr, 1))
+        assert network.now == pytest.approx(before + 1.0 / network.pps)
+
+    def test_advance_rejects_negative(self, scenario):
+        with pytest.raises(ProbeError):
+            scenario.network.advance(-1.0)
+
+    def test_truth_path_matches_walk(self, scenario):
+        vp = scenario.vps[0]
+        policy = external_target(scenario, index=5)
+        dst = policy.prefix.addr + 1
+        path = scenario.network.truth_path(vp.addr, dst)
+        assert path[0] == vp.first_router
+        assert len(path) == len(set(path)), "routing loop in truth path"
+
+
+class TestPolicyBehaviours:
+    def _build_custom(self):
+        """A scenario where we can flip policies directly."""
+        return build_scenario(mini(seed=31))
+
+    def test_silent_router_no_response(self):
+        scenario = self._build_custom()
+        vp = scenario.vps[0]
+        router = scenario.internet.routers[vp.first_router]
+        router.policy.responds_ttl_expired = False
+        policy = external_target(scenario)
+        response = scenario.network.send(
+            Probe(vp.addr, policy.prefix.addr + 1, ttl=1)
+        )
+        assert response is None
+
+    def test_echo_only_router(self):
+        scenario = self._build_custom()
+        vp = scenario.vps[0]
+        router = scenario.internet.routers[vp.first_router]
+        router.policy.responds_ttl_expired = False
+        router.policy.responds_echo = True
+        addr = router.addresses()[0]
+        response = scenario.network.send(Probe(vp.addr, addr, ttl=40))
+        assert response is not None
+        assert response.kind is ResponseKind.ECHO_REPLY
+
+    def test_reply_egress_source_selection(self):
+        """REPLY_EGRESS routers answer from the interface toward the VP."""
+        scenario = self._build_custom()
+        vp = scenario.vps[0]
+        policy = external_target(scenario, index=2)
+        dst = policy.prefix.addr + 1
+        # Find the router at TTL 3 and flip its source selection.
+        response = scenario.network.send(Probe(vp.addr, dst, ttl=3))
+        if response is None or response.kind is not ResponseKind.TTL_EXPIRED:
+            pytest.skip("no responsive router at ttl 3")
+        router = scenario.internet.routers[response.truth_router_id]
+        router.policy.source_sel = SourceSel.REPLY_EGRESS
+        router.policy.vrouter = {}
+        again = scenario.network.send(Probe(vp.addr, dst, ttl=3))
+        assert again is not None
+        step = scenario.network.oracle.step(router.router_id, vp.addr)
+        if step.kind is StepKind.FORWARD:
+            assert again.src == step.out_addr
+
+    def test_firewall_blocks_transit_but_answers_ttl(self):
+        """§4 challenge 3 (R5): the firewall router itself answers TTL
+        expiry, but nothing behind it is reachable."""
+        scenario = self._build_custom()
+        internet = scenario.internet
+        vp = scenario.vps[0]
+        focal_family = internet.sibling_asns(scenario.focal_asn)
+        # Choose a customer with >= 2 routers and force a firewall.
+        for asn in internet.graph.customers(scenario.focal_asn):
+            routers = internet.routers_of(asn)
+            if len(routers) < 2:
+                continue
+            policy = next(
+                (
+                    p
+                    for p in internet.prefix_policies.values()
+                    if p.origins == (asn,) and p.announced
+                ),
+                None,
+            )
+            if policy is None:
+                continue
+            for router in routers:
+                router.policy.firewall = router.is_border
+                router.policy.firewall_admin_reply = False
+                router.policy.responds_ttl_expired = True
+            dst = policy.prefix.addr + 1
+            hops = []
+            for ttl in range(1, 24):
+                response = scenario.network.send(Probe(vp.addr, dst, ttl=ttl))
+                hops.append(response)
+            responded = [r for r in hops if r is not None]
+            owners = {
+                internet.routers[r.truth_router_id].asn
+                for r in responded
+                if r.truth_router_id is not None
+            }
+            # The customer's border may respond, but no probe reaches a
+            # live host or interior router *behind* the firewall.
+            interior = [
+                r
+                for r in responded
+                if r.truth_router_id is not None
+                and internet.routers[r.truth_router_id].asn == asn
+                and not internet.routers[r.truth_router_id].is_border
+            ]
+            assert not interior
+            return
+        pytest.skip("no suitable customer")
+
+    def test_vrouter_source_depends_on_destination(self):
+        """§4 challenge 4: virtual routers answer with the address of the
+        session facing the destination's next-hop AS."""
+        scenario = self._build_custom()
+        internet = scenario.internet
+        vp = scenario.vps[0]
+        oracle = scenario.network.oracle
+        # Find any responding border router on a path and give it vrouter
+        # addresses for two neighbor ASes.
+        policy_a = external_target(scenario, index=1)
+        dst_a = policy_a.prefix.addr + 1
+        for ttl in range(2, 12):
+            response = scenario.network.send(Probe(vp.addr, dst_a, ttl=ttl))
+            if response is None or response.kind is not ResponseKind.TTL_EXPIRED:
+                continue
+            router = internet.routers[response.truth_router_id]
+            next_as = oracle.next_as_of(router.asn, dst_a)
+            if next_as is None:
+                continue
+            fake_addr = router.addresses()[0]
+            router.policy.vrouter = {next_as: fake_addr}
+            again = scenario.network.send(Probe(vp.addr, dst_a, ttl=ttl))
+            assert again is not None
+            assert again.src == fake_addr
+            return
+        pytest.skip("no usable hop found")

@@ -1,0 +1,338 @@
+"""Tests for the measurement tools: traceroute, ping, stop sets, Ally,
+MIDAR, Mercator, prefixscan, and the scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import Network, Probe, ProbeKind, ResponseKind
+from repro.probing import (
+    AliasVerdict,
+    RoundRobinScheduler,
+    StopSet,
+    ally_repeated,
+    ally_test,
+    midar_test,
+    monotonic_shared_counter,
+    paris_traceroute,
+    ping,
+    prefixscan,
+)
+from repro.probing.mercator import mercator_probe
+from repro.topology import build_scenario, mini
+from repro.topology.model import LinkKind
+from repro.net.ipid import IPIDModel
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(mini(seed=2))
+
+
+@pytest.fixture(scope="module")
+def vp(scenario):
+    return scenario.vps[0]
+
+
+def external_policy(scenario, index=0):
+    focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+    policies = sorted(
+        (
+            p
+            for p in scenario.internet.prefix_policies.values()
+            if p.announced and not (set(p.origins) & focal_family)
+        ),
+        key=lambda p: p.prefix,
+    )
+    return policies[index]
+
+
+class TestTraceroute:
+    def test_walks_to_destination(self, scenario, vp):
+        policy = external_policy(scenario, 0)
+        trace = paris_traceroute(scenario.network, vp.addr, policy.prefix.addr + 1)
+        assert trace.hops
+        assert trace.hops[0].ttl == 1
+        assert trace.stop_reason in (
+            "completed", "unreach", "gaplimit", "maxttl", "stopset"
+        )
+
+    def test_hops_have_increasing_ttl(self, scenario, vp):
+        policy = external_policy(scenario, 1)
+        trace = paris_traceroute(scenario.network, vp.addr, policy.prefix.addr + 1)
+        ttls = [hop.ttl for hop in trace.hops]
+        assert ttls == sorted(ttls)
+        assert len(set(ttls)) == len(ttls)
+
+    def test_gap_limit_respected(self, scenario, vp):
+        # Tracing unannounced space dies at the first hop... which still
+        # responds; beyond it nothing does, so the gap limit must kick in.
+        trace = paris_traceroute(
+            scenario.network, vp.addr, 0xCB007107, gap_limit=3
+        )
+        if trace.stop_reason == "gaplimit":
+            unresponsive = [h for h in trace.hops if not h.responded]
+            assert len(unresponsive) >= 3
+
+    def test_stop_set_truncates(self, scenario, vp):
+        policy = external_policy(scenario, 2)
+        dst = policy.prefix.addr + 1
+        full = paris_traceroute(scenario.network, vp.addr, dst)
+        externals = [
+            hop.addr
+            for hop in full.responsive_hops()
+            if hop.is_ttl_expired
+        ]
+        if len(externals) < 2:
+            pytest.skip("path too short for stop-set test")
+        stop = {externals[1]}
+        truncated = paris_traceroute(
+            scenario.network, vp.addr, dst, stop_set=stop
+        )
+        assert truncated.stop_reason == "stopset"
+        assert len(truncated.hops) < len(full.hops) or full.stop_reason != "completed"
+
+    def test_last_responsive(self, scenario, vp):
+        policy = external_policy(scenario, 0)
+        trace = paris_traceroute(scenario.network, vp.addr, policy.prefix.addr + 1)
+        last = trace.last_responsive()
+        assert last is not None
+        assert last.addr in trace.addresses()
+
+    def test_probes_counted(self, scenario, vp):
+        policy = external_policy(scenario, 0)
+        before = scenario.network.probes_sent
+        trace = paris_traceroute(scenario.network, vp.addr, policy.prefix.addr + 1)
+        assert scenario.network.probes_sent - before == trace.probes_used
+
+
+class TestPing:
+    def test_ping_live_interface(self, scenario, vp):
+        router = scenario.internet.routers[vp.first_router]
+        addr = router.addresses()[0]
+        response = ping(scenario.network, vp.addr, addr)
+        assert response is not None
+        assert response.kind is ResponseKind.ECHO_REPLY
+
+    def test_ping_dead_space(self, scenario, vp):
+        assert ping(scenario.network, vp.addr, 0xCB007107) is None
+
+
+class TestStopSet:
+    def test_per_target_isolation(self):
+        stop = StopSet()
+        stop.add((1,), 100)
+        assert ((1,), 100) in stop
+        assert ((2,), 100) not in stop
+
+    def test_add_many_and_total(self):
+        stop = StopSet()
+        stop.add_many((1,), [1, 2, 3])
+        stop.add((2,), 4)
+        assert stop.total_entries() == 4
+
+    def test_for_target_returns_live_set(self):
+        stop = StopSet()
+        live = stop.for_target((5,))
+        live.add(42)
+        assert ((5,), 42) in stop
+
+
+class TestMonotonicSharedCounter:
+    def test_shared_counter_accepted(self):
+        samples = [(0.0, 0, 10), (0.1, 1, 12), (0.2, 0, 14), (0.3, 1, 16)]
+        assert monotonic_shared_counter(samples) is True
+
+    def test_wraparound_accepted(self):
+        samples = [(0.0, 0, 65530), (0.1, 1, 65534), (0.2, 0, 3), (0.3, 1, 8)]
+        assert monotonic_shared_counter(samples) is True
+
+    def test_non_monotonic_rejected(self):
+        samples = [(0.0, 0, 100), (0.1, 1, 50), (0.2, 0, 102), (0.3, 1, 52)]
+        assert monotonic_shared_counter(samples) is False
+
+    def test_implausible_velocity_rejected(self):
+        samples = [(0.0, 0, 0), (0.1, 1, 30000), (0.2, 0, 60000), (0.3, 1, 61000)]
+        assert monotonic_shared_counter(samples) is False
+
+    def test_constant_counter_unusable(self):
+        samples = [(0.0, 0, 0), (0.1, 1, 0), (0.2, 0, 0), (0.3, 1, 0)]
+        assert monotonic_shared_counter(samples) is None
+
+    def test_single_address_unusable(self):
+        samples = [(0.0, 0, 1), (0.1, 0, 2), (0.2, 0, 3), (0.3, 0, 4)]
+        assert monotonic_shared_counter(samples) is None
+
+    def test_too_few_samples_unusable(self):
+        assert monotonic_shared_counter([(0.0, 0, 1), (0.1, 1, 2)]) is None
+
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=4, max_size=12))
+    def test_true_shared_counter_always_accepted(self, gaps):
+        value = 0
+        samples = []
+        for index, gap in enumerate(gaps):
+            value += gap
+            samples.append((index * 0.1, index % 2, value & 0xFFFF))
+        assert monotonic_shared_counter(samples) is True
+
+
+class TestAllyOnSimulator:
+    def _router_with_model(self, scenario, model, min_addrs=2):
+        for router in scenario.internet.routers.values():
+            if router.policy.ipid_model is model and len(router.addresses()) >= min_addrs:
+                if (
+                    router.policy.responds_echo
+                    and not router.policy.is_fully_silent()
+                    and router.policy.rate_limit_pps is None
+                ):
+                    return router
+        return None
+
+    def test_true_aliases_detected(self, scenario, vp):
+        router = self._router_with_model(scenario, IPIDModel.SHARED_COUNTER)
+        if router is None:
+            pytest.skip("no shared-counter router")
+        a, b = router.addresses()[:2]
+        result = ally_test(scenario.network, vp.addr, a, b)
+        assert result.verdict is AliasVerdict.ALIAS
+
+    def test_different_routers_not_aliases(self, scenario, vp):
+        routers = [
+            r
+            for r in scenario.internet.routers.values()
+            if r.policy.ipid_model is IPIDModel.SHARED_COUNTER
+            and r.addresses()
+            and r.policy.rate_limit_pps is None
+        ]
+        if len(routers) < 2:
+            pytest.skip("need two shared-counter routers")
+        a = routers[0].addresses()[0]
+        b = routers[1].addresses()[0]
+        result = ally_repeated(scenario.network, vp.addr, a, b, rounds=3,
+                               interval=10.0)
+        assert result.verdict in (AliasVerdict.NOT_ALIAS, AliasVerdict.UNKNOWN)
+
+    def test_random_ipid_router_unresolvable(self, scenario, vp):
+        router = self._router_with_model(scenario, IPIDModel.RANDOM)
+        if router is None:
+            pytest.skip("no random-ipid router")
+        a, b = router.addresses()[:2]
+        result = ally_test(scenario.network, vp.addr, a, b)
+        assert result.verdict is not AliasVerdict.ALIAS
+
+    def test_silent_pair_unknown(self, scenario, vp):
+        result = ally_test(scenario.network, vp.addr, 0xCB007101, 0xCB007102)
+        assert result.verdict is AliasVerdict.UNKNOWN
+
+    def test_midar_test_agrees_on_true_alias(self, scenario, vp):
+        router = self._router_with_model(scenario, IPIDModel.SHARED_COUNTER)
+        if router is None:
+            pytest.skip("no shared-counter router")
+        a, b = router.addresses()[:2]
+        assert midar_test(scenario.network, vp.addr, a, b) is True
+
+
+class TestMercator:
+    def test_udp_responder_reveals_alias(self, scenario, vp):
+        for router in scenario.internet.routers_of(scenario.focal_asn):
+            if router.policy.responds_udp and router.policy.udp_reply_egress:
+                addrs = router.addresses()
+                if len(addrs) < 2:
+                    continue
+                source = mercator_probe(scenario.network, vp.addr, addrs[0])
+                if source is None:
+                    continue
+                truth = scenario.internet.router_of_addr(source)
+                assert truth is not None
+                assert truth.router_id == router.router_id
+                return
+        pytest.skip("no suitable router")
+
+    def test_non_responder_returns_none(self, scenario, vp):
+        for router in scenario.internet.routers.values():
+            if not router.policy.responds_udp and router.addresses():
+                source = mercator_probe(
+                    scenario.network, vp.addr, router.addresses()[0]
+                )
+                assert source is None
+                return
+        pytest.skip("every router responds to UDP")
+
+
+class TestPrefixscan:
+    def test_confirms_true_p2p_link(self, scenario, vp):
+        internet = scenario.internet
+        for link in internet.interdomain_links():
+            if link.kind is not LinkKind.INTERDOMAIN or link.subnet is None:
+                continue
+            a, b = link.interfaces[0], link.interfaces[1]
+            if a.addr is None or b.addr is None:
+                continue
+            result = prefixscan(scenario.network, vp.addr, a.addr, b.addr)
+            assert result.confirmed
+            assert result.mate == a.addr
+            return
+        pytest.skip("no p2p link")
+
+    def test_unrelated_pair_unconfirmed(self, scenario, vp):
+        internet = scenario.internet
+        routers = [r for r in internet.routers.values() if r.addresses()]
+        a = routers[0].addresses()[0]
+        # Use an address far away (different /24) so mates cannot match.
+        b = next(
+            addr
+            for r in routers[5:]
+            for addr in r.addresses()
+            if addr >> 8 != a >> 8
+        )
+        result = prefixscan(scenario.network, vp.addr, a, b)
+        assert result.mate != a
+
+
+class TestScheduler:
+    def test_runs_all_tasks(self):
+        log = []
+
+        def task(name, steps):
+            for i in range(steps):
+                log.append((name, i))
+                yield
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(task("a", 3))
+        scheduler.add(task("b", 2))
+        scheduler.add(task("c", 1))
+        scheduler.run()
+        assert scheduler.tasks_completed == 3
+        assert ("a", 2) in log and ("b", 1) in log and ("c", 0) in log
+
+    def test_interleaves_within_parallelism(self):
+        log = []
+
+        def task(name):
+            for i in range(2):
+                log.append(name)
+                yield
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(task("a"))
+        scheduler.add(task("b"))
+        scheduler.run()
+        assert log[:2] == ["a", "b"]  # round robin, not sequential
+
+    def test_queued_tasks_start_after_slots_free(self):
+        order = []
+
+        def task(name, steps):
+            for _ in range(steps):
+                order.append(name)
+                yield
+
+        scheduler = RoundRobinScheduler(parallelism=1)
+        scheduler.add(task("first", 2))
+        scheduler.add(task("second", 1))
+        scheduler.run()
+        assert order == ["first", "first", "second"]
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(parallelism=0)

@@ -1,0 +1,181 @@
+"""Cross-cutting invariants, property-tested across seeds.
+
+These catch whole classes of bugs: routing loops, valley violations,
+address-plan overlaps, and accuracy collapse on unlucky topologies.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import build_scenario, build_data_bundle, mini, run_bdrmap
+from repro.analysis import validate_result
+from repro.asgraph import Rel
+from repro.net import Probe
+from repro.net.routing import StepKind
+from repro.topology import LinkKind
+
+seeds = st.integers(min_value=1, max_value=50)
+
+_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def scenario_strategy(draw):
+    seed = draw(seeds)
+    return build_scenario(mini(seed=seed))
+
+
+class TestTopologyInvariants:
+    @settings(**_SETTINGS)
+    @given(seeds)
+    def test_no_address_overlaps(self, seed):
+        scenario = build_scenario(mini(seed=seed))
+        seen = {}
+        for link in scenario.internet.links.values():
+            for iface in link.interfaces:
+                if iface.addr is None:
+                    continue
+                assert iface.addr not in seen or seen[iface.addr] is iface
+                seen[iface.addr] = iface
+
+    @settings(**_SETTINGS)
+    @given(seeds)
+    def test_interdomain_links_bridge_two_ases(self, seed):
+        scenario = build_scenario(mini(seed=seed))
+        for link in scenario.internet.links.values():
+            owners = {
+                scenario.internet.routers[i.router_id].asn
+                for i in link.interfaces
+            }
+            if link.kind is LinkKind.INTERDOMAIN:
+                assert len(owners) == 2
+            elif link.kind is LinkKind.INTRA:
+                assert len(owners) == 1
+
+    @settings(**_SETTINGS)
+    @given(seeds)
+    def test_announced_prefixes_have_hosts(self, seed):
+        scenario = build_scenario(mini(seed=seed))
+        for policy in scenario.internet.prefix_policies.values():
+            for origin in policy.origins:
+                assert origin in policy.host_router
+                host = policy.host_router[origin]
+                assert scenario.internet.routers[host].asn == origin
+
+
+class TestRoutingInvariants:
+    @settings(**_SETTINGS)
+    @given(seeds, st.integers(min_value=0, max_value=30))
+    def test_forwarding_never_loops(self, seed, target_index):
+        scenario = build_scenario(mini(seed=seed))
+        focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        policies = sorted(
+            (
+                p
+                for p in scenario.internet.prefix_policies.values()
+                if p.announced and not (set(p.origins) & focal_family)
+            ),
+            key=lambda p: p.prefix,
+        )
+        policy = policies[target_index % len(policies)]
+        path = scenario.network.truth_path(
+            scenario.vps[0].addr, policy.prefix.addr + 1
+        )
+        assert len(path) == len(set(path)), "forwarding loop: %r" % path
+        assert len(path) < 40
+
+    @settings(**_SETTINGS)
+    @given(seeds)
+    def test_paths_are_valley_free(self, seed):
+        scenario = build_scenario(mini(seed=seed))
+        graph = scenario.internet.graph
+        focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        policies = sorted(
+            (
+                p
+                for p in scenario.internet.prefix_policies.values()
+                if p.announced and not (set(p.origins) & focal_family)
+            ),
+            key=lambda p: p.prefix,
+        )[:15]
+        for policy in policies:
+            path = scenario.network.truth_path(
+                scenario.vps[0].addr, policy.prefix.addr + 1
+            )
+            as_path = []
+            for rid in path:
+                asn = scenario.internet.routers[rid].asn
+                if not as_path or as_path[-1] != asn:
+                    as_path.append(asn)
+            descended = False
+            for left, right in zip(as_path, as_path[1:]):
+                rel = graph.relationship(left, right)
+                if rel is None:
+                    continue
+                if rel in (Rel.CUSTOMER, Rel.PEER):
+                    if rel is Rel.PEER:
+                        assert not descended, "peer after descent: %r" % as_path
+                    descended = True
+                elif rel is Rel.PROVIDER:
+                    assert not descended, "valley in %r" % as_path
+
+    @settings(**_SETTINGS)
+    @given(seeds, st.integers(min_value=1, max_value=40))
+    def test_walk_terminates_for_any_ttl(self, seed, ttl):
+        scenario = build_scenario(mini(seed=seed))
+        focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        policy = next(
+            p
+            for p in sorted(
+                scenario.internet.prefix_policies.values(),
+                key=lambda p: p.prefix,
+            )
+            if p.announced and not (set(p.origins) & focal_family)
+        )
+        response = scenario.network.send(
+            Probe(scenario.vps[0].addr, policy.prefix.addr + 1, ttl=ttl)
+        )
+        # No exception and, if a response came, it has a valid source.
+        if response is not None:
+            assert 0 <= response.src < (1 << 32)
+
+
+class TestInferenceRobustness:
+    @pytest.mark.parametrize("seed", [101, 202, 303, 404, 505])
+    def test_accuracy_stable_across_seeds(self, seed):
+        """The validation result must hold on arbitrary topologies, not a
+        lucky default seed."""
+        scenario = build_scenario(mini(seed=seed))
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        report = validate_result(result, scenario.internet)
+        assert report.total >= 8, "seed %d found too few links" % seed
+        assert report.accuracy >= 0.8, (
+            "seed %d accuracy %.2f" % (seed, report.accuracy)
+        )
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_near_side_truth_is_vp_or_documented_error(self, seed):
+        """Inferred near-side routers overwhelmingly belong to the VP
+        network in truth (exceptions are the Fig 12 PA-space cases)."""
+        scenario = build_scenario(mini(seed=seed))
+        data = build_data_bundle(scenario)
+        result = run_bdrmap(scenario, data=data)
+        vp_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        good = bad = 0
+        for link in result.links:
+            near = result.graph.routers[link.near_rid]
+            owners = {
+                scenario.internet.owner_of_addr(a)
+                for a in near.addrs
+                if scenario.internet.owner_of_addr(a) is not None
+            }
+            if owners & vp_family:
+                good += 1
+            else:
+                bad += 1
+        assert good > bad * 4

@@ -1,0 +1,148 @@
+"""Tests for the §5.8 remote deployment: protocol framing, the prober's
+command handlers, and controller/local equivalence."""
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini, run_bdrmap
+from repro.addr import aton, ntoa
+from repro.errors import ProbeError
+from repro.remote import Channel, Command, Prober, RemoteBdrmap, Reply, decode, encode
+
+
+class TestProtocol:
+    def test_command_roundtrip(self):
+        command = Command(op="trace", args={"dst": "1.2.3.4"}, seq=7)
+        assert decode(encode(command)) == command
+
+    def test_reply_roundtrip(self):
+        reply = Reply(seq=3, payload={"hops": []})
+        assert decode(encode(reply)) == reply
+
+    def test_decode_rejects_unknown_type(self):
+        with pytest.raises(ProbeError):
+            decode(b'{"t": "nope"}')
+
+    def test_encode_rejects_unknown_object(self):
+        with pytest.raises(ProbeError):
+            encode("a string")
+
+
+class TestProber:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(mini(seed=11))
+
+    @pytest.fixture(scope="class")
+    def prober(self, scenario):
+        return Prober(scenario.network, scenario.vps[0].addr)
+
+    def _target(self, scenario):
+        focal_family = scenario.internet.sibling_asns(scenario.focal_asn)
+        policy = sorted(
+            (
+                p
+                for p in scenario.internet.prefix_policies.values()
+                if p.announced and not (set(p.origins) & focal_family)
+            ),
+            key=lambda p: p.prefix,
+        )[0]
+        return policy.prefix.addr + 1
+
+    def test_trace_command(self, scenario, prober):
+        dst = self._target(scenario)
+        reply = prober.handle(
+            Command(op="trace", args={"dst": ntoa(dst), "stop": []}, seq=1)
+        )
+        assert reply.seq == 1
+        assert reply.payload["hops"]
+        first = reply.payload["hops"][0]
+        assert first["ttl"] == 1
+
+    def test_trace_respects_stop_list(self, scenario, prober):
+        dst = self._target(scenario)
+        full = prober.handle(
+            Command(op="trace", args={"dst": ntoa(dst), "stop": []}, seq=2)
+        )
+        responded = [h for h in full.payload["hops"] if h["addr"]]
+        if len(responded) < 2:
+            pytest.skip("path too short")
+        stop_addr = responded[1]["addr"]
+        stopped = prober.handle(
+            Command(op="trace", args={"dst": ntoa(dst), "stop": [stop_addr]}, seq=3)
+        )
+        assert stopped.payload["stop_reason"] == "stopset"
+
+    def test_mercator_command(self, scenario, prober):
+        router = scenario.internet.routers[scenario.vps[0].first_router]
+        addr = router.addresses()[0]
+        reply = prober.handle(
+            Command(op="mercator", args={"addr": ntoa(addr)}, seq=4)
+        )
+        assert "src" in reply.payload
+
+    def test_ally_command(self, scenario, prober):
+        router = scenario.internet.routers[scenario.vps[0].first_router]
+        addrs = router.addresses()
+        if len(addrs) < 2:
+            pytest.skip("single-address router")
+        reply = prober.handle(
+            Command(
+                op="ally",
+                args={"a": ntoa(addrs[0]), "b": ntoa(addrs[1]), "rounds": 2,
+                      "interval": 1.0},
+                seq=5,
+            )
+        )
+        assert reply.payload["verdict"] in ("alias", "not-alias", "unknown")
+
+    def test_unknown_op_rejected(self, prober):
+        with pytest.raises(ProbeError):
+            prober.handle(Command(op="selfdestruct", args={}, seq=6))
+
+    def test_status(self, prober):
+        reply = prober.handle(Command(op="status", args={}, seq=7))
+        assert reply.payload["commands"] >= 1
+
+
+class TestChannel:
+    def test_accounting(self):
+        scenario = build_scenario(mini(seed=12))
+        prober = Prober(scenario.network, scenario.vps[0].addr)
+        channel = Channel(prober)
+        channel.call("status")
+        assert channel.messages == 2
+        assert channel.bytes_to_device > 0
+        assert channel.bytes_from_device > 0
+        assert channel.device_peak_bytes > 0
+
+
+class TestRemoteEquivalence:
+    def test_remote_matches_local(self):
+        """The §5.8 split must not change inferences at all."""
+        local_scenario = build_scenario(mini(seed=13))
+        local_data = build_data_bundle(local_scenario)
+        local = run_bdrmap(local_scenario, data=local_data)
+
+        remote_scenario = build_scenario(mini(seed=13))
+        remote_data = build_data_bundle(remote_scenario)
+        controller = RemoteBdrmap(
+            remote_scenario.network, remote_scenario.vps[0], remote_data
+        )
+        remote = controller.run()
+
+        assert local.border_pairs() == remote.border_pairs()
+        assert local.neighbor_ases() == remote.neighbor_ases()
+        assert {r[1:] for r in local.neighbor_routers()} == {
+            r[1:] for r in remote.neighbor_routers()
+        }
+
+    def test_device_state_much_smaller_than_controller(self):
+        scenario = build_scenario(mini(seed=13))
+        data = build_data_bundle(scenario)
+        controller = RemoteBdrmap(scenario.network, scenario.vps[0], data)
+        controller.run()
+        stats = controller.stats
+        assert stats is not None
+        # The paper: 3.5 MB on-device vs ~150 MB centrally (~43x).  Exact
+        # numbers differ; the order-of-magnitude asymmetry must hold.
+        assert stats.controller_state_bytes > 10 * stats.device_peak_bytes

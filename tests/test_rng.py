@@ -1,0 +1,84 @@
+"""Tests for deterministic RNG helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rng import make_rng, pareto_int, sample_up_to, weighted_choice
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, "topology")
+        b = make_rng(42, "topology")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_scopes_independent(self):
+        a = make_rng(42, "topology")
+        b = make_rng(42, "policies")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_nested_scopes(self):
+        assert (
+            make_rng(1, "a", "b").random() != make_rng(1, "ab").random()
+        )
+
+
+class TestWeightedChoice:
+    def test_all_weight_on_one(self):
+        rng = make_rng(1)
+        for _ in range(20):
+            assert weighted_choice(rng, ["a", "b"], [0.0, 1.0]) == "b"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a", "b"], [0.0, 0.0])
+
+    def test_rough_proportions(self):
+        rng = make_rng(7)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        assert 0.6 < counts["a"] / 2000 < 0.9
+
+
+class TestSampleUpTo:
+    def test_k_larger_than_pool(self):
+        result = sample_up_to(make_rng(1), [1, 2, 3], 10)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_exact_k(self):
+        result = sample_up_to(make_rng(1), range(100), 5)
+        assert len(result) == 5
+        assert len(set(result)) == 5
+
+    def test_deterministic(self):
+        assert sample_up_to(make_rng(3), range(50), 7) == sample_up_to(
+            make_rng(3), range(50), 7
+        )
+
+
+class TestParetoInt:
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_bounds_respected(self, seed):
+        rng = make_rng(seed)
+        value = pareto_int(rng, alpha=1.2, minimum=2, maximum=50)
+        assert 2 <= value <= 50
+
+    def test_heavy_tail_shape(self):
+        rng = make_rng(5)
+        values = [pareto_int(rng, 1.1, 1, 10**6) for _ in range(3000)]
+        small = sum(1 for v in values if v <= 3)
+        assert small > len(values) * 0.5  # most mass near the minimum
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            pareto_int(make_rng(1), 1.0, 0, 10)
+        with pytest.raises(ValueError):
+            pareto_int(make_rng(1), 1.0, 10, 5)

@@ -1,0 +1,156 @@
+"""Tests for routing-oracle internals: class fingerprints, class routes,
+egress selection, and the links-between index."""
+
+import pytest
+
+from repro.asgraph import ASGraph, Rel
+from repro.net.routing import RoutingOracle, StepKind, _class_fingerprint
+from repro.topology import build_scenario, mini
+from repro.topology.model import LinkKind
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(mini(seed=2))
+
+
+@pytest.fixture(scope="module")
+def oracle(scenario):
+    return scenario.network.oracle
+
+
+class TestClassFingerprint:
+    def test_deterministic(self):
+        key = ((100, 200), frozenset({1, 2, 3}))
+        assert _class_fingerprint(key) == _class_fingerprint(key)
+
+    def test_restriction_changes_fingerprint(self):
+        base = ((100,), None)
+        restricted = ((100,), frozenset({7}))
+        assert _class_fingerprint(base) != _class_fingerprint(restricted)
+
+    def test_origin_changes_fingerprint(self):
+        assert _class_fingerprint(((100,), None)) != _class_fingerprint(
+            ((101,), None)
+        )
+
+    def test_32bit_range(self):
+        value = _class_fingerprint(((65000, 65001), frozenset(range(50))))
+        assert 0 <= value < (1 << 32)
+
+
+class TestLinksBetween:
+    def test_symmetric_entries(self, scenario, oracle):
+        internet = scenario.internet
+        for link in internet.interdomain_links():
+            if link.kind is not LinkKind.INTERDOMAIN:
+                continue
+            owners = sorted(
+                {internet.routers[i.router_id].asn for i in link.interfaces}
+            )
+            if len(owners) != 2:
+                continue
+            a, b = owners
+            forward = oracle.links_between(a, b)
+            backward = oracle.links_between(b, a)
+            assert any(link.link_id == l for _, l in forward)
+            assert any(link.link_id == l for _, l in backward)
+
+    def test_near_router_belongs_to_first_as(self, scenario, oracle):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        for neighbor in internet.graph.neighbors(focal):
+            for near_router, link_id in oracle.links_between(focal, neighbor):
+                assert internet.routers[near_router].asn == focal
+
+
+class TestClassRoutes:
+    def test_origin_selects_itself(self, scenario, oracle):
+        policy = next(
+            p for p in scenario.internet.prefix_policies.values() if p.announced
+        )
+        routes = oracle.class_routes(oracle.class_key(policy))
+        for origin in policy.origins:
+            assert routes.next_as(origin) == origin
+
+    def test_chain_reaches_origin(self, scenario, oracle):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        for policy in list(internet.prefix_policies.values())[:25]:
+            if not policy.announced:
+                continue
+            routes = oracle.class_routes(oracle.class_key(policy))
+            current = focal
+            for _ in range(20):
+                nxt = routes.next_as(current)
+                if nxt is None or nxt == current:
+                    break
+                current = nxt
+            assert current in policy.origins or routes.next_as(focal) is None
+
+    def test_customer_routes_preferred(self):
+        """Local preference: a longer customer route beats a shorter peer
+        route."""
+        graph = ASGraph()
+        # origin 1 is customer of 2, 2 customer of 3; 3 peers with 9.
+        # 9 also peers with 1 directly.
+        graph.add_edge(1, 2, Rel.PROVIDER)
+        graph.add_edge(2, 3, Rel.PROVIDER)
+        graph.add_edge(3, 9, Rel.PEER)
+        graph.add_edge(9, 1, Rel.PEER)
+
+        from repro.net.routing import _ClassRoutes
+
+        routes = _ClassRoutes(graph, (1,), None, lambda o, n: True)
+        # 3 has a customer route (via 2, length 2) and no direct peer link
+        # to 1... but 9 has a peer route of length 1 via its peering with 1.
+        assert routes.next_as(9) == 1
+        selected = routes.sel(3)
+        assert selected is not None
+        assert selected[2] == 2  # customer route via 2, not peer via 9
+
+    def test_unreachable_when_no_export(self):
+        """A prefix announced only over a restricted link set is invisible
+        to ASes with no allowed path."""
+        graph = ASGraph()
+        graph.add_edge(1, 2, Rel.PROVIDER)
+        graph.add_edge(1, 3, Rel.PROVIDER)
+
+        from repro.net.routing import _ClassRoutes
+
+        # Origin 1 exports to nobody (no allowed first hops).
+        routes = _ClassRoutes(graph, (1,), frozenset(), lambda o, n: False)
+        assert routes.next_as(2) is None
+        assert routes.next_as(3) is None
+
+
+class TestStepSemantics:
+    def test_unreachable_for_unannounced(self, scenario, oracle):
+        step = oracle.step(scenario.vps[0].first_router, 0xCB007107)
+        assert step.kind is StepKind.UNREACHABLE
+
+    def test_forward_steps_carry_link_metadata(self, scenario, oracle):
+        policy = next(
+            p
+            for p in scenario.internet.prefix_policies.values()
+            if p.announced
+            and scenario.focal_asn not in p.origins
+        )
+        step = oracle.step(scenario.vps[0].first_router, policy.prefix.addr + 1)
+        assert step.kind is StepKind.FORWARD
+        assert step.link_id in scenario.internet.links
+        assert step.next_router in scenario.internet.routers
+
+    def test_igp_distance_cross_as_rejected(self, scenario, oracle):
+        internet = scenario.internet
+        focal_router = internet.ases[scenario.focal_asn].router_ids[0]
+        other_asn = next(
+            asn
+            for asn in internet.ases
+            if asn != scenario.focal_asn and internet.ases[asn].router_ids
+        )
+        other_router = internet.ases[other_asn].router_ids[0]
+        from repro.errors import RoutingError
+
+        with pytest.raises(RoutingError):
+            oracle.igp_distance(focal_router, other_router)

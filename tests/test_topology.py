@@ -1,0 +1,444 @@
+"""Tests for the topology generator: AS level, router level, addressing,
+geography, and the scenario presets."""
+
+import pytest
+
+from repro.addr import Prefix, ntoa
+from repro.asgraph import Rel
+from repro.errors import TopologyError
+from repro.rng import make_rng
+from repro.topology import (
+    ASGenConfig,
+    ASKind,
+    CITIES,
+    LinkKind,
+    build_scenario,
+    generate_as_level,
+    geo_distance,
+    mini,
+)
+from repro.topology.addressing import (
+    AddressAllocator,
+    SubnetPool,
+    p2p_addresses,
+    p2p_mate,
+)
+from repro.topology.asgen import FocalSpec
+from repro.topology.routergen import build_router_level
+
+
+class TestGeography:
+    def test_cities_span_the_us(self):
+        lons = [city.lon for city in CITIES]
+        assert min(lons) < -120  # west coast
+        assert max(lons) > -75   # east coast
+
+    def test_distance_symmetric(self):
+        a, b = CITIES[0], CITIES[-1]
+        assert geo_distance(a, b) == pytest.approx(geo_distance(b, a))
+
+    def test_distance_zero_to_self(self):
+        assert geo_distance(CITIES[0], CITIES[0]) == pytest.approx(0.0)
+
+    def test_seattle_boston_plausible(self):
+        seattle = next(c for c in CITIES if c.name == "Seattle")
+        boston = next(c for c in CITIES if c.name == "Boston")
+        assert 3900 < geo_distance(seattle, boston) < 4400  # ~4,000 km
+
+
+class TestAddressAllocator:
+    def test_allocations_disjoint(self):
+        allocator = AddressAllocator()
+        prefixes = [allocator.alloc(20) for _ in range(50)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.contains_prefix(b) and not b.contains_prefix(a)
+
+    def test_avoids_reserved(self):
+        allocator = AddressAllocator(start="9.255.0.0")
+        prefix = allocator.alloc(8)
+        assert str(prefix) != "10.0.0.0/8"
+
+    def test_delegations_recorded(self):
+        allocator = AddressAllocator()
+        allocator.alloc(24, org_id="org-a")
+        allocator.alloc(24)  # anonymous: not recorded
+        assert len(allocator.delegations) == 1
+        assert allocator.delegations[0][0] == "org-a"
+
+    def test_alignment(self):
+        allocator = AddressAllocator()
+        allocator.alloc(24)
+        prefix = allocator.alloc(16)
+        assert prefix.addr % prefix.size == 0
+
+
+class TestSubnetPool:
+    def test_p2p_30(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/24"))
+        subnet, a, b = pool.alloc_p2p(use_31=False)
+        assert subnet.plen == 30
+        assert (a, b) == (subnet.addr + 1, subnet.addr + 2)
+
+    def test_p2p_31(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/24"))
+        subnet, a, b = pool.alloc_p2p(use_31=True)
+        assert subnet.plen == 31
+        assert (a, b) == (subnet.addr, subnet.addr + 1)
+
+    def test_exhaustion(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/30"))
+        pool.alloc_subnet(30)
+        with pytest.raises(TopologyError):
+            pool.alloc_subnet(30)
+
+    def test_cannot_carve_larger(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/24"))
+        with pytest.raises(TopologyError):
+            pool.alloc_subnet(16)
+
+    def test_addr_allocation_sequential(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/30"))
+        assert [pool.alloc_addr() for _ in range(4)] == [
+            Prefix.parse("10.0.0.0/30").addr + i for i in range(4)
+        ]
+
+
+class TestP2PMate:
+    def test_slash31(self):
+        assert p2p_mate(0x0A000000, 31) == 0x0A000001
+        assert p2p_mate(0x0A000001, 31) == 0x0A000000
+
+    def test_slash30_middle(self):
+        base = 0x0A000000
+        assert p2p_mate(base + 1, 30) == base + 2
+        assert p2p_mate(base + 2, 30) == base + 1
+
+    def test_slash30_network_broadcast_have_no_mate(self):
+        base = 0x0A000000
+        assert p2p_mate(base, 30) is None
+        assert p2p_mate(base + 3, 30) is None
+
+    def test_other_plen_rejected(self):
+        with pytest.raises(TopologyError):
+            p2p_mate(0x0A000000, 29)
+
+    def test_p2p_addresses(self):
+        assert p2p_addresses(Prefix.parse("10.0.0.0/31")) == (
+            0x0A000000,
+            0x0A000001,
+        )
+        with pytest.raises(TopologyError):
+            p2p_addresses(Prefix.parse("10.0.0.0/24"))
+
+
+class TestASLevelGeneration:
+    @pytest.fixture(scope="class")
+    def state(self):
+        return generate_as_level(mini(seed=5).asgen)
+
+    def test_focal_neighbor_mix_exact(self, state):
+        spec = state.config.focal
+        graph = state.internet.graph
+        focal = state.focal_asn
+        assert len(graph.customers(focal)) == spec.n_customers
+        # Bilateral peers are exact; IXP route servers may add multilateral
+        # peerings on top (as they do in the real world).
+        assert len(graph.peers(focal)) >= spec.n_peers
+        assert len(graph.providers(focal)) == spec.n_providers
+        assert len(graph.siblings(focal)) == spec.n_siblings
+
+    def test_tier1_clique_full_mesh(self, state):
+        tier1s = [
+            n.asn
+            for n in state.internet.ases.values()
+            if n.kind is ASKind.TIER1
+        ]
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1:]:
+                assert state.internet.graph.relationship(a, b) is Rel.PEER
+
+    def test_every_as_has_address_space(self, state):
+        for node in state.internet.ases.values():
+            if node.kind is ASKind.IXP_RS:
+                continue
+            assert node.prefixes, "AS%d has no prefixes" % node.asn
+            assert node.infra_prefix is not None
+
+    def test_focal_in_every_ixp(self, state):
+        for members in state.ixp_members.values():
+            assert state.focal_asn in members
+
+    def test_dense_and_cdn_peers_selected(self, state):
+        spec = state.config.focal
+        assert len(state.dense_peer_asns) == spec.dense_peers
+        assert len(state.cdn_peer_asns) == spec.cdn_peers
+        for asn in state.dense_peer_asns + state.cdn_peer_asns:
+            assert state.internet.graph.relationship(state.focal_asn, asn) is Rel.PEER
+
+    def test_deterministic(self):
+        a = generate_as_level(mini(seed=9).asgen)
+        b = generate_as_level(mini(seed=9).asgen)
+        assert sorted(a.internet.ases) == sorted(b.internet.ases)
+        assert sorted(a.internet.graph.edges()) == sorted(b.internet.graph.edges())
+
+    def test_different_seed_different_graph(self):
+        a = generate_as_level(mini(seed=9).asgen)
+        b = generate_as_level(mini(seed=10).asgen)
+        assert sorted(a.internet.graph.edges()) != sorted(b.internet.graph.edges())
+
+
+class TestRouterLevelGeneration:
+    @pytest.fixture(scope="class")
+    def built(self):
+        state = generate_as_level(mini(seed=6).asgen)
+        info = build_router_level(state, dense_link_count=6, cdn_link_count=3)
+        return state, info
+
+    def test_every_as_has_routers(self, built):
+        state, _ = built
+        for node in state.internet.ases.values():
+            if node.kind is ASKind.IXP_RS:
+                continue
+            assert node.router_ids
+
+    def test_focal_pop_count(self, built):
+        state, _ = built
+        focal = state.internet.ases[state.focal_asn]
+        assert len(focal.pops) == state.config.focal.n_pops
+
+    def test_interdomain_links_have_p2p_subnets(self, built):
+        state, _ = built
+        for link in state.internet.interdomain_links():
+            if link.kind is LinkKind.INTERDOMAIN:
+                assert link.subnet is not None
+                assert link.subnet.plen in (30, 31)
+                assert link.supplier_asn is not None
+
+    def test_p2p_addresses_inside_subnet(self, built):
+        state, _ = built
+        for link in state.internet.interdomain_links():
+            if link.kind is not LinkKind.INTERDOMAIN:
+                continue
+            for iface in link.interfaces:
+                assert iface.addr in link.subnet
+
+    def test_supplier_usually_provider(self, built):
+        """§4 challenge 1: the provider usually supplies interconnect
+        addressing on c2p links."""
+        state, _ = built
+        provider_supplied = other = 0
+        for link in state.internet.interdomain_links():
+            if link.kind is not LinkKind.INTERDOMAIN:
+                continue
+            owners = sorted(
+                {state.internet.routers[i.router_id].asn for i in link.interfaces}
+            )
+            if len(owners) != 2:
+                continue
+            rel = state.internet.graph.relationship(owners[0], owners[1])
+            if rel is Rel.PROVIDER:  # owners[1] is provider of owners[0]
+                if link.supplier_asn == owners[1]:
+                    provider_supplied += 1
+                else:
+                    other += 1
+            elif rel is Rel.CUSTOMER:
+                if link.supplier_asn == owners[0]:
+                    provider_supplied += 1
+                else:
+                    other += 1
+        assert provider_supplied > other * 3
+
+    def test_dense_peer_link_count(self, built):
+        state, _ = built
+        focal = state.focal_asn
+        for dense in state.dense_peer_asns:
+            count = 0
+            for link in state.internet.interdomain_links(focal):
+                owners = {
+                    state.internet.routers[i.router_id].asn
+                    for i in link.interfaces
+                }
+                if owners == {focal, dense}:
+                    count += 1
+            assert count == 6
+
+    def test_cdn_selective_announcement(self, built):
+        state, _ = built
+        for cdn in state.cdn_peer_asns:
+            node = state.internet.ases[cdn]
+            restricted = [
+                policy
+                for prefix, policy in state.internet.prefix_policies.items()
+                if policy.origins == (cdn,) and policy.restricted_links is not None
+            ]
+            assert restricted, "CDN AS%d has no selective prefixes" % cdn
+            # Every focal-CDN link is the exclusive link of some prefix.
+            focal_links = set()
+            for link in state.internet.interdomain_links(state.focal_asn):
+                owners = {
+                    state.internet.routers[i.router_id].asn
+                    for i in link.interfaces
+                }
+                if cdn in owners:
+                    focal_links.add(link.link_id)
+            exclusive = set()
+            for policy in restricted:
+                exclusive.update(policy.restricted_links & focal_links)
+            assert exclusive == focal_links
+
+    def test_no_duplicate_addresses(self, built):
+        state, _ = built
+        seen = {}
+        for link in state.internet.links.values():
+            for iface in link.interfaces:
+                if iface.addr is None:
+                    continue
+                assert iface.addr not in seen or seen[iface.addr] == iface
+                seen[iface.addr] = iface
+
+    def test_every_announced_prefix_hosted(self, built):
+        state, _ = built
+        for policy in state.internet.prefix_policies.values():
+            for origin in policy.origins:
+                assert origin in policy.host_router
+
+    def test_access_subnets_per_focal_pop(self, built):
+        state, info = built
+        focal = state.internet.ases[state.focal_asn]
+        assert set(info.focal_access_subnets) == {p.pop_id for p in focal.pops}
+
+    def test_intra_as_connected(self, built):
+        """Every AS's router graph must be connected (packets can always
+        reach any egress)."""
+        state, _ = built
+        internet = state.internet
+        for node in internet.ases.values():
+            routers = set(node.router_ids)
+            if len(routers) <= 1:
+                continue
+            adjacency = {rid: set() for rid in routers}
+            for link in internet.links.values():
+                if link.kind is not LinkKind.INTRA:
+                    continue
+                members = [
+                    i.router_id for i in link.interfaces if i.router_id in routers
+                ]
+                for a in members:
+                    for b in members:
+                        if a != b:
+                            adjacency[a].add(b)
+            start = next(iter(routers))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            assert seen == routers, "AS%d router graph disconnected" % node.asn
+
+
+class TestScenarioBuild:
+    def test_mini_builds_with_vps(self, mini_scenario):
+        assert len(mini_scenario.vps) == 2
+        for vp in mini_scenario.vps:
+            assert vp.asn == mini_scenario.focal_asn
+
+    def test_vp_addresses_are_not_router_interfaces(self, mini_scenario):
+        for vp in mini_scenario.vps:
+            assert vp.addr not in mini_scenario.internet.addr_to_iface
+
+    def test_vp_as_list_contains_focal(self, mini_scenario):
+        assert mini_scenario.focal_asn in mini_scenario.vp_as_list
+
+    def test_stats_counts_positive(self, mini_scenario):
+        stats = mini_scenario.internet.stats()
+        for key in ("ases", "routers", "links", "interdomain_links", "prefixes"):
+            assert stats[key] > 0
+
+
+class TestTopologyRealism:
+    """The substrate must have real-Internet *shape* for the heuristics'
+    preconditions to be representative."""
+
+    @pytest.fixture(scope="class")
+    def big(self):
+        from repro.topology import large_access
+
+        state = generate_as_level(large_access(n_customers=200, n_vps=1).asgen)
+        build_router_level(state)
+        return state
+
+    def test_mostly_stubs(self, big):
+        graph = big.internet.graph
+        stubs = sum(
+            1
+            for asn in big.internet.ases
+            if not graph.customers(asn)
+            and big.internet.ases[asn].kind is not ASKind.IXP_RS
+        )
+        total = sum(
+            1
+            for asn in big.internet.ases
+            if big.internet.ases[asn].kind is not ASKind.IXP_RS
+        )
+        assert stubs / total > 0.6  # the real Internet is ~85% stubs
+
+    def test_degree_distribution_heavy_tailed(self, big):
+        graph = big.internet.graph
+        degrees = sorted(
+            (graph.degree(asn) for asn in big.internet.ases), reverse=True
+        )
+        top = degrees[: max(1, len(degrees) // 20)]  # top 5%
+        assert sum(top) > 0.3 * sum(degrees)
+
+    def test_tier1s_transit_free(self, big):
+        graph = big.internet.graph
+        for asn, node in big.internet.ases.items():
+            if node.kind is ASKind.TIER1:
+                assert not graph.providers(asn)
+
+    def test_everyone_reaches_the_clique(self, big):
+        """Every non-IXP AS must have an all-provider path to a tier-1
+        (global reachability under valley-free routing)."""
+        graph = big.internet.graph
+        internet = big.internet
+        tier1s = {
+            asn
+            for asn, node in internet.ases.items()
+            if node.kind is ASKind.TIER1
+        }
+        for asn, node in internet.ases.items():
+            if node.kind is ASKind.IXP_RS or asn in tier1s:
+                continue
+            seen = {asn}
+            frontier = [asn]
+            reached = False
+            while frontier and not reached:
+                current = frontier.pop()
+                for provider in graph.providers(current):
+                    if provider in tier1s:
+                        reached = True
+                        break
+                    if provider not in seen:
+                        seen.add(provider)
+                        frontier.append(provider)
+                # peers of tier1s (e.g. the focal access net or dense CDNs)
+                # may reach the clique via peering instead
+                if not reached and set(graph.peers(current)) & tier1s:
+                    reached = True
+            assert reached, "AS%d cannot reach the clique" % asn
+
+    def test_interdomain_subnet_sizes_realistic(self, big):
+        """§4: interconnection uses /30s and /31s, not /24s."""
+        from repro.topology.model import LinkKind
+
+        sizes = [
+            link.subnet.plen
+            for link in big.internet.interdomain_links()
+            if link.kind is LinkKind.INTERDOMAIN and link.subnet is not None
+        ]
+        assert set(sizes) <= {30, 31}
+        assert sizes.count(30) > 0 and sizes.count(31) > 0

@@ -1,0 +1,153 @@
+"""Tests for the radix trie, including property tests against brute force."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addr import MAX_ADDR, Prefix, aton
+from repro.trie import PrefixTrie
+
+
+def _prefix(text):
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert not trie
+        assert trie.lookup(0) is None
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        assert trie.exact(_prefix("10.0.0.0/8")) == "a"
+        assert trie.exact(_prefix("10.0.0.0/9")) is None
+        assert len(trie) == 1
+
+    def test_replace_keeps_len(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        trie.insert(_prefix("10.0.0.0/8"), "b")
+        assert len(trie) == 1
+        assert trie.exact(_prefix("10.0.0.0/8")) == "b"
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        assert _prefix("10.0.0.0/8") in trie
+        assert _prefix("11.0.0.0/8") not in trie
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        assert trie.remove(_prefix("10.0.0.0/8"))
+        assert not trie.remove(_prefix("10.0.0.0/8"))
+        assert len(trie) == 0
+        assert trie.lookup(aton("10.1.1.1")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("0.0.0.0/0"), "default")
+        assert trie.lookup_value(aton("203.0.113.7")) == "default"
+
+
+class TestLongestPrefixMatch:
+    def test_picks_most_specific(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "eight")
+        trie.insert(_prefix("10.1.0.0/16"), "sixteen")
+        trie.insert(_prefix("10.1.2.0/24"), "twentyfour")
+        assert trie.lookup_value(aton("10.1.2.3")) == "twentyfour"
+        assert trie.lookup_value(aton("10.1.3.1")) == "sixteen"
+        assert trie.lookup_value(aton("10.2.0.1")) == "eight"
+        assert trie.lookup_value(aton("11.0.0.1")) is None
+
+    def test_lookup_returns_matched_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.1.0.0/16"), "v")
+        prefix, value = trie.lookup(aton("10.1.200.200"))
+        assert prefix == _prefix("10.1.0.0/16")
+        assert value == "v"
+
+    def test_lookup_all_least_specific_first(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), 8)
+        trie.insert(_prefix("10.1.0.0/16"), 16)
+        matches = trie.lookup_all(aton("10.1.0.1"))
+        assert [v for _, v in matches] == [8, 16]
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "net")
+        trie.insert(Prefix(aton("10.0.0.1"), 32), "host")
+        assert trie.lookup_value(aton("10.0.0.1")) == "host"
+        assert trie.lookup_value(aton("10.0.0.2")) == "net"
+
+
+class TestCovered:
+    def test_covered_iterates_subtree(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        trie.insert(_prefix("10.1.0.0/16"), "b")
+        trie.insert(_prefix("11.0.0.0/8"), "c")
+        found = {str(p) for p, _ in trie.covered(_prefix("10.0.0.0/8"))}
+        assert found == {"10.0.0.0/8", "10.1.0.0/16"}
+
+    def test_items_returns_everything(self):
+        trie = PrefixTrie()
+        entries = {"10.0.0.0/8": 1, "10.128.0.0/9": 2, "192.168.0.0/16": 3}
+        for text, value in entries.items():
+            trie.insert(_prefix(text), value)
+        assert {str(p): v for p, v in trie.items()} == entries
+
+    def test_covered_missing_subtree_empty(self):
+        trie = PrefixTrie()
+        trie.insert(_prefix("10.0.0.0/8"), "a")
+        assert list(trie.covered(_prefix("192.0.0.0/8"))) == []
+
+
+prefix_strategy = st.builds(
+    lambda addr, plen: Prefix.of(addr, plen),
+    st.integers(min_value=0, max_value=MAX_ADDR),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestProperties:
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=40),
+           st.lists(st.integers(min_value=0, max_value=MAX_ADDR), max_size=25))
+    def test_lpm_matches_bruteforce(self, table, probes):
+        trie = PrefixTrie()
+        for prefix, value in table.items():
+            trie.insert(prefix, value)
+        for addr in probes:
+            expected = None
+            for prefix, value in table.items():
+                if addr in prefix:
+                    if expected is None or prefix.plen > expected[0].plen:
+                        expected = (prefix, value)
+            got = trie.lookup(addr)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got[0].plen == expected[0].plen
+                assert got[1] == expected[1]
+
+    @given(st.sets(prefix_strategy, max_size=40))
+    def test_len_and_items_consistent(self, prefixes):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(sorted(prefixes)):
+            trie.insert(prefix, index)
+        assert len(trie) == len(prefixes)
+        assert {p for p, _ in trie.items()} == prefixes
+
+    @given(st.sets(prefix_strategy, min_size=1, max_size=20))
+    def test_remove_all_empties(self, prefixes):
+        trie = PrefixTrie()
+        for prefix in prefixes:
+            trie.insert(prefix, "x")
+        for prefix in prefixes:
+            assert trie.remove(prefix)
+        assert len(trie) == 0
