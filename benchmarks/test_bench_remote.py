@@ -9,7 +9,7 @@ magnitude below the controller's.
 
 import pytest
 
-from repro import build_data_bundle, build_scenario, mini, run_bdrmap
+from repro import build_data_bundle, build_scenario, mini
 from repro.remote import RemoteBdrmap
 
 

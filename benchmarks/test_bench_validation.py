@@ -8,7 +8,6 @@ unit (inferred links / neighbor identifications).  The benchmark times a
 complete bdrmap run on the R&E network.
 """
 
-import pytest
 
 from repro import build_data_bundle, build_scenario, re_network, run_bdrmap
 from repro.analysis import validate_result

@@ -12,7 +12,6 @@ Run:  python examples/longitudinal_monitoring.py
 from repro import build_scenario, build_data_bundle, mini, run_bdrmap
 from repro.analysis import diff_results
 from repro.topology.evolve import add_border_link, rebuild_network, remove_link
-from repro.topology.model import LinkKind
 
 
 def main() -> None:

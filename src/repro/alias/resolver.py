@@ -9,7 +9,7 @@ graph build.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..net import Network, ProbeKind
 from ..probing.ally import AliasVerdict, ally_repeated
@@ -47,6 +47,21 @@ class AliasResolver:
         )
         self.pairs_tested = 0
         self.pairs_screened = 0
+
+    # -- trace-derived knowledge ---------------------------------------------
+
+    def learn_from_trace(self, trace) -> None:
+        """Harvest (destination, ttl) aims from a traceroute so Ally can
+        fall back to in-transit TTL expiry for probe-deaf routers (§5.3)."""
+        if self._ttl_prober is not None:
+            self._ttl_prober.learn_from_trace(trace)
+
+    def ttl_aim(self, addr: int) -> Optional[Tuple[int, int]]:
+        """The (destination, ttl) pair at which a probe is known to expire
+        at ``addr``, or None if no trace revealed one."""
+        if self._ttl_prober is None:
+            return None
+        return self._ttl_prober.aim(addr)
 
     # -- probing -----------------------------------------------------------
 

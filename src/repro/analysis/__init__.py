@@ -4,7 +4,7 @@ coverage/heuristic breakdown, and the §6 interconnection analyses
 generator's ground truth."""
 
 from .validation import LinkJudgement, ValidationReport, validate_result
-from .coverage import CoverageReport, coverage_table, format_table1
+from .coverage import CoverageReport, coverage_table, format_table1, pass_table
 from .diversity import DiversityReport, diversity_analysis
 from .marginal import MarginalReport, marginal_utility
 from .geo import GeoReport, geography_analysis
@@ -34,6 +34,7 @@ __all__ = [
     "validate_result",
     "CoverageReport",
     "coverage_table",
+    "pass_table",
     "format_table1",
     "DiversityReport",
     "diversity_analysis",

@@ -14,27 +14,14 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..asgraph import Rel
 from ..core.bdrmap import DataBundle
+from ..core.heuristics import table1_row_order
 from ..core.report import BdrmapResult
 
 CLASSES = ("cust", "peer", "prov", "trace")
 
-# Display order of heuristic rows, mirroring Table 1.
-ROW_ORDER = [
-    "1 multihomed",
-    "2 firewall",
-    "3 unrouted",
-    "4 onenet",
-    "5 thirdparty",
-    "5 relationship",
-    "5 missing customer",
-    "5 hidden peer",
-    "6 count",
-    "6 ipas",
-    "ixp",
-    "7 alias",
-    "8 silent",
-    "8 other icmp",
-]
+# Display order of heuristic rows, mirroring Table 1 — derived from the
+# pass registry so a new registered pass shows up here automatically.
+ROW_ORDER = table1_row_order()
 
 
 @dataclass
@@ -116,6 +103,37 @@ def coverage_table(result: BdrmapResult, data: DataBundle,
     report.router_counts = dict(counts)
     report.neighbor_router_totals = dict(totals)
     return report
+
+
+def pass_table(run_report) -> str:
+    """Per-heuristic-pass assignment counts straight from a
+    :class:`~repro.core.orchestrator.RunReport` — no re-walk of the router
+    graph needed, because every pass already counted its assignments under
+    its Table 1 label while running."""
+    reason_totals = run_report.reason_totals()
+    per_vp = [(vp.vp_name, vp.reason_counts) for vp in run_report.vp_reports]
+    width = max((len(name) for name, _ in per_vp), default=8)
+    lines = [
+        "%-20s %7s  %s"
+        % ("Table 1 row", "total",
+           " ".join("%*s" % (width, name) for name, _ in per_vp))
+    ]
+    for label in ROW_ORDER + ["vp"]:
+        if not reason_totals.get(label):
+            continue
+        lines.append(
+            "%-20s %7d  %s"
+            % (label, reason_totals[label],
+               " ".join("%*d" % (width, counts.get(label, 0))
+                        for _, counts in per_vp))
+        )
+    lines.append(
+        "%-20s %7d  %s"
+        % ("assignments", sum(reason_totals.values()),
+           " ".join("%*d" % (width, sum(counts.values()))
+                    for _, counts in per_vp))
+    )
+    return "\n".join(lines)
 
 
 def table1_csv(reports: List[CoverageReport]) -> str:

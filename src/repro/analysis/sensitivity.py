@@ -10,7 +10,7 @@ accuracy and neighbor coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..core.bdrmap import build_data_bundle, run_bdrmap
 from ..topology import build_scenario

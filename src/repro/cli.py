@@ -72,12 +72,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     scenario = _build(args.name, args.seed)
     data = build_data_bundle(scenario)
-    if not 0 <= args.vp < len(scenario.vps):
-        print("error: scenario has %d VPs" % len(scenario.vps), file=sys.stderr)
-        return 2
     config = BdrmapConfig(
         heuristics=HeuristicConfig(use_refinement=args.refine)
     )
+    if args.all_vps:
+        return _run_all_vps(args, scenario, data, config)
+    if not 0 <= args.vp < len(scenario.vps):
+        print("error: scenario has %d VPs" % len(scenario.vps), file=sys.stderr)
+        return 2
     driver = Bdrmap(scenario.network, scenario.vps[args.vp], data, config)
     result = driver.run()
     print(result.summary())
@@ -96,6 +98,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_bundle(args.bundle, scenario, data, collection=driver.collection)
         print("inputs + traces bundled to %s/" % args.bundle)
+    return 0
+
+
+def _run_all_vps(args, scenario, data, config) -> int:
+    """``run --all-vps``: the orchestrated multi-VP run (§5.8)."""
+    from .core.orchestrator import MultiVPOrchestrator
+
+    run = MultiVPOrchestrator(
+        scenario,
+        data=data,
+        config=config,
+        share_alias_evidence=not args.no_shared_aliases,
+        interleave=not args.sequential,
+    ).run()
+    print(run.report.summary())
+    if args.links:
+        for result in run.results:
+            print()
+            print("%s:" % result.vp_name)
+            print(result.link_table())
+    if args.validate:
+        for result in run.results:
+            report = validate_result(result, scenario.internet)
+            covered, total, fraction = neighbor_coverage(
+                result, scenario.internet
+            )
+            print("%s: %s" % (result.vp_name, report.summary()))
+            print(
+                "%s: neighbor coverage %d/%d (%.1f%%)"
+                % (result.vp_name, covered, total, 100 * fraction)
+            )
+    if args.out:
+        from .io import save_report
+
+        save_report(run.report, args.out)
+        print("report saved to %s" % args.out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Inspect an archived run report."""
+    from .analysis.coverage import pass_table
+    from .io import load_report
+
+    report = load_report(args.path)
+    print(report.summary())
+    if args.passes:
+        print()
+        print(pass_table(report))
     return 0
 
 
@@ -259,7 +310,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--bundle", default=None, metavar="DIR",
                        help="archive the §5.2 inputs + traces for offline "
                             "re-analysis with `infer`")
+    p_run.add_argument("--all-vps", action="store_true",
+                       help="orchestrate every VP of the scenario (§5.8); "
+                            "--out then saves the run report")
+    p_run.add_argument("--sequential", action="store_true",
+                       help="with --all-vps: run VPs one after another "
+                            "instead of interleaving their probing")
+    p_run.add_argument("--no-shared-aliases", action="store_true",
+                       help="with --all-vps: give each VP its own alias "
+                            "resolver instead of sharing evidence")
     p_run.set_defaults(func=_cmd_run)
+
+    p_report = subparsers.add_parser(
+        "report", help="inspect a saved multi-VP run report"
+    )
+    p_report.add_argument("path", help="report JSON from `run --all-vps --out`")
+    p_report.add_argument("--passes", action="store_true",
+                          help="print the per-heuristic-pass table")
+    p_report.set_defaults(func=_cmd_report)
 
     p_infer = subparsers.add_parser(
         "infer", help="re-run inference over an archived bundle (no probing)"

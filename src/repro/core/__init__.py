@@ -9,7 +9,25 @@ from .targets import TargetBlock, build_targets
 from .collection import CollectionConfig, Collection, Collector
 from .routergraph import InferredRouter, RouterGraph, build_router_graph
 from .nextas import compute_nextas
-from .heuristics import HeuristicConfig, InferenceEngine
+from .heuristics import (
+    HeuristicConfig,
+    HeuristicPass,
+    InferenceEngine,
+    PASS_REGISTRY,
+    build_passes,
+    table1_row_order,
+)
+from .pipeline import (
+    CollectionStage,
+    GraphBuildStage,
+    InferenceContext,
+    InferenceStage,
+    Pipeline,
+    PipelineStage,
+    PipelineState,
+    StageTiming,
+    default_stages,
+)
 from .report import InferredLink, BdrmapResult
 from .bdrmap import (
     Bdrmap,
@@ -18,6 +36,13 @@ from .bdrmap import (
     build_data_bundle,
     infer_from_collection,
     run_bdrmap,
+)
+from .orchestrator import (
+    MultiVPOrchestrator,
+    OrchestratedRun,
+    RunReport,
+    VPReport,
+    orchestrate,
 )
 
 __all__ = [
@@ -31,7 +56,20 @@ __all__ = [
     "build_router_graph",
     "compute_nextas",
     "HeuristicConfig",
+    "HeuristicPass",
     "InferenceEngine",
+    "PASS_REGISTRY",
+    "build_passes",
+    "table1_row_order",
+    "CollectionStage",
+    "GraphBuildStage",
+    "InferenceContext",
+    "InferenceStage",
+    "Pipeline",
+    "PipelineStage",
+    "PipelineState",
+    "StageTiming",
+    "default_stages",
     "InferredLink",
     "BdrmapResult",
     "Bdrmap",
@@ -40,4 +78,9 @@ __all__ = [
     "build_data_bundle",
     "infer_from_collection",
     "run_bdrmap",
+    "MultiVPOrchestrator",
+    "OrchestratedRun",
+    "RunReport",
+    "VPReport",
+    "orchestrate",
 ]

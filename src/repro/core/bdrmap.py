@@ -3,14 +3,17 @@
 ``build_data_bundle`` assembles the §5.2 inputs from a scenario the same way
 a real deployment would: public BGP snapshots from collectors, relationship
 inference over them, RIR delegation files, IXP lists, and the curated VP
-sibling list.  ``Bdrmap`` then runs collection → router graph → heuristics
-for one VP and returns a :class:`BdrmapResult`.
+sibling list.  ``Bdrmap`` then runs the staged pipeline — collection →
+router graph → heuristic passes — for one VP and returns a
+:class:`BdrmapResult`.  The stage sequence itself lives in
+:mod:`repro.core.pipeline`; subclasses (e.g. the §5.8 remote controller)
+override :meth:`Bdrmap.stages` to swap individual stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import List, Optional, Set
 
 from ..asgraph import InferredRelationships, infer_relationships
 from ..bgp import BGPView, CollectorConfig, collect_public_view
@@ -25,10 +28,17 @@ from ..datasets import (
     parse_rir_file,
 )
 from ..net import Network, VantagePoint
-from .collection import Collection, CollectionConfig, Collector
-from .heuristics import HeuristicConfig, InferenceEngine
+from .collection import Collection, CollectionConfig
+from .heuristics import HeuristicConfig
+from .pipeline import (
+    GraphBuildStage,
+    InferenceStage,
+    Pipeline,
+    PipelineStage,
+    PipelineState,
+    default_stages,
+)
 from .report import BdrmapResult
-from .routergraph import build_router_graph
 
 
 @dataclass
@@ -74,8 +84,25 @@ def build_data_bundle(scenario, collector_config: Optional[CollectorConfig] = No
     )
 
 
+def result_from_state(state: PipelineState) -> BdrmapResult:
+    """Assemble a :class:`BdrmapResult` from a completed pipeline state."""
+    return BdrmapResult(
+        vp_name=state.vp_name,
+        vp_addr=state.vp_addr,
+        focal_asn=state.data.focal_asn,
+        vp_ases=set(state.data.vp_ases),
+        graph=state.graph,
+        links=state.links,
+        probes_used=state.collection.probes_used,
+        traces_run=state.collection.traces_run,
+        runtime_virtual_seconds=sum(
+            timing.virtual_seconds for timing in state.timings
+        ),
+    )
+
+
 class Bdrmap:
-    """Run the full pipeline for one VP."""
+    """Run the full staged pipeline for one VP."""
 
     def __init__(
         self,
@@ -91,42 +118,26 @@ class Bdrmap:
         self.config = config or BdrmapConfig()
         self.resolver = resolver
         self.collection: Optional[Collection] = None
+        self.state: Optional[PipelineState] = None
+
+    def stages(self) -> List[PipelineStage]:
+        """The stage sequence; remote deployments override this to swap
+        the collection stage only."""
+        return default_stages()
 
     def run(self) -> BdrmapResult:
-        start_time = self.network.now
-        collector = Collector(
-            self.network,
-            self.vp.addr,
-            self.data.view,
-            self.data.vp_ases,
-            self.config.collection,
-            resolver=self.resolver,
-        )
-        self.collection = collector.run()
-        graph = build_router_graph(self.collection)
-        engine = InferenceEngine(
-            graph=graph,
-            collection=self.collection,
-            view=self.data.view,
-            rels=self.data.rels,
-            vp_ases=self.data.vp_ases,
-            focal_asn=self.data.focal_asn,
-            ixp_data=self.data.ixp,
-            rir=self.data.rir,
-            config=self.config.heuristics,
-        )
-        links = engine.run()
-        return BdrmapResult(
+        state = PipelineState(
+            network=self.network,
             vp_name=self.vp.name,
             vp_addr=self.vp.addr,
-            focal_asn=self.data.focal_asn,
-            vp_ases=set(self.data.vp_ases),
-            graph=graph,
-            links=links,
-            probes_used=self.collection.probes_used,
-            traces_run=self.collection.traces_run,
-            runtime_virtual_seconds=self.network.now - start_time,
+            data=self.data,
+            config=self.config,
+            resolver=self.resolver,
         )
+        Pipeline(self.stages()).run(state)
+        self.state = state
+        self.collection = state.collection
+        return result_from_state(state)
 
 
 def run_bdrmap(scenario, vp_index: int = 0,
@@ -154,27 +165,13 @@ def infer_from_collection(
     (or on another machine), and re-run the heuristics, e.g. with
     different :class:`HeuristicConfig` ablations.
     """
-    config = config or BdrmapConfig()
-    graph = build_router_graph(collection)
-    engine = InferenceEngine(
-        graph=graph,
-        collection=collection,
-        view=data.view,
-        rels=data.rels,
-        vp_ases=data.vp_ases,
-        focal_asn=data.focal_asn,
-        ixp_data=data.ixp,
-        rir=data.rir,
-        config=config.heuristics,
-    )
-    links = engine.run()
-    return BdrmapResult(
+    state = PipelineState(
+        network=None,
         vp_name=vp_name,
         vp_addr=vp_addr,
-        focal_asn=data.focal_asn,
-        vp_ases=set(data.vp_ases),
-        graph=graph,
-        links=links,
-        probes_used=collection.probes_used,
-        traces_run=collection.traces_run,
+        data=data,
+        config=config or BdrmapConfig(),
+        collection=collection,
     )
+    Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
+    return result_from_state(state)

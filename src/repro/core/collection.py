@@ -160,14 +160,22 @@ class Collector:
                 if self._saw_external_router(trace, addr):
                     break  # this block is done; next block
 
-    def run_traceroutes(self) -> None:
+    def traceroute_tasks(self) -> List[Iterator[None]]:
+        """The per-target probing generators, ready for a scheduler.
+
+        Exposed so a multi-VP orchestrator can interleave several VPs'
+        collection through one :class:`RoundRobinScheduler` — N VPs then
+        probe concurrently in virtual time (§5.8).
+        """
         groups = group_by_origin(
             TargetBlock(block=t.block, origins=t.origins)
             for t in self._targets()
         )
+        return [self._target_task(key, groups[key]) for key in sorted(groups)]
+
+    def run_traceroutes(self) -> None:
         scheduler = RoundRobinScheduler(parallelism=self.config.parallelism)
-        for key in sorted(groups):
-            scheduler.add(self._target_task(key, groups[key]))
+        scheduler.add_all(self.traceroute_tasks())
         scheduler.run()
 
     def _targets(self) -> List[TargetBlock]:
@@ -201,9 +209,8 @@ class Collector:
         observed = self.collection.observed_ttl_expired_addrs()
         # Teach the TTL-limited prober where each address was seen, so Ally
         # can fall back to in-transit expiry for probe-deaf routers (§5.3).
-        if getattr(resolver, "_ttl_prober", None) is not None:
-            for trace in self.collection.traces:
-                resolver._ttl_prober.learn_from_trace(trace)
+        for trace in self.collection.traces:
+            resolver.learn_from_trace(trace)
         resolver.mercator_sweep(observed)
 
         pairs = self._adjacent_pairs()
@@ -231,10 +238,10 @@ class Collector:
         # Candidate alias sets: addresses sharing a common predecessor or
         # successor might be interfaces of one router (virtual routers,
         # per-destination response addresses — Fig 13).
-        for anchor, members in sorted(successors.items()):
+        for _, members in sorted(successors.items()):
             if 2 <= len(members) <= self.config.max_candidate_fanout:
                 resolver.resolve_candidate_set(members)
-        for anchor, members in sorted(predecessors.items()):
+        for _, members in sorted(predecessors.items()):
             if 2 <= len(members) <= self.config.max_candidate_fanout:
                 resolver.resolve_candidate_set(members)
 

@@ -1,47 +1,71 @@
-"""The ordered ownership heuristics of §5.4.
+"""The ordered ownership heuristics of §5.4, as a registry of passes.
 
 Routers are visited in order of observed hop distance from the VP; for each
-router the engine applies the first matching heuristic:
+router the first matching *router-level* pass assigns an owner.  Two
+*graph-level* passes then run: the §5.4.7 analytical alias collapse (before
+link assembly) and the §5.4.8 silent-neighbor attachment (after).  Each
+pass is one small class with a uniform
+``apply(router, ctx) -> Optional[PassOutcome]`` interface reading a shared
+:class:`~repro.core.pipeline.InferenceContext`:
 
-1. (§5.4.1) routers operated by the VP network, with the multihomed-
-   neighbor exception, and RIR-based attribution of unannounced VP space;
-2. (§5.4.2) neighbor edge routers behind firewalls;
-3. (§5.4.3) neighbor routers using unrouted addresses;
-4. (§5.4.4) plain IP-AS mapping when two consecutive hops agree (onenet);
-5. (§5.4.5) relationship-guided inference, including third-party detection;
-6. (§5.4.6) IP-AS mapping in ambiguous multi-AS neighborhoods;
-7. (§5.4.7) analytical alias collapse of near-side border routers;
-8. (§5.4.8) neighbors that never send TTL-expired messages.
+========================  ========  ==========================================
+pass                      paper     Table 1 labels
+========================  ========  ==========================================
+``vp_router``             §5.4.1    ``1 multihomed`` (VP routers: ``vp``)
+``firewall``              §5.4.2    ``2 firewall``
+``unrouted``              §5.4.3    ``3 unrouted``
+``onenet``                §5.4.4    ``4 onenet``
+``third_party``           §5.4.5    ``5 thirdparty``
+``relationship``          §5.4.5    ``5 relationship``, ``5 missing
+                                    customer``, ``5 hidden peer``
+``ambiguous``             §5.4.6    ``6 count``, ``6 ipas``
+``ixp_fabric``            §4 ch.6   ``ixp``
+``alias_collapse``        §5.4.7    ``7 alias``
+``silent_neighbor``       §5.4.8    ``8 silent``, ``8 other icmp``
+========================  ========  ==========================================
 
-Reasons are recorded with the labels Table 1 uses so the coverage analysis
-can reproduce the table's rows.
+Order and ablation are configured through :class:`HeuristicConfig` (the
+``passes`` tuple overrides the default order; the legacy boolean switches
+drop individual passes), not through if-chains.  Reasons are recorded with
+the labels Table 1 uses so the coverage analysis can reproduce the table's
+rows.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Type
 
-from ..asgraph import InferredRelationships, Rel
-from ..bgp import BGPView
-from ..datasets import IXPDataset, RIRDelegations
+from ..asgraph import Rel
 from ..net import ResponseKind
 from ..topology.addressing import p2p_mate
-from .collection import Collection
-from .nextas import compute_nextas
+from .pipeline import EXT, IXP_CLASS, UNROUTED, VP, InferenceContext
 from .report import InferredLink
-from .routergraph import InferredRouter, RouterGraph
+from .routergraph import InferredRouter
 
-VP = "vp"
-EXT = "ext"
-IXP_CLASS = "ixp"
-UNROUTED = "unrouted"
+__all__ = [
+    "VP",
+    "EXT",
+    "IXP_CLASS",
+    "UNROUTED",
+    "Assignment",
+    "PassOutcome",
+    "HeuristicPass",
+    "GraphHeuristicPass",
+    "HeuristicConfig",
+    "InferenceEngine",
+    "PASS_REGISTRY",
+    "DEFAULT_PASS_ORDER",
+    "build_context",
+    "build_passes",
+    "run_inference",
+    "table1_row_order",
+]
 
 
 @dataclass
 class HeuristicConfig:
-    """Ablation switches for the inference engine."""
+    """Ablation and ordering switches for the heuristic passes."""
 
     use_third_party: bool = True   # §5.4.5 third-party detection
     use_relationships: bool = True # §5.4.5 relationship steps
@@ -51,461 +75,452 @@ class HeuristicConfig:
     # Extension (off by default — the paper stops at the first border):
     # bdrmapIT-style neighbor-constraint refinement of deep annotations.
     use_refinement: bool = False
+    # Pass order override: names from PASS_REGISTRY, applied in sequence.
+    # None means DEFAULT_PASS_ORDER.  Omitting a name ablates that pass.
+    passes: Optional[Tuple[str, ...]] = None
 
 
-class InferenceEngine:
-    """Runs the §5.4 heuristics over one VP's router graph."""
+# ---------------------------------------------------------------- pass framework
 
-    def __init__(
-        self,
-        graph: RouterGraph,
-        collection: Collection,
-        view: BGPView,
-        rels: InferredRelationships,
-        vp_ases: Set[int],
-        focal_asn: int,
-        ixp_data: Optional[IXPDataset] = None,
-        rir: Optional[RIRDelegations] = None,
-        config: Optional[HeuristicConfig] = None,
-    ) -> None:
-        self.graph = graph
-        self.collection = collection
-        self.view = view
-        self.rels = rels
-        self.vp_ases = set(vp_ases)
-        self.focal_asn = focal_asn
-        self.ixp_data = ixp_data
-        self.rir = rir
-        self.config = config or HeuristicConfig()
-        self.addr_class: Dict[int, str] = {}
-        self.addr_origins: Dict[int, Tuple[int, ...]] = {}
-        self.links: List[InferredLink] = []
-        self._nextas_cache: Dict[int, Optional[int]] = {}
 
-    # ------------------------------------------------------------------ setup
+@dataclass(frozen=True)
+class Assignment:
+    """One router-ownership decision made by a pass."""
 
-    def _classify_addr(self, addr: int) -> str:
-        if self.ixp_data is not None and self.ixp_data.is_ixp_addr(addr):
-            self.addr_origins[addr] = ()
-            return IXP_CLASS
-        origins = self.view.origins_of_addr(addr)
-        self.addr_origins[addr] = origins
-        if not origins:
-            return UNROUTED
-        if set(origins) & self.vp_ases:
-            return VP
-        return EXT
+    router: InferredRouter
+    owner: int
+    reason: str
 
-    def _prepare(self) -> None:
-        for addr in self.graph.by_addr:
-            self.addr_class[addr] = self._classify_addr(addr)
-        if self.config.use_rir and self.rir is not None:
-            self._extend_vp_space()
 
-    def _extend_vp_space(self) -> None:
-        """§5.4.1: addresses before a VP-originated address in a trace are
-        assumed delegated to the VP network; the RIR files identify the
-        enclosing blocks, which we then treat as VP space."""
-        vp_opaque_ids: Set[str] = set()
-        for trace in self.collection.traces:
-            addrs = [
-                hop.addr
-                for hop in trace.hops
-                if hop.addr is not None and hop.is_ttl_expired
-            ]
-            last_vp = -1
-            for index, addr in enumerate(addrs):
-                if self.addr_class.get(addr) == VP:
-                    last_vp = index
-            for addr in addrs[:last_vp]:
-                if self.addr_class.get(addr) == UNROUTED:
-                    opaque = self.rir.opaque_id_of(addr)
-                    if opaque is not None:
-                        vp_opaque_ids.add(opaque)
-        if not vp_opaque_ids:
-            return
-        for addr, cls in list(self.addr_class.items()):
-            if cls == UNROUTED and self.rir.opaque_id_of(addr) in vp_opaque_ids:
-                self.addr_class[addr] = VP
+@dataclass
+class PassOutcome:
+    """What a router-level pass decided: the primary router's assignment
+    first, optionally followed by co-assignments (e.g. a multihomed chain
+    or a third-party successor)."""
 
-    # -------------------------------------------------------------- router views
+    assignments: List[Assignment] = field(default_factory=list)
 
-    def _classes(self, router: InferredRouter) -> Set[str]:
-        return {self.addr_class[a] for a in router.addrs if a in self.addr_class}
 
-    def _ext_ases(self, router: InferredRouter) -> Set[int]:
-        """External ASes that the router's addresses map to."""
-        found: Set[int] = set()
-        for addr in router.addrs:
-            if self.addr_class.get(addr) == EXT:
-                found.update(self.addr_origins.get(addr, ()))
-        return found - self.vp_ases
+class HeuristicPass:
+    """A router-level §5.4 heuristic.
 
-    def _single_ext_as(self, router: InferredRouter) -> Optional[int]:
-        """The single external AS all of the router's addresses map to, or
-        None if the mapping is absent or ambiguous."""
-        ases: Optional[Set[int]] = None
-        for addr in router.addrs:
-            if self.addr_class.get(addr) != EXT:
-                return None
-            origins = set(self.addr_origins.get(addr, ())) - self.vp_ases
-            if not origins:
-                return None
-            ases = origins if ases is None else (ases & origins)
-        if ases and len(ases) == 1:
-            return next(iter(ases))
-        if ases and len(ases) > 1:
-            return min(ases)  # MOAS: deterministic choice
+    ``apply`` returns None when the pass does not match; otherwise a
+    :class:`PassOutcome` whose assignments the driver applies (owners are
+    only ever written once) and counts.
+    """
+
+    name: str = ""
+    section: str = ""
+    # Reason labels this pass can emit for *neighbor* routers, in Table 1
+    # display order.  ("vp" is not a Table 1 row: it marks VP-owned routers.)
+    table1_labels: Tuple[str, ...] = ()
+
+    def enabled(self, config: HeuristicConfig) -> bool:
+        return True
+
+    def apply(
+        self, router: InferredRouter, ctx: InferenceContext
+    ) -> Optional[PassOutcome]:
+        raise NotImplementedError
+
+
+class GraphHeuristicPass(HeuristicPass):
+    """A graph-level pass (§5.4.7, §5.4.8): runs once over the whole graph
+    instead of per router.  ``after_link_assembly`` orders it relative to
+    link assembly."""
+
+    after_link_assembly = False
+
+    def apply(self, router, ctx):  # pragma: no cover - not router-level
         return None
 
-    def _succ_routers(self, router: InferredRouter) -> List[InferredRouter]:
-        return [
-            self.graph.routers[rid]
-            for rid in sorted(self.graph.successors(router.rid))
-            if rid in self.graph.routers
-        ]
+    def apply_graph(self, ctx: InferenceContext) -> None:
+        raise NotImplementedError
 
-    def _pred_routers(self, router: InferredRouter) -> List[InferredRouter]:
-        return [
-            self.graph.routers[rid]
-            for rid in sorted(self.graph.predecessors(router.rid))
-            if rid in self.graph.routers
-        ]
 
-    def _adjacent_ext_addr_counts(self, router: InferredRouter) -> Counter:
-        """Per-external-AS count of addresses on successor routers."""
-        counts: Counter = Counter()
-        for successor in self._succ_routers(router):
-            for addr in successor.addrs:
-                if self.addr_class.get(addr) == EXT:
-                    for asn in self.addr_origins.get(addr, ()):
-                        if asn not in self.vp_ases:
-                            counts[asn] += 1
-        return counts
+PASS_REGISTRY: Dict[str, Type[HeuristicPass]] = {}
 
-    def _nextas(self, router: InferredRouter) -> Optional[int]:
-        if router.rid not in self._nextas_cache:
-            self._nextas_cache[router.rid] = compute_nextas(
-                router, self.rels, self.vp_ases
-            )
-        return self._nextas_cache[router.rid]
 
-    def _dst_sibling_collapse(self, dsts: Set[int]) -> Set[int]:
-        """Collapse a destination-AS set by inferred siblinghood: {B, B's
-        sibling} counts as one destination network."""
-        remaining = set(dsts)
-        representatives: Set[int] = set()
-        while remaining:
-            asn = min(remaining)
-            family = (self.rels.siblings.get(asn) or frozenset((asn,))) & remaining
-            remaining -= family or {asn}
-            representatives.add(asn)
-        return representatives
+def register_pass(cls: Type[HeuristicPass]) -> Type[HeuristicPass]:
+    PASS_REGISTRY[cls.name] = cls
+    return cls
 
-    # ---------------------------------------------------------------- heuristics
 
-    def _step1(self, router: InferredRouter) -> bool:
-        """§5.4.1: routers operated by the network hosting the VP."""
-        if self._classes(router) - {VP}:
-            return False
-        successors = self._succ_routers(router)
-        vp_successors = [
-            s for s in successors if VP in self._classes(s)
-        ]
+# ---------------------------------------------------------------- router passes
+
+
+@register_pass
+class VPRouterPass(HeuristicPass):
+    """§5.4.1: routers operated by the network hosting the VP, with the
+    multihomed-neighbor exception (Fig 4)."""
+
+    name = "vp_router"
+    section = "§5.4.1"
+    table1_labels = ("1 multihomed",)
+
+    def apply(self, router, ctx):
+        if ctx.classes(router) - {VP}:
+            return None
+        successors = ctx.succ_routers(router)
+        vp_successors = [s for s in successors if VP in ctx.classes(s)]
         if not vp_successors:
             # A VP-addressed router whose next hop is an IXP fabric address
             # is the VP network's fabric-facing border: the fabric address
             # belongs to the *member's* router on the far side.
-            if any(IXP_CLASS in self._classes(s) for s in successors):
-                router.owner = self.focal_asn
-                router.reason = "vp"
-                return True
-            return False
+            if any(IXP_CLASS in ctx.classes(s) for s in successors):
+                return PassOutcome([Assignment(router, ctx.focal_asn, "vp")])
+            return None
         # Exception 1.1: a neighbor multihomed via adjacent routers.
-        adjacent_ext = self._adjacent_ext_addr_counts(router)
+        adjacent_ext = ctx.adjacent_ext_addr_counts(router)
         if len(adjacent_ext) == 1:
             neighbor_as = next(iter(adjacent_ext))
             chained = [
                 s
                 for s in vp_successors
-                if self._succ_chain_only_reaches(s, neighbor_as)
+                if self._succ_chain_only_reaches(s, neighbor_as, ctx)
             ]
-            if chained and self._multihome_guard_ok(router, neighbor_as):
-                router.owner = neighbor_as
-                router.reason = "1 multihomed"
-                for successor in chained:
-                    if successor.owner is None:
-                        successor.owner = neighbor_as
-                        successor.reason = "1 multihomed"
-                return True
-        router.owner = self.focal_asn
-        router.reason = "vp"
-        return True
+            if chained and self._multihome_guard_ok(router, neighbor_as, ctx):
+                assignments = [Assignment(router, neighbor_as, "1 multihomed")]
+                assignments.extend(
+                    Assignment(successor, neighbor_as, "1 multihomed")
+                    for successor in chained
+                )
+                return PassOutcome(assignments)
+        return PassOutcome([Assignment(router, ctx.focal_asn, "vp")])
 
-    def _succ_chain_only_reaches(self, router: InferredRouter, asn: int) -> bool:
+    @staticmethod
+    def _succ_chain_only_reaches(
+        router: InferredRouter, asn: int, ctx: InferenceContext
+    ) -> bool:
         """Does this VP-addressed router's own onward path actually lead
         into ``asn``?  (An empty onward view is no evidence of a chain —
         treating it as one made shared aggregation routers look like
         multihomed neighbors.)"""
-        if self._classes(router) - {VP}:
+        if ctx.classes(router) - {VP}:
             return False
-        ext = self._adjacent_ext_addr_counts(router)
+        ext = ctx.adjacent_ext_addr_counts(router)
         return set(ext) == {asn}
 
-    def _multihome_guard_ok(self, router: InferredRouter, neighbor_as: int) -> bool:
+    @staticmethod
+    def _multihome_guard_ok(
+        router: InferredRouter, neighbor_as: int, ctx: InferenceContext
+    ) -> bool:
         """§5.4.1's guard: if any would-be owner downstream is a customer of
         the VP network but not a known neighbor of ``neighbor_as``, the
         router belongs to the VP network after all."""
-        neighbor_neighbors = self.rels.neighbors(neighbor_as)
-        for dst_as in sorted(router.dsts - self.vp_ases):
+        neighbor_neighbors = ctx.rels.neighbors(neighbor_as)
+        for dst_as in sorted(router.dsts - ctx.vp_ases):
             if dst_as == neighbor_as:
                 continue
             if (
-                self.focal_asn in self.rels.providers_of(dst_as)
+                ctx.focal_asn in ctx.rels.providers_of(dst_as)
                 and dst_as not in neighbor_neighbors
             ):
                 return False
         return True
 
-    def _step2(self, router: InferredRouter) -> bool:
-        """§5.4.2: neighbor edge routers behind firewalls."""
-        if self._classes(router) - {VP}:
-            return False
-        if self.graph.successors(router.rid):
-            return False
-        last_for = self._dst_sibling_collapse(router.last_hop_for - self.vp_ases)
-        if len(last_for) == 1:
-            router.owner = next(iter(last_for))
-            router.reason = "2 firewall"
-            return True
-        if len(last_for) > 1:
-            candidate = self._nextas(router)
-            if candidate is not None:
-                if candidate in self.vp_ases:
-                    router.owner = self.focal_asn
-                    router.reason = "vp"
-                else:
-                    router.owner = candidate
-                    router.reason = "2 firewall"
-                return True
-        return False
 
-    def _step3(self, router: InferredRouter) -> bool:
-        """§5.4.3: neighbor routers with unrouted interface addresses."""
-        classes = self._classes(router)
+@register_pass
+class FirewallPass(HeuristicPass):
+    """§5.4.2: neighbor edge routers behind firewalls (Fig 5)."""
+
+    name = "firewall"
+    section = "§5.4.2"
+    table1_labels = ("2 firewall",)
+
+    def apply(self, router, ctx):
+        if ctx.classes(router) - {VP}:
+            return None
+        if ctx.graph.successors(router.rid):
+            return None
+        last_for = ctx.dst_sibling_collapse(router.last_hop_for - ctx.vp_ases)
+        if len(last_for) == 1:
+            owner = next(iter(last_for))
+            return PassOutcome([Assignment(router, owner, "2 firewall")])
+        if len(last_for) > 1:
+            candidate = ctx.nextas(router)
+            if candidate is not None:
+                if candidate in ctx.vp_ases:
+                    return PassOutcome(
+                        [Assignment(router, ctx.focal_asn, "vp")]
+                    )
+                return PassOutcome(
+                    [Assignment(router, candidate, "2 firewall")]
+                )
+        return None
+
+
+@register_pass
+class UnroutedPass(HeuristicPass):
+    """§5.4.3: neighbor routers with unrouted interface addresses (Fig 6)."""
+
+    name = "unrouted"
+    section = "§5.4.3"
+    table1_labels = ("3 unrouted",)
+
+    def apply(self, router, ctx):
+        classes = ctx.classes(router)
         if not classes or classes - {UNROUTED}:
-            return False
+            return None
         first_routed: Set[int] = set()
-        for path in self.graph.paths:
+        for path in ctx.graph.paths:
             if router.rid not in path.routers:
                 continue
             index = path.routers.index(router.rid)
             for rid in path.routers[index + 1:]:
-                later = self.graph.routers.get(rid)
+                later = ctx.graph.routers.get(rid)
                 if later is None:
                     continue
-                ases = self._ext_ases(later)
+                ases = ctx.ext_ases(later)
                 if ases:
                     first_routed.update(ases)
                     break
-        first_routed -= self.vp_ases
+        first_routed -= ctx.vp_ases
         if len(first_routed) == 1:
-            router.owner = next(iter(first_routed))
-            router.reason = "3 unrouted"
-            return True
+            owner = next(iter(first_routed))
+            return PassOutcome([Assignment(router, owner, "3 unrouted")])
         if len(first_routed) > 1:
-            votes: Counter = Counter()
+            votes: Dict[int, int] = {}
             for asn in first_routed:
-                for provider in self.rels.providers_of(asn):
-                    votes[provider] += 1
+                for provider in ctx.rels.providers_of(asn):
+                    votes[provider] = votes.get(provider, 0) + 1
             if votes:
                 best = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))
-                router.owner = best[0]
-                router.reason = "3 unrouted"
-                return True
-        candidate = self._nextas(router)
+                return PassOutcome(
+                    [Assignment(router, best[0], "3 unrouted")]
+                )
+        candidate = ctx.nextas(router)
         if candidate is not None:
-            router.owner = candidate
-            router.reason = "3 unrouted"
-            return True
-        return False
+            return PassOutcome([Assignment(router, candidate, "3 unrouted")])
+        return None
 
-    def _step4(self, router: InferredRouter) -> bool:
-        """§5.4.4: onenet — two consecutive hops in the same external AS."""
-        single = self._single_ext_as(router)
+
+@register_pass
+class OnenetPass(HeuristicPass):
+    """§5.4.4: onenet — two consecutive hops in the same external AS
+    (Fig 7)."""
+
+    name = "onenet"
+    section = "§5.4.4"
+    table1_labels = ("4 onenet",)
+
+    def apply(self, router, ctx):
+        single = ctx.single_ext_as(router)
         if single is not None:
             # 4.1: the router's own addresses and some successor agree.
-            for successor in self._succ_routers(router):
-                if single in self._ext_ases(successor):
-                    router.owner = single
-                    router.reason = "4 onenet"
-                    return True
-            return False
-        if self._classes(router) - {VP}:
-            return False
+            for successor in ctx.succ_routers(router):
+                if single in ctx.ext_ases(successor):
+                    return PassOutcome(
+                        [Assignment(router, single, "4 onenet")]
+                    )
+            return None
+        if ctx.classes(router) - {VP}:
+            return None
         # 4.2: VP-addressed router followed by two consecutive routers in
         # the same external AS.
-        for path in self.graph.paths:
+        for path in ctx.graph.paths:
             routers = path.routers
             for index, rid in enumerate(routers[:-2]):
                 if rid != router.rid:
                     continue
-                first = self.graph.routers.get(routers[index + 1])
-                second = self.graph.routers.get(routers[index + 2])
+                first = ctx.graph.routers.get(routers[index + 1])
+                second = ctx.graph.routers.get(routers[index + 2])
                 if first is None or second is None:
                     continue
                 shared = (
-                    self._ext_ases(first) & self._ext_ases(second)
-                ) - self.vp_ases
+                    ctx.ext_ases(first) & ctx.ext_ases(second)
+                ) - ctx.vp_ases
                 if len(shared) == 1:
-                    router.owner = next(iter(shared))
-                    router.reason = "4 onenet"
-                    return True
-        return False
-
-    # -- §5.4.5 -----------------------------------------------------------------
-
-    def _third_party_shape(self, router: InferredRouter) -> Optional[int]:
-        """If this router looks like a third-party responder — single
-        external mapping A, observed only on paths toward a single network
-        B, with A a provider of B — return B."""
-        single = self._single_ext_as(router)
-        if single is None:
-            return None
-        dsts = self._dst_sibling_collapse(router.dsts - self.vp_ases)
-        if len(dsts) != 1:
-            return None
-        dst_as = next(iter(dsts))
-        if dst_as == single:
-            return None
-        if self.rels.is_provider_of(single, dst_as):
-            return dst_as
+                    owner = next(iter(shared))
+                    return PassOutcome(
+                        [Assignment(router, owner, "4 onenet")]
+                    )
         return None
 
-    def _step5(self, router: InferredRouter) -> bool:
-        classes = self._classes(router)
+
+def _third_party_shape(
+    router: InferredRouter, ctx: InferenceContext
+) -> Optional[int]:
+    """If this router looks like a third-party responder — single external
+    mapping A, observed only on paths toward a single network B, with A a
+    provider of B — return B (§5.4.5, Fig 8)."""
+    single = ctx.single_ext_as(router)
+    if single is None:
+        return None
+    dsts = ctx.dst_sibling_collapse(router.dsts - ctx.vp_ases)
+    if len(dsts) != 1:
+        return None
+    dst_as = next(iter(dsts))
+    if dst_as == single:
+        return None
+    if ctx.rels.is_provider_of(single, dst_as):
+        return dst_as
+    return None
+
+
+@register_pass
+class ThirdPartyPass(HeuristicPass):
+    """§5.4.5 steps 5.1–5.2: third-party responder detection."""
+
+    name = "third_party"
+    section = "§5.4.5"
+    table1_labels = ("5 thirdparty",)
+
+    def enabled(self, config):
+        return config.use_third_party
+
+    def apply(self, router, ctx):
+        classes = ctx.classes(router)
         if classes <= {EXT} and classes:
             # 5.2: the router itself responds with a third-party address.
-            if self.config.use_third_party:
-                third = self._third_party_shape(router)
-                if third is not None:
-                    router.owner = third
-                    router.reason = "5 thirdparty"
-                    return True
-            return False
+            third = _third_party_shape(router, ctx)
+            if third is not None:
+                return PassOutcome(
+                    [Assignment(router, third, "5 thirdparty")]
+                )
+            return None
         if classes - {VP}:
-            return False
-        # The router holds VP-supplied addresses: it is a far-side candidate.
-        # 5.1: a successor is a third-party responder.
-        if self.config.use_third_party:
-            for successor in self._succ_routers(router):
-                third = self._third_party_shape(successor)
-                if third is not None:
-                    router.owner = third
-                    router.reason = "5 thirdparty"
-                    if successor.owner is None:
-                        successor.owner = third
-                        successor.reason = "5 thirdparty"
-                    return True
-        if not self.config.use_relationships:
-            return False
-        adjacent = self._adjacent_ext_addr_counts(router)
-        if len(adjacent) == 1:
-            neighbor_as = next(iter(adjacent))
-            rel = self.rels.relationship(self.focal_asn, neighbor_as)
-            # 5.3: a known peer or customer.
-            if rel in (Rel.CUSTOMER, Rel.PEER):
-                router.owner = neighbor_as
-                router.reason = "5 relationship"
-                return True
-            # 5.4: a customer of a customer (sibling-induced gaps).
-            intermediates = sorted(
-                self.rels.providers_of(neighbor_as)
-                & self.rels.customers_of(self.focal_asn)
-            )
-            if intermediates:
-                router.owner = intermediates[0]
-                router.reason = "5 missing customer"
-                return True
-            # 5.5: subsequent interfaces in a single AS with no known
-            # relationship — a peering link hidden from public BGP.
-            router.owner = neighbor_as
-            router.reason = "5 hidden peer"
-            return True
-        return False
+            return None
+        # 5.1: the router holds VP-supplied addresses (a far-side
+        # candidate) and a successor is a third-party responder.
+        for successor in ctx.succ_routers(router):
+            third = _third_party_shape(successor, ctx)
+            if third is not None:
+                return PassOutcome(
+                    [
+                        Assignment(router, third, "5 thirdparty"),
+                        Assignment(successor, third, "5 thirdparty"),
+                    ]
+                )
+        return None
 
-    def _step6(self, router: InferredRouter) -> bool:
-        classes = self._classes(router)
-        # IXP fabric addresses: infer from what follows across the fabric.
+
+@register_pass
+class RelationshipPass(HeuristicPass):
+    """§5.4.5 steps 5.3–5.5: relationship-guided inference."""
+
+    name = "relationship"
+    section = "§5.4.5"
+    table1_labels = ("5 relationship", "5 missing customer", "5 hidden peer")
+
+    def enabled(self, config):
+        return config.use_relationships
+
+    def apply(self, router, ctx):
+        classes = ctx.classes(router)
+        if classes - {VP}:
+            return None
+        adjacent = ctx.adjacent_ext_addr_counts(router)
+        if len(adjacent) != 1:
+            return None
+        neighbor_as = next(iter(adjacent))
+        rel = ctx.rels.relationship(ctx.focal_asn, neighbor_as)
+        # 5.3: a known peer or customer.
+        if rel in (Rel.CUSTOMER, Rel.PEER):
+            return PassOutcome(
+                [Assignment(router, neighbor_as, "5 relationship")]
+            )
+        # 5.4: a customer of a customer (sibling-induced gaps).
+        intermediates = sorted(
+            ctx.rels.providers_of(neighbor_as)
+            & ctx.rels.customers_of(ctx.focal_asn)
+        )
+        if intermediates:
+            return PassOutcome(
+                [Assignment(router, intermediates[0], "5 missing customer")]
+            )
+        # 5.5: subsequent interfaces in a single AS with no known
+        # relationship — a peering link hidden from public BGP.
+        return PassOutcome(
+            [Assignment(router, neighbor_as, "5 hidden peer")]
+        )
+
+
+@register_pass
+class AmbiguousPass(HeuristicPass):
+    """§5.4.6: IP-AS mapping in ambiguous multi-AS neighborhoods (Fig 9)."""
+
+    name = "ambiguous"
+    section = "§5.4.6"
+    table1_labels = ("6 count", "6 ipas")
+
+    def apply(self, router, ctx):
+        classes = ctx.classes(router)
         if IXP_CLASS in classes:
-            return self._step6_ixp(router)
-        adjacent = self._adjacent_ext_addr_counts(router)
+            return None  # fabric addresses are the ixp_fabric pass's job
+        adjacent = ctx.adjacent_ext_addr_counts(router)
         if classes <= {VP} and classes and len(adjacent) >= 2:
             # 6.1: choose the AS with the most adjacent addresses.
-            best = self._count_winner(adjacent)
-            router.owner = best
-            router.reason = "6 count"
-            return True
-        ext = self._ext_ases(router)
+            return PassOutcome(
+                [Assignment(router, ctx.count_winner(adjacent), "6 count")]
+            )
+        ext = ctx.ext_ases(router)
         if ext:
             # 6.2: plain IP-AS mapping of the router's own addresses.
-            single = self._single_ext_as(router)
-            router.owner = single if single is not None else min(ext)
-            router.reason = "6 ipas"
-            return True
-        return False
+            single = ctx.single_ext_as(router)
+            owner = single if single is not None else min(ext)
+            return PassOutcome([Assignment(router, owner, "6 ipas")])
+        return None
 
-    def _count_winner(self, adjacent: Counter) -> int:
-        ranked = sorted(
-            adjacent.items(), key=lambda kv: (-kv[1], kv[0])
-        )
-        top_count = ranked[0][1]
-        tied = [asn for asn, count in ranked if count == top_count]
-        if len(tied) > 1:
-            for asn in tied:
-                if self.rels.relationship(self.focal_asn, asn) is not None:
-                    return asn
-        return tied[0]
 
-    def _step6_ixp(self, router: InferredRouter) -> bool:
-        """Routers answering with IXP fabric addresses (§4 challenge 6)."""
-        adjacent = self._adjacent_ext_addr_counts(router)
+@register_pass
+class IXPFabricPass(HeuristicPass):
+    """Routers answering with IXP fabric addresses (§4 challenge 6):
+    infer from what follows across the fabric."""
+
+    name = "ixp_fabric"
+    section = "§4 ch.6"
+    table1_labels = ("ixp",)
+
+    def apply(self, router, ctx):
+        if IXP_CLASS not in ctx.classes(router):
+            return None
+        adjacent = ctx.adjacent_ext_addr_counts(router)
         if adjacent:
-            router.owner = self._count_winner(adjacent)
-            router.reason = "ixp"
-            return True
-        last_for = self._dst_sibling_collapse(router.last_hop_for - self.vp_ases)
+            return PassOutcome(
+                [Assignment(router, ctx.count_winner(adjacent), "ixp")]
+            )
+        last_for = ctx.dst_sibling_collapse(router.last_hop_for - ctx.vp_ases)
         if len(last_for) == 1:
-            router.owner = next(iter(last_for))
-            router.reason = "ixp"
-            return True
-        candidate = self._nextas(router)
-        if candidate is not None and candidate not in self.vp_ases:
-            router.owner = candidate
-            router.reason = "ixp"
-            return True
-        return False
+            return PassOutcome(
+                [Assignment(router, next(iter(last_for)), "ixp")]
+            )
+        candidate = ctx.nextas(router)
+        if candidate is not None and candidate not in ctx.vp_ases:
+            return PassOutcome([Assignment(router, candidate, "ixp")])
+        return None
 
-    # -- §5.4.7 ------------------------------------------------------------------
 
-    def _step7(self) -> None:
-        """Collapse single-interface VP routers that share one neighbor
-        router reached over point-to-point links (Fig 10)."""
-        if not self.config.use_step7:
-            return
-        resolver = self.collection.resolver
-        for neighbor in sorted(self.graph.routers):
-            far = self.graph.routers.get(neighbor)
-            if far is None or far.owner is None or far.owner in self.vp_ases:
+# ---------------------------------------------------------------- graph passes
+
+
+@register_pass
+class AliasCollapsePass(GraphHeuristicPass):
+    """§5.4.7: collapse single-interface VP routers that share one neighbor
+    router reached over point-to-point links (Fig 10)."""
+
+    name = "alias_collapse"
+    section = "§5.4.7"
+    table1_labels = ("7 alias",)
+    after_link_assembly = False
+
+    def enabled(self, config):
+        return config.use_step7
+
+    def apply_graph(self, ctx):
+        resolver = ctx.collection.resolver
+        for neighbor in sorted(ctx.graph.routers):
+            far = ctx.graph.routers.get(neighbor)
+            if far is None or far.owner is None or far.owner in ctx.vp_ases:
                 continue
-            if far.owner == self.focal_asn:
+            if far.owner == ctx.focal_asn:
                 continue
             candidates: List[InferredRouter] = []
-            for pred in self._pred_routers(far):
-                if pred.owner != self.focal_asn or len(pred.addrs) != 1:
+            for pred in ctx.pred_routers(far):
+                if pred.owner != ctx.focal_asn or len(pred.addrs) != 1:
                     continue
                 pred_addr = next(iter(pred.addrs))
-                if self._p2p_attached(pred_addr, far):
+                if self._p2p_attached(pred_addr, far, ctx):
                     candidates.append(pred)
             if len(candidates) < 2:
                 continue
@@ -519,45 +534,52 @@ class InferenceEngine:
                     )
                     if conflict:
                         continue
-                self.graph.merge(keep.rid, absorb.rid)
+                ctx.graph.merge(keep.rid, absorb.rid)
                 keep.reason = "7 alias"
+                ctx.record(self.name, "7 alias")
 
-    def _p2p_attached(self, pred_addr: int, far: InferredRouter) -> bool:
+    @staticmethod
+    def _p2p_attached(
+        pred_addr: int, far: InferredRouter, ctx: InferenceContext
+    ) -> bool:
         for addr in far.addrs:
             for plen in (31, 30):
                 if p2p_mate(addr, plen) == pred_addr:
                     return True
-        for (prev, nxt), result in self.collection.prefixscans.items():
+        for (prev, nxt), result in ctx.collection.prefixscans.items():
             if prev == pred_addr and nxt in far.addrs and result.confirmed:
                 return True
         return False
 
-    # -- §5.4.8 -------------------------------------------------------------------
 
-    def _inferred_neighbor_ases(self) -> Set[int]:
-        found: Set[int] = set()
-        for router in self.graph.routers.values():
-            if router.owner is not None and router.owner not in self.vp_ases:
-                found.add(router.owner)
-        return found
+@register_pass
+class SilentNeighborPass(GraphHeuristicPass):
+    """§5.4.8: BGP neighbors that never send TTL-expired messages
+    (Fig 11) — attach them at the last VP router their probes reached."""
 
-    def _step8(self) -> None:
-        if not self.config.use_step8:
-            return
-        already = self._inferred_neighbor_ases()
-        bgp_neighbors = self.view.neighbors_of_group(self.vp_ases)
+    name = "silent_neighbor"
+    section = "§5.4.8"
+    table1_labels = ("8 silent", "8 other icmp")
+    after_link_assembly = True
+
+    def enabled(self, config):
+        return config.use_step8
+
+    def apply_graph(self, ctx):
+        already = self._inferred_neighbor_ases(ctx)
+        bgp_neighbors = ctx.view.neighbors_of_group(ctx.vp_ases)
         for neighbor_as in sorted(bgp_neighbors - already):
             final_vp_routers: Set[int] = set()
             saw_beyond = False
             icmp_from_neighbor = False
             considered = 0
-            for path in self.graph.paths:
+            for path in ctx.graph.paths:
                 if neighbor_as not in path.key:
                     continue
                 considered += 1
                 last_vp: Optional[int] = None
                 for rid in path.routers:
-                    if self.graph.routers[rid].owner == self.focal_asn:
+                    if ctx.graph.routers[rid].owner == ctx.focal_asn:
                         last_vp = rid
                 if last_vp is None:
                     continue
@@ -571,7 +593,7 @@ class InferenceEngine:
                     ResponseKind.DEST_UNREACH_PORT,
                 ):
                     src_origins = set(
-                        self.view.origins_of_addr(path.final_src)
+                        ctx.view.origins_of_addr(path.final_src)
                     )
                     if neighbor_as in src_origins:
                         icmp_from_neighbor = True
@@ -579,7 +601,7 @@ class InferenceEngine:
                 continue
             near_rid = next(iter(final_vp_routers))
             reason = "8 other icmp" if icmp_from_neighbor else "8 silent"
-            self.links.append(
+            ctx.links.append(
                 InferredLink(
                     near_rid=near_rid,
                     far_rid=None,
@@ -588,61 +610,213 @@ class InferenceEngine:
                     via_ixp=False,
                 )
             )
+            ctx.record(self.name, reason)
 
-    # -- link assembly ---------------------------------------------------------------
+    @staticmethod
+    def _inferred_neighbor_ases(ctx: InferenceContext) -> Set[int]:
+        found: Set[int] = set()
+        for router in ctx.graph.routers.values():
+            if router.owner is not None and router.owner not in ctx.vp_ases:
+                found.add(router.owner)
+        return found
 
-    def _assemble_links(self) -> None:
-        seen: Set[Tuple[int, Optional[int], int]] = set()
-        for rid in sorted(self.graph.routers):
-            far = self.graph.routers[rid]
-            if far.owner is None or far.owner == self.focal_asn:
+
+# The §5.4 application order.  ``ambiguous`` and ``ixp_fabric`` partition
+# §5.4.6's routers (fabric-addressed vs not), so their relative order only
+# fixes Table 1's row order.
+DEFAULT_PASS_ORDER: Tuple[str, ...] = (
+    "vp_router",
+    "firewall",
+    "unrouted",
+    "onenet",
+    "third_party",
+    "relationship",
+    "ambiguous",
+    "ixp_fabric",
+    "alias_collapse",
+    "silent_neighbor",
+)
+
+
+def build_passes(config: HeuristicConfig) -> List[HeuristicPass]:
+    """Instantiate the configured passes, in order, honoring ablations."""
+    order = config.passes if config.passes is not None else DEFAULT_PASS_ORDER
+    passes: List[HeuristicPass] = []
+    for name in order:
+        try:
+            cls = PASS_REGISTRY[name]
+        except KeyError:
+            raise ValueError(
+                "unknown heuristic pass %r (known: %s)"
+                % (name, ", ".join(sorted(PASS_REGISTRY)))
+            ) from None
+        instance = cls()
+        if instance.enabled(config):
+            passes.append(instance)
+    return passes
+
+
+def table1_row_order() -> List[str]:
+    """Table 1's heuristic rows, derived from the pass registry order."""
+    rows: List[str] = []
+    for name in DEFAULT_PASS_ORDER:
+        rows.extend(PASS_REGISTRY[name].table1_labels)
+    return rows
+
+
+# ---------------------------------------------------------------- the driver
+
+
+def build_context(graph, collection, data, config=None) -> InferenceContext:
+    """Assemble an :class:`InferenceContext` from a router graph, a
+    collection, and the shared §5.2 :class:`~repro.core.bdrmap.DataBundle`."""
+    return InferenceContext(
+        graph=graph,
+        collection=collection,
+        view=data.view,
+        rels=data.rels,
+        vp_ases=frozenset(data.vp_ases),
+        focal_asn=data.focal_asn,
+        ixp_data=data.ixp,
+        rir=data.rir,
+        config=config or HeuristicConfig(),
+    )
+
+
+def _apply_router_passes(
+    ctx: InferenceContext, passes: List[HeuristicPass]
+) -> None:
+    for router in ctx.graph.by_distance():
+        if router.owner is not None:
+            continue
+        for heuristic in passes:
+            outcome = heuristic.apply(router, ctx)
+            if outcome is None:
                 continue
-            if far.owner in self.vp_ases:
+            for assignment in outcome.assignments:
+                if assignment.router.owner is None:
+                    assignment.router.owner = assignment.owner
+                    assignment.router.reason = assignment.reason
+                    ctx.record(heuristic.name, assignment.reason)
+            break
+
+
+def _assemble_links(ctx: InferenceContext) -> None:
+    seen: Set[Tuple[int, Optional[int], int]] = set()
+    for rid in sorted(ctx.graph.routers):
+        far = ctx.graph.routers[rid]
+        if far.owner is None or far.owner == ctx.focal_asn:
+            continue
+        if far.owner in ctx.vp_ases:
+            continue
+        via_ixp = any(
+            ctx.addr_class.get(addr) == IXP_CLASS for addr in far.addrs
+        )
+        for pred in ctx.pred_routers(far):
+            if pred.owner != ctx.focal_asn:
                 continue
-            via_ixp = any(
-                self.addr_class.get(addr) == IXP_CLASS for addr in far.addrs
-            )
-            for pred in self._pred_routers(far):
-                if pred.owner != self.focal_asn:
-                    continue
-                key = (pred.rid, far.rid, far.owner)
-                if key in seen:
-                    continue
-                seen.add(key)
-                self.links.append(
-                    InferredLink(
-                        near_rid=pred.rid,
-                        far_rid=far.rid,
-                        neighbor_as=far.owner,
-                        reason=far.reason,
-                        via_ixp=via_ixp,
-                    )
+            key = (pred.rid, far.rid, far.owner)
+            if key in seen:
+                continue
+            seen.add(key)
+            ctx.links.append(
+                InferredLink(
+                    near_rid=pred.rid,
+                    far_rid=far.rid,
+                    neighbor_as=far.owner,
+                    reason=far.reason,
+                    via_ixp=via_ixp,
                 )
+            )
 
-    # -- driver --------------------------------------------------------------------
+
+def run_inference(ctx: InferenceContext) -> List[InferredLink]:
+    """Run the configured passes over ``ctx``'s router graph and return
+    the inferred interdomain links."""
+    passes = build_passes(ctx.config)
+    router_passes = [
+        p for p in passes if not isinstance(p, GraphHeuristicPass)
+    ]
+    pre_assembly = [
+        p
+        for p in passes
+        if isinstance(p, GraphHeuristicPass) and not p.after_link_assembly
+    ]
+    post_assembly = [
+        p
+        for p in passes
+        if isinstance(p, GraphHeuristicPass) and p.after_link_assembly
+    ]
+    ctx.prepare()
+    _apply_router_passes(ctx, router_passes)
+    for heuristic in pre_assembly:
+        heuristic.apply_graph(ctx)
+    if ctx.config.use_refinement:
+        from .refine import refine_ownership
+
+        refine_ownership(ctx.graph, ctx.rels, ctx.vp_ases, ctx.focal_asn)
+    _assemble_links(ctx)
+    for heuristic in post_assembly:
+        heuristic.apply_graph(ctx)
+    return ctx.links
+
+
+# ---------------------------------------------------------------- legacy facade
+
+
+class InferenceEngine:
+    """Compatibility facade over the pass registry.
+
+    Historically a 650-line monolith; now it only builds an
+    :class:`InferenceContext` and delegates to :func:`run_inference`.
+    Kept because its constructor signature is the natural way to run
+    inference over hand-built inputs (see ``tests/helpers.py``).
+    """
+
+    def __init__(
+        self,
+        graph,
+        collection,
+        view,
+        rels,
+        vp_ases,
+        focal_asn,
+        ixp_data=None,
+        rir=None,
+        config=None,
+    ) -> None:
+        self.config = config or HeuristicConfig()
+        self.ctx = InferenceContext(
+            graph=graph,
+            collection=collection,
+            view=view,
+            rels=rels,
+            vp_ases=frozenset(vp_ases),
+            focal_asn=focal_asn,
+            ixp_data=ixp_data,
+            rir=rir,
+            config=self.config,
+        )
+
+    @property
+    def graph(self):
+        return self.ctx.graph
+
+    @property
+    def addr_class(self) -> Dict[int, str]:
+        return self.ctx.addr_class
+
+    @property
+    def addr_origins(self) -> Dict[int, Tuple[int, ...]]:
+        return self.ctx.addr_origins
+
+    @property
+    def links(self) -> List[InferredLink]:
+        return self.ctx.links
+
+    @property
+    def pass_counts(self):
+        return self.ctx.pass_counts
 
     def run(self) -> List[InferredLink]:
-        self._prepare()
-        for router in self.graph.by_distance():
-            if router.owner is not None:
-                continue
-            for step in (
-                self._step1,
-                self._step2,
-                self._step3,
-                self._step4,
-                self._step5,
-                self._step6,
-            ):
-                if step(router):
-                    break
-        self._step7()
-        if self.config.use_refinement:
-            from .refine import refine_ownership
-
-            refine_ownership(
-                self.graph, self.rels, self.vp_ases, self.focal_asn
-            )
-        self._assemble_links()
-        self._step8()
-        return self.links
+        return run_inference(self.ctx)

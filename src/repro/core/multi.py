@@ -1,10 +1,14 @@
-"""Multi-VP coordination.
+"""Multi-VP coordination (legacy surface).
 
 The paper's deployment (§5.8, §6) runs many VPs in one network, driven by
 one central system.  Aliases are a property of routers, not vantage
 points, so the controller can share the alias-evidence store across VPs:
 the first VP pays the full Ally cost, later VPs reuse verdicts and only
 test pairs they alone observed.
+
+This module keeps the original one-call surface; the machinery now lives
+in :class:`repro.core.orchestrator.MultiVPOrchestrator`, which adds
+interleaved collection and per-pass reporting on top.
 """
 
 from __future__ import annotations
@@ -13,7 +17,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..alias import AliasResolver
-from .bdrmap import Bdrmap, BdrmapConfig, DataBundle, build_data_bundle
+from .bdrmap import BdrmapConfig, DataBundle
+from .orchestrator import MultiVPOrchestrator, RunReport
 from .report import BdrmapResult
 
 
@@ -21,6 +26,7 @@ from .report import BdrmapResult
 class MultiVPRun:
     results: List[BdrmapResult]
     shared_resolver: Optional[AliasResolver]
+    report: Optional[RunReport] = None
 
     def total_probes(self) -> int:
         return sum(result.probes_used for result in self.results)
@@ -37,26 +43,26 @@ def run_all_vps(
     config: Optional[BdrmapConfig] = None,
     share_alias_evidence: bool = True,
 ) -> MultiVPRun:
-    """Run bdrmap from every VP of a scenario.
+    """Run bdrmap from every VP of a scenario, one VP after another.
 
     With ``share_alias_evidence`` (the central-system behaviour), one
     resolver accumulates Mercator/Ally/prefixscan verdicts across VPs.
     Stop sets are *never* shared: they encode per-VP forward paths, and
     §6's analyses depend on each VP observing its own egresses.
+
+    Sequential semantics are kept for reproducibility of archived runs;
+    use :class:`~repro.core.orchestrator.MultiVPOrchestrator` directly for
+    interleaved (concurrent-in-virtual-time) collection.
     """
-    if data is None:
-        data = build_data_bundle(scenario)
-    config = config or BdrmapConfig()
-    resolver: Optional[AliasResolver] = None
-    if share_alias_evidence and scenario.vps:
-        resolver = AliasResolver(
-            scenario.network,
-            scenario.vps[0].addr,
-            ally_rounds=config.collection.ally_rounds,
-            ally_interval=config.collection.ally_interval,
-        )
-    results = []
-    for vp in scenario.vps:
-        driver = Bdrmap(scenario.network, vp, data, config, resolver=resolver)
-        results.append(driver.run())
-    return MultiVPRun(results=results, shared_resolver=resolver)
+    orchestrated = MultiVPOrchestrator(
+        scenario,
+        data=data,
+        config=config,
+        share_alias_evidence=share_alias_evidence,
+        interleave=False,
+    ).run()
+    return MultiVPRun(
+        results=orchestrated.results,
+        shared_resolver=orchestrated.shared_resolver,
+        report=orchestrated.report,
+    )

@@ -1,0 +1,326 @@
+"""The multi-VP orchestrator (§5.8, §6).
+
+The paper's deployment is one central system driving many VPs whose input
+data is shared: the BGP view, relationship inferences, RIR/IXP datasets —
+and the alias evidence, because aliases are a property of routers, not of
+vantage points.  :class:`MultiVPOrchestrator` builds the
+:class:`~repro.core.bdrmap.DataBundle` once, optionally shares one
+:class:`~repro.alias.AliasResolver` across VPs, and (by default)
+interleaves every VP's traceroute tasks through one
+:class:`~repro.probing.scheduler.RoundRobinScheduler`, so N VPs probe
+concurrently in virtual time instead of taking turns.
+
+Each run emits a :class:`RunReport`: per-VP and per-stage virtual-time and
+probe accounting plus per-heuristic-pass assignment counts keyed by the
+Table 1 reason labels.  Reports round-trip through
+:mod:`repro.io.serialize`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..alias import AliasResolver
+from .bdrmap import (
+    Bdrmap,
+    BdrmapConfig,
+    DataBundle,
+    build_data_bundle,
+    result_from_state,
+)
+from .collection import Collector
+from .pipeline import (
+    GraphBuildStage,
+    InferenceStage,
+    Pipeline,
+    PipelineState,
+    StageTiming,
+)
+from .report import BdrmapResult
+from ..probing.scheduler import RoundRobinScheduler
+
+REPORT_FORMAT = "bdrmap-repro-report/1"
+
+
+@dataclass
+class VPReport:
+    """Per-VP accounting for one orchestrated run."""
+
+    vp_name: str
+    vp_addr: int
+    traces_run: int = 0
+    probes_used: int = 0
+    links: int = 0
+    neighbor_ases: int = 0
+    stage_timings: List[StageTiming] = field(default_factory=list)
+    # Assignments per pass name and per Table 1 reason label.
+    pass_counts: Dict[str, int] = field(default_factory=dict)
+    reason_counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunReport:
+    """What a multi-VP orchestrated run did, per VP, stage, and pass."""
+
+    focal_asn: int
+    vp_ases: Set[int] = field(default_factory=set)
+    interleaved: bool = False
+    shared_aliases: bool = False
+    vp_reports: List[VPReport] = field(default_factory=list)
+    # Work not attributable to a single VP (the interleaved traceroute
+    # phase, where all VPs' probing shares the scheduler).
+    global_timings: List[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_probes(self) -> int:
+        return sum(vp.probes_used for vp in self.vp_reports)
+
+    @property
+    def total_traces(self) -> int:
+        return sum(vp.traces_run for vp in self.vp_reports)
+
+    @property
+    def total_virtual_seconds(self) -> float:
+        per_vp = sum(
+            timing.virtual_seconds
+            for vp in self.vp_reports
+            for timing in vp.stage_timings
+        )
+        shared = sum(t.virtual_seconds for t in self.global_timings)
+        return per_vp + shared
+
+    def pass_totals(self) -> Counter:
+        """Per-pass assignment counts summed over VPs."""
+        totals: Counter = Counter()
+        for vp in self.vp_reports:
+            totals.update(vp.pass_counts)
+        return totals
+
+    def reason_totals(self) -> Counter:
+        """Per-Table-1-label assignment counts summed over VPs."""
+        totals: Counter = Counter()
+        for vp in self.vp_reports:
+            totals.update(vp.reason_counts)
+        return totals
+
+    def summary(self) -> str:
+        mode = "interleaved" if self.interleaved else "sequential"
+        sharing = "shared" if self.shared_aliases else "independent"
+        lines = [
+            "orchestrated run for AS%d: %d VPs (%s collection, %s aliases)"
+            % (self.focal_asn, len(self.vp_reports), mode, sharing),
+            "  traces: %d   probes: %d   virtual time: %.0fs"
+            % (self.total_traces, self.total_probes,
+               self.total_virtual_seconds),
+        ]
+        for timing in self.global_timings:
+            lines.append(
+                "  [shared] %s=%.0fs/%dp"
+                % (timing.name, timing.virtual_seconds, timing.probes)
+            )
+        for vp in self.vp_reports:
+            stage_text = "  ".join(
+                "%s=%.0fs/%dp" % (t.name, t.virtual_seconds, t.probes)
+                for t in vp.stage_timings
+            )
+            lines.append(
+                "  %-10s traces=%-4d probes=%-6d links=%-3d (%d ASes)  %s"
+                % (vp.vp_name, vp.traces_run, vp.probes_used, vp.links,
+                   vp.neighbor_ases, stage_text)
+            )
+        reasons = self.reason_totals()
+        if reasons:
+            lines.append(
+                "  per-pass assignments: %s"
+                % ", ".join(
+                    "%s=%d" % (label, count)
+                    for label, count in sorted(reasons.items())
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class OrchestratedRun:
+    """Results plus accounting from one orchestrated multi-VP run."""
+
+    results: List[BdrmapResult]
+    report: RunReport
+    shared_resolver: Optional[AliasResolver] = None
+
+    def total_probes(self) -> int:
+        return sum(result.probes_used for result in self.results)
+
+    def all_links(self):
+        """Union of inferred links across VPs (deduplicated per VP only —
+        cross-VP identity needs ground truth or address comparison)."""
+        return [link for result in self.results for link in result.links]
+
+
+def _vp_report_from_state(state: PipelineState,
+                          result: BdrmapResult) -> VPReport:
+    ctx = state.ctx
+    return VPReport(
+        vp_name=state.vp_name,
+        vp_addr=state.vp_addr,
+        traces_run=result.traces_run,
+        probes_used=result.probes_used,
+        links=len(result.links),
+        neighbor_ases=len(result.neighbor_ases()),
+        stage_timings=list(state.timings),
+        pass_counts=dict(ctx.pass_counts) if ctx is not None else {},
+        reason_counts=dict(ctx.reason_counts) if ctx is not None else {},
+    )
+
+
+class MultiVPOrchestrator:
+    """Drive bdrmap from every VP of a scenario off one shared data set.
+
+    ``interleave=True`` (the central-system behaviour) feeds every VP's
+    traceroute tasks into a single round-robin scheduler so the VPs probe
+    concurrently in virtual time; ``interleave=False`` runs the VPs one
+    after another and is byte-identical to sequential
+    :func:`~repro.core.bdrmap.run_bdrmap` calls with a shared bundle.
+
+    ``share_alias_evidence=True`` reuses one alias resolver across VPs:
+    the first VP pays the full Ally cost, later VPs reuse verdicts and
+    only test pairs they alone observed.  Stop sets are *never* shared:
+    they encode per-VP forward paths, and §6's analyses depend on each VP
+    observing its own egresses.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        data: Optional[DataBundle] = None,
+        config: Optional[BdrmapConfig] = None,
+        share_alias_evidence: bool = True,
+        interleave: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.data = data
+        self.config = config or BdrmapConfig()
+        self.share_alias_evidence = share_alias_evidence
+        self.interleave = interleave
+
+    def _shared_resolver(self) -> Optional[AliasResolver]:
+        if not (self.share_alias_evidence and self.scenario.vps):
+            return None
+        return AliasResolver(
+            self.scenario.network,
+            self.scenario.vps[0].addr,
+            ally_rounds=self.config.collection.ally_rounds,
+            ally_interval=self.config.collection.ally_interval,
+        )
+
+    def run(self) -> OrchestratedRun:
+        if self.data is None:
+            self.data = build_data_bundle(self.scenario)
+        resolver = self._shared_resolver()
+        if self.interleave:
+            run = self._run_interleaved(resolver)
+        else:
+            run = self._run_sequential(resolver)
+        run.report.vp_ases = set(self.data.vp_ases)
+        run.report.shared_aliases = resolver is not None
+        run.report.interleaved = self.interleave
+        return run
+
+    # -- sequential (legacy-identical) ---------------------------------------
+
+    def _run_sequential(self, resolver) -> OrchestratedRun:
+        results: List[BdrmapResult] = []
+        report = RunReport(focal_asn=self.data.focal_asn)
+        for vp in self.scenario.vps:
+            driver = Bdrmap(
+                self.scenario.network, vp, self.data, self.config,
+                resolver=resolver,
+            )
+            result = driver.run()
+            results.append(result)
+            report.vp_reports.append(
+                _vp_report_from_state(driver.state, result)
+            )
+        return OrchestratedRun(
+            results=results, report=report, shared_resolver=resolver
+        )
+
+    # -- interleaved ----------------------------------------------------------
+
+    def _run_interleaved(self, resolver) -> OrchestratedRun:
+        network = self.scenario.network
+        collectors: List[Collector] = []
+        for vp in self.scenario.vps:
+            collectors.append(
+                Collector(
+                    network,
+                    vp.addr,
+                    self.data.view,
+                    self.data.vp_ases,
+                    self.config.collection,
+                    resolver=resolver,
+                )
+            )
+
+        # Phase 1: every VP's traceroute tasks through one scheduler — the
+        # VPs probe concurrently in virtual time.  Probe costs of this
+        # phase are attributed per VP via per-trace accounting.
+        now_before = network.now
+        probes_before = network.probes_sent
+        scheduler = RoundRobinScheduler(
+            parallelism=self.config.collection.parallelism
+        )
+        for collector in collectors:
+            scheduler.add_all(collector.traceroute_tasks())
+        scheduler.run()
+        trace_phase = StageTiming(
+            name="traceroute[interleaved]",
+            virtual_seconds=network.now - now_before,
+            probes=network.probes_sent - probes_before,
+        )
+
+        # Phase 2 per VP: alias resolution (reusing shared evidence when
+        # enabled), then the downstream graph/inference stages.
+        results: List[BdrmapResult] = []
+        report = RunReport(
+            focal_asn=self.data.focal_asn, global_timings=[trace_phase]
+        )
+        for vp, collector in zip(self.scenario.vps, collectors):
+            alias_now = network.now
+            alias_probes_before = network.probes_sent
+            collector.run_alias_resolution()
+            alias_probes = network.probes_sent - alias_probes_before
+            trace_probes = sum(
+                trace.probes_used for trace in collector.collection.traces
+            )
+            collector.collection.probes_used = trace_probes + alias_probes
+            state = PipelineState(
+                network=network,
+                vp_name=vp.name,
+                vp_addr=vp.addr,
+                data=self.data,
+                config=self.config,
+                resolver=collector.collection.resolver,
+                collection=collector.collection,
+            )
+            state.timings.append(
+                StageTiming(
+                    name="collection",
+                    virtual_seconds=network.now - alias_now,
+                    probes=collector.collection.probes_used,
+                )
+            )
+            Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
+            result = result_from_state(state)
+            results.append(result)
+            report.vp_reports.append(_vp_report_from_state(state, result))
+        return OrchestratedRun(
+            results=results, report=report, shared_resolver=resolver
+        )
+
+
+def orchestrate(scenario, **kwargs) -> OrchestratedRun:
+    """One-call convenience wrapper around :class:`MultiVPOrchestrator`."""
+    return MultiVPOrchestrator(scenario, **kwargs).run()

@@ -135,7 +135,6 @@ def generate_reverse_dns(
         for iface in router.interfaces:
             if iface.addr is None or rng.random() > coverage:
                 continue
-            link = internet.links[iface.link_id]
             iface_label = rng.choice(_IFACE_NAMES) % (
                 rng.randint(0, 3), rng.randint(0, 9)
             )

@@ -6,9 +6,13 @@ re-probing (``repro.analysis`` functions accept loaded results wherever
 they accept fresh ones)."""
 
 from .serialize import (
+    load_report,
     load_result,
+    report_from_dict,
+    report_to_dict,
     result_from_dict,
     result_to_dict,
+    save_report,
     save_result,
     trace_from_dict,
     trace_to_dict,
@@ -28,6 +32,10 @@ __all__ = [
     "trace_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "report_to_dict",
+    "report_from_dict",
+    "save_report",
+    "load_report",
     "save_result",
     "load_result",
 ]

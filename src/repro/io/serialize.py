@@ -281,6 +281,106 @@ def result_from_dict(data: Dict[str, Any]) -> BdrmapResult:
         raise DataError("malformed result record: %s" % exc) from exc
 
 
+# -- run reports ------------------------------------------------------------------
+
+
+def report_to_dict(report) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.core.orchestrator.RunReport` — the
+    counters and timings only, not the per-VP results (archive those
+    separately with :func:`result_to_dict`)."""
+    from ..core.orchestrator import REPORT_FORMAT
+
+    def timing(t) -> Dict[str, Any]:
+        return {
+            "name": t.name,
+            "virtual_seconds": round(t.virtual_seconds, 6),
+            "probes": t.probes,
+        }
+
+    return {
+        "format": REPORT_FORMAT,
+        "focal_asn": report.focal_asn,
+        "vp_ases": sorted(report.vp_ases),
+        "interleaved": report.interleaved,
+        "shared_aliases": report.shared_aliases,
+        "global_timings": [timing(t) for t in report.global_timings],
+        "vps": [
+            {
+                "vp_name": vp.vp_name,
+                "vp_addr": ntoa(vp.vp_addr),
+                "traces_run": vp.traces_run,
+                "probes_used": vp.probes_used,
+                "links": vp.links,
+                "neighbor_ases": vp.neighbor_ases,
+                "stage_timings": [timing(t) for t in vp.stage_timings],
+                "pass_counts": dict(sorted(vp.pass_counts.items())),
+                "reason_counts": dict(sorted(vp.reason_counts.items())),
+            }
+            for vp in report.vp_reports
+        ],
+    }
+
+
+def report_from_dict(data: Dict[str, Any]):
+    from ..core.orchestrator import REPORT_FORMAT, RunReport, VPReport
+    from ..core.pipeline import StageTiming
+
+    if data.get("format") != REPORT_FORMAT:
+        raise DataError("unknown report format %r" % data.get("format"))
+
+    def timing(entry) -> StageTiming:
+        return StageTiming(
+            name=entry["name"],
+            virtual_seconds=entry["virtual_seconds"],
+            probes=entry["probes"],
+        )
+
+    try:
+        return RunReport(
+            focal_asn=data["focal_asn"],
+            vp_ases=set(data["vp_ases"]),
+            interleaved=data["interleaved"],
+            shared_aliases=data["shared_aliases"],
+            global_timings=[timing(t) for t in data["global_timings"]],
+            vp_reports=[
+                VPReport(
+                    vp_name=entry["vp_name"],
+                    vp_addr=aton(entry["vp_addr"]),
+                    traces_run=entry["traces_run"],
+                    probes_used=entry["probes_used"],
+                    links=entry["links"],
+                    neighbor_ases=entry["neighbor_ases"],
+                    stage_timings=[
+                        timing(t) for t in entry["stage_timings"]
+                    ],
+                    pass_counts=dict(entry["pass_counts"]),
+                    reason_counts=dict(entry["reason_counts"]),
+                )
+                for entry in data["vps"]
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed report record: %s" % exc) from exc
+
+
+def save_report(report, target: Union[str, IO[str]]) -> None:
+    """Write a run report to a path or open file object."""
+    payload = json.dumps(report_to_dict(report), indent=1)
+    if hasattr(target, "write"):
+        target.write(payload)
+        return
+    with open(target, "w") as handle:
+        handle.write(payload)
+
+
+def load_report(source: Union[str, IO[str]]):
+    """Read a run report from a path or open file object."""
+    if hasattr(source, "read"):
+        return report_from_dict(json.load(source))
+    with open(source) as handle:
+        return report_from_dict(json.load(handle))
+
+
 def save_result(result: BdrmapResult, target: Union[str, IO[str]]) -> None:
     """Write a result to a path or open file object."""
     payload = json.dumps(result_to_dict(result), indent=1)

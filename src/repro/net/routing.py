@@ -24,7 +24,6 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..addr import Prefix
 from ..asgraph import ASGraph, Rel
 from ..errors import RoutingError
 from ..topology.model import Internet, LinkKind, PrefixPolicy

@@ -49,6 +49,10 @@ class TTLLimitedProber:
     def can_probe(self, addr: int) -> bool:
         return addr in self._aims
 
+    def aim(self, addr: int) -> Optional[Tuple[int, int]]:
+        """The learned (destination, ttl) aim for ``addr``, if any."""
+        return self._aims.get(addr)
+
     def _sample_once(self, addr: int, tag: int) -> Optional[Sample]:
         aim = self._aims.get(addr)
         if aim is None:

@@ -1,8 +1,12 @@
 """The central controller (§5.8).
 
-Runs the *identical* bdrmap pipeline as a local run — same collector, same
-alias resolver, same heuristics — but every measurement is dispatched to
-the on-device prober over the accounted channel.  The controller keeps all
+Runs the *identical* bdrmap pipeline as a local run — same stage sequence,
+same alias resolver, same heuristic passes — but every measurement is
+dispatched to the on-device prober over the accounted channel.  Only the
+collection stage is swapped: :class:`RemoteBdrmap` overrides
+:meth:`~repro.core.bdrmap.Bdrmap.stages` to substitute
+:class:`RemoteCollectionStage`, and everything downstream (router-graph
+build, heuristic inference) runs unchanged.  The controller keeps all
 heavy state (IP→AS mapping, stop sets, traces, alias evidence); the device
 keeps none.
 """
@@ -10,15 +14,14 @@ keeps none.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import List, Optional, Set
 
 from ..addr import aton, ntoa
 from ..alias import AliasResolver
-from ..core.bdrmap import BdrmapConfig, DataBundle
+from ..core.bdrmap import Bdrmap, BdrmapConfig, DataBundle
 from ..core.collection import Collector
-from ..core.heuristics import InferenceEngine
+from ..core.pipeline import CollectionStage, PipelineStage, PipelineState
 from ..core.report import BdrmapResult
-from ..core.routergraph import build_router_graph
 from ..net import Network, ResponseKind, VantagePoint
 from ..probing.ally import AliasVerdict, AllyResult
 from ..probing.prefixscan import PrefixscanResult
@@ -66,11 +69,10 @@ class _RemoteAliasResolver(AliasResolver):
 
     def _ally_raw(self, a: int, b: int) -> AllyResult:
         aims = {}
-        if self._ttl_prober is not None:
-            for addr in (a, b):
-                aim = self._ttl_prober._aims.get(addr)
-                if aim is not None:
-                    aims[ntoa(addr)] = [ntoa(aim[0]), aim[1]]
+        for addr in (a, b):
+            aim = self.ttl_aim(addr)
+            if aim is not None:
+                aims[ntoa(addr)] = [ntoa(aim[0]), aim[1]]
         payload = self._channel.call(
             "ally", a=ntoa(a), b=ntoa(b),
             rounds=self.ally_rounds, interval=self.ally_interval,
@@ -135,7 +137,26 @@ class _RemoteCollector(Collector):
         )
 
 
-class RemoteBdrmap:
+class RemoteCollectionStage(CollectionStage):
+    """Collection stage whose probes cross the device channel."""
+
+    name = "collection[remote]"
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+
+    def make_collector(self, state: PipelineState) -> Collector:
+        return _RemoteCollector(
+            self.channel,
+            state.network,
+            state.vp_addr,
+            state.data.view,
+            state.data.vp_ases,
+            state.config.collection,
+        )
+
+
+class RemoteBdrmap(Bdrmap):
     """bdrmap with the §5.8 split: device probes, controller thinks."""
 
     def __init__(
@@ -145,54 +166,30 @@ class RemoteBdrmap:
         data: DataBundle,
         config: Optional[BdrmapConfig] = None,
     ) -> None:
-        self.network = network
-        self.vp = vp
-        self.data = data
-        self.config = config or BdrmapConfig()
+        super().__init__(network, vp, data, config)
         self.prober = Prober(network, vp.addr)
         self.channel = Channel(self.prober)
         self.stats: Optional[RemoteStats] = None
 
+    def stages(self) -> List[PipelineStage]:
+        stages = super().stages()
+        return [
+            RemoteCollectionStage(self.channel)
+            if isinstance(stage, CollectionStage)
+            else stage
+            for stage in stages
+        ]
+
     def run(self) -> BdrmapResult:
-        collector = _RemoteCollector(
-            self.channel,
-            self.network,
-            self.vp.addr,
-            self.data.view,
-            self.data.vp_ases,
-            self.config.collection,
-        )
-        collection = collector.run()
-        graph = build_router_graph(collection)
-        engine = InferenceEngine(
-            graph=graph,
-            collection=collection,
-            view=self.data.view,
-            rels=self.data.rels,
-            vp_ases=self.data.vp_ases,
-            focal_asn=self.data.focal_asn,
-            ixp_data=self.data.ixp,
-            rir=self.data.rir,
-            config=self.config.heuristics,
-        )
-        links = engine.run()
+        result = super().run()
         self.stats = RemoteStats(
             messages=self.channel.messages,
             bytes_to_device=self.channel.bytes_to_device,
             bytes_from_device=self.channel.bytes_from_device,
             device_peak_bytes=self.channel.device_peak_bytes,
-            controller_state_bytes=_estimate_controller_state(collection),
+            controller_state_bytes=_estimate_controller_state(self.collection),
         )
-        return BdrmapResult(
-            vp_name=self.vp.name,
-            vp_addr=self.vp.addr,
-            focal_asn=self.data.focal_asn,
-            vp_ases=set(self.data.vp_ases),
-            graph=graph,
-            links=links,
-            probes_used=collection.probes_used,
-            traces_run=collection.traces_run,
-        )
+        return result
 
 
 def _estimate_controller_state(collection) -> int:

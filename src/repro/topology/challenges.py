@@ -60,7 +60,6 @@ def apply_challenges(state: GenState, config: Optional[ChallengeConfig] = None) 
     if config is None:
         config = ChallengeConfig()
     internet = state.internet
-    rng = make_rng(state.config.seed, "challenges")
     focal = state.focal_asn
     focal_family = internet.sibling_asns(focal)
 

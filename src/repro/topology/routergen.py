@@ -11,7 +11,6 @@ link (Akamai-like).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -21,7 +20,7 @@ from ..rng import make_rng
 from .addressing import SubnetPool
 from .asgen import GenState
 from .geography import CITIES, City, geo_distance
-from .model import ASKind, ASNode, Internet, LinkKind, PoP, PrefixPolicy, Router
+from .model import ASKind, ASNode, LinkKind, PoP, PrefixPolicy, Router
 
 _POP_PLAN = {
     ASKind.TIER1: (8, 12),

@@ -21,7 +21,7 @@ the default sizes here are scaled to laptop runtimes and can be raised via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List
 
 from ..net import Network, VantagePoint

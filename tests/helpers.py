@@ -7,7 +7,7 @@ a hand-written public view, and hand-written relationship inferences.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.addr import Prefix, aton
 from repro.alias import AliasResolver

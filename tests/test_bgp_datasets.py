@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.addr import Prefix, aton, ntoa
-from repro.bgp import BGPView, CollectorConfig, RibEntry, collect_public_view
+from repro.addr import Prefix, aton
+from repro.bgp import BGPView, RibEntry, collect_public_view
 from repro.datasets import (
     generate_as2org,
     generate_ixp_data,

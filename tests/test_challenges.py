@@ -5,10 +5,8 @@ import pytest
 
 from repro.net.ipid import IPIDModel
 from repro.net.policies import SourceSel
-from repro.topology import ASKind, build_scenario, mini
-from repro.topology.asgen import generate_as_level
-from repro.topology.challenges import ChallengeConfig, apply_challenges
-from repro.topology.routergen import build_router_level
+from repro.topology import build_scenario, mini
+from repro.topology.challenges import ChallengeConfig
 
 
 @pytest.fixture(scope="module")
@@ -47,7 +45,6 @@ class TestBasePolicies:
 class TestNeighborBehaviours:
     def test_some_customer_firewalls(self, scenario):
         internet = scenario.internet
-        focal_family = internet.sibling_asns(scenario.focal_asn)
         firewalled = 0
         for asn in internet.graph.customers(scenario.focal_asn):
             for router in internet.routers_of(asn):

@@ -7,7 +7,6 @@ from repro.addr import AddressBlock, Prefix, aton
 from repro.asgraph import InferredRelationships
 from repro.bgp import BGPView, RibEntry
 from repro.core import (
-    Collection,
     CollectionConfig,
     Collector,
     build_router_graph,

@@ -4,7 +4,7 @@ import pytest
 
 from repro import build_scenario, build_data_bundle, mini, run_bdrmap
 from repro.analysis import dns_sanity_check, degree_anomalies, geography_analysis
-from repro.datasets.dns import DNSConfig, ReverseDNS, generate_reverse_dns
+from repro.datasets.dns import generate_reverse_dns
 from repro.topology.geography import CITY_BY_IATA
 
 
@@ -80,7 +80,6 @@ class TestHints:
             if hint is None:
                 continue
             found += 1
-            truth = scenario.internet.owner_of_addr(addr)
             # Stale names may point elsewhere, but most should be right.
         assert found > 0
 

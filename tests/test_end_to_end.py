@@ -1,7 +1,6 @@
 """End-to-end integration tests: full bdrmap runs on scenarios, checked
 against ground truth, plus determinism and cross-layer invariants."""
 
-import pytest
 
 from repro import build_scenario, build_data_bundle, mini, run_bdrmap
 from repro.analysis import validate_result

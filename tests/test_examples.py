@@ -19,6 +19,7 @@ EXAMPLES = [
     ("examples/longitudinal_monitoring.py", []),
     ("examples/access_isp_study.py", ["--vps", "3", "--customers", "30"]),
     ("examples/offline_reanalysis.py", []),
+    ("examples/multi_vp_orchestrator.py", []),
 ]
 
 

@@ -2,7 +2,6 @@
 topological situation of the paper's figures 4-11 (plus the Fig 12
 limitation) from hand-written traces."""
 
-import pytest
 
 from repro.addr import Prefix, aton
 from repro.core.heuristics import HeuristicConfig

@@ -1,9 +1,8 @@
 """Additional edge-case coverage for the §5.4 heuristic engine."""
 
-import pytest
 
 from repro.addr import aton
-from repro.core.heuristics import HeuristicConfig
+
 from repro.datasets.ixp import IXPDataset
 from repro.addr import Prefix
 

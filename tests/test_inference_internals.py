@@ -1,7 +1,6 @@
 """Tests for relationship-inference internals: downstream reach, the clique
 refinement loop, and the transit-witness validation."""
 
-import pytest
 
 from repro.asgraph.inference import (
     _clean_path,

@@ -11,7 +11,6 @@ from repro.topology.model import (
     ASKind,
     ASNode,
     Internet,
-    Link,
     LinkKind,
     Org,
     PrefixPolicy,

@@ -3,8 +3,7 @@
 import pytest
 
 from repro import build_scenario, mini
-from repro.addr import Prefix
-from repro.bgp import BGPView, RibEntry, collect_public_view, dump_rib, parse_rib
+from repro.bgp import BGPView, collect_public_view, dump_rib, parse_rib
 from repro.errors import DataError
 from repro.net import ProbeKind, ResponseKind
 from repro.probing import paris_traceroute

@@ -6,14 +6,10 @@ import pytest
 from repro.net import (
     IPIDModel,
     IPIDState,
-    Network,
     Probe,
     ProbeKind,
-    Response,
     ResponseKind,
-    RouterPolicy,
     SourceSel,
-    VantagePoint,
 )
 from repro.net.policies import RateLimiter
 from repro.net.routing import StepKind
@@ -164,7 +160,6 @@ class TestRoutingOracle:
         """The egress border router chosen must be (near-)minimal in IGP
         distance among candidates."""
         oracle = scenario.network.oracle
-        internet = scenario.internet
         policy = external_target(scenario)
         key = oracle.class_key(policy)
         focal = scenario.focal_asn
@@ -342,7 +337,6 @@ class TestPolicyBehaviours:
         scenario = self._build_custom()
         internet = scenario.internet
         vp = scenario.vps[0]
-        focal_family = internet.sibling_asns(scenario.focal_asn)
         # Choose a customer with >= 2 routers and force a firewall.
         for asn in internet.graph.customers(scenario.focal_asn):
             routers = internet.routers_of(asn)
@@ -368,11 +362,6 @@ class TestPolicyBehaviours:
                 response = scenario.network.send(Probe(vp.addr, dst, ttl=ttl))
                 hops.append(response)
             responded = [r for r in hops if r is not None]
-            owners = {
-                internet.routers[r.truth_router_id].asn
-                for r in responded
-                if r.truth_router_id is not None
-            }
             # The customer's border may respond, but no probe reaches a
             # live host or interior router *behind* the firewall.
             interior = [

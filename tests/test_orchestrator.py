@@ -1,0 +1,211 @@
+"""Tests for the multi-VP orchestrator (§5.8) and its run reports."""
+
+import io
+
+import pytest
+
+from repro import build_scenario, build_data_bundle, mini
+from repro.analysis import pass_table, validate_result
+from repro.analysis.coverage import ROW_ORDER
+from repro.core.bdrmap import Bdrmap
+from repro.core.heuristics import table1_row_order
+from repro.core.orchestrator import MultiVPOrchestrator, orchestrate
+from repro.errors import DataError
+from repro.io import load_report, report_from_dict, report_to_dict, save_report
+
+
+@pytest.fixture(scope="module")
+def interleaved_run():
+    scenario = build_scenario(mini(seed=31))
+    return scenario, MultiVPOrchestrator(scenario).run()
+
+
+class TestSequentialEquivalence:
+    def test_matches_plain_bdrmap_runs(self):
+        """Sequential mode without shared aliases is byte-identical to
+        running Bdrmap per VP by hand off the same data bundle."""
+        scenario_a = build_scenario(mini(seed=29))
+        data_a = build_data_bundle(scenario_a)
+        manual = [
+            Bdrmap(scenario_a.network, vp, data_a).run()
+            for vp in scenario_a.vps
+        ]
+
+        scenario_b = build_scenario(mini(seed=29))
+        run = MultiVPOrchestrator(
+            scenario_b, share_alias_evidence=False, interleave=False
+        ).run()
+
+        assert len(run.results) == len(manual)
+        for ours, theirs in zip(run.results, manual):
+            assert ours.vp_name == theirs.vp_name
+            assert set(ours.links) == set(theirs.links)
+            assert ours.probes_used == theirs.probes_used
+            assert ours.traces_run == theirs.traces_run
+
+    def test_sharing_saves_probes(self):
+        shared = MultiVPOrchestrator(
+            build_scenario(mini(seed=29)), interleave=False
+        ).run()
+        independent = MultiVPOrchestrator(
+            build_scenario(mini(seed=29)),
+            share_alias_evidence=False,
+            interleave=False,
+        ).run()
+        assert shared.total_probes() < independent.total_probes()
+        assert shared.shared_resolver is not None
+        assert independent.shared_resolver is None
+
+
+class TestInterleavedRun:
+    def test_one_result_per_vp(self, interleaved_run):
+        scenario, run = interleaved_run
+        assert len(run.results) == len(scenario.vps)
+        assert len(run.report.vp_reports) == len(scenario.vps)
+
+    def test_accuracy(self, interleaved_run):
+        scenario, run = interleaved_run
+        for result in run.results:
+            report = validate_result(result, scenario.internet)
+            assert report.accuracy >= 0.8
+
+    def test_traceroute_phase_is_global(self, interleaved_run):
+        _, run = interleaved_run
+        names = [t.name for t in run.report.global_timings]
+        assert "traceroute[interleaved]" in names
+        trace_phase = run.report.global_timings[0]
+        assert trace_phase.probes > 0
+
+    def test_per_vp_probe_attribution(self, interleaved_run):
+        """Per-VP probe counts must sum to the network-wide total."""
+        _, run = interleaved_run
+        assert run.report.total_probes == run.total_probes()
+        for vp in run.report.vp_reports:
+            assert vp.probes_used > 0
+            assert vp.traces_run > 0
+
+    def test_interleaving_conserves_work(self):
+        """Interleaving reorders probing across VPs but neither adds nor
+        drops work: total probes and total virtual time match a
+        sequential run of the same scenario."""
+        interleaved = MultiVPOrchestrator(build_scenario(mini(seed=29))).run()
+        sequential = MultiVPOrchestrator(
+            build_scenario(mini(seed=29)), interleave=False
+        ).run()
+        assert interleaved.total_probes() == sequential.total_probes()
+        assert interleaved.report.total_virtual_seconds == pytest.approx(
+            sequential.report.total_virtual_seconds
+        )
+
+    def test_interleaved_matches_sequential_inferences(self):
+        """Reordering the probing must not change what is inferred."""
+        interleaved = MultiVPOrchestrator(build_scenario(mini(seed=29))).run()
+        sequential = MultiVPOrchestrator(
+            build_scenario(mini(seed=29)), interleave=False
+        ).run()
+        for ours, theirs in zip(interleaved.results, sequential.results):
+            assert {
+                (link.neighbor_as, link.reason) for link in ours.links
+            } == {(link.neighbor_as, link.reason) for link in theirs.links}
+
+    def test_orchestrate_wrapper(self):
+        run = orchestrate(build_scenario(mini(seed=31)))
+        assert run.report.interleaved
+        assert run.report.shared_aliases
+
+
+class TestRunReport:
+    def test_pass_counters_use_table1_labels(self, interleaved_run):
+        _, run = interleaved_run
+        valid = set(table1_row_order()) | {"vp"}
+        reasons = run.report.reason_totals()
+        assert reasons, "no pass assignments recorded"
+        assert set(reasons) <= valid
+        # Every VP contributed counters keyed by registered pass names.
+        for vp in run.report.vp_reports:
+            assert vp.pass_counts
+            assert sum(vp.reason_counts.values()) == sum(
+                vp.pass_counts.values()
+            )
+
+    def test_links_match_results(self, interleaved_run):
+        _, run = interleaved_run
+        for vp, result in zip(run.report.vp_reports, run.results):
+            assert vp.links == len(result.links)
+            assert vp.neighbor_ases == len(result.neighbor_ases())
+
+    def test_summary_text(self, interleaved_run):
+        _, run = interleaved_run
+        text = run.report.summary()
+        assert "interleaved collection, shared aliases" in text
+        for vp in run.report.vp_reports:
+            assert vp.vp_name in text
+
+    def test_pass_table_renders(self, interleaved_run):
+        _, run = interleaved_run
+        table = pass_table(run.report)
+        assert "assignments" in table
+        for label in run.report.reason_totals():
+            assert label in table
+
+    def test_row_order_comes_from_registry(self):
+        assert ROW_ORDER == table1_row_order()
+
+
+class TestReportRoundTrip:
+    def test_round_trip(self, interleaved_run):
+        _, run = interleaved_run
+        reloaded = report_from_dict(report_to_dict(run.report))
+        assert reloaded.focal_asn == run.report.focal_asn
+        assert reloaded.vp_ases == run.report.vp_ases
+        assert reloaded.interleaved == run.report.interleaved
+        assert reloaded.shared_aliases == run.report.shared_aliases
+        assert reloaded.total_probes == run.report.total_probes
+        assert reloaded.total_traces == run.report.total_traces
+        assert reloaded.reason_totals() == run.report.reason_totals()
+        assert reloaded.pass_totals() == run.report.pass_totals()
+        assert [t.name for t in reloaded.global_timings] == [
+            t.name for t in run.report.global_timings
+        ]
+        for ours, theirs in zip(reloaded.vp_reports, run.report.vp_reports):
+            assert ours.vp_name == theirs.vp_name
+            assert ours.vp_addr == theirs.vp_addr
+            assert ours.traces_run == theirs.traces_run
+            assert ours.probes_used == theirs.probes_used
+            assert ours.links == theirs.links
+            assert ours.neighbor_ases == theirs.neighbor_ases
+            assert ours.pass_counts == theirs.pass_counts
+            assert ours.reason_counts == theirs.reason_counts
+            # Timings are rounded to microseconds in the archive.
+            for mine, orig in zip(ours.stage_timings, theirs.stage_timings):
+                assert mine.name == orig.name
+                assert mine.probes == orig.probes
+                assert mine.virtual_seconds == pytest.approx(
+                    orig.virtual_seconds, abs=1e-6
+                )
+
+    def test_file_round_trip(self, interleaved_run, tmp_path):
+        _, run = interleaved_run
+        path = str(tmp_path / "report.json")
+        save_report(run.report, path)
+        reloaded = load_report(path)
+        assert reloaded.total_probes == run.report.total_probes
+
+    def test_stream_round_trip(self, interleaved_run):
+        _, run = interleaved_run
+        buffer = io.StringIO()
+        save_report(run.report, buffer)
+        buffer.seek(0)
+        reloaded = load_report(buffer)
+        assert len(reloaded.vp_reports) == len(run.report.vp_reports)
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(DataError):
+            report_from_dict({"format": "bogus/9"})
+
+    def test_rejects_malformed(self, interleaved_run):
+        _, run = interleaved_run
+        data = report_to_dict(run.report)
+        del data["vps"][0]["probes_used"]
+        with pytest.raises(DataError):
+            report_from_dict(data)

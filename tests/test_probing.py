@@ -4,7 +4,7 @@ MIDAR, Mercator, prefixscan, and the scheduler."""
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.net import Network, Probe, ProbeKind, ResponseKind
+from repro.net import ResponseKind
 from repro.probing import (
     AliasVerdict,
     RoundRobinScheduler,

@@ -11,7 +11,7 @@ from repro import build_scenario, build_data_bundle, mini, run_bdrmap
 from repro.analysis import validate_result
 from repro.asgraph import Rel
 from repro.net import Probe
-from repro.net.routing import StepKind
+
 from repro.topology import LinkKind
 
 seeds = st.integers(min_value=1, max_value=50)

@@ -1,35 +1,33 @@
 """Tests for the bdrmapIT-style ownership refinement extension."""
 
-import pytest
 
 from repro import build_scenario, build_data_bundle, re_network
 from repro.analysis import score_bdrmap_ownership, validate_result
 from repro.core.bdrmap import Bdrmap, BdrmapConfig
 from repro.core.heuristics import HeuristicConfig
-from repro.core.refine import refine_ownership
 
 from tests.helpers import CaseBuilder
 
 X = 100
-O = 400   # the provider whose address space shows up on B's router
+PROV = 400   # the provider whose address space shows up on B's router
 B = 300
 
 
 def _deep_case():
-    """[VP] → O's network → R (O-addressed, truly B's) → B's network.
+    """[VP] → PROV's network → R (PROV-addressed, truly B's) → B's network.
 
     R is two AS hops out: the §5.4.5 third-party rule does not apply (R is
     on paths to many destinations), so the engine falls back to IP-AS and
-    blames O.  Refinement must hand R to B.
+    blames PROV.  Refinement must hand R to B.
     """
     case = CaseBuilder(focal=X)
     case.announce("10.0.0.0/8", X)
-    case.announce("40.0.0.0/8", O)
+    case.announce("40.0.0.0/8", PROV)
     case.announce("30.0.0.0/8", B)
     case.announce("31.0.0.0/8", 301)
-    case.c2p(B, O).c2p(301, B)
+    case.c2p(B, PROV).c2p(301, B)
     # Paths to B and to B's customer 301 — R (40.0.9.1) is B's border with
-    # O-supplied addressing; dsts = {300, 301} so third-party won't fire.
+    # PROV-supplied addressing; dsts = {300, 301} so third-party won't fire.
     case.trace(B, "30.0.0.9",
                ["10.0.0.1", "40.0.0.1", "40.0.9.1", "30.0.0.1"])
     case.trace(301, "31.0.0.9",
@@ -49,29 +47,29 @@ class TestRefinementUnit:
         case = _deep_case()
         graph, links, _ = case.run()
         router = graph.router_of_addr(case_addr("40.0.9.1"))
-        assert router.owner == O
+        assert router.owner == PROV
         assert router.reason == "6 ipas"
 
     def test_mixed_successors_prevent_flip(self):
-        """A router with successors in its own network is genuinely O's
-        (e.g. O's border carrying transit): refinement must leave it."""
+        """A router with successors in its own network is genuinely PROV's
+        (e.g. PROV's border carrying transit): refinement must leave it."""
         case = CaseBuilder(focal=X)
         case.announce("10.0.0.0/8", X)
-        case.announce("40.0.0.0/8", O)
+        case.announce("40.0.0.0/8", PROV)
         case.announce("30.0.0.0/8", B)
         case.announce("31.0.0.0/8", 301)
-        case.c2p(B, O).c2p(301, B)
-        # 40.0.9.1 has both a B successor and an O-internal successor: it
-        # is O's router fanning out, not B's border.
+        case.c2p(B, PROV).c2p(301, B)
+        # 40.0.9.1 has both a B successor and a PROV-internal successor: it
+        # is PROV's router fanning out, not B's border.
         case.trace(B, "30.0.0.9",
                    ["10.0.0.1", "40.0.0.1", "40.0.9.1", "30.0.0.1"])
         case.trace(301, "31.0.0.9",
                    ["10.0.0.1", "40.0.0.1", "40.0.9.1", "30.0.0.1", "31.0.0.1"])
-        case.trace(O, "40.0.77.9",
+        case.trace(PROV, "40.0.77.9",
                    ["10.0.0.1", "40.0.0.1", "40.0.9.1", "40.0.70.1", None, None])
         graph, links, _ = case.run(HeuristicConfig(use_refinement=True))
         router = graph.router_of_addr(case_addr("40.0.9.1"))
-        assert router.owner == O
+        assert router.owner == PROV
         assert router.reason != "9 refined"
 
     def test_strong_reasons_never_overturned(self):
@@ -82,20 +80,20 @@ class TestRefinementUnit:
                 assert router.reason != "9 refined"
 
     def test_no_relationship_no_flip(self):
-        """Without an O→B provider/peer inference the pattern is too weak
+        """Without a PROV→B provider/peer inference the pattern is too weak
         to act on."""
         case = CaseBuilder(focal=X)
         case.announce("10.0.0.0/8", X)
-        case.announce("40.0.0.0/8", O)
+        case.announce("40.0.0.0/8", PROV)
         case.announce("30.0.0.0/8", B)
         case.announce("31.0.0.0/8", 301)
-        case.c2p(301, B)  # but no O-B relationship
+        case.c2p(301, B)  # but no PROV-B relationship
         case.trace(B, "30.0.0.9",
                    ["10.0.0.1", "40.0.0.1", "40.0.9.1", "30.0.0.1"])
         case.trace(301, "31.0.0.9",
                    ["10.0.0.1", "40.0.0.1", "40.0.9.1", "30.0.0.1", "31.0.0.1"])
         graph, links, _ = case.run(HeuristicConfig(use_refinement=True))
-        assert graph.router_of_addr(case_addr("40.0.9.1")).owner == O
+        assert graph.router_of_addr(case_addr("40.0.9.1")).owner == PROV
 
 
 class TestRefinementIntegration:

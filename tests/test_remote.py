@@ -4,7 +4,7 @@ command handlers, and controller/local equivalence."""
 import pytest
 
 from repro import build_scenario, build_data_bundle, mini, run_bdrmap
-from repro.addr import aton, ntoa
+from repro.addr import ntoa
 from repro.errors import ProbeError
 from repro.remote import Channel, Command, Prober, RemoteBdrmap, Reply, decode, encode
 

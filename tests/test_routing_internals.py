@@ -4,7 +4,7 @@ egress selection, and the links-between index."""
 import pytest
 
 from repro.asgraph import ASGraph, Rel
-from repro.net.routing import RoutingOracle, StepKind, _class_fingerprint
+from repro.net.routing import StepKind, _class_fingerprint
 from repro.topology import build_scenario, mini
 from repro.topology.model import LinkKind
 

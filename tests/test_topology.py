@@ -3,16 +3,13 @@ geography, and the scenario presets."""
 
 import pytest
 
-from repro.addr import Prefix, ntoa
+from repro.addr import Prefix
 from repro.asgraph import Rel
 from repro.errors import TopologyError
-from repro.rng import make_rng
 from repro.topology import (
-    ASGenConfig,
     ASKind,
     CITIES,
     LinkKind,
-    build_scenario,
     generate_as_level,
     geo_distance,
     mini,
@@ -23,7 +20,6 @@ from repro.topology.addressing import (
     p2p_addresses,
     p2p_mate,
 )
-from repro.topology.asgen import FocalSpec
 from repro.topology.routergen import build_router_level
 
 
@@ -266,7 +262,6 @@ class TestRouterLevelGeneration:
     def test_cdn_selective_announcement(self, built):
         state, _ = built
         for cdn in state.cdn_peer_asns:
-            node = state.internet.ases[cdn]
             restricted = [
                 policy
                 for prefix, policy in state.internet.prefix_policies.items()

@@ -1,6 +1,5 @@
 """Tests for the radix trie, including property tests against brute force."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.addr import MAX_ADDR, Prefix, aton
