@@ -16,6 +16,7 @@ from ..probing.ally import AliasVerdict, ally_repeated
 from ..probing.mercator import mercator_probe
 from ..probing.midar import estimate_velocity, velocities_compatible
 from ..probing.ping import ping
+from ..probing.retry import RetryPolicy, RetryStats
 from ..probing.ttl_limited import TTLLimitedProber
 from .evidence import EvidenceStore
 from .unionfind import ConflictUnionFind
@@ -32,6 +33,7 @@ class AliasResolver:
         ally_interval: float = 300.0,
         max_set_pairs: int = 66,
         use_velocity_screen: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.network = network
         self.vp_addr = vp_addr
@@ -39,6 +41,8 @@ class AliasResolver:
         self.ally_interval = ally_interval
         self.max_set_pairs = max_set_pairs
         self.use_velocity_screen = use_velocity_screen
+        self.retry = retry
+        self.retry_stats = RetryStats()
         self.evidence = EvidenceStore()
         self._mercator_cache: Dict[int, Optional[int]] = {}
         self._velocity_cache: Dict[int, Optional[float]] = {}
@@ -67,7 +71,9 @@ class AliasResolver:
 
     def _mercator_raw(self, addr: int) -> Optional[int]:
         """Override point for remote (§5.8) deployments."""
-        return mercator_probe(self.network, self.vp_addr, addr)
+        return mercator_probe(self.network, self.vp_addr, addr,
+                              retry=self.retry,
+                              retry_stats=self.retry_stats)
 
     def _ally_raw(self, a: int, b: int):
         """Override point for remote (§5.8) deployments."""
@@ -75,6 +81,7 @@ class AliasResolver:
             self.network, self.vp_addr, a, b,
             rounds=self.ally_rounds, interval=self.ally_interval,
             ttl_prober=self._ttl_prober,
+            retry=self.retry, retry_stats=self.retry_stats,
         )
 
     def mercator(self, addr: int) -> Optional[int]:
@@ -125,7 +132,8 @@ class AliasResolver:
             if index:
                 self.network.advance(2.0)
             response = ping(self.network, self.vp_addr, addr,
-                            kind=ProbeKind.ICMP_ECHO)
+                            kind=ProbeKind.ICMP_ECHO, retry=self.retry,
+                            retry_stats=self.retry_stats)
             if response is not None:
                 samples.append((self.network.now, response.ipid))
         return estimate_velocity(samples)

@@ -3,6 +3,7 @@ coverage/heuristic breakdown, and the §6 interconnection analyses
 (Figures 14, 15, 16).  This is the only layer allowed to read the
 generator's ground truth."""
 
+from .chaos import ChaosReport, ChaosRun, run_chaos_suite
 from .validation import LinkJudgement, ValidationReport, validate_result
 from .coverage import CoverageReport, coverage_table, format_table1, pass_table
 from .diversity import DiversityReport, diversity_analysis
@@ -19,6 +20,9 @@ from .ownership import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRun",
+    "run_chaos_suite",
     "RunDiff",
     "diff_results",
     "NaiveLinkReport",

@@ -1,0 +1,169 @@
+"""Chaos harness: bdrmap under escalating fault injection.
+
+Runs the full pipeline over the same scenario at increasing packet-loss
+levels (clean, then e.g. 1/5/10%) with retry/backoff probing enabled, and
+scores each run against ground truth.  The point is the robustness
+contract: under loss the pipeline must *degrade* — fewer links, slightly
+lower accuracy, nonzero retry and degradation counters — rather than
+crash or collapse.  :meth:`ChaosReport.degrades_gracefully` encodes that
+check for tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.bdrmap import Bdrmap, BdrmapConfig, build_data_bundle
+from ..core.collection import CollectionConfig
+from ..net.faults import FaultConfig, FaultPlan, GilbertElliott
+from ..probing.retry import RetryPolicy
+from .validation import validate_result
+
+
+@dataclass
+class ChaosRun:
+    """One pipeline run at one fault level."""
+
+    label: str
+    loss_rate: float
+    completed: bool
+    accuracy: float = 0.0
+    correct_links: int = 0
+    total_links: int = 0
+    probes_used: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    error: Optional[str] = None
+
+    def line(self) -> str:
+        if not self.completed:
+            return "  %-8s CRASHED: %s" % (self.label, self.error)
+        return (
+            "  %-8s accuracy=%5.1f%% (%d/%d links)  probes=%-6d "
+            "retries=%-5d faults=%d"
+            % (self.label, 100.0 * self.accuracy, self.correct_links,
+               self.total_links, self.probes_used, self.retries,
+               self.faults_injected)
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Accuracy-vs-loss curve for one scenario."""
+
+    scenario_name: str
+    runs: List[ChaosRun] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> Optional[ChaosRun]:
+        for run in self.runs:
+            if run.loss_rate == 0.0 and run.completed:
+                return run
+        return None
+
+    def degrades_gracefully(self, max_drop: float = 0.35,
+                            min_links_fraction: float = 0.5) -> bool:
+        """True when every faulted run completed, kept accuracy within
+        ``max_drop`` of the clean baseline, and still inferred at least
+        ``min_links_fraction`` of the baseline's links."""
+        baseline = self.baseline
+        if baseline is None or baseline.total_links == 0:
+            return False
+        for run in self.runs:
+            if not run.completed:
+                return False
+            if run.accuracy < baseline.accuracy - max_drop:
+                return False
+            if run.total_links < min_links_fraction * baseline.total_links:
+                return False
+        return True
+
+    def summary(self) -> str:
+        lines = ["chaos suite on %s:" % self.scenario_name]
+        lines.extend(run.line() for run in self.runs)
+        lines.append(
+            "  graceful degradation: %s"
+            % ("yes" if self.degrades_gracefully() else "NO")
+        )
+        return "\n".join(lines)
+
+
+def run_chaos_suite(
+    make_scenario: Optional[Callable[[], object]] = None,
+    scenario_name: str = "mini",
+    loss_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
+    burst: bool = False,
+    fault_seed: int = 7,
+    retry: Optional[RetryPolicy] = None,
+) -> ChaosReport:
+    """Run bdrmap (first VP) once per loss rate and score each run.
+
+    ``make_scenario`` must return a *fresh* scenario each call (virtual
+    clocks and caches are mutated by a run); the default builds the
+    ``mini`` topology.  Faulted runs get retry/backoff probing —
+    ``retry`` overrides the default :class:`RetryPolicy`.
+    """
+    if make_scenario is None:
+        from ..topology import build_scenario, mini
+
+        def make_scenario():
+            return build_scenario(mini())
+
+    if retry is None:
+        retry = RetryPolicy()
+    burst_model: Optional[GilbertElliott] = None
+    if burst:
+        burst_model = burst if isinstance(burst, GilbertElliott) else GilbertElliott()
+    report = ChaosReport(scenario_name=scenario_name)
+    for loss_rate in loss_rates:
+        label = "loss=%g%%" % (100.0 * loss_rate)
+        scenario = make_scenario()
+        if loss_rate > 0.0:
+            config = FaultConfig(loss_rate=loss_rate, burst=burst_model)
+            scenario.network.faults = FaultPlan(config, seed=fault_seed)
+            bdr_config = BdrmapConfig(
+                collection=CollectionConfig(retry=retry)
+            )
+        else:
+            bdr_config = BdrmapConfig()
+        driver = Bdrmap(
+            scenario.network, scenario.vps[0],
+            build_data_bundle(scenario), bdr_config,
+        )
+        try:
+            result = driver.run()
+        except Exception as exc:  # noqa: BLE001 - the harness reports crashes
+            report.runs.append(
+                ChaosRun(
+                    label=label,
+                    loss_rate=loss_rate,
+                    completed=False,
+                    error="%s: %s" % (type(exc).__name__, exc),
+                )
+            )
+            continue
+        validation = validate_result(result, scenario.internet)
+        faults = scenario.network.faults
+        retries = 0
+        if driver.collection is not None:
+            retries += driver.collection.retry_stats.retries
+            resolver = driver.collection.resolver
+            if resolver is not None:
+                stats = getattr(resolver, "retry_stats", None)
+                if stats is not None:
+                    retries += stats.retries
+        report.runs.append(
+            ChaosRun(
+                label=label,
+                loss_rate=loss_rate,
+                completed=True,
+                accuracy=validation.accuracy,
+                correct_links=validation.correct,
+                total_links=validation.total,
+                probes_used=result.probes_used,
+                retries=retries,
+                faults_injected=faults.stats.total if faults else 0,
+            )
+        )
+    return report

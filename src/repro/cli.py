@@ -75,6 +75,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = BdrmapConfig(
         heuristics=HeuristicConfig(use_refinement=args.refine)
     )
+    if args.fault_profile != "clean":
+        from .net.faults import make_fault_plan
+        from .probing.retry import RetryPolicy
+
+        scenario.network.faults = make_fault_plan(
+            args.fault_profile, seed=args.fault_seed
+        )
+        # Faulted runs get retry/backoff probing so loss is recoverable.
+        config.collection.retry = RetryPolicy()
     if args.all_vps:
         return _run_all_vps(args, scenario, data, config)
     if not 0 <= args.vp < len(scenario.vps):
@@ -83,6 +92,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     driver = Bdrmap(scenario.network, scenario.vps[args.vp], data, config)
     result = driver.run()
     print(result.summary())
+    if scenario.network.faults is not None:
+        print(scenario.network.faults.stats.summary())
     if args.links:
         print(result.link_table())
     if args.validate:
@@ -105,13 +116,21 @@ def _run_all_vps(args, scenario, data, config) -> int:
     """``run --all-vps``: the orchestrated multi-VP run (§5.8)."""
     from .core.orchestrator import MultiVPOrchestrator
 
-    run = MultiVPOrchestrator(
+    orchestrator = MultiVPOrchestrator(
         scenario,
         data=data,
         config=config,
         share_alias_evidence=not args.no_shared_aliases,
         interleave=not args.sequential,
-    ).run()
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    run = orchestrator.run()
+    if orchestrator.resumed_vps:
+        print(
+            "resumed from %s: skipped %s"
+            % (args.checkpoint, ", ".join(sorted(orchestrator.resumed_vps)))
+        )
     print(run.report.summary())
     if args.links:
         for result in run.results:
@@ -270,6 +289,24 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos suite: accuracy vs escalating packet loss."""
+    from .analysis.chaos import run_chaos_suite
+
+    def make_scenario():
+        return _build(args.name, args.seed)
+
+    report = run_chaos_suite(
+        make_scenario=make_scenario,
+        scenario_name=args.name,
+        loss_rates=tuple(rate / 100.0 for rate in args.loss),
+        burst=args.burst,
+        fault_seed=args.fault_seed,
+    )
+    print(report.summary())
+    return 0 if report.degrades_gracefully() else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     reports = []
     for name in args.names:
@@ -319,6 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-shared-aliases", action="store_true",
                        help="with --all-vps: give each VP its own alias "
                             "resolver instead of sharing evidence")
+    p_run.add_argument("--fault-profile", default="clean",
+                       choices=["clean", "light", "moderate", "heavy"],
+                       help="inject faults (loss, storms, blackouts, "
+                            "flaps) at the named severity; non-clean "
+                            "profiles enable retry/backoff probing")
+    p_run.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault plan")
+    p_run.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="with --all-vps: write per-VP progress here "
+                            "after each VP completes")
+    p_run.add_argument("--resume", action="store_true",
+                       help="with --all-vps --checkpoint: reload the "
+                            "checkpoint and skip already-completed VPs")
     p_run.set_defaults(func=_cmd_run)
 
     p_report = subparsers.add_parser(
@@ -364,6 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_congest.add_argument("--days", type=int, default=2)
     p_congest.add_argument("--peak-ms", type=float, default=35.0)
     p_congest.set_defaults(func=_cmd_congest)
+
+    p_chaos = subparsers.add_parser(
+        "chaos", help="run the pipeline under escalating packet loss"
+    )
+    p_chaos.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_chaos.add_argument("--seed", type=int, default=None)
+    p_chaos.add_argument("--loss", type=float, nargs="+",
+                         default=[0.0, 1.0, 5.0, 10.0], metavar="PCT",
+                         help="loss percentages to sweep (0 = baseline)")
+    p_chaos.add_argument("--burst", action="store_true",
+                         help="use Gilbert-Elliott bursty loss on top of "
+                              "independent loss")
+    p_chaos.add_argument("--fault-seed", type=int, default=7)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_table1 = subparsers.add_parser("table1", help="print Table 1 columns")
     p_table1.add_argument("--names", nargs="+", choices=sorted(_SCENARIOS),

@@ -18,6 +18,7 @@ from ..bgp import BGPView
 from ..net import Network
 from ..probing import StopSet, paris_traceroute
 from ..probing.prefixscan import PrefixscanResult, prefixscan
+from ..probing.retry import RetryPolicy, RetryStats
 from ..probing.scheduler import RoundRobinScheduler
 from ..probing.traceroute import TraceResult
 from .targets import TargetBlock, group_by_origin
@@ -38,6 +39,11 @@ class CollectionConfig:
     ally_rounds: int = 5
     ally_interval: float = 300.0
     max_candidate_fanout: int = 12
+    # Loss-tolerant probing: when set, every probe (traceroute hops, pings,
+    # Ally samples, Mercator) runs under this exponential-backoff budget
+    # instead of the flat `attempts` loop.  None keeps the legacy behaviour
+    # byte-identical.
+    retry: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -52,6 +58,14 @@ class Collection:
     prefixscans: Dict[Tuple[int, int], PrefixscanResult] = field(default_factory=dict)
     probes_used: int = 0
     traces_run: int = 0
+    # Traceroute-phase retry accounting (per-trace detail lives on each
+    # TraceResult; this aggregates the same events for the run report).
+    retry_stats: RetryStats = field(default_factory=RetryStats)
+
+    def total_retries(self) -> int:
+        """Retries spent by this collection's traceroutes.  The resolver
+        keeps separate stats (it may be shared across VPs)."""
+        return self.retry_stats.retries
 
     def observed_ttl_expired_addrs(self) -> Set[int]:
         """TTL-expired source addresses, excluding those equal to the probed
@@ -94,6 +108,7 @@ class Collector:
             vp_addr,
             ally_rounds=self.config.ally_rounds,
             ally_interval=self.config.ally_interval,
+            retry=self.config.retry,
         )
 
     # -- helpers ------------------------------------------------------------
@@ -134,6 +149,8 @@ class Collector:
             attempts=self.config.attempts,
             gap_limit=self.config.gap_limit,
             stop_set=stop,
+            retry=self.config.retry,
+            retry_stats=self.collection.retry_stats,
         )
 
     def _prefixscan(self, prev: int, nxt: int) -> PrefixscanResult:
@@ -253,3 +270,13 @@ class Collector:
         self.run_alias_resolution()
         self.collection.probes_used = self.network.probes_sent - before
         return self.collection
+
+    def retry_total(self) -> int:
+        """All retries this collector caused: traceroute hops plus the
+        resolver's alias probing (which keeps its own stats because the
+        resolver may be shared across VPs)."""
+        total = self.collection.total_retries()
+        resolver = self.collection.resolver
+        if resolver is not None:
+            total += resolver.retry_stats.retries
+        return total

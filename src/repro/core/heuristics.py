@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Type
 
 from ..asgraph import Rel
+from ..errors import InferenceError
 from ..net import ResponseKind
 from ..topology.addressing import p2p_mate
 from .pipeline import EXT, IXP_CLASS, UNROUTED, VP, InferenceContext
@@ -683,6 +684,18 @@ def build_context(graph, collection, data, config=None) -> InferenceContext:
     )
 
 
+# Exceptions a heuristic pass can hit on partial or noisy evidence
+# (missing hops, empty candidate sets, inconsistent caches).  They are a
+# property of the data, not a bug: inference falls through to the next —
+# weaker — pass rather than aborting the run.
+_PARTIAL_EVIDENCE_ERRORS = (
+    InferenceError,
+    KeyError,
+    IndexError,
+    ZeroDivisionError,
+)
+
+
 def _apply_router_passes(
     ctx: InferenceContext, passes: List[HeuristicPass]
 ) -> None:
@@ -690,7 +703,11 @@ def _apply_router_passes(
         if router.owner is not None:
             continue
         for heuristic in passes:
-            outcome = heuristic.apply(router, ctx)
+            try:
+                outcome = heuristic.apply(router, ctx)
+            except _PARTIAL_EVIDENCE_ERRORS:
+                ctx.degrade(heuristic.name)
+                continue
             if outcome is None:
                 continue
             for assignment in outcome.assignments:
@@ -750,14 +767,20 @@ def run_inference(ctx: InferenceContext) -> List[InferredLink]:
     ctx.prepare()
     _apply_router_passes(ctx, router_passes)
     for heuristic in pre_assembly:
-        heuristic.apply_graph(ctx)
+        try:
+            heuristic.apply_graph(ctx)
+        except _PARTIAL_EVIDENCE_ERRORS:
+            ctx.degrade(heuristic.name)
     if ctx.config.use_refinement:
         from .refine import refine_ownership
 
         refine_ownership(ctx.graph, ctx.rels, ctx.vp_ases, ctx.focal_asn)
     _assemble_links(ctx)
     for heuristic in post_assembly:
-        heuristic.apply_graph(ctx)
+        try:
+            heuristic.apply_graph(ctx)
+        except _PARTIAL_EVIDENCE_ERRORS:
+            ctx.degrade(heuristic.name)
     return ctx.links
 
 

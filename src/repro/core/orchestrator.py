@@ -58,6 +58,13 @@ class VPReport:
     # Assignments per pass name and per Table 1 reason label.
     pass_counts: Dict[str, int] = field(default_factory=dict)
     reason_counts: Dict[str, int] = field(default_factory=dict)
+    # Resilience accounting: probe retries spent, heuristic passes that
+    # degraded on partial evidence, and crash isolation (a VP whose run
+    # raised is reported failed; the rest of the run continues).
+    retries: int = 0
+    degradation_counts: Dict[str, int] = field(default_factory=dict)
+    failed: bool = False
+    error: Optional[str] = None
 
 
 @dataclass
@@ -72,6 +79,10 @@ class RunReport:
     # Work not attributable to a single VP (the interleaved traceroute
     # phase, where all VPs' probing shares the scheduler).
     global_timings: List[StageTiming] = field(default_factory=list)
+    # What the network's FaultPlan injected (empty when no faults ran),
+    # and probing tasks that crashed inside the shared scheduler.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    task_failures: int = 0
 
     @property
     def total_probes(self) -> int:
@@ -90,6 +101,21 @@ class RunReport:
         )
         shared = sum(t.virtual_seconds for t in self.global_timings)
         return per_vp + shared
+
+    @property
+    def total_retries(self) -> int:
+        return sum(vp.retries for vp in self.vp_reports)
+
+    @property
+    def failed_vps(self) -> List[str]:
+        return [vp.vp_name for vp in self.vp_reports if vp.failed]
+
+    def degradation_totals(self) -> Counter:
+        """Per-pass degradation counts summed over VPs."""
+        totals: Counter = Counter()
+        for vp in self.vp_reports:
+            totals.update(vp.degradation_counts)
+        return totals
 
     def pass_totals(self) -> Counter:
         """Per-pass assignment counts summed over VPs."""
@@ -121,6 +147,11 @@ class RunReport:
                 % (timing.name, timing.virtual_seconds, timing.probes)
             )
         for vp in self.vp_reports:
+            if vp.failed:
+                lines.append(
+                    "  %-10s FAILED: %s" % (vp.vp_name, vp.error or "?")
+                )
+                continue
             stage_text = "  ".join(
                 "%s=%.0fs/%dp" % (t.name, t.virtual_seconds, t.probes)
                 for t in vp.stage_timings
@@ -137,6 +168,23 @@ class RunReport:
                 % ", ".join(
                     "%s=%d" % (label, count)
                     for label, count in sorted(reasons.items())
+                )
+            )
+        degraded = self.degradation_totals()
+        if (self.total_retries or degraded or self.task_failures
+                or self.failed_vps):
+            lines.append(
+                "  resilience: retries=%d degraded_passes=%d "
+                "task_failures=%d failed_vps=%d"
+                % (self.total_retries, sum(degraded.values()),
+                   self.task_failures, len(self.failed_vps))
+            )
+        if self.fault_counts:
+            lines.append(
+                "  faults injected: %s"
+                % ", ".join(
+                    "%s=%d" % (name, count)
+                    for name, count in sorted(self.fault_counts.items())
                 )
             )
         return "\n".join(lines)
@@ -162,6 +210,10 @@ class OrchestratedRun:
 def _vp_report_from_state(state: PipelineState,
                           result: BdrmapResult) -> VPReport:
     ctx = state.ctx
+    collection = state.collection
+    retries = 0
+    if collection is not None and collection.retry_stats is not None:
+        retries = collection.retry_stats.retries
     return VPReport(
         vp_name=state.vp_name,
         vp_addr=state.vp_addr,
@@ -172,6 +224,21 @@ def _vp_report_from_state(state: PipelineState,
         stage_timings=list(state.timings),
         pass_counts=dict(ctx.pass_counts) if ctx is not None else {},
         reason_counts=dict(ctx.reason_counts) if ctx is not None else {},
+        retries=retries,
+        degradation_counts=(
+            dict(ctx.degradations) if ctx is not None else {}
+        ),
+    )
+
+
+def _failed_vp_report(vp, exc: BaseException) -> VPReport:
+    """A placeholder report for a VP whose run crashed: the failure is
+    isolated and recorded instead of killing the whole orchestrated run."""
+    return VPReport(
+        vp_name=vp.name,
+        vp_addr=vp.addr,
+        failed=True,
+        error="%s: %s" % (type(exc).__name__, exc),
     )
 
 
@@ -189,6 +256,12 @@ class MultiVPOrchestrator:
     only test pairs they alone observed.  Stop sets are *never* shared:
     they encode per-VP forward paths, and §6's analyses depend on each VP
     observing its own egresses.
+
+    A VP whose run raises is reported as a failed :class:`VPReport`
+    instead of killing the run.  With ``checkpoint_path`` set, completed
+    per-VP results are written after each VP finishes; ``resume=True``
+    reloads that file and skips the VPs it already holds, so a crashed or
+    interrupted run picks up where it left off.
     """
 
     def __init__(
@@ -198,12 +271,49 @@ class MultiVPOrchestrator:
         config: Optional[BdrmapConfig] = None,
         share_alias_evidence: bool = True,
         interleave: bool = True,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.scenario = scenario
         self.data = data
         self.config = config or BdrmapConfig()
         self.share_alias_evidence = share_alias_evidence
         self.interleave = interleave
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        self.resumed_vps: Set[str] = set()
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _load_checkpoint(self):
+        """Completed (result, vp_report) pairs from a previous run, or
+        empty lists when not resuming / nothing checkpointed yet."""
+        if not (self.resume and self.checkpoint_path):
+            return [], []
+        import os
+
+        if not os.path.exists(self.checkpoint_path):
+            return [], []
+        from ..io.serialize import load_checkpoint
+
+        results, vp_reports = load_checkpoint(self.checkpoint_path)
+        # Failed VPs are re-run on resume; only clean results are kept.
+        keep = [
+            (result, vp)
+            for result, vp in zip(results, vp_reports)
+            if not vp.failed
+        ]
+        results = [result for result, _ in keep]
+        vp_reports = [vp for _, vp in keep]
+        self.resumed_vps = {vp.vp_name for vp in vp_reports}
+        return results, vp_reports
+
+    def _save_checkpoint(self, results, vp_reports) -> None:
+        if not self.checkpoint_path:
+            return
+        from ..io.serialize import save_checkpoint
+
+        save_checkpoint(results, vp_reports, self.checkpoint_path)
 
     def _shared_resolver(self) -> Optional[AliasResolver]:
         if not (self.share_alias_evidence and self.scenario.vps):
@@ -226,22 +336,40 @@ class MultiVPOrchestrator:
         run.report.vp_ases = set(self.data.vp_ases)
         run.report.shared_aliases = resolver is not None
         run.report.interleaved = self.interleave
+        faults = getattr(self.scenario.network, "faults", None)
+        if faults is not None:
+            run.report.fault_counts = {
+                name: count
+                for name, count in faults.stats.as_dict().items()
+                if count
+            }
         return run
 
     # -- sequential (legacy-identical) ---------------------------------------
 
     def _run_sequential(self, resolver) -> OrchestratedRun:
-        results: List[BdrmapResult] = []
+        results, done_reports = self._load_checkpoint()
         report = RunReport(focal_asn=self.data.focal_asn)
+        report.vp_reports.extend(done_reports)
         for vp in self.scenario.vps:
+            if vp.name in self.resumed_vps:
+                continue
             driver = Bdrmap(
                 self.scenario.network, vp, self.data, self.config,
                 resolver=resolver,
             )
-            result = driver.run()
+            try:
+                result = driver.run()
+            except Exception as exc:  # noqa: BLE001 - isolate the VP
+                report.vp_reports.append(_failed_vp_report(vp, exc))
+                continue
             results.append(result)
             report.vp_reports.append(
                 _vp_report_from_state(driver.state, result)
+            )
+            self._save_checkpoint(
+                results,
+                [entry for entry in report.vp_reports if not entry.failed],
             )
         return OrchestratedRun(
             results=results, report=report, shared_resolver=resolver
@@ -251,8 +379,13 @@ class MultiVPOrchestrator:
 
     def _run_interleaved(self, resolver) -> OrchestratedRun:
         network = self.scenario.network
+        results, done_reports = self._load_checkpoint()
+        live_vps = [
+            vp for vp in self.scenario.vps
+            if vp.name not in self.resumed_vps
+        ]
         collectors: List[Collector] = []
-        for vp in self.scenario.vps:
+        for vp in live_vps:
             collectors.append(
                 Collector(
                     network,
@@ -266,7 +399,9 @@ class MultiVPOrchestrator:
 
         # Phase 1: every VP's traceroute tasks through one scheduler — the
         # VPs probe concurrently in virtual time.  Probe costs of this
-        # phase are attributed per VP via per-trace accounting.
+        # phase are attributed per VP via per-trace accounting.  A task
+        # that crashes is isolated by the scheduler; the other VPs'
+        # probing completes and the failure count is surfaced.
         now_before = network.now
         probes_before = network.probes_sent
         scheduler = RoundRobinScheduler(
@@ -274,7 +409,7 @@ class MultiVPOrchestrator:
         )
         for collector in collectors:
             scheduler.add_all(collector.traceroute_tasks())
-        scheduler.run()
+        scheduler.run(reraise=False)
         trace_phase = StageTiming(
             name="traceroute[interleaved]",
             virtual_seconds=network.now - now_before,
@@ -282,40 +417,53 @@ class MultiVPOrchestrator:
         )
 
         # Phase 2 per VP: alias resolution (reusing shared evidence when
-        # enabled), then the downstream graph/inference stages.
-        results: List[BdrmapResult] = []
+        # enabled), then the downstream graph/inference stages.  Each VP
+        # is crash-isolated: a failure yields a failed VPReport.
         report = RunReport(
             focal_asn=self.data.focal_asn, global_timings=[trace_phase]
         )
-        for vp, collector in zip(self.scenario.vps, collectors):
-            alias_now = network.now
-            alias_probes_before = network.probes_sent
-            collector.run_alias_resolution()
-            alias_probes = network.probes_sent - alias_probes_before
-            trace_probes = sum(
-                trace.probes_used for trace in collector.collection.traces
-            )
-            collector.collection.probes_used = trace_probes + alias_probes
-            state = PipelineState(
-                network=network,
-                vp_name=vp.name,
-                vp_addr=vp.addr,
-                data=self.data,
-                config=self.config,
-                resolver=collector.collection.resolver,
-                collection=collector.collection,
-            )
-            state.timings.append(
-                StageTiming(
-                    name="collection",
-                    virtual_seconds=network.now - alias_now,
-                    probes=collector.collection.probes_used,
+        report.vp_reports.extend(done_reports)
+        report.task_failures = scheduler.tasks_failed
+        for vp, collector in zip(live_vps, collectors):
+            try:
+                alias_now = network.now
+                alias_probes_before = network.probes_sent
+                collector.run_alias_resolution()
+                alias_probes = network.probes_sent - alias_probes_before
+                trace_probes = sum(
+                    trace.probes_used
+                    for trace in collector.collection.traces
                 )
-            )
-            Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
-            result = result_from_state(state)
+                collector.collection.probes_used = (
+                    trace_probes + alias_probes
+                )
+                state = PipelineState(
+                    network=network,
+                    vp_name=vp.name,
+                    vp_addr=vp.addr,
+                    data=self.data,
+                    config=self.config,
+                    resolver=collector.collection.resolver,
+                    collection=collector.collection,
+                )
+                state.timings.append(
+                    StageTiming(
+                        name="collection",
+                        virtual_seconds=network.now - alias_now,
+                        probes=collector.collection.probes_used,
+                    )
+                )
+                Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
+                result = result_from_state(state)
+            except Exception as exc:  # noqa: BLE001 - isolate the VP
+                report.vp_reports.append(_failed_vp_report(vp, exc))
+                continue
             results.append(result)
             report.vp_reports.append(_vp_report_from_state(state, result))
+            self._save_checkpoint(
+                results,
+                [entry for entry in report.vp_reports if not entry.failed],
+            )
         return OrchestratedRun(
             results=results, report=report, shared_resolver=resolver
         )

@@ -75,6 +75,9 @@ class InferenceContext:
     links: List[InferredLink] = field(default_factory=list)
     pass_counts: Counter = field(default_factory=Counter)    # pass name -> assignments
     reason_counts: Counter = field(default_factory=Counter)  # Table 1 label -> assignments
+    # Passes that failed on partial evidence and fell through to weaker
+    # heuristics instead of aborting the run (pass name -> count).
+    degradations: Counter = field(default_factory=Counter)
     _nextas_cache: Dict[int, Optional[int]] = field(default_factory=dict)
 
     # -- setup ---------------------------------------------------------------
@@ -216,6 +219,11 @@ class InferenceContext:
         that produced it and by its Table 1 reason label."""
         self.pass_counts[pass_name] += 1
         self.reason_counts[reason] += 1
+
+    def degrade(self, pass_name: str) -> None:
+        """Record that a pass failed on partial evidence and inference
+        degraded to the next (weaker) heuristic instead of crashing."""
+        self.degradations[pass_name] += 1
 
 
 # ---------------------------------------------------------------- pipeline state

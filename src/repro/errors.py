@@ -25,6 +25,24 @@ class ProbeError(ReproError):
     """A measurement tool was used incorrectly."""
 
 
+class MeasurementError(ReproError):
+    """A measurement failed at runtime (as opposed to being misused).
+
+    The branch of the hierarchy for *transient, environmental* failures:
+    code that drives measurements catches these and retries or degrades,
+    whereas a :class:`ProbeError` indicates a bug in the caller.
+    """
+
+
+class MeasurementTimeout(MeasurementError):
+    """A measurement or control-channel call produced no reply in time."""
+
+
+class ChannelError(MeasurementError):
+    """The control channel to a remote prober failed (severed connection,
+    corrupted frame, or an explicit error reply from the device)."""
+
+
 class DataError(ReproError, ValueError):
     """An input dataset (RIR / IXP / sibling file) could not be parsed."""
 

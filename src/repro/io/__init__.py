@@ -6,12 +6,16 @@ re-probing (``repro.analysis`` functions accept loaded results wherever
 they accept fresh ones)."""
 
 from .serialize import (
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_checkpoint,
     load_report,
     load_result,
     report_from_dict,
     report_to_dict,
     result_from_dict,
     result_to_dict,
+    save_checkpoint,
     save_report,
     save_result,
     trace_from_dict,
@@ -38,4 +42,8 @@ __all__ = [
     "load_report",
     "save_result",
     "load_result",
+    "checkpoint_to_dict",
+    "checkpoint_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

@@ -32,7 +32,7 @@ def _unaddr(value: Optional[str]) -> Optional[int]:
 
 
 def trace_to_dict(trace: TraceResult) -> Dict[str, Any]:
-    return {
+    data = {
         "vp": ntoa(trace.vp_addr),
         "dst": ntoa(trace.dst),
         "stop_reason": trace.stop_reason,
@@ -48,6 +48,15 @@ def trace_to_dict(trace: TraceResult) -> Dict[str, Any]:
             for hop in trace.hops
         ],
     }
+    # Retry accounting appears only when retries ran, so archives from
+    # retry-free runs keep their historical byte layout.
+    if trace.retries_used:
+        data["retries"] = trace.retries_used
+    if trace.recovered_hops:
+        data["recovered"] = trace.recovered_hops
+    if trace.silent_hops:
+        data["silent"] = trace.silent_hops
+    return data
 
 
 def trace_from_dict(data: Dict[str, Any]) -> TraceResult:
@@ -68,6 +77,9 @@ def trace_from_dict(data: Dict[str, Any]) -> TraceResult:
             hops=hops,
             stop_reason=data["stop_reason"],
             probes_used=data.get("probes", 0),
+            retries_used=data.get("retries", 0),
+            recovered_hops=data.get("recovered", 0),
+            silent_hops=data.get("silent", 0),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise DataError("malformed trace record: %s" % exc) from exc
@@ -284,56 +296,97 @@ def result_from_dict(data: Dict[str, Any]) -> BdrmapResult:
 # -- run reports ------------------------------------------------------------------
 
 
+def _timing_to_dict(t) -> Dict[str, Any]:
+    return {
+        "name": t.name,
+        "virtual_seconds": round(t.virtual_seconds, 6),
+        "probes": t.probes,
+    }
+
+
+def _timing_from_dict(entry):
+    from ..core.pipeline import StageTiming
+
+    return StageTiming(
+        name=entry["name"],
+        virtual_seconds=entry["virtual_seconds"],
+        probes=entry["probes"],
+    )
+
+
+def _vp_report_to_dict(vp) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "vp_name": vp.vp_name,
+        "vp_addr": ntoa(vp.vp_addr),
+        "traces_run": vp.traces_run,
+        "probes_used": vp.probes_used,
+        "links": vp.links,
+        "neighbor_ases": vp.neighbor_ases,
+        "stage_timings": [_timing_to_dict(t) for t in vp.stage_timings],
+        "pass_counts": dict(sorted(vp.pass_counts.items())),
+        "reason_counts": dict(sorted(vp.reason_counts.items())),
+    }
+    # Resilience fields appear only when set, so archives of clean runs
+    # stay byte-identical to pre-fault-subsystem ones.
+    if vp.retries:
+        entry["retries"] = vp.retries
+    if vp.degradation_counts:
+        entry["degradations"] = dict(sorted(vp.degradation_counts.items()))
+    if vp.failed:
+        entry["failed"] = True
+        entry["error"] = vp.error
+    return entry
+
+
+def _vp_report_from_dict(entry):
+    from ..core.orchestrator import VPReport
+
+    return VPReport(
+        vp_name=entry["vp_name"],
+        vp_addr=aton(entry["vp_addr"]),
+        traces_run=entry["traces_run"],
+        probes_used=entry["probes_used"],
+        links=entry["links"],
+        neighbor_ases=entry["neighbor_ases"],
+        stage_timings=[_timing_from_dict(t) for t in entry["stage_timings"]],
+        pass_counts=dict(entry["pass_counts"]),
+        reason_counts=dict(entry["reason_counts"]),
+        retries=entry.get("retries", 0),
+        degradation_counts=dict(entry.get("degradations", {})),
+        failed=entry.get("failed", False),
+        error=entry.get("error"),
+    )
+
+
 def report_to_dict(report) -> Dict[str, Any]:
     """Serialize a :class:`~repro.core.orchestrator.RunReport` — the
     counters and timings only, not the per-VP results (archive those
     separately with :func:`result_to_dict`)."""
     from ..core.orchestrator import REPORT_FORMAT
 
-    def timing(t) -> Dict[str, Any]:
-        return {
-            "name": t.name,
-            "virtual_seconds": round(t.virtual_seconds, 6),
-            "probes": t.probes,
-        }
-
-    return {
+    data = {
         "format": REPORT_FORMAT,
         "focal_asn": report.focal_asn,
         "vp_ases": sorted(report.vp_ases),
         "interleaved": report.interleaved,
         "shared_aliases": report.shared_aliases,
-        "global_timings": [timing(t) for t in report.global_timings],
-        "vps": [
-            {
-                "vp_name": vp.vp_name,
-                "vp_addr": ntoa(vp.vp_addr),
-                "traces_run": vp.traces_run,
-                "probes_used": vp.probes_used,
-                "links": vp.links,
-                "neighbor_ases": vp.neighbor_ases,
-                "stage_timings": [timing(t) for t in vp.stage_timings],
-                "pass_counts": dict(sorted(vp.pass_counts.items())),
-                "reason_counts": dict(sorted(vp.reason_counts.items())),
-            }
-            for vp in report.vp_reports
+        "global_timings": [
+            _timing_to_dict(t) for t in report.global_timings
         ],
+        "vps": [_vp_report_to_dict(vp) for vp in report.vp_reports],
     }
+    if report.fault_counts:
+        data["fault_counts"] = dict(sorted(report.fault_counts.items()))
+    if report.task_failures:
+        data["task_failures"] = report.task_failures
+    return data
 
 
 def report_from_dict(data: Dict[str, Any]):
-    from ..core.orchestrator import REPORT_FORMAT, RunReport, VPReport
-    from ..core.pipeline import StageTiming
+    from ..core.orchestrator import REPORT_FORMAT, RunReport
 
     if data.get("format") != REPORT_FORMAT:
         raise DataError("unknown report format %r" % data.get("format"))
-
-    def timing(entry) -> StageTiming:
-        return StageTiming(
-            name=entry["name"],
-            virtual_seconds=entry["virtual_seconds"],
-            probes=entry["probes"],
-        )
 
     try:
         return RunReport(
@@ -341,26 +394,80 @@ def report_from_dict(data: Dict[str, Any]):
             vp_ases=set(data["vp_ases"]),
             interleaved=data["interleaved"],
             shared_aliases=data["shared_aliases"],
-            global_timings=[timing(t) for t in data["global_timings"]],
-            vp_reports=[
-                VPReport(
-                    vp_name=entry["vp_name"],
-                    vp_addr=aton(entry["vp_addr"]),
-                    traces_run=entry["traces_run"],
-                    probes_used=entry["probes_used"],
-                    links=entry["links"],
-                    neighbor_ases=entry["neighbor_ases"],
-                    stage_timings=[
-                        timing(t) for t in entry["stage_timings"]
-                    ],
-                    pass_counts=dict(entry["pass_counts"]),
-                    reason_counts=dict(entry["reason_counts"]),
-                )
-                for entry in data["vps"]
+            global_timings=[
+                _timing_from_dict(t) for t in data["global_timings"]
             ],
+            vp_reports=[
+                _vp_report_from_dict(entry) for entry in data["vps"]
+            ],
+            fault_counts=dict(data.get("fault_counts", {})),
+            task_failures=data.get("task_failures", 0),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise DataError("malformed report record: %s" % exc) from exc
+
+
+# -- checkpoints ------------------------------------------------------------------
+
+CHECKPOINT_FORMAT = "bdrmap-repro-checkpoint/1"
+
+
+def checkpoint_to_dict(results, vp_reports) -> Dict[str, Any]:
+    """Snapshot completed per-VP work mid-run: aligned lists of results
+    and their VP reports.  The orchestrator writes one after each VP so an
+    interrupted multi-VP run resumes instead of restarting."""
+    if len(results) != len(vp_reports):
+        raise DataError(
+            "checkpoint wants aligned results/reports, got %d vs %d"
+            % (len(results), len(vp_reports))
+        )
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "vps": [
+            {
+                "report": _vp_report_to_dict(vp),
+                "result": result_to_dict(result),
+            }
+            for result, vp in zip(results, vp_reports)
+        ],
+    }
+
+
+def checkpoint_from_dict(data: Dict[str, Any]):
+    """Rebuild ``(results, vp_reports)`` from a checkpoint dict."""
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise DataError(
+            "unknown checkpoint format %r" % data.get("format")
+        )
+    try:
+        results = [
+            result_from_dict(entry["result"]) for entry in data["vps"]
+        ]
+        vp_reports = [
+            _vp_report_from_dict(entry["report"]) for entry in data["vps"]
+        ]
+        return results, vp_reports
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed checkpoint record: %s" % exc) from exc
+
+
+def save_checkpoint(results, vp_reports,
+                    target: Union[str, IO[str]]) -> None:
+    """Write a mid-run checkpoint to a path or open file object."""
+    payload = json.dumps(checkpoint_to_dict(results, vp_reports), indent=1)
+    if hasattr(target, "write"):
+        target.write(payload)
+        return
+    with open(target, "w") as handle:
+        handle.write(payload)
+
+
+def load_checkpoint(source: Union[str, IO[str]]):
+    """Read a mid-run checkpoint from a path or open file object."""
+    if hasattr(source, "read"):
+        return checkpoint_from_dict(json.load(source))
+    with open(source) as handle:
+        return checkpoint_from_dict(json.load(handle))
 
 
 def save_report(report, target: Union[str, IO[str]]) -> None:

@@ -13,6 +13,15 @@ from .packet import Probe, ProbeKind, Response, ResponseKind
 from .ipid import IPIDModel, IPIDState
 from .policies import RouterPolicy, SourceSel
 from .routing import RoutingOracle
+from .faults import (
+    FAULT_PROFILES,
+    ChannelFaultPolicy,
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+    GilbertElliott,
+    make_fault_plan,
+)
 from .network import Network, VantagePoint
 
 __all__ = [
@@ -27,4 +36,11 @@ __all__ = [
     "RoutingOracle",
     "Network",
     "VantagePoint",
+    "FaultPlan",
+    "FaultConfig",
+    "FaultStats",
+    "GilbertElliott",
+    "ChannelFaultPolicy",
+    "FAULT_PROFILES",
+    "make_fault_plan",
 ]

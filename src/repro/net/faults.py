@@ -1,0 +1,364 @@
+"""Fault injection for the simulated Internet (and the remote channel).
+
+The real bdrmap runs on networks that lose probes, rate-limit ICMP in
+bursts, reboot routers mid-run, withdraw routes, and stall scamper control
+connections.  The simulator answers every probe deterministically, so none
+of the measurement stack's tolerance to noise is exercised unless faults
+are injected deliberately.  This module provides that injection, fully
+deterministic under a seed:
+
+* :class:`FaultPlan` — attached to a :class:`~repro.net.network.Network`,
+  it drops probe packets per link (independent Bernoulli or Gilbert–Elliott
+  bursty loss), silences routers during transient blackout windows,
+  suppresses ICMP generation during rate-limit storms, and withdraws routes
+  to destination prefixes during flap windows.
+* :class:`ChannelFaultPolicy` — attached to a remote
+  :class:`~repro.remote.protocol.Channel`, it drops, delays, and garbles
+  replies and severs the control connection.
+
+Determinism: blackout, storm, and flap windows are pure functions of
+(seed, entity, virtual time) via an integer hash, so they do not depend on
+probe order; per-packet loss draws use ``random.Random`` streams derived
+from the seed, so an identical probe sequence sees identical faults.  A
+``Network`` with ``faults=None`` (the default) performs no draws at all —
+the zero-fault path is a strict no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from ..rng import make_rng
+
+__all__ = [
+    "GilbertElliott",
+    "FaultConfig",
+    "FaultStats",
+    "FaultPlan",
+    "ChannelFaultPolicy",
+    "FAULT_PROFILES",
+    "make_fault_plan",
+]
+
+
+# ---------------------------------------------------------------- hashing
+
+_MIX = 0x9E3779B97F4A7C15
+
+
+def _hash01(seed: int, *values: int) -> float:
+    """A stable hash of integers onto [0, 1) — cheap enough per packet."""
+    state = (seed * _MIX) & 0xFFFFFFFFFFFFFFFF
+    for value in values:
+        state ^= (value & 0xFFFFFFFFFFFFFFFF) * _MIX
+        state &= 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 29
+        state = (state * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 32
+    return state / 2.0**64
+
+
+# ---------------------------------------------------------------- loss models
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Bursty loss: a two-state (good/bad) chain per link.
+
+    State holding times are exponential with the given means (seconds of
+    virtual time); each packet crossing the link is lost with the loss
+    probability of the link's current state.  The classic model for links
+    whose loss arrives in bursts (queue overflows, flapping optics) rather
+    than as independent coin flips.
+    """
+
+    good_mean_s: float = 60.0   # mean sojourn in the good state
+    bad_mean_s: float = 2.0     # mean sojourn in the bad state
+    loss_good: float = 0.0      # per-packet loss probability while good
+    loss_bad: float = 0.6       # per-packet loss probability while bad
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of a :class:`FaultPlan`.  All rates default to zero: a
+    default-constructed config injects nothing."""
+
+    # Independent per-link-crossing packet loss probability.
+    loss_rate: float = 0.0
+    # Bursty loss (applied in addition to the independent loss).
+    burst: Optional[GilbertElliott] = None
+    # Loss applied to the reply on its way back to the VP (the forward
+    # walk already applies per-link loss; this models the reverse path).
+    reply_loss_rate: float = 0.0
+    # Transient router blackouts: each router goes dark (drops transit and
+    # generates nothing) with this probability per blackout period, for
+    # blackout_duration_s at a hash-derived phase.
+    blackout_rate: float = 0.0
+    blackout_period_s: float = 900.0
+    blackout_duration_s: float = 30.0
+    # ICMP rate-limit storms: recurring global windows during which an
+    # affected subset of routers suppresses ICMP generation.
+    storm_rate: float = 0.0            # fraction of routers hit per storm
+    storm_period_s: float = 600.0
+    storm_duration_s: float = 20.0
+    storm_drop_prob: float = 0.9       # suppression prob. while stormed
+    # Mid-run route withdrawals/flaps: per flap period, each /24 is
+    # withdrawn with this probability for flap_duration_s (probes toward
+    # it are dropped — the route is gone while the path reconverges).
+    flap_rate: float = 0.0
+    flap_period_s: float = 1200.0
+    flap_duration_s: float = 45.0
+
+    def is_noop(self) -> bool:
+        return (
+            self.loss_rate <= 0.0
+            and self.burst is None
+            and self.reply_loss_rate <= 0.0
+            and self.blackout_rate <= 0.0
+            and self.storm_rate <= 0.0
+            and self.flap_rate <= 0.0
+        )
+
+
+@dataclass
+class FaultStats:
+    """What a plan actually injected, for the run report."""
+
+    link_loss: int = 0        # independent forward-path drops
+    burst_loss: int = 0       # Gilbert–Elliott forward-path drops
+    reply_loss: int = 0       # reverse-path reply drops
+    blackout_drops: int = 0   # packets eaten by dark routers
+    storm_suppressed: int = 0  # ICMP replies suppressed by storms
+    flap_drops: int = 0       # probes dropped by withdrawn routes
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        parts = [
+            "%s=%d" % (f.name, getattr(self, f.name))
+            for f in fields(self)
+            if getattr(self, f.name)
+        ]
+        return "faults injected: " + (", ".join(parts) if parts else "none")
+
+
+class FaultPlan:
+    """Seed-derived fault injection for one :class:`Network`.
+
+    The plan is consulted by :meth:`Network.send` at three points: when a
+    probe is about to cross a link (forward loss), when it sits at a router
+    (blackouts), and when a response has been generated (reply loss and
+    storm suppression).  Route withdrawal is checked once per probe.
+    """
+
+    def __init__(self, config: Optional[FaultConfig] = None,
+                 seed: int = 0) -> None:
+        self.config = config or FaultConfig()
+        self.seed = seed
+        self.stats = FaultStats()
+        self._loss_rng = make_rng(seed, "faults", "loss")
+        self._reply_rng = make_rng(seed, "faults", "reply")
+        self._storm_rng = make_rng(seed, "faults", "storm")
+        self._burst_rng = make_rng(seed, "faults", "burst")
+        # Per-link Gilbert–Elliott chain: (in_bad_state, state_expires_at).
+        self._ge_state: Dict[int, Tuple[bool, float]] = {}
+
+    # -- forward path ------------------------------------------------------
+
+    def link_lost(self, link_id: int, now: float) -> bool:
+        """Is a packet crossing ``link_id`` at ``now`` lost?"""
+        cfg = self.config
+        if cfg.loss_rate > 0.0 and self._loss_rng.random() < cfg.loss_rate:
+            self.stats.link_loss += 1
+            return True
+        if cfg.burst is not None and self._burst_lost(link_id, now):
+            self.stats.burst_loss += 1
+            return True
+        return False
+
+    def _burst_lost(self, link_id: int, now: float) -> bool:
+        ge = self.config.burst
+        rng = self._burst_rng
+        state = self._ge_state.get(link_id)
+        if state is None:
+            # Phase in: start good, with a hash-derived partial sojourn so
+            # links do not all flip in lockstep.
+            offset = _hash01(self.seed, 0x6C696E6B, link_id)
+            state = (False, now + ge.good_mean_s * (0.1 + offset))
+            self._ge_state[link_id] = state
+        bad, until = state
+        while now >= until:
+            bad = not bad
+            mean = ge.bad_mean_s if bad else ge.good_mean_s
+            until += rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+            if mean <= 0:  # degenerate config: never dwell
+                break
+        self._ge_state[link_id] = (bad, until)
+        loss = ge.loss_bad if bad else ge.loss_good
+        return loss > 0.0 and rng.random() < loss
+
+    # -- routers -----------------------------------------------------------
+
+    def router_dark(self, router_id: int, now: float) -> bool:
+        """Is ``router_id`` inside a transient blackout window at ``now``?
+
+        A dark router forwards nothing and answers nothing — the simulated
+        equivalent of a reboot or control-plane crash.  Windows are a pure
+        function of (seed, router, period index), so the answer does not
+        depend on how often it is asked.
+        """
+        cfg = self.config
+        if cfg.blackout_rate <= 0.0:
+            return False
+        period = max(cfg.blackout_period_s, 1e-9)
+        epoch = int(now / period)
+        if _hash01(self.seed, 0xB1AC, router_id, epoch) >= cfg.blackout_rate:
+            return False
+        phase = _hash01(self.seed, 0xFA5E, router_id, epoch)
+        start = (epoch + phase * 0.5) * period
+        if start <= now < start + cfg.blackout_duration_s:
+            self.stats.blackout_drops += 1
+            return True
+        return False
+
+    def storm_suppressed(self, router_id: int, now: float) -> bool:
+        """Is an ICMP reply from ``router_id`` suppressed by a rate-limit
+        storm at ``now``?"""
+        cfg = self.config
+        if cfg.storm_rate <= 0.0:
+            return False
+        period = max(cfg.storm_period_s, 1e-9)
+        epoch = int(now / period)
+        in_window = (now - epoch * period) < cfg.storm_duration_s
+        if not in_window:
+            return False
+        if _hash01(self.seed, 0x5702, router_id, epoch) >= cfg.storm_rate:
+            return False
+        if self._storm_rng.random() < cfg.storm_drop_prob:
+            self.stats.storm_suppressed += 1
+            return True
+        return False
+
+    # -- routes ------------------------------------------------------------
+
+    def route_withdrawn(self, dst: int, now: float) -> bool:
+        """Is the route toward ``dst``'s /24 withdrawn (flapping) at
+        ``now``?  Probes toward it vanish while BGP reconverges."""
+        cfg = self.config
+        if cfg.flap_rate <= 0.0:
+            return False
+        period = max(cfg.flap_period_s, 1e-9)
+        epoch = int(now / period)
+        prefix = dst >> 8
+        if _hash01(self.seed, 0xF1A9, prefix, epoch) >= cfg.flap_rate:
+            return False
+        phase = _hash01(self.seed, 0x70FF, prefix, epoch)
+        start = (epoch + phase * 0.5) * period
+        if start <= now < start + cfg.flap_duration_s:
+            self.stats.flap_drops += 1
+            return True
+        return False
+
+    # -- reverse path ------------------------------------------------------
+
+    def reply_lost(self, now: float) -> bool:
+        """Is a generated reply lost on its way back to the VP?"""
+        cfg = self.config
+        if cfg.reply_loss_rate > 0.0 and (
+            self._reply_rng.random() < cfg.reply_loss_rate
+        ):
+            self.stats.reply_loss += 1
+            return True
+        return False
+
+
+# ---------------------------------------------------------------- channel faults
+
+
+@dataclass
+class ChannelFaultPolicy:
+    """Faults for the controller↔prober control connection (§5.8).
+
+    Consulted once per :meth:`Channel.call` round trip; at most one fault
+    fires per attempt.  ``drop`` loses the reply (the caller times out),
+    ``garble`` corrupts the reply bytes (decode fails), ``sever`` kills the
+    connection (the caller must reconnect), ``delay`` stalls the reply by
+    ``delay_seconds`` of virtual time but delivers it.
+    """
+
+    drop_rate: float = 0.0
+    garble_rate: float = 0.0
+    sever_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed, "faults", "channel")
+
+    def next_fault(self) -> Optional[str]:
+        """The fault (if any) afflicting the next round trip."""
+        draw = self._rng.random()
+        for name, rate in (
+            ("drop", self.drop_rate),
+            ("garble", self.garble_rate),
+            ("sever", self.sever_rate),
+            ("delay", self.delay_rate),
+        ):
+            if draw < rate:
+                return name
+            draw -= rate
+        return None
+
+    def garble(self, data: bytes) -> bytes:
+        """Deterministically corrupt a wire message."""
+        if not data:
+            return b"\xff"
+        index = self._rng.randrange(len(data))
+        # Truncate or flip — both must defeat the JSON decoder.
+        if self._rng.random() < 0.5:
+            return data[: max(1, index)]
+        corrupted = bytearray(data)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+
+# ---------------------------------------------------------------- profiles
+
+# Named presets for the CLI (`run --fault-profile`) and the chaos suite.
+FAULT_PROFILES: Dict[str, Optional[FaultConfig]] = {
+    "clean": None,
+    "light": FaultConfig(loss_rate=0.01),
+    "moderate": FaultConfig(
+        loss_rate=0.02,
+        burst=GilbertElliott(good_mean_s=120.0, bad_mean_s=3.0, loss_bad=0.5),
+        reply_loss_rate=0.01,
+        storm_rate=0.2,
+    ),
+    "heavy": FaultConfig(
+        loss_rate=0.05,
+        burst=GilbertElliott(good_mean_s=60.0, bad_mean_s=5.0, loss_bad=0.7),
+        reply_loss_rate=0.03,
+        blackout_rate=0.05,
+        storm_rate=0.4,
+        flap_rate=0.02,
+    ),
+}
+
+
+def make_fault_plan(profile: str, seed: int = 0) -> Optional[FaultPlan]:
+    """Build the named fault plan (``None`` for the clean profile)."""
+    try:
+        config = FAULT_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            "unknown fault profile %r (known: %s)"
+            % (profile, ", ".join(sorted(FAULT_PROFILES)))
+        ) from None
+    return None if config is None else FaultPlan(config, seed=seed)

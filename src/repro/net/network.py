@@ -16,6 +16,7 @@ from ..errors import ProbeError
 from ..rng import make_rng
 from ..topology.model import Internet, Router
 from .congestion import CongestionSchedule
+from .faults import FaultPlan
 from .ipid import IPIDState
 from .packet import Probe, ProbeKind, Response, ResponseKind
 from .policies import RateLimiter, RouterPolicy, SourceSel
@@ -39,7 +40,8 @@ class VantagePoint:
 class Network:
     """Forwarding simulation with a virtual clock."""
 
-    def __init__(self, internet: Internet, seed: int = 0, pps: float = 100.0) -> None:
+    def __init__(self, internet: Internet, seed: int = 0, pps: float = 100.0,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.internet = internet
         self.oracle = RoutingOracle(internet)
         self.pps = pps
@@ -52,6 +54,9 @@ class Network:
         self._host_ipid = make_rng(seed, "host-ipid")
         # Optional per-link diurnal queueing delays (§2's congestion).
         self.congestion = CongestionSchedule()
+        # Optional fault injection (repro.net.faults).  None means the
+        # simulator stays perfectly deterministic and lossless.
+        self.faults = faults
 
     # -- setup ---------------------------------------------------------------
 
@@ -215,12 +220,37 @@ class Network:
     # -- the walk --------------------------------------------------------------
 
     def send(self, probe: Probe) -> Optional[Response]:
-        """Inject ``probe`` at its source VP; return the response or None."""
+        """Inject ``probe`` at its source VP; return the response or None.
+
+        With a :class:`~repro.net.faults.FaultPlan` attached, the walk is
+        subject to injected faults: withdrawn routes eat the probe at the
+        start, dark (blacked-out) routers and lossy links eat it along the
+        path, and generated replies can be suppressed (ICMP storms) or
+        lost on the reverse path.  Without a plan none of these checks
+        run — the zero-fault path is a strict no-op.
+        """
+        faults = self.faults
+        response = self._walk(probe, faults)
+        if response is not None and faults is not None:
+            if (
+                response.truth_router_id is not None
+                and faults.storm_suppressed(response.truth_router_id, self.now)
+            ):
+                return None
+            if faults.reply_lost(self.now):
+                return None
+        return response
+
+    def _walk(self, probe: Probe,
+              faults: Optional[FaultPlan]) -> Optional[Response]:
         vp = self.vps.get(probe.src)
         if vp is None:
             raise ProbeError("probe source %r is not a registered VP" % probe.src)
         self.now += 1.0 / self.pps
         self.probes_sent += 1
+
+        if faults is not None and faults.route_withdrawn(probe.dst, self.now):
+            return None
 
         router_id = vp.first_router
         in_addr: Optional[int] = None
@@ -232,6 +262,8 @@ class Network:
         while hops < _MAX_HOPS:
             hops += 1
             router = self.internet.routers[router_id]
+            if faults is not None and faults.router_dark(router_id, self.now):
+                return None
             step = self.oracle.step(router_id, probe.dst)
 
             if step.kind is StepKind.ARRIVE:
@@ -268,6 +300,10 @@ class Network:
 
             # FORWARD
             if step.link_id is not None:
+                if faults is not None and faults.link_lost(
+                    step.link_id, self.now
+                ):
+                    return None
                 delay_ms += self._link_delay(step.link_id)
             router_id = step.next_router  # type: ignore[assignment]
             in_addr = step.in_addr

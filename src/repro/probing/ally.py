@@ -18,6 +18,7 @@ from typing import List, Optional
 from ..net import Network, ProbeKind
 from .midar import Sample, monotonic_shared_counter
 from .ping import ping
+from .retry import RetryPolicy, RetryStats
 
 
 class AliasVerdict(enum.Enum):
@@ -44,19 +45,24 @@ def ally_test(
     addr_b: int,
     probes_per_addr: int = 4,
     ttl_prober=None,
+    retry: Optional[RetryPolicy] = None,
+    retry_stats: Optional[RetryStats] = None,
 ) -> AllyResult:
     """One Ally round: try each probe method until one yields a verdict.
 
     ``ttl_prober`` (a :class:`repro.probing.ttl_limited.TTLLimitedProber`)
     adds the fourth method: TTL-limited probes for routers that answer
-    nothing sent directly to them (§5.3).
+    nothing sent directly to them (§5.3).  ``retry`` hardens the
+    individual pings against packet loss (lost samples otherwise shrink
+    the IPID series and weaken the verdict).
     """
     for kind in _KINDS:
         samples: List[Sample] = []
         misses = 0
         for _ in range(probes_per_addr):
             for tag, addr in ((0, addr_a), (1, addr_b)):
-                response = ping(network, vp_addr, addr, kind=kind)
+                response = ping(network, vp_addr, addr, kind=kind,
+                                retry=retry, retry_stats=retry_stats)
                 if response is None:
                     misses += 1
                     if misses > probes_per_addr:
@@ -92,6 +98,8 @@ def ally_repeated(
     interval: float = 300.0,
     probes_per_addr: int = 4,
     ttl_prober=None,
+    retry: Optional[RetryPolicy] = None,
+    retry_stats: Optional[RetryStats] = None,
 ) -> AllyResult:
     """The false-alias guard: repeat Ally; a single rejection kills the
     alias (two independent counters can transiently overlap, but rarely
@@ -101,7 +109,8 @@ def ally_repeated(
         if round_index:
             network.advance(interval)
         result = ally_test(network, vp_addr, addr_a, addr_b, probes_per_addr,
-                           ttl_prober=ttl_prober)
+                           ttl_prober=ttl_prober, retry=retry,
+                           retry_stats=retry_stats)
         if first is None:
             first = result
         if result.verdict is AliasVerdict.NOT_ALIAS:

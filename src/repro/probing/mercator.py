@@ -13,15 +13,19 @@ from typing import Optional
 
 from ..net import Network, ProbeKind, ResponseKind
 from .ping import ping
+from .retry import RetryPolicy, RetryStats
 
 
 def mercator_probe(
-    network: Network, vp_addr: int, addr: int, attempts: int = 2
+    network: Network, vp_addr: int, addr: int, attempts: int = 2,
+    retry: Optional[RetryPolicy] = None,
+    retry_stats: Optional[RetryStats] = None,
 ) -> Optional[int]:
     """The source address of ``addr``'s port-unreachable response, or None
     if it does not answer UDP probes."""
     response = ping(
-        network, vp_addr, addr, kind=ProbeKind.UDP, attempts=attempts
+        network, vp_addr, addr, kind=ProbeKind.UDP, attempts=attempts,
+        retry=retry, retry_stats=retry_stats,
     )
     if response is None or response.kind is not ResponseKind.DEST_UNREACH_PORT:
         return None

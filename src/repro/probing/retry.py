@@ -1,0 +1,119 @@
+"""Per-probe retry budgets with exponential backoff (§5.3 hardening).
+
+scamper retries an unanswered probe after a wait; under injected loss the
+same discipline recovers most hops.  A :class:`RetryPolicy` describes the
+budget; :func:`send_with_retry` executes it and classifies the outcome:
+
+* answered on the first attempt — the normal case;
+* answered after k lost attempts — evidence of *loss* (the hop exists and
+  responds; the network ate packets);
+* never answered — *silence*: indistinguishable, from one vantage point,
+  between a silent router and persistent loss.  Callers treat it exactly
+  as they treated an unresponsive hop before retries existed.
+
+Backoff advances the network's virtual clock, so retries are not free:
+they cost run time, and a rate-limited router sees the slower probe train
+a real scamper would send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..net import Network, Probe, Response
+
+__all__ = ["RetryPolicy", "RetryStats", "send_with_retry"]
+
+LOSS = "loss"          # recovered after at least one lost attempt
+SILENCE = "silence"    # no attempt was answered
+CLEAN = "clean"        # first attempt answered
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff retry budget for one logical probe.
+
+    ``attempts`` counts the total tries (first attempt included).  The
+    wait before retry k (1-based) is ``backoff_s * multiplier**(k-1)``,
+    capped at ``max_backoff_s`` — scamper's defaults are two attempts
+    spaced by a fixed wait; the exponential schedule generalises that for
+    chaos-level loss rates.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 1.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Virtual seconds to wait before (1-based) retry ``attempt``."""
+        if attempt < 1:
+            return 0.0
+        return min(
+            self.backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+
+
+@dataclass
+class RetryStats:
+    """Aggregate retry accounting, shared by a tool or a whole run."""
+
+    retries: int = 0          # extra attempts beyond the first
+    recovered: int = 0        # probes answered only after a retry
+    exhausted: int = 0        # probes that stayed silent after the budget
+
+    def merge(self, other: "RetryStats") -> None:
+        self.retries += other.retries
+        self.recovered += other.recovered
+        self.exhausted += other.exhausted
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "exhausted": self.exhausted,
+        }
+
+
+def send_with_retry(
+    network: Network,
+    make_probe: Callable[[], Probe],
+    policy: Optional[RetryPolicy],
+    stats: Optional[RetryStats] = None,
+) -> Tuple[Optional[Response], str, int]:
+    """Send a probe under ``policy``; returns (response, classification,
+    attempts_used).
+
+    With ``policy=None`` this is a single plain ``network.send`` — the
+    legacy behaviour, byte-identical to pre-retry code.
+    """
+    if policy is None:
+        response = network.send(make_probe())
+        return response, (CLEAN if response is not None else SILENCE), 1
+
+    response: Optional[Response] = None
+    used = 0
+    for attempt in range(policy.attempts):
+        if attempt:
+            network.advance(policy.delay_before(attempt))
+            if stats is not None:
+                stats.retries += 1
+        used += 1
+        response = network.send(make_probe())
+        if response is not None:
+            break
+    if response is None:
+        if stats is not None:
+            stats.exhausted += 1
+        return None, SILENCE, used
+    if used > 1:
+        if stats is not None:
+            stats.recovered += 1
+        return response, LOSS, used
+    return response, CLEAN, used

@@ -5,12 +5,17 @@ multiple target ASes in parallel (run time).  Tasks are generators that
 yield after each unit of probing; the scheduler interleaves up to
 ``parallelism`` of them round-robin, starting queued tasks as slots free
 up — a single-threaded rendition of scamper's probing loop.
+
+A task that raises no longer kills the whole run: the failure is recorded,
+the remaining tasks complete, and the first exception is re-raised at the
+end (or merely reported, with ``reraise=False`` — what a resilient
+orchestrator wants: one target AS's crash should not strand the others).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 
 class RoundRobinScheduler:
@@ -22,6 +27,8 @@ class RoundRobinScheduler:
         self.parallelism = parallelism
         self._pending: Deque[Iterator[None]] = deque()
         self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.failures: List[Tuple[Iterator[None], BaseException]] = []
 
     def add(self, task: Iterator[None]) -> None:
         self._pending.append(task)
@@ -30,8 +37,16 @@ class RoundRobinScheduler:
         for task in tasks:
             self.add(task)
 
-    def run(self, on_progress: Optional[Callable[[int], None]] = None) -> int:
-        """Run all tasks to completion; returns number of scheduler steps."""
+    def run(self, on_progress: Optional[Callable[[int], None]] = None,
+            reraise: bool = True) -> int:
+        """Run all tasks to completion; returns number of scheduler steps.
+
+        Exceptions from individual tasks are caught and collected in
+        ``self.failures`` so the remaining active and pending tasks still
+        run; ``tasks_completed``/``tasks_failed`` stay consistent either
+        way.  With ``reraise=True`` (the default) the first failure is
+        re-raised once everything else has finished.
+        """
         active: List[Iterator[None]] = []
         steps = 0
         while self._pending or active:
@@ -44,9 +59,15 @@ class RoundRobinScheduler:
                 except StopIteration:
                     finished.append(index)
                     self.tasks_completed += 1
+                except Exception as exc:  # noqa: BLE001 - isolate the task
+                    finished.append(index)
+                    self.tasks_failed += 1
+                    self.failures.append((task, exc))
                 steps += 1
             for index in reversed(finished):
                 active.pop(index)
             if on_progress is not None:
                 on_progress(steps)
+        if reraise and self.failures:
+            raise self.failures[0][1]
         return steps

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 from ..net import Network, Probe, ProbeKind, ResponseKind
+from .retry import RetryPolicy, RetryStats, send_with_retry
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,10 @@ class TraceResult:
     hops: List[TraceHop] = field(default_factory=list)
     stop_reason: str = "incomplete"
     probes_used: int = 0
+    # Resilience accounting (all zero when no RetryPolicy is in force).
+    retries_used: int = 0     # extra attempts beyond each hop's first
+    recovered_hops: int = 0   # hops answered only after a retry (loss)
+    silent_hops: int = 0      # hops that exhausted the retry budget
 
     def responsive_hops(self) -> List[TraceHop]:
         return [hop for hop in self.hops if hop.responded]
@@ -67,12 +72,19 @@ def paris_traceroute(
     gap_limit: int = 5,
     stop_set: Optional[Set[int]] = None,
     kind: ProbeKind = ProbeKind.ICMP_ECHO,
+    retry: Optional[RetryPolicy] = None,
+    retry_stats: Optional[RetryStats] = None,
 ) -> TraceResult:
     """Trace the forward path from the VP at ``vp_addr`` toward ``dst``.
 
     ``kind`` selects the probe method: ICMP-echo Paris is what bdrmap uses
     (§5.3); UDP Paris is the classic traceroute, completing on a port
     unreachable from the destination instead of an echo reply.
+
+    ``retry`` replaces the flat ``attempts`` budget with an exponential
+    backoff schedule (see :mod:`repro.probing.retry`) and classifies each
+    unanswered hop as recovered loss or persistent silence; without it the
+    legacy fixed-attempts loop runs unchanged.
 
     Stops on: destination response (echo reply / unreachable), ``gap_limit``
     consecutive unresponsive hops, an address present in ``stop_set``
@@ -85,15 +97,27 @@ def paris_traceroute(
         completion_kinds = {ResponseKind.DEST_UNREACH_PORT}
     gap = 0
     for ttl in range(1, max_ttl + 1):
-        response = None
-        for _ in range(attempts):
-            result.probes_used += 1
-            response = network.send(
-                Probe(src=vp_addr, dst=dst, ttl=ttl, kind=kind,
-                      flow_id=flow_id)
+        def probe() -> Probe:
+            return Probe(src=vp_addr, dst=dst, ttl=ttl, kind=kind,
+                         flow_id=flow_id)
+
+        if retry is not None:
+            response, verdict, used = send_with_retry(
+                network, probe, retry, retry_stats
             )
-            if response is not None:
-                break
+            result.probes_used += used
+            result.retries_used += used - 1
+            if verdict == "loss":
+                result.recovered_hops += 1
+            elif verdict == "silence":
+                result.silent_hops += 1
+        else:
+            response = None
+            for _ in range(attempts):
+                result.probes_used += 1
+                response = network.send(probe())
+                if response is not None:
+                    break
         if response is None:
             result.hops.append(TraceHop(ttl, None, None, 0.0, 0))
             gap += 1

@@ -13,8 +13,8 @@ keeps none.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from ..addr import aton, ntoa
 from ..alias import AliasResolver
@@ -37,9 +37,11 @@ class RemoteStats:
     bytes_from_device: int
     device_peak_bytes: int
     controller_state_bytes: int
+    # Channel resilience counters (empty on a healthy channel).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        text = (
             "remote session: %d messages, %.1f KB down, %.1f KB up, "
             "device peak %.1f KB, controller state %.1f KB"
             % (
@@ -50,6 +52,12 @@ class RemoteStats:
                 self.controller_state_bytes / 1024.0,
             )
         )
+        if self.fault_counters:
+            text += "\n  channel faults: %s" % ", ".join(
+                "%s=%d" % (key, value)
+                for key, value in sorted(self.fault_counters.items())
+            )
+        return text
 
 
 class _RemoteAliasResolver(AliasResolver):
@@ -165,10 +173,18 @@ class RemoteBdrmap(Bdrmap):
         vp: VantagePoint,
         data: DataBundle,
         config: Optional[BdrmapConfig] = None,
+        channel_faults=None,
+        channel_timeout_s: float = 10.0,
+        channel_retries: int = 3,
     ) -> None:
         super().__init__(network, vp, data, config)
         self.prober = Prober(network, vp.addr)
-        self.channel = Channel(self.prober)
+        self.channel = Channel(
+            self.prober,
+            faults=channel_faults,
+            timeout_s=channel_timeout_s,
+            max_retries=channel_retries,
+        )
         self.stats: Optional[RemoteStats] = None
 
     def stages(self) -> List[PipelineStage]:
@@ -188,6 +204,7 @@ class RemoteBdrmap(Bdrmap):
             bytes_from_device=self.channel.bytes_from_device,
             device_peak_bytes=self.channel.device_peak_bytes,
             controller_state_bytes=_estimate_controller_state(self.collection),
+            fault_counters=self.channel.fault_counters(),
         )
         return result
 

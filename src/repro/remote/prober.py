@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..addr import aton, ntoa
-from ..errors import ProbeError
+from ..errors import ProbeError, ReproError
 from ..net import Network
 from ..probing import ally_repeated, paris_traceroute
 from ..probing.mercator import mercator_probe
@@ -26,13 +26,25 @@ class Prober:
         self.network = network
         self.vp_addr = vp_addr
         self.commands_handled = 0
+        self.op_failures = 0
 
     def handle(self, command: Command) -> Reply:
+        """Run one command.  An op that fails at runtime produces an
+        explicit error reply (``Reply.error``) rather than a stack trace
+        on the device; an unknown op is a protocol bug and still raises."""
         self.commands_handled += 1
         handler = getattr(self, "_op_%s" % command.op, None)
         if handler is None:
             raise ProbeError("unknown command %r" % command.op)
-        return Reply(seq=command.seq, payload=handler(command.args))
+        try:
+            return Reply(seq=command.seq, payload=handler(command.args))
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            self.op_failures += 1
+            return Reply(
+                seq=command.seq,
+                payload={},
+                error="%s: %s" % (type(exc).__name__, exc),
+            )
 
     # -- operations ----------------------------------------------------------
 

@@ -20,6 +20,7 @@ EXAMPLES = [
     ("examples/access_isp_study.py", ["--vps", "3", "--customers", "30"]),
     ("examples/offline_reanalysis.py", []),
     ("examples/multi_vp_orchestrator.py", []),
+    ("examples/chaos_study.py", []),
 ]
 
 

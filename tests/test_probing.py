@@ -336,3 +336,64 @@ class TestScheduler:
     def test_rejects_bad_parallelism(self):
         with pytest.raises(ValueError):
             RoundRobinScheduler(parallelism=0)
+
+    def test_failing_task_does_not_kill_the_round(self):
+        """Regression: a task raising mid-run used to abort the scheduler,
+        stranding every queued and in-flight task."""
+        log = []
+
+        def good(name, steps):
+            for i in range(steps):
+                log.append((name, i))
+                yield
+
+        def bad():
+            log.append(("bad", 0))
+            yield
+            raise RuntimeError("target AS unreachable")
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(good("a", 3))
+        scheduler.add(bad())
+        scheduler.add(good("b", 2))
+        with pytest.raises(RuntimeError, match="unreachable"):
+            scheduler.run()
+        # Despite the re-raise, everything else ran to completion first.
+        assert scheduler.tasks_completed == 2
+        assert scheduler.tasks_failed == 1
+        assert ("a", 2) in log and ("b", 1) in log
+        assert len(scheduler.failures) == 1
+        assert isinstance(scheduler.failures[0][1], RuntimeError)
+
+    def test_failures_swallowed_with_reraise_false(self):
+        def bad():
+            yield
+            raise ValueError("boom")
+
+        def good():
+            yield
+            yield
+
+        scheduler = RoundRobinScheduler(parallelism=4)
+        scheduler.add(bad())
+        scheduler.add(good())
+        steps = scheduler.run(reraise=False)
+        assert steps > 0
+        assert scheduler.tasks_completed == 1
+        assert scheduler.tasks_failed == 1
+
+    def test_immediate_failure_isolated(self):
+        """A task that raises on its very first step is also contained."""
+        def instant_bad():
+            raise RuntimeError("dead on arrival")
+            yield  # pragma: no cover - generator marker
+
+        def good():
+            yield
+
+        scheduler = RoundRobinScheduler(parallelism=1)
+        scheduler.add(instant_bad())
+        scheduler.add(good())
+        scheduler.run(reraise=False)
+        assert scheduler.tasks_completed == 1
+        assert scheduler.tasks_failed == 1

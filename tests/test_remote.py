@@ -26,6 +26,32 @@ class TestProtocol:
         with pytest.raises(ProbeError):
             encode("a string")
 
+    def test_garbled_bytes_raise_dataerror_with_excerpt(self):
+        from repro.errors import DataError
+
+        garbled = b'\xff\xfe{"t": "rep", "seq'
+        with pytest.raises(DataError) as excinfo:
+            decode(garbled)
+        assert "garbled frame" in str(excinfo.value)
+        assert repr(garbled[:64]) in str(excinfo.value)
+
+    def test_truncated_frame_raises_dataerror(self):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError, match="truncated frame"):
+            decode(b'{"t": "rep", "seq": 1}')   # no payload key
+        with pytest.raises(DataError, match="garbled frame"):
+            decode(b'{"t": "rep", "seq": 1, "payload": {')
+        with pytest.raises(DataError):
+            decode(b'[1, 2, 3]')                # valid JSON, not an object
+
+    def test_reply_error_field_roundtrips(self):
+        reply = Reply(seq=9, payload={}, error="ValueError: bad addr")
+        assert decode(encode(reply)) == reply
+        # And its absence keeps the historical wire layout.
+        clean = Reply(seq=9, payload={"x": 1})
+        assert b"err" not in encode(clean)
+
 
 class TestProber:
     @pytest.fixture(scope="class")
@@ -114,6 +140,98 @@ class TestChannel:
         assert channel.bytes_to_device > 0
         assert channel.bytes_from_device > 0
         assert channel.device_peak_bytes > 0
+
+    def _channel(self, faults=None, **kwargs):
+        scenario = build_scenario(mini(seed=12))
+        prober = Prober(scenario.network, scenario.vps[0].addr)
+        return scenario, Channel(prober, faults=faults, **kwargs)
+
+    def test_dropped_reply_times_out_and_retries(self):
+        from repro.errors import MeasurementTimeout
+        from repro.net.faults import ChannelFaultPolicy
+
+        scenario, channel = self._channel(
+            faults=ChannelFaultPolicy(drop_rate=1.0, seed=1),
+            timeout_s=3.0, max_retries=2,
+        )
+        before = scenario.network.now
+        with pytest.raises(MeasurementTimeout, match="after 3 attempts"):
+            channel.call("status")
+        # Every attempt waited out the full timeout in virtual time.
+        assert scenario.network.now - before >= 3 * 3.0
+        assert channel.timeouts == 3
+        assert channel.retries == 2
+
+    def test_severed_connection_reconnects(self):
+        from repro.net.faults import ChannelFaultPolicy
+
+        scenario, channel = self._channel(
+            faults=ChannelFaultPolicy(sever_rate=0.3, seed=3),
+            max_retries=5,
+        )
+        for _ in range(30):
+            payload = channel.call("status")
+            assert "commands" in payload
+        assert channel.severed > 0
+        assert channel.reconnects == channel.severed
+
+    def test_garbled_reply_retried_until_clean(self):
+        from repro.net.faults import ChannelFaultPolicy
+
+        scenario, channel = self._channel(
+            faults=ChannelFaultPolicy(garble_rate=0.4, seed=2),
+            max_retries=6,
+        )
+        for _ in range(20):
+            assert "commands" in channel.call("status")
+        assert channel.garbled > 0
+        assert channel.retries > 0
+
+    def test_delayed_reply_costs_time_but_succeeds(self):
+        from repro.net.faults import ChannelFaultPolicy
+
+        scenario, channel = self._channel(
+            faults=ChannelFaultPolicy(delay_rate=1.0, delay_seconds=4.0,
+                                      seed=1),
+        )
+        before = scenario.network.now
+        assert "commands" in channel.call("status")
+        assert scenario.network.now - before >= 4.0
+        assert channel.delays == 1
+        assert channel.retries == 0
+
+    def test_non_idempotent_op_fails_fast(self):
+        """Ops outside IDEMPOTENT_OPS get no retry budget: first
+        transport failure surfaces immediately."""
+        from repro.errors import MeasurementTimeout
+        from repro.net.faults import ChannelFaultPolicy
+        from repro.remote.protocol import IDEMPOTENT_OPS
+
+        assert "reboot" not in IDEMPOTENT_OPS
+        scenario, channel = self._channel(
+            faults=ChannelFaultPolicy(drop_rate=1.0, seed=1),
+            max_retries=5,
+        )
+        channel._prober._op_reboot = lambda args: {}
+        with pytest.raises(MeasurementTimeout):
+            channel.call("reboot")
+        assert channel.retries == 0
+
+    def test_device_error_reply_raises_channel_error(self):
+        """A handler that fails on-device sends Reply.error; the channel
+        raises ChannelError without retrying (the op ran and failed)."""
+        from repro.errors import ChannelError
+
+        scenario, channel = self._channel(max_retries=3)
+        with pytest.raises(ChannelError, match="device error"):
+            channel.call("trace", dst="not-an-address", stop=[],
+                         max_ttl=8, attempts=1, gap_limit=3)
+        assert channel.retries == 0
+
+    def test_fault_counters_empty_on_healthy_channel(self):
+        scenario, channel = self._channel()
+        channel.call("status")
+        assert channel.fault_counters() == {}
 
 
 class TestRemoteEquivalence:
