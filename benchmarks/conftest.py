@@ -3,7 +3,16 @@
 The 19-VP large-access study backs Figures 14, 15, and 16; the four
 validation scenarios back §5.6 and Table 1.  Each is built once per
 session; the per-benchmark timed callables are the analysis stages.
+
+``bench_recorder`` is the shared machine-readable summary writer: a
+bench module calls ``bench_recorder("serving", payload)`` and a
+``BENCH_serving.json`` lands in the repo root (or ``$BENCH_OUTPUT_DIR``),
+so the perf trajectory is tracked across PRs.  Other bench modules can
+adopt it as-is.
 """
+
+import json
+import os
 
 import pytest
 
@@ -38,6 +47,26 @@ def validation_runs():
         result = run_bdrmap(scenario, data=data)
         runs[config.name] = (scenario, data, result)
     return runs
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    """Write ``BENCH_<name>.json`` next to the repo (or under
+    ``$BENCH_OUTPUT_DIR``) with a stable envelope other tooling can
+    diff across PRs: ``{"bench": name, "schema": int, ...payload}``."""
+
+    def record(name, payload, schema=1):
+        directory = os.environ.get("BENCH_OUTPUT_DIR", os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ))
+        envelope = {"bench": name, "schema": schema}
+        envelope.update(payload)
+        path = os.path.join(directory, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(envelope, handle, indent=1)
+        return path
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,88 @@
+"""Serving-layer throughput benchmark (the read path).
+
+Runs the shared harness from :mod:`repro.serving.bench` — the same code
+``repro serve-bench`` uses — over the mini scenario, asserts the
+headline claim (warm-cache batched queries at least 10x faster than
+naive per-query recomputation from the raw results), and records the
+machine-readable summary as ``BENCH_serving.json`` via the shared
+``bench_recorder`` so the perf trajectory is tracked across PRs.
+
+``SERVING_BENCH_SMOKE=1`` (the CI smoke job) shrinks the workload; the
+assertions are identical.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.bench import make_workload, run_serving_benchmark
+
+SMOKE = os.environ.get("SERVING_BENCH_SMOKE") == "1"
+QUERIES = 500 if SMOKE else 2000
+REPEATS = 3 if SMOKE else 5
+
+
+@pytest.fixture(scope="module")
+def serving_summary():
+    return run_serving_benchmark(
+        scenario_name="mini", seed=1, queries=QUERIES, repeats=REPEATS
+    )
+
+
+def test_bench_serving_speedup(serving_summary, bench_recorder):
+    summary = serving_summary
+    print()
+    print(summary.text())
+    path = bench_recorder("serving", summary.to_dict())
+    print("recorded %s" % path)
+
+    # Every path must actually move queries.
+    assert summary.naive_qps > 0
+    assert summary.cold_qps > 0
+    assert summary.warm_qps > 0
+    assert summary.batched_qps > 0
+    assert summary.service_qps > 0
+
+    # The workload revisits keys across passes, so the warm cache must
+    # be doing nearly all the work.
+    assert summary.warm_hit_rate >= 0.9
+
+    # The acceptance bar: warm-cache batched >= 10x naive recomputation.
+    assert summary.speedup_batched >= 10.0, (
+        "warm batched path is only %.1fx the naive baseline"
+        % summary.speedup_batched
+    )
+
+
+def test_bench_workload_is_deterministic(mini_run):
+    """Same seed, same map → byte-identical workload (QPS numbers vary
+    with the host; the queries they time must not)."""
+    scenario, data, result = mini_run
+    from repro.serving import compile_border_map
+
+    bmap = compile_border_map([result], view=data.view, rels=data.rels)
+    first = make_workload(bmap, data.view, 300, seed=5)
+    second = make_workload(bmap, data.view, 300, seed=5)
+    assert first == second
+    assert first != make_workload(bmap, data.view, 300, seed=6)
+
+
+def test_bench_engine_warm_lookup(benchmark, mini_run):
+    """pytest-benchmark row for the single hottest call: a warm cached
+    owner lookup."""
+    scenario, data, result = mini_run
+    from repro.serving import QueryEngine, compile_border_map
+
+    bmap = compile_border_map([result], view=data.view, rels=data.rels)
+    engine = QueryEngine(bmap)
+    addrs = [addr for router in bmap.routers[:50] for addr in router.addrs]
+    engine.owner_of_batch(addrs)  # warm
+
+    def warm_pass():
+        hits = 0
+        for addr in addrs:
+            if engine.owner_of(addr) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(warm_pass) > 0

@@ -10,7 +10,7 @@ from .diversity import DiversityReport, diversity_analysis
 from .marginal import MarginalReport, marginal_utility
 from .geo import GeoReport, geography_analysis
 from .dnscheck import DNSCheckReport, degree_anomalies, dns_sanity_check
-from .diff import RunDiff, diff_results
+from .diff import RunDiff, diff_border_maps, diff_results
 from .ownership import (
     NaiveLinkReport,
     OwnershipReport,
@@ -25,6 +25,7 @@ __all__ = [
     "run_chaos_suite",
     "RunDiff",
     "diff_results",
+    "diff_border_maps",
     "NaiveLinkReport",
     "OwnershipReport",
     "score_bdrmap_ownership",

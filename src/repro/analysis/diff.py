@@ -76,14 +76,9 @@ class RunDiff:
         return "\n".join(lines)
 
 
-def diff_results(before: BdrmapResult, after: BdrmapResult) -> RunDiff:
-    """Compare two runs (ideally from the same VP)."""
-    diff = RunDiff()
-    diff.gained_neighbors = after.neighbor_ases() - before.neighbor_ases()
-    diff.lost_neighbors = before.neighbor_ases() - after.neighbor_ases()
-
-    before_keys = _link_keys(before)
-    after_keys = _link_keys(after)
+def _diff_key_sets(
+    diff: RunDiff, before_keys: Set[LinkKey], after_keys: Set[LinkKey]
+) -> RunDiff:
     unmatched_before = set(before_keys)
     for key in sorted(after_keys, key=lambda k: (k[0], sorted(k[1]))):
         matched = _match(key, unmatched_before)
@@ -96,3 +91,33 @@ def diff_results(before: BdrmapResult, after: BdrmapResult) -> RunDiff:
         unmatched_before, key=lambda k: (k[0], sorted(k[1]))
     )
     return diff
+
+
+def diff_results(before: BdrmapResult, after: BdrmapResult) -> RunDiff:
+    """Compare two runs (ideally from the same VP)."""
+    diff = RunDiff()
+    diff.gained_neighbors = after.neighbor_ases() - before.neighbor_ases()
+    diff.lost_neighbors = before.neighbor_ases() - after.neighbor_ases()
+    return _diff_key_sets(diff, _link_keys(before), _link_keys(after))
+
+
+def _border_map_link_keys(bmap) -> Set[LinkKey]:
+    keys: Set[LinkKey] = set()
+    for link in bmap.links:
+        near = bmap.routers[link.near_router]
+        keys.add((link.neighbor_as, frozenset(near.addrs)))
+    return keys
+
+
+def diff_border_maps(before, after) -> RunDiff:
+    """Compare two compiled :class:`~repro.serving.bordermap.BorderMap`
+    epochs — the longitudinal delta a serving deployment publishes when
+    it hot-swaps a recompiled map."""
+    diff = RunDiff()
+    before_neighbors = set(before.neighbor_ases())
+    after_neighbors = set(after.neighbor_ases())
+    diff.gained_neighbors = after_neighbors - before_neighbors
+    diff.lost_neighbors = before_neighbors - after_neighbors
+    return _diff_key_sets(
+        diff, _border_map_link_keys(before), _border_map_link_keys(after)
+    )

@@ -156,16 +156,201 @@ def _run_all_vps(args, scenario, data, config) -> int:
     return 0
 
 
+def _load_or_fail(loader, path: str, what: str):
+    """Load an archive, turning the predictable failure modes (missing
+    file, not JSON, unknown schema version) into a clear CLI error
+    instead of a traceback.  Returns None after printing the error."""
+    import json
+
+    from .errors import DataError
+
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        print("error: %s %r does not exist" % (what, path), file=sys.stderr)
+    except IsADirectoryError:
+        print("error: %s %r is a directory, not a file" % (what, path),
+              file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print("error: %s %r is not valid JSON (%s)" % (what, path, exc),
+              file=sys.stderr)
+    except DataError as exc:
+        print("error: cannot read %s %r: %s" % (what, path, exc),
+              file=sys.stderr)
+    except OSError as exc:
+        print("error: cannot open %s %r: %s" % (what, path, exc),
+              file=sys.stderr)
+    return None
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Inspect an archived run report."""
     from .analysis.coverage import pass_table
     from .io import load_report
 
-    report = load_report(args.path)
+    report = _load_or_fail(load_report, args.path, "report")
+    if report is None:
+        return 2
     print(report.summary())
     if args.passes:
         print()
         print(pass_table(report))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile results (from a checkpoint or result files) into a
+    BorderMap artifact."""
+    from .io import load_checkpoint, save_border_map
+    from .serving import compile_border_map
+
+    results = []
+    if args.checkpoint:
+        loaded = _load_or_fail(load_checkpoint, args.checkpoint, "checkpoint")
+        if loaded is None:
+            return 2
+        results.extend(loaded[0])
+    for path in args.results:
+        result = _load_or_fail(load_result, path, "result")
+        if result is None:
+            return 2
+        results.append(result)
+    if not results:
+        print("error: nothing to compile (give --checkpoint and/or results)",
+              file=sys.stderr)
+        return 2
+    view = rels = None
+    source = args.checkpoint or ",".join(args.results)
+    if args.name:
+        scenario = _build(args.name, args.seed)
+        data = build_data_bundle(scenario)
+        view, rels = data.view, data.rels
+        source += " + %s bundle" % args.name
+    bmap = compile_border_map(
+        results, view=view, rels=rels, epoch=args.epoch, source=source
+    )
+    save_border_map(bmap, args.out)
+    print("compiled epoch %d border map from %d result(s): %s"
+          % (bmap.epoch, len(results),
+             ", ".join("%s=%d" % (k, v)
+                       for k, v in sorted(bmap.stats().items()))))
+    print("saved to %s" % args.out)
+    return 0
+
+
+def _parse_query(text: str):
+    """One query: ``owner A.B.C.D``, ``border A.B.C.D``, ``neighbors ASN``."""
+    from .addr import aton
+
+    parts = text.split()
+    if len(parts) != 2 or parts[0] not in ("owner", "border", "neighbors"):
+        raise ValueError(
+            "bad query %r (want 'owner IP', 'border IP', or 'neighbors ASN')"
+            % text
+        )
+    op, operand = parts
+    key = int(operand) if op == "neighbors" else aton(operand)
+    return op, key
+
+
+def _format_answer(answer) -> str:
+    from .addr import ntoa
+
+    value = answer.value
+    if value is None:
+        body = "no answer"
+    elif answer.op == "owner":
+        where = ("router %d" % value.router
+                 if value.router is not None else "prefix")
+        body = "AS%d (%s, via %s)" % (value.asn, value.source, where)
+    elif answer.op == "border":
+        body = "; ".join(
+            "%s r%d -> AS%d (%s, %s)"
+            % (link.vp_name, link.near_router, link.neighbor_as,
+               link.relationship, link.reason)
+            for link in value
+        ) or "no border observed"
+    else:
+        body = "AS%d: %s, %d link(s), confidence %.2f" % (
+            value.asn, value.relationship, len(value.links),
+            value.best_confidence,
+        )
+    key = str(answer.key) if answer.op == "neighbors" else ntoa(answer.key)
+    return "%-9s %-15s -> %s" % (answer.op, key, body)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Answer queries against a compiled BorderMap artifact."""
+    from .errors import AddressError
+    from .io import load_border_map
+    from .serving import BorderMapService
+
+    bmap = _load_or_fail(load_border_map, args.map, "border map")
+    if bmap is None:
+        return 2
+    requests = []
+    try:
+        # The shell splits `owner 1.2.3.4 neighbors 64500` into single
+        # tokens; quoted whole queries arrive pre-joined.  Flatten and
+        # re-pair so both spellings work.
+        tokens = [t for text in args.query for t in text.split()]
+        if len(tokens) % 2:
+            raise ValueError(
+                "queries come in pairs: 'owner IP', 'border IP', "
+                "or 'neighbors ASN' (got %r)" % " ".join(tokens)
+            )
+        for start in range(0, len(tokens), 2):
+            requests.append(
+                _parse_query(" ".join(tokens[start:start + 2]))
+            )
+        if args.batch:
+            with open(args.batch) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        requests.append(_parse_query(line))
+    except (ValueError, AddressError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: cannot read batch file: %s" % exc, file=sys.stderr)
+        return 2
+    if not requests:
+        print("error: no queries (give QUERY arguments or --batch FILE)",
+              file=sys.stderr)
+        return 2
+    service = BorderMapService(bmap)
+    for answer in service.batch(requests):
+        print(_format_answer(answer))
+    if args.stats:
+        print()
+        print(service.summary())
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """End-to-end serving throughput: infer, compile, benchmark."""
+    from .serving.bench import run_serving_benchmark
+
+    summary = run_serving_benchmark(
+        scenario_name=args.name,
+        seed=args.seed,
+        queries=args.queries,
+        repeats=args.repeats,
+        batch_size=args.batch_size,
+        build=_build,
+    )
+    print(summary.text())
+    if args.out:
+        summary.write_json(args.out)
+        print("wrote %s" % args.out)
+    if summary.speedup_batched < args.min_speedup:
+        print(
+            "error: warm batched path is only %.1fx the naive baseline "
+            "(want >= %.1fx)" % (summary.speedup_batched, args.min_speedup),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -378,6 +563,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--passes", action="store_true",
                           help="print the per-heuristic-pass table")
     p_report.set_defaults(func=_cmd_report)
+
+    p_compile = subparsers.add_parser(
+        "compile", help="compile results into a served BorderMap artifact"
+    )
+    p_compile.add_argument("results", nargs="*",
+                           help="result JSON files from `run --out`")
+    p_compile.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="also compile every result in this "
+                                "checkpoint from `run --all-vps --checkpoint`")
+    p_compile.add_argument("--out", required=True,
+                           help="write the border map artifact here")
+    p_compile.add_argument("--epoch", type=int, default=0,
+                           help="epoch tag for the artifact (hot-swap "
+                                "ordering)")
+    p_compile.add_argument("--name", choices=sorted(_SCENARIOS), default=None,
+                           help="rebuild this scenario's data bundle to "
+                                "include the BGP LPM index and relationship "
+                                "labels")
+    p_compile.add_argument("--seed", type=int, default=None)
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_query = subparsers.add_parser(
+        "query", help="answer queries against a compiled border map"
+    )
+    p_query.add_argument("map", help="artifact from `compile --out`")
+    p_query.add_argument("query", nargs="*",
+                         help="queries like 'owner 1.2.3.4', "
+                              "'border 1.2.3.4', 'neighbors 64500'")
+    p_query.add_argument("--batch", default=None, metavar="FILE",
+                         help="file of queries, one per line (# comments ok)")
+    p_query.add_argument("--stats", action="store_true",
+                         help="print service/cache statistics")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = subparsers.add_parser(
+        "serve-bench", help="serving throughput: infer, compile, benchmark"
+    )
+    p_bench.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_bench.add_argument("--seed", type=int, default=None)
+    p_bench.add_argument("--queries", type=int, default=2000,
+                         help="distinct queries in the workload")
+    p_bench.add_argument("--repeats", type=int, default=5,
+                         help="passes over the workload per timed path")
+    p_bench.add_argument("--batch-size", type=int, default=64)
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="write the machine-readable summary here "
+                              "(BENCH_serving.json)")
+    p_bench.add_argument("--min-speedup", type=float, default=1.0,
+                         help="exit nonzero unless warm batched beats the "
+                              "naive baseline by this factor")
+    p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_infer = subparsers.add_parser(
         "infer", help="re-run inference over an archived bundle (no probing)"

@@ -206,6 +206,25 @@ class OrchestratedRun:
         cross-VP identity needs ground truth or address comparison)."""
         return [link for result in self.results for link in result.links]
 
+    def to_border_map(self, data: Optional[DataBundle] = None,
+                      epoch: int = 0, source: str = ""):
+        """Compile this run into a served
+        :class:`~repro.serving.bordermap.BorderMap` artifact.
+
+        Pass the run's :class:`DataBundle` to include the BGP
+        longest-prefix-match index and relationship labels; without it
+        the map answers from interface evidence alone.
+        """
+        from ..serving import compile_border_map
+
+        return compile_border_map(
+            self.results,
+            view=data.view if data is not None else None,
+            rels=data.rels if data is not None else None,
+            epoch=epoch,
+            source=source,
+        )
+
 
 def _vp_report_from_state(state: PipelineState,
                           result: BdrmapResult) -> VPReport:

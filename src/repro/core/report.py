@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..addr import ntoa
 from .routergraph import RouterGraph
@@ -102,6 +102,23 @@ class BdrmapResult:
         """Links whose heuristic's validated accuracy meets ``minimum`` —
         e.g. a congestion monitor probing only high-confidence borders."""
         return [link for link in self.links if link.confidence >= minimum]
+
+    def interface_owners(self) -> Dict[int, Tuple[int, Optional[int]]]:
+        """Every known interface address → ``(rid, owner)``.
+
+        The export hook the serving compiler and its naive baseline share:
+        this is the raw material of a BorderMap's interface map (owned
+        routers listed before unowned ones so the first match wins).
+        """
+        owners: Dict[int, Tuple[int, Optional[int]]] = {}
+        ordered = sorted(
+            self.graph.routers.values(),
+            key=lambda r: (r.owner is None, r.rid),
+        )
+        for router in ordered:
+            for addr in router.all_addrs():
+                owners.setdefault(addr, (router.rid, router.owner))
+        return owners
 
     # -- reporting -----------------------------------------------------------
 

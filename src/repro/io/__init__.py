@@ -24,8 +24,18 @@ from .serialize import (
 from .text import format_result, format_trace
 from .bundle import load_bundle, save_bundle
 from .serialize import collection_from_dict, collection_to_dict
+from .serialize import (
+    bordermap_from_dict,
+    bordermap_to_dict,
+    load_border_map,
+    save_border_map,
+)
 
 __all__ = [
+    "bordermap_to_dict",
+    "bordermap_from_dict",
+    "save_border_map",
+    "load_border_map",
     "format_trace",
     "format_result",
     "save_bundle",

@@ -488,6 +488,143 @@ def load_report(source: Union[str, IO[str]]):
         return report_from_dict(json.load(handle))
 
 
+# -- border maps ------------------------------------------------------------------
+
+
+def bordermap_to_dict(bmap) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.serving.bordermap.BorderMap`.
+
+    ASes are interned: the ``ases`` table lists every AS once, and
+    routers, links, and prefixes reference it by index.  Only the tables
+    are stored; the derived indexes (interface map, LPM trie, adjacency)
+    are rebuilt on load, so the round trip is lossless by construction.
+    """
+    from ..serving.bordermap import BORDERMAP_FORMAT
+
+    ases = list(bmap.as_table)
+    index = {asn: i for i, asn in enumerate(ases)}
+    return {
+        "format": BORDERMAP_FORMAT,
+        "epoch": bmap.epoch,
+        "source": bmap.source,
+        "focal_asn": bmap.focal_asn,
+        "vp_ases": sorted(bmap.vp_ases),
+        "ases": ases,
+        "routers": [
+            {
+                "vp": router.vp_name,
+                "rid": router.rid,
+                "addrs": [ntoa(a) for a in router.addrs],
+                "owner": (
+                    index[router.owner] if router.owner is not None else None
+                ),
+                "reason": router.reason,
+                "dsts": [index[asn] for asn in router.dsts],
+            }
+            for router in bmap.routers
+        ],
+        "links": [
+            {
+                "vp": link.vp_name,
+                "near": link.near_router,
+                "far": link.far_router,
+                "neighbor": index[link.neighbor_as],
+                "rel": link.relationship,
+                "reason": link.reason,
+                "via_ixp": link.via_ixp,
+            }
+            for link in bmap.links
+        ],
+        "prefixes": [
+            [str(prefix), index[origin]] for prefix, origin in bmap.prefixes
+        ],
+    }
+
+
+def bordermap_from_dict(data: Dict[str, Any]):
+    """Rebuild a BorderMap from its artifact dict.
+
+    Tolerates unknown fields (forward compatibility: a newer writer may
+    annotate records) but rejects unknown *format* versions outright.
+    """
+    from ..addr import Prefix
+    from ..serving.bordermap import (
+        BORDERMAP_FORMAT,
+        BorderLink,
+        BorderMap,
+        CompiledRouter,
+    )
+
+    if data.get("format") != BORDERMAP_FORMAT:
+        raise DataError(
+            "unknown border map format %r" % data.get("format")
+        )
+    try:
+        ases = list(data["ases"])
+        routers = [
+            CompiledRouter(
+                index=position,
+                vp_name=entry["vp"],
+                rid=entry["rid"],
+                addrs=tuple(aton(a) for a in entry["addrs"]),
+                owner=(
+                    ases[entry["owner"]]
+                    if entry["owner"] is not None
+                    else None
+                ),
+                reason=entry["reason"],
+                dsts=tuple(ases[i] for i in entry["dsts"]),
+            )
+            for position, entry in enumerate(data["routers"])
+        ]
+        links = [
+            BorderLink(
+                index=position,
+                vp_name=entry["vp"],
+                near_router=entry["near"],
+                far_router=entry["far"],
+                neighbor_as=ases[entry["neighbor"]],
+                relationship=entry["rel"],
+                reason=entry["reason"],
+                via_ixp=entry["via_ixp"],
+            )
+            for position, entry in enumerate(data["links"])
+        ]
+        prefixes = [
+            (Prefix.parse(text), ases[origin])
+            for text, origin in data["prefixes"]
+        ]
+        return BorderMap(
+            focal_asn=data["focal_asn"],
+            vp_ases=set(data["vp_ases"]),
+            routers=routers,
+            links=links,
+            prefixes=prefixes,
+            epoch=data.get("epoch", 0),
+            source=data.get("source", ""),
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise DataError("malformed border map record: %s" % exc) from exc
+
+
+def save_border_map(bmap, target: Union[str, IO[str]]) -> None:
+    """Write a border map artifact to a path or open file object."""
+    payload = json.dumps(bordermap_to_dict(bmap), indent=1)
+    if hasattr(target, "write"):
+        target.write(payload)
+        return
+    with open(target, "w") as handle:
+        handle.write(payload)
+
+
+def load_border_map(source: Union[str, IO[str]]):
+    """Read a border map artifact from a path or open file object."""
+    if hasattr(source, "read"):
+        return bordermap_from_dict(json.load(source))
+    with open(source) as handle:
+        return bordermap_from_dict(json.load(handle))
+
+
 def save_result(result: BdrmapResult, target: Union[str, IO[str]]) -> None:
     """Write a result to a path or open file object."""
     payload = json.dumps(result_to_dict(result), indent=1)

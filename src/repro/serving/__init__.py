@@ -1,0 +1,43 @@
+"""Border-map serving: compiled query artifact, engine, and service.
+
+The write path (``repro.core``) produces per-VP results; this package is
+the read path: :func:`compile_border_map` freezes results into an
+immutable :class:`BorderMap`, :class:`QueryEngine` serves cached lookups
+over it, and :class:`BorderMapService` adds request batching and
+zero-downtime swaps of a recompiled map.
+"""
+
+from .bordermap import (
+    BORDERMAP_FORMAT,
+    BorderLink,
+    BorderMap,
+    CompiledRouter,
+    NeighborInfo,
+    Ownership,
+    compile_border_map,
+)
+from .bench import ServingBenchSummary, make_workload, run_serving_benchmark
+from .engine import EngineStats, LRUCache, OpStats, QueryEngine
+from .naive import naive_border_for, naive_owner_of
+from .service import Answer, BorderMapService
+
+__all__ = [
+    "BORDERMAP_FORMAT",
+    "BorderLink",
+    "BorderMap",
+    "CompiledRouter",
+    "NeighborInfo",
+    "Ownership",
+    "compile_border_map",
+    "ServingBenchSummary",
+    "make_workload",
+    "run_serving_benchmark",
+    "EngineStats",
+    "LRUCache",
+    "OpStats",
+    "QueryEngine",
+    "naive_border_for",
+    "naive_owner_of",
+    "Answer",
+    "BorderMapService",
+]

@@ -1,0 +1,313 @@
+"""Serving throughput benchmark: infer → compile → measure → record.
+
+One harness drives both ``repro serve-bench`` and
+``benchmarks/test_bench_serving.py`` so the CLI, the CI smoke job, and
+the perf-tracking JSON all measure exactly the same paths over the same
+deterministic workload:
+
+* **naive** — per-query recomputation from the raw per-VP results (scan
+  every router, re-derive the destination AS), the pre-BorderMap world;
+* **cold** — uncached queries against the compiled map (dict + LPM trie,
+  no result cache);
+* **warm** — the :class:`~repro.serving.engine.QueryEngine` with a
+  populated LRU cache;
+* **batched** — the warm engine's batch API fed op-homogeneous
+  micro-batches of ``batch_size`` keys;
+* **service** — the same batches through the
+  :class:`~repro.serving.service.BorderMapService` front end, which adds
+  request counting and epoch-tagged answers.
+
+Timings are wall-clock (the one place this repo measures real time —
+throughput of the serving layer is a property of the host, not of the
+simulated Internet); the workload itself is seeded and fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+
+from ..rng import make_rng
+
+BENCH_SCHEMA = 1
+
+
+def _default_build(name: str, seed: Optional[int]):
+    from .. import build_scenario, topology
+
+    factory = getattr(topology, name)
+    config = factory(seed=seed) if seed is not None else factory()
+    return build_scenario(config)
+
+
+def make_workload(
+    bmap, view, count: int, seed: int = 0
+) -> List[Tuple[str, int]]:
+    """A deterministic serving workload over one compiled map.
+
+    Mixes the query shapes a deployment sees: owner lookups on observed
+    interfaces (the common case), owner/border lookups on arbitrary
+    routed addresses, border lookups toward announced prefixes, a few
+    unrouted addresses, and neighbor summaries.
+    """
+    rng = make_rng((seed << 8) ^ 0x5E21)
+    interfaces = sorted(
+        {addr for router in bmap.routers for addr in router.addrs}
+    )
+    prefixes = [prefix for prefix, _ in bmap.prefixes] or None
+    neighbor_ases = list(bmap.neighbor_ases()) or [bmap.focal_asn]
+    workload: List[Tuple[str, int]] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.40 and interfaces:
+            workload.append(("owner", rng.choice(interfaces)))
+        elif roll < 0.60 and prefixes is not None:
+            prefix = rng.choice(prefixes)
+            workload.append(
+                ("owner", prefix.addr + rng.randrange(prefix.size))
+            )
+        elif roll < 0.90 and prefixes is not None:
+            prefix = rng.choice(prefixes)
+            workload.append(
+                ("border", prefix.addr + rng.randrange(prefix.size))
+            )
+        elif roll < 0.95:
+            workload.append(("neighbors", rng.choice(neighbor_ases)))
+        else:
+            workload.append(("owner", rng.randrange(1 << 32)))
+    return workload
+
+
+@dataclass
+class ServingBenchSummary:
+    """The machine-readable outcome (``BENCH_serving.json``)."""
+
+    scenario: str
+    seed: Optional[int]
+    queries: int
+    repeats: int
+    batch_size: int
+    vps: int
+    map_stats: Dict[str, int] = field(default_factory=dict)
+    naive_qps: float = 0.0
+    cold_qps: float = 0.0
+    warm_qps: float = 0.0
+    batched_qps: float = 0.0
+    service_qps: float = 0.0
+    warm_hit_rate: float = 0.0
+
+    @property
+    def speedup_warm(self) -> float:
+        return self.warm_qps / self.naive_qps if self.naive_qps else 0.0
+
+    @property
+    def speedup_batched(self) -> float:
+        return self.batched_qps / self.naive_qps if self.naive_qps else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": "serving",
+            "schema": BENCH_SCHEMA,
+            "config": {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "queries": self.queries,
+                "repeats": self.repeats,
+                "batch_size": self.batch_size,
+                "vps": self.vps,
+            },
+            "map": dict(self.map_stats),
+            "metrics": {
+                "naive_qps": round(self.naive_qps, 1),
+                "cold_qps": round(self.cold_qps, 1),
+                "warm_qps": round(self.warm_qps, 1),
+                "batched_qps": round(self.batched_qps, 1),
+                "service_qps": round(self.service_qps, 1),
+                "warm_hit_rate": round(self.warm_hit_rate, 4),
+                "speedup_warm": round(self.speedup_warm, 1),
+                "speedup_batched": round(self.speedup_batched, 1),
+            },
+        }
+
+    def write_json(self, target: Union[str, IO[str]]) -> None:
+        payload = json.dumps(self.to_dict(), indent=1)
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        with open(target, "w") as handle:
+            handle.write(payload)
+
+    def text(self) -> str:
+        return "\n".join(
+            [
+                "serving benchmark: %s, %d VPs, %d queries x %d passes"
+                % (self.scenario, self.vps, self.queries, self.repeats),
+                "  map: %s"
+                % ", ".join("%s=%d" % (k, v)
+                            for k, v in sorted(self.map_stats.items())),
+                "  naive   %12.0f q/s  (per-query recomputation)"
+                % self.naive_qps,
+                "  cold    %12.0f q/s  (%.1fx naive)"
+                % (self.cold_qps,
+                   self.cold_qps / self.naive_qps if self.naive_qps else 0.0),
+                "  warm    %12.0f q/s  (%.1fx naive, %.1f%% cache hits)"
+                % (self.warm_qps, self.speedup_warm,
+                   100 * self.warm_hit_rate),
+                "  batched %12.0f q/s  (%.1fx naive, batch=%d)"
+                % (self.batched_qps, self.speedup_batched, self.batch_size),
+                "  service %12.0f q/s  (%.1fx naive, epoch-tagged answers)"
+                % (self.service_qps,
+                   self.service_qps / self.naive_qps
+                   if self.naive_qps else 0.0),
+            ]
+        )
+
+
+def _qps(total_queries: int, elapsed: float) -> float:
+    return total_queries / max(elapsed, 1e-9)
+
+
+def bench_paths(
+    results,
+    bmap,
+    view,
+    workload: List[Tuple[str, int]],
+    repeats: int = 5,
+    batch_size: int = 64,
+    naive_repeats: int = 1,
+) -> Dict[str, float]:
+    """Time the serving paths over ``workload``; returns QPS per path
+    plus the warm cache hit rate."""
+    from .engine import QueryEngine
+    from .naive import naive_border_for, naive_owner_of
+    from .service import BorderMapService
+
+    # naive: every query rescans the raw results (and the view for LPM).
+    started = time.perf_counter()
+    for _ in range(naive_repeats):
+        for op, key in workload:
+            if op == "owner":
+                naive_owner_of(results, key, view=view)
+            elif op == "border":
+                naive_border_for(results, key, view=view)
+            else:
+                for result in results:
+                    result.links_with(key)
+    naive_qps = _qps(naive_repeats * len(workload), time.perf_counter() - started)
+
+    # cold: the compiled map's indexes, no result cache.
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for op, key in workload:
+            if op == "owner":
+                bmap.owner_of(key)
+            elif op == "border":
+                bmap.border_for(key)
+            else:
+                bmap.neighbors(key)
+    cold_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+
+    # warm: cached engine, one untimed warm-up pass.
+    engine = QueryEngine(bmap, cache_size=4 * len(workload) + 64)
+    for op, key in workload:
+        getattr(engine, {"owner": "owner_of", "border": "border_for",
+                         "neighbors": "neighbors"}[op])(key)
+    engine.stats = type(engine.stats)()  # count only the timed passes
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for op, key in workload:
+            if op == "owner":
+                engine.owner_of(key)
+            elif op == "border":
+                engine.border_for(key)
+            else:
+                engine.neighbors(key)
+    warm_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+    warm_hit_rate = engine.stats.hit_rate
+
+    # batched: the warm engine's batch API.  Micro-batches are
+    # op-homogeneous (grouping is the front end's job and happens before
+    # the engine is involved).
+    batch_engine = QueryEngine(bmap, cache_size=4 * len(workload) + 64)
+    batches: List[Tuple[str, List[int]]] = []
+    for start in range(0, len(workload), batch_size):
+        per_op: Dict[str, List[int]] = {}
+        for op, key in workload[start:start + batch_size]:
+            per_op.setdefault(op, []).append(key)
+        batches.extend(sorted(per_op.items()))
+    methods = {
+        "owner": batch_engine.owner_of_batch,
+        "border": batch_engine.border_for_batch,
+        "neighbors": batch_engine.neighbors_batch,
+    }
+    for op, keys in batches:  # warm-up
+        methods[op](keys)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for op, keys in batches:
+            methods[op](keys)
+    batched_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+
+    # service: the same batches through the BorderMapService front end
+    # (request counting, epoch-tagged answers) — the figure a deployment
+    # would quote.
+    service = BorderMapService(
+        bmap, cache_size=4 * len(workload) + 64, batch_size=batch_size
+    )
+    service.batch(workload)  # warm-up
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for start in range(0, len(workload), batch_size):
+            service.batch(workload[start:start + batch_size])
+    service_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+
+    return {
+        "naive_qps": naive_qps,
+        "cold_qps": cold_qps,
+        "warm_qps": warm_qps,
+        "batched_qps": batched_qps,
+        "service_qps": service_qps,
+        "warm_hit_rate": warm_hit_rate,
+    }
+
+
+def run_serving_benchmark(
+    scenario_name: str = "mini",
+    seed: Optional[int] = None,
+    queries: int = 2000,
+    repeats: int = 5,
+    batch_size: int = 64,
+    build: Optional[Callable] = None,
+) -> ServingBenchSummary:
+    """Infer on ``scenario_name``, compile a BorderMap, and measure the
+    serving paths end to end."""
+    from .. import build_data_bundle
+    from ..core.orchestrator import MultiVPOrchestrator
+    from .bordermap import compile_border_map
+
+    build = build or _default_build
+    scenario = build(scenario_name, seed)
+    data = build_data_bundle(scenario)
+    run = MultiVPOrchestrator(scenario, data=data).run()
+    bmap = compile_border_map(
+        run.results, view=data.view, rels=data.rels, epoch=1,
+        source="serve-bench %s" % scenario_name,
+    )
+    workload = make_workload(bmap, data.view, queries, seed=seed or 0)
+    measured = bench_paths(
+        run.results, bmap, data.view, workload,
+        repeats=repeats, batch_size=batch_size,
+    )
+    return ServingBenchSummary(
+        scenario=scenario_name,
+        seed=seed,
+        queries=len(workload),
+        repeats=repeats,
+        batch_size=batch_size,
+        vps=len(run.results),
+        map_stats=bmap.stats(),
+        **measured,
+    )

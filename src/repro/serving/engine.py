@@ -1,0 +1,225 @@
+"""The query engine: cached, counted lookups over one BorderMap.
+
+The engine is the hot path of the serving subsystem.  It wraps an
+immutable :class:`~repro.serving.bordermap.BorderMap` with an LRU result
+cache (border queries for popular destinations repeat heavily in any real
+workload) and per-operation hit/miss/latency counters, and exposes
+batched variants that dedupe keys and amortize clock reads — the shape a
+front end feeding it micro-batches wants.
+
+The engine never mutates its map, so many engines may share one map and
+a service may drop an engine on the floor mid-request during a hot swap:
+in-flight queries finish against the map they started on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .bordermap import BorderLink, BorderMap, NeighborInfo, Ownership
+
+
+class LRUCache:
+    """A plain ordered-dict LRU: small, dependency-free, O(1) ops."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(found, value)``; a hit refreshes recency."""
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        store = self._store
+        if key in store:
+            store.move_to_end(key)
+        store[key] = value
+        if len(store) > self.capacity:
+            store.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class OpStats:
+    """Per-operation accounting."""
+
+    calls: int = 0
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class EngineStats:
+    """Counters the service and benchmarks read."""
+
+    ops: Dict[str, OpStats] = field(default_factory=dict)
+
+    def op(self, name: str) -> OpStats:
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats()
+        return stats
+
+    @property
+    def calls(self) -> int:
+        return sum(s.calls for s in self.ops.values())
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.ops.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.ops.values())
+
+    @property
+    def seconds(self) -> float:
+        return sum(s.seconds for s in self.ops.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            "engine: %d calls, %.1f%% cache hits, %.3f ms total"
+            % (self.calls, 100 * self.hit_rate, 1e3 * self.seconds)
+        ]
+        for name in sorted(self.ops):
+            stats = self.ops[name]
+            lines.append(
+                "  %-10s calls=%-7d hits=%-7d misses=%-7d %.3f ms"
+                % (name, stats.calls, stats.hits, stats.misses,
+                   1e3 * stats.seconds)
+            )
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Cached query front end over one immutable BorderMap."""
+
+    def __init__(self, border_map: BorderMap, cache_size: int = 4096) -> None:
+        self.map = border_map
+        self.cache = LRUCache(cache_size)
+        self.stats = EngineStats()
+
+    @property
+    def epoch(self) -> int:
+        return self.map.epoch
+
+    # -- single-key queries -------------------------------------------------
+
+    def _cached(self, op: str, key: Hashable,
+                compute: Callable[[Any], Any]) -> Any:
+        started = time.perf_counter()
+        stats = self.stats.op(op)
+        stats.calls += 1
+        found, value = self.cache.get((op, key))
+        if found:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+            value = compute(key)
+            self.cache.put((op, key), value)
+        stats.seconds += time.perf_counter() - started
+        return value
+
+    def owner_of(self, addr: int) -> Optional[Ownership]:
+        return self._cached("owner", addr, self.map.owner_of)
+
+    def border_for(self, addr: int) -> Tuple[BorderLink, ...]:
+        return self._cached("border", addr, self.map.border_for)
+
+    def neighbors(self, asn: int) -> Optional[NeighborInfo]:
+        return self._cached("neighbors", asn, self.map.neighbors)
+
+    # -- batched variants ---------------------------------------------------
+
+    def _batched(
+        self,
+        op: str,
+        keys: Sequence[Hashable],
+        compute: Callable[[Any], Any],
+        compute_batch: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
+    ) -> List[Any]:
+        """One timed pass over a batch.
+
+        Duplicate keys inside the batch cost one computation, the clock
+        is read twice per batch instead of twice per key, and — when the
+        map has a bulk path (``compute_batch``) — every cache miss is
+        resolved in a single call.
+        """
+        started = time.perf_counter()
+        stats = self.stats.op(op)
+        stats.calls += len(keys)
+        cache = self.cache
+        answers: List[Any] = [None] * len(keys)
+        miss_keys: List[Hashable] = []
+        miss_positions: Dict[Hashable, List[int]] = {}
+        for position, key in enumerate(keys):
+            positions = miss_positions.get(key)
+            if positions is not None:  # duplicate of an earlier miss
+                stats.hits += 1
+                positions.append(position)
+                continue
+            found, value = cache.get((op, key))
+            if found:
+                stats.hits += 1
+                answers[position] = value
+            else:
+                stats.misses += 1
+                miss_keys.append(key)
+                miss_positions[key] = [position]
+        if miss_keys:
+            if compute_batch is not None:
+                values = compute_batch(miss_keys)
+            else:
+                values = [compute(key) for key in miss_keys]
+            for key, value in zip(miss_keys, values):
+                cache.put((op, key), value)
+                for position in miss_positions[key]:
+                    answers[position] = value
+        stats.seconds += time.perf_counter() - started
+        return answers
+
+    def owner_of_batch(self, addrs: Sequence[int]) -> List[Optional[Ownership]]:
+        return self._batched(
+            "owner", addrs, self.map.owner_of, self.map.owner_of_batch
+        )
+
+    def border_for_batch(
+        self, addrs: Sequence[int]
+    ) -> List[Tuple[BorderLink, ...]]:
+        return self._batched("border", addrs, self.map.border_for)
+
+    def neighbors_batch(
+        self, asns: Sequence[int]
+    ) -> List[Optional[NeighborInfo]]:
+        return self._batched("neighbors", asns, self.map.neighbors)

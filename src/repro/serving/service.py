@@ -1,0 +1,175 @@
+"""The lookup service: request batching and zero-downtime map swaps.
+
+:class:`BorderMapService` is the front end a deployment would put behind
+an RPC endpoint: callers submit ``(op, key)`` requests, the service packs
+them into micro-batches against one engine snapshot, and a freshly
+compiled :class:`~repro.serving.bordermap.BorderMap` (e.g. after
+re-inference on an evolved topology) is swapped in *stale-while-
+revalidate*: the old map keeps answering for the entire compile, and the
+swap itself is a single reference assignment, so a query observes either
+the old map or the new one — never a partially built one.
+
+Every answer is tagged with the epoch of the map that produced it, which
+is what the hot-swap tests (and any cache-invalidation layer above) key
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import DataError
+from .bordermap import BorderMap
+from .engine import QueryEngine
+
+#: Operations the service accepts, mapping to QueryEngine batch methods.
+OPS = ("owner", "border", "neighbors")
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One answered request, tagged with the producing map's epoch."""
+
+    op: str
+    key: int
+    value: Any
+    epoch: int
+
+
+class BorderMapService:
+    """Batching, hot-swappable lookup service over a BorderMap.
+
+    ``batch_size`` bounds the micro-batch: :meth:`submit` queues a
+    request and flushes automatically once the batch fills;
+    :meth:`flush` drains a partial batch.  Each batch is answered by one
+    engine snapshot, so a swap can never split a batch across maps.
+    """
+
+    def __init__(
+        self,
+        border_map: BorderMap,
+        cache_size: int = 4096,
+        batch_size: int = 64,
+    ) -> None:
+        self._engine = QueryEngine(border_map, cache_size=cache_size)
+        self.cache_size = cache_size
+        self.batch_size = batch_size
+        self._pending: List[Tuple[str, int]] = []
+        self._swap_lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.swaps = 0
+
+    # -- the served map -----------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The current engine snapshot.  Readers grab this once per
+        batch; the reference is replaced atomically on swap."""
+        return self._engine
+
+    @property
+    def map(self) -> BorderMap:
+        return self._engine.map
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.map.epoch
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, op: str, key: int) -> Answer:
+        """Answer one request immediately (no batching)."""
+        return self._answer_batch([(op, key)])[0]
+
+    def submit(self, op: str, key: int) -> List[Answer]:
+        """Queue a request; returns the flushed answers when this request
+        filled the batch, else an empty list."""
+        if op not in OPS:
+            raise DataError("unknown query op %r (want one of %s)"
+                            % (op, "/".join(OPS)))
+        self._pending.append((op, key))
+        if len(self._pending) >= self.batch_size:
+            return self.flush()
+        return []
+
+    def flush(self) -> List[Answer]:
+        """Answer and clear the pending batch (in submission order)."""
+        pending, self._pending = self._pending, []
+        return self._answer_batch(pending)
+
+    def batch(self, requests: List[Tuple[str, int]]) -> List[Answer]:
+        """Answer a caller-assembled batch against one engine snapshot."""
+        return self._answer_batch(list(requests))
+
+    def _answer_batch(self, requests: List[Tuple[str, int]]) -> List[Answer]:
+        if not requests:
+            return []
+        engine = self._engine  # one snapshot for the whole batch
+        epoch = engine.map.epoch
+        self.requests += len(requests)
+        self.batches += 1
+        # Group per op to use the engine's batched path, then restore
+        # submission order.
+        answers: List[Optional[Answer]] = [None] * len(requests)
+        for op, method in (
+            ("owner", engine.owner_of_batch),
+            ("border", engine.border_for_batch),
+            ("neighbors", engine.neighbors_batch),
+        ):
+            positions = [i for i, (o, _) in enumerate(requests) if o == op]
+            if not positions:
+                continue
+            values = method([requests[i][1] for i in positions])
+            for position, value in zip(positions, values):
+                answers[position] = Answer(
+                    op=op, key=requests[position][1],
+                    value=value, epoch=epoch,
+                )
+        for position, (op, key) in enumerate(requests):
+            if answers[position] is None:
+                raise DataError("unknown query op %r (want one of %s)"
+                                % (op, "/".join(OPS)))
+        return answers  # type: ignore[return-value]
+
+    # -- hot swap -----------------------------------------------------------
+
+    def swap(self, new_map: BorderMap) -> int:
+        """Serve ``new_map`` from now on; returns the retired epoch.
+
+        The new engine (map indexes, empty cache, fresh counters) is
+        fully constructed *before* the single reference assignment that
+        publishes it, so concurrent readers see the old engine or the
+        new one, never an intermediate state.
+        """
+        new_engine = QueryEngine(new_map, cache_size=self.cache_size)
+        with self._swap_lock:
+            retired = self._engine.map.epoch
+            self._engine = new_engine
+            self.swaps += 1
+        return retired
+
+    def refresh(self, compile_fn: Callable[[], BorderMap]) -> BorderMap:
+        """Stale-while-revalidate: run ``compile_fn`` (re-inference plus
+        :func:`~repro.serving.bordermap.compile_border_map`, typically
+        minutes of work) while the current map keeps serving, then swap
+        the result in."""
+        new_map = compile_fn()
+        self.swap(new_map)
+        return new_map
+
+    def summary(self) -> str:
+        stats = self._engine.stats
+        return (
+            "service: epoch %d, %d requests in %d batches, %d swaps\n"
+            "  map: %s\n"
+            "  cache: %.1f%% hits (%d entries)"
+            % (
+                self.epoch, self.requests, self.batches, self.swaps,
+                ", ".join("%s=%d" % (k, v)
+                          for k, v in sorted(self.map.stats().items())),
+                100 * stats.hit_rate, len(self._engine.cache),
+            )
+        )

@@ -9,7 +9,7 @@ simple, allocation-light, and adequate for a few hundred thousand prefixes.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 from .addr import Prefix
 
@@ -117,6 +117,30 @@ class PrefixTrie(Generic[V]):
         """Longest-prefix match returning only the stored value."""
         found = self.lookup(addr)
         return found[1] if found is not None else None
+
+    def lookup_value_batch(self, addrs: Iterable[int]) -> List[Optional[V]]:
+        """Longest-prefix match for many addresses at once.
+
+        The serving layer's batched queries land here; inlining the walk
+        (no per-address Prefix construction, locals bound once) makes the
+        batch path measurably cheaper than N ``lookup_value`` calls.
+        """
+        root = self._root
+        answers: List[Optional[V]] = []
+        append = answers.append
+        for addr in addrs:
+            node: Optional[_Node[V]] = root
+            best: Optional[V] = None
+            depth = 0
+            while node is not None:
+                if node.has_value:
+                    best = node.value
+                if depth == 32:
+                    break
+                node = node.one if (addr >> (31 - depth)) & 1 else node.zero
+                depth += 1
+            append(best)
+        return answers
 
     def lookup_all(self, addr: int) -> List[Tuple[Prefix, V]]:
         """All stored prefixes covering ``addr``, least specific first."""

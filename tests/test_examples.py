@@ -21,6 +21,7 @@ EXAMPLES = [
     ("examples/offline_reanalysis.py", []),
     ("examples/multi_vp_orchestrator.py", []),
     ("examples/chaos_study.py", []),
+    ("examples/serve_and_query.py", []),
 ]
 
 

@@ -393,3 +393,106 @@ class TestTable1CSV:
         output = capsys.readouterr().out
         assert output.startswith("network,row,class,value")
         assert "mini,coverage" in output
+
+
+class TestCheckpointEdgeCases:
+    """Checkpoint round-trips at the boundaries: nothing done yet, a VP
+    that crashed mid-run, and archives from a future writer that added
+    fields this reader has never heard of."""
+
+    def test_empty_checkpoint_roundtrip(self, tmp_path):
+        from repro.io.serialize import load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "empty.json")
+        save_checkpoint([], [], path)
+        results, reports = load_checkpoint(path)
+        assert results == []
+        assert reports == []
+
+    def test_misaligned_checkpoint_rejected(self, mini_result):
+        from repro.core.orchestrator import VPReport
+        from repro.io.serialize import checkpoint_to_dict
+
+        with pytest.raises(DataError):
+            checkpoint_to_dict(
+                [mini_result],
+                [VPReport(vp_name="a", vp_addr=1),
+                 VPReport(vp_name="b", vp_addr=2)],
+            )
+
+    def test_failed_vp_report_roundtrip(self, mini_result):
+        from repro.core.orchestrator import VPReport
+        from repro.io.serialize import (
+            checkpoint_from_dict,
+            checkpoint_to_dict,
+        )
+
+        crashed = VPReport(
+            vp_name="vp-crash",
+            vp_addr=0x0A000001,
+            traces_run=3,
+            probes_used=17,
+            failed=True,
+            error="scheduler raised: injected fault",
+        )
+        data = checkpoint_to_dict([mini_result], [crashed])
+        # Failure markers are written only when set.
+        entry = data["vps"][0]["report"]
+        assert entry["failed"] is True
+        assert "injected fault" in entry["error"]
+
+        results, reports = checkpoint_from_dict(
+            json.loads(json.dumps(data))
+        )
+        assert reports[0].failed is True
+        assert reports[0].error == crashed.error
+        assert reports[0].retries == 0
+        assert len(results) == 1
+
+    def test_clean_vp_report_omits_failure_fields(self, mini_result):
+        from repro.core.orchestrator import VPReport
+        from repro.io.serialize import checkpoint_to_dict
+
+        clean = VPReport(vp_name="vp-ok", vp_addr=0x0A000002)
+        entry = checkpoint_to_dict([mini_result], [clean])["vps"][0]["report"]
+        assert "failed" not in entry
+        assert "error" not in entry
+        assert "retries" not in entry
+
+    def test_unknown_fields_tolerated(self, mini_result):
+        from repro.core.orchestrator import VPReport
+        from repro.io.serialize import (
+            checkpoint_from_dict,
+            checkpoint_to_dict,
+        )
+
+        report = VPReport(vp_name="vp", vp_addr=0x0A000003)
+        data = checkpoint_to_dict([mini_result], [report])
+        # A future writer may annotate records; this reader must ignore
+        # what it does not understand rather than crash.
+        data["written_by"] = "bdrmap-repro/99"
+        data["vps"][0]["report"]["gps_coordinates"] = [0.0, 0.0]
+        data["vps"][0]["result"]["extra_index"] = {"a": 1}
+        results, reports = checkpoint_from_dict(data)
+        assert reports[0].vp_name == "vp"
+        assert len(results) == 1
+
+    def test_unknown_format_rejected(self):
+        from repro.io.serialize import checkpoint_from_dict
+
+        with pytest.raises(DataError):
+            checkpoint_from_dict({"format": "not-a-checkpoint", "vps": []})
+
+    def test_truncated_checkpoint_rejected(self, mini_result):
+        from repro.core.orchestrator import VPReport
+        from repro.io.serialize import (
+            checkpoint_from_dict,
+            checkpoint_to_dict,
+        )
+
+        data = checkpoint_to_dict(
+            [mini_result], [VPReport(vp_name="vp", vp_addr=1)]
+        )
+        del data["vps"][0]["report"]["vp_addr"]
+        with pytest.raises(DataError):
+            checkpoint_from_dict(data)
