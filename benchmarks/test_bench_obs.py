@@ -1,0 +1,104 @@
+"""Observability overhead benchmark.
+
+The instrumentation contract is "free when off, cheap when on": the
+null-object registry/tracer must cost one no-op call per site, and the
+real ones must stay under 5% end-to-end overhead on a full pipeline run.
+This bench times the same single-VP mini run twice per round — once with
+``NULL_REGISTRY``/``NULL_TRACER`` (the defaults), once with a live
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.Tracer` — interleaved to decorrelate host
+drift, takes the min of each arm, and records ``BENCH_obs.json`` via the
+shared ``bench_recorder``.
+
+``OBS_BENCH_SMOKE=1`` (the CI smoke job) shrinks the round count; the
+assertions are identical.
+"""
+
+import os
+
+import pytest
+
+from repro import build_data_bundle, build_scenario, mini
+from repro.core.bdrmap import Bdrmap
+from repro.obs import MetricsRegistry, Tracer, perf_clock
+
+SMOKE = os.environ.get("OBS_BENCH_SMOKE") == "1"
+ROUNDS = 3 if SMOKE else 5
+
+#: The acceptance bar: instrumented <= 1.05x the null baseline.
+MAX_OVERHEAD = 0.05
+
+
+def _timed_run(instrument: bool):
+    """One full pipeline run on a fresh mini scenario; returns
+    ``(elapsed_seconds, result, metrics, tracer)``.
+
+    The scenario and data bundle are rebuilt every call (a run mutates
+    the virtual clock and caches) but built *outside* the timed window —
+    only the instrumented pipeline itself is measured.
+    """
+    scenario = build_scenario(mini(seed=3))
+    data = build_data_bundle(scenario)
+    metrics = tracer = None
+    if instrument:
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock=lambda: scenario.network.now, seed=3)
+        scenario.network.attach_metrics(metrics)
+    driver = Bdrmap(
+        scenario.network, scenario.vps[0], data,
+        metrics=metrics, tracer=tracer,
+    )
+    started = perf_clock()
+    result = driver.run()
+    elapsed = perf_clock() - started
+    return elapsed, result, metrics, tracer
+
+
+@pytest.fixture(scope="module")
+def obs_overhead():
+    baseline_times = []
+    instrumented_times = []
+    instrumented_artifacts = None
+    for _ in range(ROUNDS):
+        elapsed, _, _, _ = _timed_run(instrument=False)
+        baseline_times.append(elapsed)
+        elapsed, result, metrics, tracer = _timed_run(instrument=True)
+        instrumented_times.append(elapsed)
+        instrumented_artifacts = (result, metrics, tracer)
+    return min(baseline_times), min(instrumented_times), instrumented_artifacts
+
+
+def test_bench_obs_overhead(obs_overhead, bench_recorder):
+    baseline, instrumented, (result, metrics, tracer) = obs_overhead
+    overhead = instrumented / baseline - 1.0
+    print()
+    print(
+        "obs overhead: baseline %.4fs, instrumented %.4fs (%+.1f%%), "
+        "%d counters, %d spans, %d provenance records"
+        % (baseline, instrumented, 100 * overhead,
+           len(metrics.counters), len(tracer.spans), len(result.provenance))
+    )
+    path = bench_recorder("obs", {
+        "config": {"scenario": "mini", "seed": 3, "rounds": ROUNDS},
+        "metrics": {
+            "baseline_s": round(baseline, 5),
+            "instrumented_s": round(instrumented, 5),
+            "overhead_pct": round(100 * overhead, 2),
+            "counters": len(metrics.counters),
+            "spans": len(tracer.spans),
+            "provenance_records": len(result.provenance),
+        },
+    })
+    print("recorded %s" % path)
+
+    # The instrumented run must actually have observed the pipeline...
+    assert metrics.counter("probe.sent") > 0
+    assert any(name.startswith("pass.") for name in metrics.counters)
+    assert tracer.spans
+    assert result.provenance
+
+    # ...at (near-)zero cost.
+    assert instrumented <= (1.0 + MAX_OVERHEAD) * baseline, (
+        "instrumentation costs %.1f%% end-to-end (budget %.0f%%)"
+        % (100 * overhead, 100 * MAX_OVERHEAD)
+    )

@@ -12,6 +12,7 @@ from itertools import combinations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..net import Network, ProbeKind
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..probing.ally import AliasVerdict, ally_repeated
 from ..probing.mercator import mercator_probe
 from ..probing.midar import estimate_velocity, velocities_compatible
@@ -34,6 +35,7 @@ class AliasResolver:
         max_set_pairs: int = 66,
         use_velocity_screen: bool = True,
         retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.network = network
         self.vp_addr = vp_addr
@@ -42,6 +44,7 @@ class AliasResolver:
         self.max_set_pairs = max_set_pairs
         self.use_velocity_screen = use_velocity_screen
         self.retry = retry
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.retry_stats = RetryStats()
         self.evidence = EvidenceStore()
         self._mercator_cache: Dict[int, Optional[int]] = {}
@@ -93,6 +96,7 @@ class AliasResolver:
         self._mercator_cache[addr] = source
         if source is not None and source != addr:
             self.evidence.record_for(addr, source, "mercator")
+            self.metrics.inc("alias.mercator.merged")
         return source
 
     def mercator_sweep(self, addrs: Iterable[int]) -> None:
@@ -109,19 +113,25 @@ class AliasResolver:
         if existing.positive:
             return AliasVerdict.ALIAS
         self.pairs_tested += 1
+        metrics = self.metrics
+        metrics.inc("alias.pairs_tested")
         source_a = self.mercator(a)
         source_b = self.mercator(b)
         if source_a is not None and source_b is not None:
             if source_a == source_b:
                 self.evidence.record_for(a, b, "mercator")
+                metrics.inc("alias.mercator.pairs_merged")
                 return AliasVerdict.ALIAS
             self.evidence.record_against(a, b, "mercator")
+            metrics.inc("alias.mercator.pairs_rejected")
             return AliasVerdict.NOT_ALIAS
         result = self._ally_raw(a, b)
         if result.verdict is AliasVerdict.ALIAS:
             self.evidence.record_for(a, b, "ally")
+            metrics.inc("alias.ally.pairs_merged")
         elif result.verdict is AliasVerdict.NOT_ALIAS:
             self.evidence.record_against(a, b, "ally")
+            metrics.inc("alias.ally.pairs_rejected")
         return result.verdict
 
     def _velocity_raw(self, addr: int) -> Optional[float]:
@@ -161,6 +171,7 @@ class AliasResolver:
             if self.use_velocity_screen:
                 if not velocities_compatible(self.velocity(a), self.velocity(b)):
                     self.pairs_screened += 1
+                    self.metrics.inc("alias.velocity.screened")
                     continue
             self.test_pair(a, b)
 

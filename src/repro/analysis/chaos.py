@@ -17,8 +17,19 @@ from typing import Callable, List, Optional, Sequence
 from ..core.bdrmap import Bdrmap, BdrmapConfig, build_data_bundle
 from ..core.collection import CollectionConfig
 from ..net.faults import FaultConfig, FaultPlan, GilbertElliott
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.trace import NULL_TRACER
 from ..probing.retry import RetryPolicy
 from .validation import validate_result
+
+
+def _registry_retries(registry: MetricsRegistry) -> int:
+    """Total probe retries recorded so far under any ``retry.*`` prefix."""
+    return sum(
+        value
+        for name, value in registry.counters_with_prefix("retry.").items()
+        if name.endswith(".retries")
+    )
 
 
 @dataclass
@@ -96,6 +107,8 @@ def run_chaos_suite(
     burst: bool = False,
     fault_seed: int = 7,
     retry: Optional[RetryPolicy] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
 ) -> ChaosReport:
     """Run bdrmap (first VP) once per loss rate and score each run.
 
@@ -103,7 +116,17 @@ def run_chaos_suite(
     clocks and caches are mutated by a run); the default builds the
     ``mini`` topology.  Faulted runs get retry/backoff probing —
     ``retry`` overrides the default :class:`RetryPolicy`.
+
+    ``metrics``/``tracer`` instrument the whole suite: per-level spans
+    plus the shared counters every instrumented layer feeds.  Fault
+    counters stay per-level (each level gets a fresh
+    :class:`~repro.net.faults.FaultPlan` whose stats remain private), so
+    ``ChaosRun.faults_injected`` is unchanged by instrumentation.
     """
+    if metrics is None:
+        metrics = NULL_REGISTRY
+    if tracer is None:
+        tracer = NULL_TRACER
     if make_scenario is None:
         from ..topology import build_scenario, mini
 
@@ -127,12 +150,20 @@ def run_chaos_suite(
             )
         else:
             bdr_config = BdrmapConfig()
+        # Share probe counters but NOT fault stats: assigning
+        # ``network.metrics`` directly (instead of ``attach_metrics``)
+        # leaves this level's FaultPlan counting into its own private
+        # registry, so ``faults.stats.total`` below stays per-level.
+        scenario.network.metrics = metrics
+        retries_before = _registry_retries(metrics) if metrics.enabled else 0
         driver = Bdrmap(
             scenario.network, scenario.vps[0],
             build_data_bundle(scenario), bdr_config,
+            metrics=metrics, tracer=tracer,
         )
         try:
-            result = driver.run()
+            with tracer.span("chaos." + label, loss_rate=loss_rate):
+                result = driver.run()
         except Exception as exc:  # noqa: BLE001 - the harness reports crashes
             report.runs.append(
                 ChaosRun(
@@ -145,14 +176,19 @@ def run_chaos_suite(
             continue
         validation = validate_result(result, scenario.internet)
         faults = scenario.network.faults
-        retries = 0
-        if driver.collection is not None:
-            retries += driver.collection.retry_stats.retries
-            resolver = driver.collection.resolver
-            if resolver is not None:
-                stats = getattr(resolver, "retry_stats", None)
-                if stats is not None:
-                    retries += stats.retries
+        if metrics.enabled:
+            # The registry accumulates across levels; the delta is this
+            # level's share.
+            retries = _registry_retries(metrics) - retries_before
+        else:
+            retries = 0
+            if driver.collection is not None:
+                retries += driver.collection.retry_stats.retries
+                resolver = driver.collection.resolver
+                if resolver is not None:
+                    stats = getattr(resolver, "retry_stats", None)
+                    if stats is not None:
+                        retries += stats.retries
         report.runs.append(
             ChaosRun(
                 label=label,

@@ -53,6 +53,40 @@ def _build(name: str, seed: Optional[int]):
     return build_scenario(config)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by run / chaos / serve-bench."""
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the shared metrics registry (JSON) here; "
+                             "inspect with `repro metrics PATH`")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the span trace (JSON lines) here; "
+                             "inspect with `repro trace PATH`")
+
+
+def _make_obs(args: argparse.Namespace, clock=None, seed: int = 0):
+    """Build (metrics, tracer) from the ``--*-out`` flags, or Nones.
+
+    ``clock`` supplies span timestamps (e.g. the network's virtual
+    clock); left None, the tracer uses its deterministic internal tick —
+    never wall time, so same-seed traces are byte-identical.
+    """
+    from .obs import MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = Tracer(clock=clock, seed=seed) if args.trace_out else None
+    return metrics, tracer
+
+
+def _write_obs(args: argparse.Namespace, metrics, tracer) -> None:
+    if metrics is not None:
+        metrics.write_json(args.metrics_out)
+        print("metrics written to %s" % args.metrics_out)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print("trace written to %s (%d spans)"
+              % (args.trace_out, len(tracer.spans)))
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = _build(args.name, args.seed)
     stats = scenario.internet.stats()
@@ -84,12 +118,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         # Faulted runs get retry/backoff probing so loss is recoverable.
         config.collection.retry = RetryPolicy()
+    # Span timestamps come from the simulation's virtual clock, so a
+    # trace is a map of where simulated time went — and deterministic.
+    metrics, tracer = _make_obs(
+        args, clock=lambda: scenario.network.now, seed=args.seed or 0
+    )
     if args.all_vps:
-        return _run_all_vps(args, scenario, data, config)
+        return _run_all_vps(args, scenario, data, config, metrics, tracer)
     if not 0 <= args.vp < len(scenario.vps):
         print("error: scenario has %d VPs" % len(scenario.vps), file=sys.stderr)
         return 2
-    driver = Bdrmap(scenario.network, scenario.vps[args.vp], data, config)
+    if metrics is not None:
+        scenario.network.attach_metrics(metrics)
+    driver = Bdrmap(
+        scenario.network, scenario.vps[args.vp], data, config,
+        metrics=metrics, tracer=tracer,
+    )
     result = driver.run()
     print(result.summary())
     if scenario.network.faults is not None:
@@ -109,10 +153,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_bundle(args.bundle, scenario, data, collection=driver.collection)
         print("inputs + traces bundled to %s/" % args.bundle)
+    _write_obs(args, metrics, tracer)
     return 0
 
 
-def _run_all_vps(args, scenario, data, config) -> int:
+def _run_all_vps(args, scenario, data, config, metrics=None, tracer=None) -> int:
     """``run --all-vps``: the orchestrated multi-VP run (§5.8)."""
     from .core.orchestrator import MultiVPOrchestrator
 
@@ -124,6 +169,8 @@ def _run_all_vps(args, scenario, data, config) -> int:
         interleave=not args.sequential,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        metrics=metrics,
+        tracer=tracer,
     )
     run = orchestrator.run()
     if orchestrator.resumed_vps:
@@ -153,6 +200,7 @@ def _run_all_vps(args, scenario, data, config) -> int:
 
         save_report(run.report, args.out)
         print("report saved to %s" % args.out)
+    _write_obs(args, metrics, tracer)
     return 0
 
 
@@ -192,7 +240,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if report is None:
         return 2
     print(report.summary())
-    if args.passes:
+    if args.passes or args.format == "table":
         print()
         print(pass_table(report))
     return 0
@@ -332,6 +380,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """End-to-end serving throughput: infer, compile, benchmark."""
     from .serving.bench import run_serving_benchmark
 
+    metrics, tracer = _make_obs(args, seed=args.seed or 0)
     summary = run_serving_benchmark(
         scenario_name=args.name,
         seed=args.seed,
@@ -339,11 +388,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         batch_size=args.batch_size,
         build=_build,
+        metrics=metrics,
+        tracer=tracer,
     )
     print(summary.text())
     if args.out:
         summary.write_json(args.out)
         print("wrote %s" % args.out)
+    _write_obs(args, metrics, tracer)
     if summary.speedup_batched < args.min_speedup:
         print(
             "error: warm batched path is only %.1fx the naive baseline "
@@ -374,6 +426,65 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     if args.out:
         save_result(result, args.out)
         print("saved to %s" % args.out)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Print one router's decision provenance from a saved result."""
+    result = _load_or_fail(load_result, args.path, "result")
+    if result is None:
+        return 2
+    if "." in args.router:
+        from .addr import aton
+        from .errors import AddressError
+
+        try:
+            addr = aton(args.router)
+        except AddressError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        rid = result.graph.by_addr.get(addr)
+        if rid is None:
+            print("error: %s is not an observed interface in %s"
+                  % (args.router, args.path), file=sys.stderr)
+            return 2
+    else:
+        try:
+            rid = int(args.router)
+        except ValueError:
+            print("error: ROUTER must be a router id or a dotted-quad "
+                  "interface address (got %r)" % args.router, file=sys.stderr)
+            return 2
+    print(result.explain(rid))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics registry written by ``--metrics-out``."""
+    from .obs import load_metrics, registry_from_dict
+
+    payload = _load_or_fail(load_metrics, args.path, "metrics file")
+    if payload is None:
+        return 2
+    registry = registry_from_dict(payload)
+    if args.prefix:
+        for name, value in sorted(
+            registry.counters_with_prefix(args.prefix).items()
+        ):
+            print("%-44s %12d" % (name, value))
+    else:
+        print(registry.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Profile a span trace written by ``--trace-out``."""
+    from .obs import load_trace, profile_spans, profile_table
+
+    spans = _load_or_fail(load_trace, args.path, "trace file")
+    if spans is None:
+        return 2
+    print(profile_table(profile_spans(spans)))
     return 0
 
 
@@ -481,14 +592,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     def make_scenario():
         return _build(args.name, args.seed)
 
+    metrics, tracer = _make_obs(args, seed=args.seed or 0)
     report = run_chaos_suite(
         make_scenario=make_scenario,
         scenario_name=args.name,
         loss_rates=tuple(rate / 100.0 for rate in args.loss),
         burst=args.burst,
         fault_seed=args.fault_seed,
+        metrics=metrics,
+        tracer=tracer,
     )
     print(report.summary())
+    _write_obs(args, metrics, tracer)
     return 0 if report.degrades_gracefully() else 1
 
 
@@ -554,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", action="store_true",
                        help="with --all-vps --checkpoint: reload the "
                             "checkpoint and skip already-completed VPs")
+    _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_report = subparsers.add_parser(
@@ -562,6 +678,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("path", help="report JSON from `run --all-vps --out`")
     p_report.add_argument("--passes", action="store_true",
                           help="print the per-heuristic-pass table")
+    p_report.add_argument("--format", choices=("text", "table"),
+                          default="text",
+                          help="'table' appends the per-pass summary "
+                               "(which §5.4 pass claimed how many routers)")
     p_report.set_defaults(func=_cmd_report)
 
     p_compile = subparsers.add_parser(
@@ -613,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--min-speedup", type=float, default=1.0,
                          help="exit nonzero unless warm batched beats the "
                               "naive baseline by this factor")
+    _add_obs_args(p_bench)
     p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_infer = subparsers.add_parser(
@@ -630,6 +751,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument("--explain", type=int, default=None, metavar="RID",
                         help="explain one inferred router's ownership")
     p_show.set_defaults(func=_cmd_show)
+
+    p_explain = subparsers.add_parser(
+        "explain",
+        help="print one router's ownership rationale and the exact "
+             "heuristic-pass chain (decision provenance) that produced it",
+    )
+    p_explain.add_argument("path", help="result JSON from `run --out`")
+    p_explain.add_argument("router",
+                           help="router id (e.g. 7) or one of its interface "
+                                "addresses (e.g. 10.0.3.1)")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_metrics = subparsers.add_parser(
+        "metrics", help="pretty-print a --metrics-out registry dump"
+    )
+    p_metrics.add_argument("path", help="JSON from `run --metrics-out`")
+    p_metrics.add_argument("--prefix", default=None, metavar="PFX",
+                           help="show only counters under this prefix "
+                                "(e.g. 'pass.' or 'retry.')")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_trace = subparsers.add_parser(
+        "trace", help="profile a --trace-out span trace"
+    )
+    p_trace.add_argument("path", help="JSONL from `run --trace-out`")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_study = subparsers.add_parser("study", help="the §6 multi-VP analyses")
     p_study.add_argument("--name", choices=sorted(_SCENARIOS),
@@ -663,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use Gilbert-Elliott bursty loss on top of "
                               "independent loss")
     p_chaos.add_argument("--fault-seed", type=int, default=7)
+    _add_obs_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_table1 = subparsers.add_parser("table1", help="print Table 1 columns")

@@ -98,6 +98,10 @@ def result_from_state(state: PipelineState) -> BdrmapResult:
         runtime_virtual_seconds=sum(
             timing.virtual_seconds for timing in state.timings
         ),
+        provenance=(
+            list(state.ctx.provenance.records)
+            if state.ctx is not None else []
+        ),
     )
 
 
@@ -111,12 +115,16 @@ class Bdrmap:
         data: DataBundle,
         config: Optional[BdrmapConfig] = None,
         resolver=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self.network = network
         self.vp = vp
         self.data = data
         self.config = config or BdrmapConfig()
         self.resolver = resolver
+        self.metrics = metrics
+        self.tracer = tracer
         self.collection: Optional[Collection] = None
         self.state: Optional[PipelineState] = None
 
@@ -134,6 +142,10 @@ class Bdrmap:
             config=self.config,
             resolver=self.resolver,
         )
+        if self.metrics is not None:
+            state.metrics = self.metrics
+        if self.tracer is not None:
+            state.tracer = self.tracer
         Pipeline(self.stages()).run(state)
         self.state = state
         self.collection = state.collection

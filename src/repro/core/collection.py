@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..alias import AliasResolver
 from ..bgp import BGPView
 from ..net import Network
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..probing import StopSet, paris_traceroute
 from ..probing.prefixscan import PrefixscanResult, prefixscan
 from ..probing.retry import RetryPolicy, RetryStats
@@ -93,13 +94,22 @@ class Collector:
         vp_ases: Set[int],
         config: Optional[CollectionConfig] = None,
         resolver: Optional[AliasResolver] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        label: str = "vp",
     ) -> None:
         self.network = network
         self.vp_addr = vp_addr
         self.view = view
         self.vp_ases = set(vp_ases)
         self.config = config or CollectionConfig()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.label = label
         self.collection = Collection()
+        # Retry counters become views over the shared registry, under a
+        # per-VP prefix so concurrent collections stay distinguishable.
+        self.collection.retry_stats.bind(
+            self.metrics, "retry.%s." % label
+        )
         # A shared resolver lets the central system (§5.8) reuse alias
         # evidence across the VPs it drives: aliases are a property of the
         # routers, not of the vantage point.
@@ -109,7 +119,12 @@ class Collector:
             ally_rounds=self.config.ally_rounds,
             ally_interval=self.config.ally_interval,
             retry=self.config.retry,
+            metrics=self.metrics,
         )
+        if self.collection.resolver is not None:
+            self.collection.resolver.retry_stats.bind(
+                self.metrics, "retry.alias."
+            )
 
     # -- helpers ------------------------------------------------------------
 
@@ -166,6 +181,8 @@ class Collector:
         for block in blocks:
             for addr in block.candidate_addrs(self.config.max_addrs_per_block):
                 trace = self._trace(addr, stop)
+                if self.metrics.enabled:
+                    self.metrics.observe("trace.hops", len(trace.hops))
                 self.collection.traces.append(trace)
                 self.collection.trace_keys.append(key)
                 self.collection.per_target.setdefault(key, []).append(trace)
@@ -191,7 +208,11 @@ class Collector:
         return [self._target_task(key, groups[key]) for key in sorted(groups)]
 
     def run_traceroutes(self) -> None:
-        scheduler = RoundRobinScheduler(parallelism=self.config.parallelism)
+        scheduler = RoundRobinScheduler(
+            parallelism=self.config.parallelism,
+            metrics=self.metrics,
+            label="traceroute.%s" % self.label,
+        )
         scheduler.add_all(self.traceroute_tasks())
         scheduler.run()
 

@@ -39,6 +39,15 @@ from typing import Dict, List, Optional, Set, Tuple, Type
 from ..asgraph import Rel
 from ..errors import InferenceError
 from ..net import ResponseKind
+from ..obs.provenance import (
+    ASSIGNED,
+    CO_ASSIGNED,
+    CONSIDERED,
+    DEGRADED,
+    LINKED,
+    MERGED,
+)
+from ..obs.trace import perf_clock
 from ..topology.addressing import p2p_mate
 from .pipeline import EXT, IXP_CLASS, UNROUTED, VP, InferenceContext
 from .report import InferredLink
@@ -538,6 +547,12 @@ class AliasCollapsePass(GraphHeuristicPass):
                 ctx.graph.merge(keep.rid, absorb.rid)
                 keep.reason = "7 alias"
                 ctx.record(self.name, "7 alias")
+                ctx.provenance.add(
+                    absorb.rid, self.name, self.section, MERGED,
+                    owner=far.owner, reason="7 alias",
+                    evidence={"into_router": keep.rid,
+                              "neighbor_router": far.rid},
+                )
 
     @staticmethod
     def _p2p_attached(
@@ -612,6 +627,10 @@ class SilentNeighborPass(GraphHeuristicPass):
                 )
             )
             ctx.record(self.name, reason)
+            ctx.provenance.add(
+                near_rid, self.name, self.section, LINKED,
+                owner=neighbor_as, reason=reason,
+            )
 
     @staticmethod
     def _inferred_neighbor_ases(ctx: InferenceContext) -> Set[int]:
@@ -668,10 +687,11 @@ def table1_row_order() -> List[str]:
 # ---------------------------------------------------------------- the driver
 
 
-def build_context(graph, collection, data, config=None) -> InferenceContext:
+def build_context(graph, collection, data, config=None,
+                  metrics=None, tracer=None) -> InferenceContext:
     """Assemble an :class:`InferenceContext` from a router graph, a
     collection, and the shared §5.2 :class:`~repro.core.bdrmap.DataBundle`."""
-    return InferenceContext(
+    ctx = InferenceContext(
         graph=graph,
         collection=collection,
         view=data.view,
@@ -682,6 +702,11 @@ def build_context(graph, collection, data, config=None) -> InferenceContext:
         rir=data.rir,
         config=config or HeuristicConfig(),
     )
+    if metrics is not None:
+        ctx.metrics = metrics
+    if tracer is not None:
+        ctx.tracer = tracer
+    return ctx
 
 
 # Exceptions a heuristic pass can hit on partial or noisy evidence
@@ -699,22 +724,62 @@ _PARTIAL_EVIDENCE_ERRORS = (
 def _apply_router_passes(
     ctx: InferenceContext, passes: List[HeuristicPass]
 ) -> None:
+    metrics = ctx.metrics
+    timed = metrics.enabled
+    provenance = ctx.provenance
     for router in ctx.graph.by_distance():
         if router.owner is not None:
             continue
         for heuristic in passes:
-            try:
-                outcome = heuristic.apply(router, ctx)
-            except _PARTIAL_EVIDENCE_ERRORS:
-                ctx.degrade(heuristic.name)
-                continue
+            with ctx.tracer.span(
+                "pass.%s" % heuristic.name, router=router.rid
+            ):
+                started = perf_clock() if timed else 0.0
+                try:
+                    outcome = heuristic.apply(router, ctx)
+                except _PARTIAL_EVIDENCE_ERRORS as exc:
+                    ctx.degrade(heuristic.name)
+                    provenance.add(
+                        router.rid, heuristic.name, heuristic.section,
+                        DEGRADED,
+                        evidence={"error": type(exc).__name__},
+                    )
+                    if timed:
+                        metrics.time(
+                            "pass.%s.seconds" % heuristic.name,
+                            perf_clock() - started,
+                        )
+                    continue
+                if timed:
+                    metrics.time(
+                        "pass.%s.seconds" % heuristic.name,
+                        perf_clock() - started,
+                    )
             if outcome is None:
+                provenance.add(
+                    router.rid, heuristic.name, heuristic.section,
+                    CONSIDERED,
+                )
                 continue
             for assignment in outcome.assignments:
                 if assignment.router.owner is None:
                     assignment.router.owner = assignment.owner
                     assignment.router.reason = assignment.reason
                     ctx.record(heuristic.name, assignment.reason)
+                    if assignment.router.rid == router.rid:
+                        provenance.add(
+                            router.rid, heuristic.name, heuristic.section,
+                            ASSIGNED, owner=assignment.owner,
+                            reason=assignment.reason,
+                        )
+                    else:
+                        provenance.add(
+                            assignment.router.rid, heuristic.name,
+                            heuristic.section, CO_ASSIGNED,
+                            owner=assignment.owner,
+                            reason=assignment.reason,
+                            evidence={"via_router": router.rid},
+                        )
             break
 
 
@@ -764,23 +829,30 @@ def run_inference(ctx: InferenceContext) -> List[InferredLink]:
         for p in passes
         if isinstance(p, GraphHeuristicPass) and p.after_link_assembly
     ]
-    ctx.prepare()
-    _apply_router_passes(ctx, router_passes)
+    tracer = ctx.tracer
+    with tracer.span("inference.prepare"):
+        ctx.prepare()
+    with tracer.span("inference.router_passes"):
+        _apply_router_passes(ctx, router_passes)
     for heuristic in pre_assembly:
-        try:
-            heuristic.apply_graph(ctx)
-        except _PARTIAL_EVIDENCE_ERRORS:
-            ctx.degrade(heuristic.name)
+        with tracer.span("pass.%s" % heuristic.name):
+            try:
+                heuristic.apply_graph(ctx)
+            except _PARTIAL_EVIDENCE_ERRORS:
+                ctx.degrade(heuristic.name)
     if ctx.config.use_refinement:
         from .refine import refine_ownership
 
-        refine_ownership(ctx.graph, ctx.rels, ctx.vp_ases, ctx.focal_asn)
-    _assemble_links(ctx)
+        with tracer.span("inference.refine"):
+            refine_ownership(ctx.graph, ctx.rels, ctx.vp_ases, ctx.focal_asn)
+    with tracer.span("inference.link_assembly"):
+        _assemble_links(ctx)
     for heuristic in post_assembly:
-        try:
-            heuristic.apply_graph(ctx)
-        except _PARTIAL_EVIDENCE_ERRORS:
-            ctx.degrade(heuristic.name)
+        with tracer.span("pass.%s" % heuristic.name):
+            try:
+                heuristic.apply_graph(ctx)
+            except _PARTIAL_EVIDENCE_ERRORS:
+                ctx.degrade(heuristic.name)
     return ctx.links
 
 

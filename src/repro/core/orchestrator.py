@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..alias import AliasResolver
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.trace import NULL_TRACER, Tracer
 from .bdrmap import (
     Bdrmap,
     BdrmapConfig,
@@ -292,6 +294,8 @@ class MultiVPOrchestrator:
         interleave: bool = True,
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.scenario = scenario
         self.data = data
@@ -301,6 +305,8 @@ class MultiVPOrchestrator:
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self.resumed_vps: Set[str] = set()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- checkpointing --------------------------------------------------------
 
@@ -342,11 +348,15 @@ class MultiVPOrchestrator:
             self.scenario.vps[0].addr,
             ally_rounds=self.config.collection.ally_rounds,
             ally_interval=self.config.collection.ally_interval,
+            metrics=self.metrics,
         )
 
     def run(self) -> OrchestratedRun:
         if self.data is None:
             self.data = build_data_bundle(self.scenario)
+        if self.metrics.enabled:
+            self.scenario.network.attach_metrics(self.metrics)
+            self.metrics.set_gauge("run.vps", len(self.scenario.vps))
         resolver = self._shared_resolver()
         if self.interleave:
             run = self._run_interleaved(resolver)
@@ -376,12 +386,17 @@ class MultiVPOrchestrator:
             driver = Bdrmap(
                 self.scenario.network, vp, self.data, self.config,
                 resolver=resolver,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             try:
-                result = driver.run()
+                with self.tracer.span("vp." + vp.name):
+                    result = driver.run()
             except Exception as exc:  # noqa: BLE001 - isolate the VP
                 report.vp_reports.append(_failed_vp_report(vp, exc))
+                self.metrics.inc("run.vps_failed")
                 continue
+            self.metrics.inc("run.vps_completed")
             results.append(result)
             report.vp_reports.append(
                 _vp_report_from_state(driver.state, result)
@@ -413,6 +428,8 @@ class MultiVPOrchestrator:
                     self.data.vp_ases,
                     self.config.collection,
                     resolver=resolver,
+                    metrics=self.metrics,
+                    label=vp.name,
                 )
             )
 
@@ -424,11 +441,14 @@ class MultiVPOrchestrator:
         now_before = network.now
         probes_before = network.probes_sent
         scheduler = RoundRobinScheduler(
-            parallelism=self.config.collection.parallelism
+            parallelism=self.config.collection.parallelism,
+            metrics=self.metrics,
+            label="traceroute.interleaved",
         )
         for collector in collectors:
             scheduler.add_all(collector.traceroute_tasks())
-        scheduler.run(reraise=False)
+        with self.tracer.span("stage.traceroute.interleaved"):
+            scheduler.run(reraise=False)
         trace_phase = StageTiming(
             name="traceroute[interleaved]",
             virtual_seconds=network.now - now_before,
@@ -445,38 +465,44 @@ class MultiVPOrchestrator:
         report.task_failures = scheduler.tasks_failed
         for vp, collector in zip(live_vps, collectors):
             try:
-                alias_now = network.now
-                alias_probes_before = network.probes_sent
-                collector.run_alias_resolution()
-                alias_probes = network.probes_sent - alias_probes_before
-                trace_probes = sum(
-                    trace.probes_used
-                    for trace in collector.collection.traces
-                )
-                collector.collection.probes_used = (
-                    trace_probes + alias_probes
-                )
-                state = PipelineState(
-                    network=network,
-                    vp_name=vp.name,
-                    vp_addr=vp.addr,
-                    data=self.data,
-                    config=self.config,
-                    resolver=collector.collection.resolver,
-                    collection=collector.collection,
-                )
-                state.timings.append(
-                    StageTiming(
-                        name="collection",
-                        virtual_seconds=network.now - alias_now,
-                        probes=collector.collection.probes_used,
+                with self.tracer.span("vp." + vp.name):
+                    alias_now = network.now
+                    alias_probes_before = network.probes_sent
+                    with self.tracer.span("stage.alias", vp=vp.name):
+                        collector.run_alias_resolution()
+                    alias_probes = network.probes_sent - alias_probes_before
+                    trace_probes = sum(
+                        trace.probes_used
+                        for trace in collector.collection.traces
                     )
-                )
-                Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
-                result = result_from_state(state)
+                    collector.collection.probes_used = (
+                        trace_probes + alias_probes
+                    )
+                    state = PipelineState(
+                        network=network,
+                        vp_name=vp.name,
+                        vp_addr=vp.addr,
+                        data=self.data,
+                        config=self.config,
+                        resolver=collector.collection.resolver,
+                        collection=collector.collection,
+                        metrics=self.metrics,
+                        tracer=self.tracer,
+                    )
+                    state.timings.append(
+                        StageTiming(
+                            name="collection",
+                            virtual_seconds=network.now - alias_now,
+                            probes=collector.collection.probes_used,
+                        )
+                    )
+                    Pipeline([GraphBuildStage(), InferenceStage()]).run(state)
+                    result = result_from_state(state)
             except Exception as exc:  # noqa: BLE001 - isolate the VP
                 report.vp_reports.append(_failed_vp_report(vp, exc))
+                self.metrics.inc("run.vps_failed")
                 continue
+            self.metrics.inc("run.vps_completed")
             results.append(result)
             report.vp_reports.append(_vp_report_from_state(state, result))
             self._save_checkpoint(

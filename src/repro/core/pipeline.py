@@ -32,6 +32,9 @@ from typing import (
 from ..asgraph import InferredRelationships
 from ..bgp import BGPView
 from ..datasets import IXPDataset, RIRDelegations
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.provenance import ProvenanceLog
+from ..obs.trace import NULL_TRACER, Tracer
 from .collection import Collection, Collector
 from .nextas import compute_nextas
 from .report import InferredLink
@@ -78,6 +81,11 @@ class InferenceContext:
     # Passes that failed on partial evidence and fell through to weaker
     # heuristics instead of aborting the run (pass name -> count).
     degradations: Counter = field(default_factory=Counter)
+    # Observability: shared metrics/tracing sinks (no-op by default)
+    # and the decision-provenance log behind ``repro explain``.
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY)
+    tracer: Tracer = field(default=NULL_TRACER)
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
     _nextas_cache: Dict[int, Optional[int]] = field(default_factory=dict)
 
     # -- setup ---------------------------------------------------------------
@@ -219,11 +227,13 @@ class InferenceContext:
         that produced it and by its Table 1 reason label."""
         self.pass_counts[pass_name] += 1
         self.reason_counts[reason] += 1
+        self.metrics.inc("pass.%s.claimed" % pass_name)
 
     def degrade(self, pass_name: str) -> None:
         """Record that a pass failed on partial evidence and inference
         degraded to the next (weaker) heuristic instead of crashing."""
         self.degradations[pass_name] += 1
+        self.metrics.inc("pass.%s.degraded" % pass_name)
 
 
 # ---------------------------------------------------------------- pipeline state
@@ -253,6 +263,8 @@ class PipelineState:
     ctx: Optional[InferenceContext] = None
     links: Optional[List[InferredLink]] = None
     timings: List[StageTiming] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default=NULL_REGISTRY)
+    tracer: Tracer = field(default=NULL_TRACER)
 
     def timing(self, name: str) -> Optional[StageTiming]:
         for entry in self.timings:
@@ -281,20 +293,28 @@ class Pipeline:
             network = state.network
             now_before = network.now if network is not None else 0.0
             probes_before = network.probes_sent if network is not None else 0
-            stage.run(state)
-            state.timings.append(
-                StageTiming(
-                    name=stage.name,
-                    virtual_seconds=(
-                        (network.now - now_before) if network is not None else 0.0
-                    ),
-                    probes=(
-                        (network.probes_sent - probes_before)
-                        if network is not None
-                        else 0
-                    ),
-                )
+            with state.tracer.span("stage." + stage.name, vp=state.vp_name):
+                stage.run(state)
+            timing = StageTiming(
+                name=stage.name,
+                virtual_seconds=(
+                    (network.now - now_before) if network is not None else 0.0
+                ),
+                probes=(
+                    (network.probes_sent - probes_before)
+                    if network is not None
+                    else 0
+                ),
             )
+            state.timings.append(timing)
+            if state.metrics.enabled:
+                state.metrics.inc(
+                    "stage.%s.probes" % stage.name, timing.probes
+                )
+                state.metrics.time(
+                    "stage.%s.virtual_seconds" % stage.name,
+                    timing.virtual_seconds,
+                )
         return state
 
 
@@ -315,6 +335,8 @@ class CollectionStage:
             state.data.vp_ases,
             state.config.collection,
             resolver=state.resolver,
+            metrics=state.metrics,
+            label=state.vp_name,
         )
 
     def run(self, state: PipelineState) -> None:
@@ -329,6 +351,11 @@ class GraphBuildStage:
 
     def run(self, state: PipelineState) -> None:
         state.graph = build_router_graph(state.collection)
+        if state.metrics.enabled:
+            state.metrics.set_gauge(
+                "graph.routers", len(state.graph.routers)
+            )
+            state.metrics.set_gauge("graph.paths", len(state.graph.paths))
 
 
 class InferenceStage:
@@ -344,6 +371,8 @@ class InferenceStage:
             collection=state.collection,
             data=state.data,
             config=state.config.heuristics,
+            metrics=state.metrics,
+            tracer=state.tracer,
         )
         state.ctx = ctx
         state.links = run_inference(ctx)

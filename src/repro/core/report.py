@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..addr import ntoa
+from ..obs.provenance import ProvenanceRecord, DECIDING, format_chain
 from .routergraph import RouterGraph
 
 
@@ -69,6 +70,9 @@ class BdrmapResult:
     probes_used: int = 0
     traces_run: int = 0
     runtime_virtual_seconds: float = 0.0
+    # Decision provenance: the chain of heuristic-pass consultations for
+    # every router, in pass-application order (``repro explain`` reads it).
+    provenance: List[ProvenanceRecord] = field(default_factory=list)
 
     # -- views ---------------------------------------------------------------
 
@@ -97,6 +101,17 @@ class BdrmapResult:
     def border_pairs(self) -> Set[Tuple[int, int]]:
         """(near rid, neighbor AS) pairs — the unit §5.6 validates."""
         return {(link.near_rid, link.neighbor_as) for link in self.links}
+
+    def provenance_for(self, rid: int) -> List[ProvenanceRecord]:
+        """Every pass consultation recorded for router ``rid``."""
+        return [r for r in self.provenance if r.router == rid]
+
+    def deciding_record(self, rid: int) -> Optional[ProvenanceRecord]:
+        """The provenance record that assigned ``rid``'s owner, if any."""
+        for record in self.provenance:
+            if record.router == rid and record.verdict in DECIDING:
+                return record
+        return None
 
     def links_with_confidence(self, minimum: float) -> List[InferredLink]:
         """Links whose heuristic's validated accuracy meets ``minimum`` —
@@ -204,6 +219,17 @@ class BdrmapResult:
                 "  merged from %d apparent routers (§5.4.7)"
                 % (len(router.merged_from) + 1)
             )
+        chain = self.provenance_for(rid)
+        if chain:
+            lines.append("  decision provenance:")
+            for entry in format_chain(chain):
+                lines.append("    " + entry)
+            deciding = self.deciding_record(rid)
+            if deciding is not None:
+                lines.append(
+                    "  decided by: %s (%s)"
+                    % (deciding.pass_name, deciding.section)
+                )
         return "\n".join(lines)
 
     def link_table(self, limit: Optional[int] = None) -> str:

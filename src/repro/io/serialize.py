@@ -15,6 +15,7 @@ from ..core.report import BdrmapResult, InferredLink
 from ..core.routergraph import InferredRouter, RouterGraph, TracePath
 from ..errors import DataError
 from ..net import ResponseKind
+from ..obs.provenance import ProvenanceRecord
 from ..probing.traceroute import TraceHop, TraceResult
 
 _FORMAT = "bdrmap-repro/1"
@@ -175,7 +176,7 @@ def collection_from_dict(data: Dict[str, Any]):
 
 def result_to_dict(result: BdrmapResult) -> Dict[str, Any]:
     graph = result.graph
-    return {
+    payload = {
         "format": _FORMAT,
         "vp_name": result.vp_name,
         "vp_addr": ntoa(result.vp_addr),
@@ -226,6 +227,13 @@ def result_to_dict(result: BdrmapResult) -> Dict[str, Any]:
             for link in result.links
         ],
     }
+    # Decision provenance is optional so archives written before it
+    # existed (and results run without tracing) stay byte-identical.
+    if result.provenance:
+        payload["provenance"] = [
+            record.as_dict() for record in result.provenance
+        ]
+    return payload
 
 
 def result_from_dict(data: Dict[str, Any]) -> BdrmapResult:
@@ -288,6 +296,10 @@ def result_from_dict(data: Dict[str, Any]) -> BdrmapResult:
             probes_used=data["probes_used"],
             traces_run=data["traces_run"],
             runtime_virtual_seconds=data["runtime_virtual_seconds"],
+            provenance=[
+                ProvenanceRecord.from_dict(entry)
+                for entry in data.get("provenance", [])
+            ],
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise DataError("malformed result record: %s" % exc) from exc

@@ -26,9 +26,10 @@ the zero-fault path is a strict no-op.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from ..rng import make_rng
 
 __all__ = [
@@ -121,29 +122,70 @@ class FaultConfig:
         )
 
 
-@dataclass
-class FaultStats:
-    """What a plan actually injected, for the run report."""
+#: Counter names, in the order the old dataclass declared them (the
+#: serialized ``as_dict`` key order is part of the report format).
+_FAULT_COUNTERS = (
+    "link_loss",         # independent forward-path drops
+    "burst_loss",        # Gilbert–Elliott forward-path drops
+    "reply_loss",        # reverse-path reply drops
+    "blackout_drops",    # packets eaten by dark routers
+    "storm_suppressed",  # ICMP replies suppressed by storms
+    "flap_drops",        # probes dropped by withdrawn routes
+)
 
-    link_loss: int = 0        # independent forward-path drops
-    burst_loss: int = 0       # Gilbert–Elliott forward-path drops
-    reply_loss: int = 0       # reverse-path reply drops
-    blackout_drops: int = 0   # packets eaten by dark routers
-    storm_suppressed: int = 0  # ICMP replies suppressed by storms
-    flap_drops: int = 0       # probes dropped by withdrawn routes
+
+class FaultStats:
+    """What a plan actually injected, for the run report.
+
+    Counts live in a :class:`~repro.obs.metrics.MetricsRegistry` under
+    ``fault.<name>`` — a private registry by default, or the run's
+    shared one after :meth:`bind` — so the run report and ``repro
+    metrics`` read the same slots instead of keeping duplicates.
+    Attribute reads (``stats.link_loss``) keep working.
+    """
+
+    PREFIX = "fault."
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Repoint this view at a shared registry, carrying over any
+        counts already accumulated privately."""
+        if registry is self._registry or not registry.enabled:
+            return
+        for name in _FAULT_COUNTERS:
+            count = self._registry.counter(self.PREFIX + name)
+            if count:
+                registry.inc(self.PREFIX + name, count)
+        self._registry = registry
+
+    def bump(self, name: str) -> None:
+        self._registry.inc(self.PREFIX + name)
+
+    def __getattr__(self, name: str) -> int:
+        if name in _FAULT_COUNTERS:
+            return self._registry.counter(self.PREFIX + name)
+        raise AttributeError(name)
 
     @property
     def total(self) -> int:
-        return sum(getattr(self, f.name) for f in fields(self))
+        return sum(
+            self._registry.counter(self.PREFIX + name)
+            for name in _FAULT_COUNTERS
+        )
 
     def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            name: self._registry.counter(self.PREFIX + name)
+            for name in _FAULT_COUNTERS
+        }
 
     def summary(self) -> str:
         parts = [
-            "%s=%d" % (f.name, getattr(self, f.name))
-            for f in fields(self)
-            if getattr(self, f.name)
+            "%s=%d" % (name, count)
+            for name, count in self.as_dict().items()
+            if count
         ]
         return "faults injected: " + (", ".join(parts) if parts else "none")
 
@@ -175,10 +217,10 @@ class FaultPlan:
         """Is a packet crossing ``link_id`` at ``now`` lost?"""
         cfg = self.config
         if cfg.loss_rate > 0.0 and self._loss_rng.random() < cfg.loss_rate:
-            self.stats.link_loss += 1
+            self.stats.bump("link_loss")
             return True
         if cfg.burst is not None and self._burst_lost(link_id, now):
-            self.stats.burst_loss += 1
+            self.stats.bump("burst_loss")
             return True
         return False
 
@@ -223,7 +265,7 @@ class FaultPlan:
         phase = _hash01(self.seed, 0xFA5E, router_id, epoch)
         start = (epoch + phase * 0.5) * period
         if start <= now < start + cfg.blackout_duration_s:
-            self.stats.blackout_drops += 1
+            self.stats.bump("blackout_drops")
             return True
         return False
 
@@ -241,7 +283,7 @@ class FaultPlan:
         if _hash01(self.seed, 0x5702, router_id, epoch) >= cfg.storm_rate:
             return False
         if self._storm_rng.random() < cfg.storm_drop_prob:
-            self.stats.storm_suppressed += 1
+            self.stats.bump("storm_suppressed")
             return True
         return False
 
@@ -261,7 +303,7 @@ class FaultPlan:
         phase = _hash01(self.seed, 0x70FF, prefix, epoch)
         start = (epoch + phase * 0.5) * period
         if start <= now < start + cfg.flap_duration_s:
-            self.stats.flap_drops += 1
+            self.stats.bump("flap_drops")
             return True
         return False
 
@@ -273,7 +315,7 @@ class FaultPlan:
         if cfg.reply_loss_rate > 0.0 and (
             self._reply_rng.random() < cfg.reply_loss_rate
         ):
-            self.stats.reply_loss += 1
+            self.stats.bump("reply_loss")
             return True
         return False
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ProbeError
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..rng import make_rng
 from ..topology.model import Internet, Router
 from .congestion import CongestionSchedule
@@ -57,6 +58,16 @@ class Network:
         # Optional fault injection (repro.net.faults).  None means the
         # simulator stays perfectly deterministic and lossless.
         self.faults = faults
+        # Instrumentation sink; NULL_REGISTRY keeps the zero-obs hot
+        # path at one no-op call per probe.
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Adopt the run's shared registry; fault stats become views
+        over it too, so drop counts are recorded exactly once."""
+        self.metrics = registry
+        if self.faults is not None:
+            self.faults.stats.bind(registry)
 
     # -- setup ---------------------------------------------------------------
 
@@ -236,9 +247,12 @@ class Network:
                 response.truth_router_id is not None
                 and faults.storm_suppressed(response.truth_router_id, self.now)
             ):
-                return None
-            if faults.reply_lost(self.now):
-                return None
+                response = None
+            elif faults.reply_lost(self.now):
+                response = None
+        self.metrics.inc(
+            "probe.answered" if response is not None else "probe.unanswered"
+        )
         return response
 
     def _walk(self, probe: Probe,
@@ -248,6 +262,7 @@ class Network:
             raise ProbeError("probe source %r is not a registered VP" % probe.src)
         self.now += 1.0 / self.pps
         self.probes_sent += 1
+        self.metrics.inc("probe.sent")
 
         if faults is not None and faults.route_withdrawn(probe.dst, self.now):
             return None

@@ -1,0 +1,83 @@
+"""Unified observability: metrics registry, span tracer, provenance.
+
+One instrumentation spine every subsystem reports through.  Three
+pieces, each usable alone:
+
+* :mod:`~repro.obs.metrics` — named counters / gauges / timers /
+  fixed-bucket histograms in plain dicts (no locks on the hot path),
+  with a :class:`~repro.obs.metrics.NullRegistry` so uninstrumented
+  callers pay one no-op call.
+* :mod:`~repro.obs.trace` — context-manager spans with parent/child
+  nesting and deterministic ids derived from ``(seed, sequence)``;
+  timestamps come from a caller-supplied clock (the simulator's
+  virtual clock for runs), never from the wall, so same-seed traces
+  are byte-identical.
+* :mod:`~repro.obs.provenance` — the ``(router, pass, verdict,
+  evidence)`` decision log behind ``repro explain``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_FORMAT,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    load_metrics,
+    registry_from_dict,
+)
+from .provenance import (
+    ASSIGNED,
+    CO_ASSIGNED,
+    CONSIDERED,
+    DECIDING,
+    DEGRADED,
+    LINKED,
+    MERGED,
+    ProvenanceLog,
+    ProvenanceRecord,
+    format_chain,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_FORMAT,
+    Tracer,
+    load_trace,
+    perf_clock,
+    profile_spans,
+    profile_table,
+    span_id,
+)
+
+__all__ = [
+    "ASSIGNED",
+    "CO_ASSIGNED",
+    "CONSIDERED",
+    "DECIDING",
+    "DEFAULT_BUCKETS",
+    "DEGRADED",
+    "Histogram",
+    "LINKED",
+    "MERGED",
+    "METRICS_FORMAT",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "Span",
+    "TRACE_FORMAT",
+    "Tracer",
+    "format_chain",
+    "load_metrics",
+    "load_trace",
+    "perf_clock",
+    "profile_spans",
+    "profile_table",
+    "registry_from_dict",
+    "span_id",
+]

@@ -1,0 +1,236 @@
+"""The metrics registry: named counters, gauges, timers, histograms.
+
+Design constraints, in order:
+
+1. **Cheap enough to leave on.**  Counters are plain dict slots bumped
+   with integer adds; no locks (the simulator is single-threaded and
+   the serving layer tolerates torn reads on monitoring counters), no
+   label objects, no per-sample allocation.
+2. **Free when off.**  :class:`NullRegistry` overrides every mutator
+   with a ``pass`` body, so an uninstrumented hot path pays one no-op
+   method call — the :data:`NULL_REGISTRY` singleton is the default
+   everywhere instrumentation threads through.
+3. **One source of truth.**  Subsystems that used to keep private
+   hand-rolled counters (fault stats, retry stats, engine stats) now
+   *view* slots in a shared registry, so ``repro metrics`` and the
+   RunReport read the same numbers.
+
+Metric names are dotted strings (``"probe.sent"``,
+``"pass.5.4.2.claimed"``); the registry imposes no schema beyond that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Optional, Sequence, Union
+
+from ..errors import DataError
+
+METRICS_FORMAT = "bdrmap-repro-metrics/1"
+
+#: Default histogram bounds: powers of four from 1 — wide enough for
+#: counts (probes per block, pairs per router) without tuning.
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+class Histogram:
+    """A fixed-bucket histogram: ``len(bounds) + 1`` integer counts.
+
+    Bucket ``i`` counts samples ``<= bounds[i]``; the final bucket is
+    the overflow.  Bounds are fixed at creation — no resizing, no
+    per-sample allocation.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, timers, and histograms in plain dicts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- mutators (every one is a no-op on NullRegistry) --------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_counter(self, name: str, value: int) -> None:
+        self.counters[name] = value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def set_timer(self, name: str, seconds: float) -> None:
+        self.timers[name] = seconds
+
+    def observe(
+        self, name: str, value: float,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
+
+    # -- readers (always real, even on NullRegistry) ------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
+    def timer(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            name: value for name, value in self.counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- export -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "format": METRICS_FORMAT,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "timers": {k: self.timers[k] for k in sorted(self.timers)},
+            "histograms": {
+                k: self.histograms[k].as_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    def write_json(self, target: Union[str, IO[str]]) -> None:
+        payload = json.dumps(self.as_dict(), indent=1, sort_keys=True)
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        with open(target, "w") as handle:
+            handle.write(payload)
+
+    def summary(self) -> str:
+        lines = []
+        for name in sorted(self.counters):
+            lines.append("%-44s %12d" % (name, self.counters[name]))
+        for name in sorted(self.gauges):
+            lines.append("%-44s %12.3f" % (name, self.gauges[name]))
+        for name in sorted(self.timers):
+            lines.append("%-44s %9.3f ms" % (name, 1e3 * self.timers[name]))
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            lines.append(
+                "%-44s n=%-8d mean=%.2f" % (name, hist.count, hist.mean)
+            )
+        return "\n".join(lines)
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op fallback: every mutator is a ``pass`` body.
+
+    Readers still work (and report zeros/empties), so code may read
+    back counters unconditionally.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def set_counter(self, name: str, value: int) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def time(self, name: str, seconds: float) -> None:
+        pass
+
+    def set_timer(self, name: str, seconds: float) -> None:
+        pass
+
+    def observe(
+        self, name: str, value: float,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        pass
+
+
+#: Shared do-nothing instance; the default wherever instrumentation is
+#: threaded through.  Never mutated, so sharing one is safe.
+NULL_REGISTRY = NullRegistry()
+
+
+def load_metrics(source: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Read a ``--metrics-out`` JSON file back; validates the format."""
+    try:
+        if hasattr(source, "read"):
+            payload = json.load(source)
+        else:
+            with open(source) as handle:
+                payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError("cannot read metrics file: %s" % exc) from exc
+    try:
+        fmt = payload["format"]
+    except (KeyError, TypeError) as exc:
+        raise DataError("metrics file has no format marker") from exc
+    if fmt != METRICS_FORMAT:
+        raise DataError("unsupported metrics format %r" % (fmt,))
+    return payload
+
+
+def registry_from_dict(payload: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.as_dict` output."""
+    registry = MetricsRegistry()
+    try:
+        registry.counters.update(payload.get("counters", {}))
+        registry.gauges.update(payload.get("gauges", {}))
+        registry.timers.update(payload.get("timers", {}))
+        for name, hd in payload.get("histograms", {}).items():
+            hist = Histogram(hd["bounds"])
+            hist.counts = list(hd["counts"])
+            hist.count = hd["count"]
+            hist.sum = hd["sum"]
+            registry.histograms[name] = hist
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed metrics payload: %s" % exc) from exc
+    return registry

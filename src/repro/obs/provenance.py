@@ -1,0 +1,136 @@
+"""Decision provenance: which pass considered a router, which decided.
+
+bdrmap's ownership heuristics run in paper order (§5.4.1–§5.4.8), and
+the *first* pass to claim a router wins — so explaining an inference
+means replaying the chain of passes that looked at the router and
+naming the one that assigned its owner.  Every consultation appends a
+:class:`ProvenanceRecord` to the run's :class:`ProvenanceLog`; the log
+rides on ``BdrmapResult.provenance``, round-trips through
+``io/serialize``, and backs ``repro explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import DataError
+
+# Verdicts, in rough order of interest.
+CONSIDERED = "considered"      # pass ran, declined to claim
+ASSIGNED = "assigned"          # pass assigned this router's owner
+CO_ASSIGNED = "co_assigned"    # claimed alongside a primary router
+DEGRADED = "degraded"          # pass hit partial evidence and skipped
+MERGED = "merged"              # alias collapse absorbed this router
+LINKED = "linked"              # silent-neighbor pass attached a link
+
+#: Verdicts that carry an ownership decision.
+DECIDING = (ASSIGNED, CO_ASSIGNED, MERGED, LINKED)
+
+
+@dataclass
+class ProvenanceRecord:
+    """One ``(router, pass, verdict, evidence)`` tuple."""
+
+    router: int
+    pass_name: str
+    section: str
+    verdict: str
+    owner: Optional[int] = None
+    reason: Optional[str] = None
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "router": self.router,
+            "pass": self.pass_name,
+            "section": self.section,
+            "verdict": self.verdict,
+        }
+        if self.owner is not None:
+            payload["owner"] = self.owner
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        if self.evidence:
+            payload["evidence"] = self.evidence
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProvenanceRecord":
+        try:
+            return cls(
+                router=payload["router"],
+                pass_name=payload["pass"],
+                section=payload["section"],
+                verdict=payload["verdict"],
+                owner=payload.get("owner"),
+                reason=payload.get("reason"),
+                evidence=dict(payload.get("evidence", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(
+                "malformed provenance record: %s" % exc
+            ) from exc
+
+
+class ProvenanceLog:
+    """Append-only record list with per-router views."""
+
+    def __init__(self) -> None:
+        self.records: List[ProvenanceRecord] = []
+
+    def add(
+        self,
+        router: int,
+        pass_name: str,
+        section: str,
+        verdict: str,
+        owner: Optional[int] = None,
+        reason: Optional[str] = None,
+        evidence: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.records.append(ProvenanceRecord(
+            router=router, pass_name=pass_name, section=section,
+            verdict=verdict, owner=owner, reason=reason,
+            evidence=evidence or {},
+        ))
+
+    def for_router(self, rid: int) -> List[ProvenanceRecord]:
+        return [r for r in self.records if r.router == rid]
+
+    def deciding(self, rid: int) -> Optional[ProvenanceRecord]:
+        """The record that assigned this router's owner, if any."""
+        for record in self.records:
+            if record.router == rid and record.verdict in DECIDING:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ProvenanceRecord]:
+        return iter(self.records)
+
+
+def format_chain(records: List[ProvenanceRecord]) -> List[str]:
+    """Human-readable lines for one router's consultation chain."""
+    lines = []
+    for record in records:
+        marker = {
+            ASSIGNED: "=>", CO_ASSIGNED: "=>",
+            MERGED: "=>", LINKED: "->",
+        }.get(record.verdict, "  ")
+        bits = ["%s %-10s %s (%s)" % (
+            marker, record.verdict, record.pass_name, record.section
+        )]
+        if record.owner is not None:
+            bits.append("owner=AS%d" % record.owner)
+        if record.reason:
+            bits.append("reason=%r" % record.reason)
+        if record.evidence:
+            bits.append(
+                " ".join("%s=%s" % (k, record.evidence[k])
+                         for k in sorted(record.evidence))
+            )
+        lines.append(" ".join(bits))
+    return lines

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ..net import Network, Probe, Response
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["RetryPolicy", "RetryStats", "send_with_retry"]
 
@@ -60,13 +61,64 @@ class RetryPolicy:
         )
 
 
-@dataclass
-class RetryStats:
-    """Aggregate retry accounting, shared by a tool or a whole run."""
+_RETRY_COUNTERS = ("retries", "recovered", "exhausted")
 
-    retries: int = 0          # extra attempts beyond the first
-    recovered: int = 0        # probes answered only after a retry
-    exhausted: int = 0        # probes that stayed silent after the budget
+
+class RetryStats:
+    """Aggregate retry accounting, shared by a tool or a whole run.
+
+    Counts live in a :class:`~repro.obs.metrics.MetricsRegistry` —
+    private by default, the run's shared one after :meth:`bind` — so
+    retry totals appear once under ``<prefix>retries`` etc. instead of
+    being duplicated into hand-rolled report counters.  The original
+    field API is preserved: ``stats.retries += 1`` still works.
+    """
+
+    def __init__(self) -> None:
+        self._registry = MetricsRegistry()
+        self._prefix = "retry."
+
+    def bind(self, registry: MetricsRegistry,
+             prefix: str = "retry.") -> None:
+        """Repoint at a shared registry under ``prefix`` (per-VP
+        prefixes keep concurrent collections' counts apart)."""
+        if not registry.enabled or (
+            registry is self._registry and prefix == self._prefix
+        ):
+            return
+        for name in _RETRY_COUNTERS:
+            count = self._registry.counter(self._prefix + name)
+            if count:
+                registry.inc(prefix + name, count)
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts beyond the first."""
+        return self._registry.counter(self._prefix + "retries")
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "retries", value)
+
+    @property
+    def recovered(self) -> int:
+        """Probes answered only after a retry."""
+        return self._registry.counter(self._prefix + "recovered")
+
+    @recovered.setter
+    def recovered(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "recovered", value)
+
+    @property
+    def exhausted(self) -> int:
+        """Probes that stayed silent after the budget."""
+        return self._registry.counter(self._prefix + "exhausted")
+
+    @exhausted.setter
+    def exhausted(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "exhausted", value)
 
     def merge(self, other: "RetryStats") -> None:
         self.retries += other.retries

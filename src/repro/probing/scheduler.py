@@ -17,14 +17,25 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+
 
 class RoundRobinScheduler:
-    """Interleave generator-based probing tasks."""
+    """Interleave generator-based probing tasks.
 
-    def __init__(self, parallelism: int = 8) -> None:
+    ``metrics``/``label`` name the phase (``scheduler.<label>.*``
+    counters), so a run's trace shows how many tasks each probing
+    phase completed, failed, and stepped through.
+    """
+
+    def __init__(self, parallelism: int = 8,
+                 metrics: Optional[MetricsRegistry] = None,
+                 label: str = "probing") -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.label = label
         self._pending: Deque[Iterator[None]] = deque()
         self.tasks_completed = 0
         self.tasks_failed = 0
@@ -49,6 +60,8 @@ class RoundRobinScheduler:
         """
         active: List[Iterator[None]] = []
         steps = 0
+        completed_before = self.tasks_completed
+        failed_before = self.tasks_failed
         while self._pending or active:
             while self._pending and len(active) < self.parallelism:
                 active.append(self._pending.popleft())
@@ -68,6 +81,17 @@ class RoundRobinScheduler:
                 active.pop(index)
             if on_progress is not None:
                 on_progress(steps)
+        metrics = self.metrics
+        if metrics.enabled:
+            prefix = "scheduler.%s." % self.label
+            metrics.inc(
+                prefix + "tasks_completed",
+                self.tasks_completed - completed_before,
+            )
+            metrics.inc(
+                prefix + "tasks_failed", self.tasks_failed - failed_before
+            )
+            metrics.inc(prefix + "steps", steps)
         if reraise and self.failures:
             raise self.failures[0][1]
         return steps

@@ -26,10 +26,10 @@ deterministic.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
 
+from ..obs.trace import perf_clock
 from ..rng import make_rng
 
 BENCH_SCHEMA = 1
@@ -178,60 +178,77 @@ def bench_paths(
     repeats: int = 5,
     batch_size: int = 64,
     naive_repeats: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> Dict[str, float]:
     """Time the serving paths over ``workload``; returns QPS per path
-    plus the warm cache hit rate."""
+    plus the warm cache hit rate.  ``metrics``/``tracer`` (optional)
+    record each path's counters and a span per measured phase."""
+    from ..obs.metrics import NULL_REGISTRY
+    from ..obs.trace import NULL_TRACER
     from .engine import QueryEngine
     from .naive import naive_border_for, naive_owner_of
     from .service import BorderMapService
 
+    if metrics is None:
+        metrics = NULL_REGISTRY
+    if tracer is None:
+        tracer = NULL_TRACER
+
     # naive: every query rescans the raw results (and the view for LPM).
-    started = time.perf_counter()
-    for _ in range(naive_repeats):
-        for op, key in workload:
-            if op == "owner":
-                naive_owner_of(results, key, view=view)
-            elif op == "border":
-                naive_border_for(results, key, view=view)
-            else:
-                for result in results:
-                    result.links_with(key)
-    naive_qps = _qps(naive_repeats * len(workload), time.perf_counter() - started)
+    started = perf_clock()
+    with tracer.span("bench.naive"):
+        for _ in range(naive_repeats):
+            for op, key in workload:
+                if op == "owner":
+                    naive_owner_of(results, key, view=view)
+                elif op == "border":
+                    naive_border_for(results, key, view=view)
+                else:
+                    for result in results:
+                        result.links_with(key)
+    naive_qps = _qps(naive_repeats * len(workload), perf_clock() - started)
 
     # cold: the compiled map's indexes, no result cache.
-    started = time.perf_counter()
-    for _ in range(repeats):
-        for op, key in workload:
-            if op == "owner":
-                bmap.owner_of(key)
-            elif op == "border":
-                bmap.border_for(key)
-            else:
-                bmap.neighbors(key)
-    cold_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+    started = perf_clock()
+    with tracer.span("bench.cold"):
+        for _ in range(repeats):
+            for op, key in workload:
+                if op == "owner":
+                    bmap.owner_of(key)
+                elif op == "border":
+                    bmap.border_for(key)
+                else:
+                    bmap.neighbors(key)
+    cold_qps = _qps(repeats * len(workload), perf_clock() - started)
 
-    # warm: cached engine, one untimed warm-up pass.
+    # warm: cached engine, one untimed warm-up pass.  The warm engine
+    # keeps a private stats registry because its counters are reset
+    # after warm-up (the shared registry must not lose history).
     engine = QueryEngine(bmap, cache_size=4 * len(workload) + 64)
     for op, key in workload:
         getattr(engine, {"owner": "owner_of", "border": "border_for",
                          "neighbors": "neighbors"}[op])(key)
     engine.stats = type(engine.stats)()  # count only the timed passes
-    started = time.perf_counter()
-    for _ in range(repeats):
-        for op, key in workload:
-            if op == "owner":
-                engine.owner_of(key)
-            elif op == "border":
-                engine.border_for(key)
-            else:
-                engine.neighbors(key)
-    warm_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+    started = perf_clock()
+    with tracer.span("bench.warm"):
+        for _ in range(repeats):
+            for op, key in workload:
+                if op == "owner":
+                    engine.owner_of(key)
+                elif op == "border":
+                    engine.border_for(key)
+                else:
+                    engine.neighbors(key)
+    warm_qps = _qps(repeats * len(workload), perf_clock() - started)
     warm_hit_rate = engine.stats.hit_rate
 
     # batched: the warm engine's batch API.  Micro-batches are
     # op-homogeneous (grouping is the front end's job and happens before
     # the engine is involved).
-    batch_engine = QueryEngine(bmap, cache_size=4 * len(workload) + 64)
+    batch_engine = QueryEngine(
+        bmap, cache_size=4 * len(workload) + 64, metrics=metrics
+    )
     batches: List[Tuple[str, List[int]]] = []
     for start in range(0, len(workload), batch_size):
         per_op: Dict[str, List[int]] = {}
@@ -245,24 +262,27 @@ def bench_paths(
     }
     for op, keys in batches:  # warm-up
         methods[op](keys)
-    started = time.perf_counter()
-    for _ in range(repeats):
-        for op, keys in batches:
-            methods[op](keys)
-    batched_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+    started = perf_clock()
+    with tracer.span("bench.batched"):
+        for _ in range(repeats):
+            for op, keys in batches:
+                methods[op](keys)
+    batched_qps = _qps(repeats * len(workload), perf_clock() - started)
 
     # service: the same batches through the BorderMapService front end
     # (request counting, epoch-tagged answers) — the figure a deployment
     # would quote.
     service = BorderMapService(
-        bmap, cache_size=4 * len(workload) + 64, batch_size=batch_size
+        bmap, cache_size=4 * len(workload) + 64, batch_size=batch_size,
+        metrics=metrics,
     )
     service.batch(workload)  # warm-up
-    started = time.perf_counter()
-    for _ in range(repeats):
-        for start in range(0, len(workload), batch_size):
-            service.batch(workload[start:start + batch_size])
-    service_qps = _qps(repeats * len(workload), time.perf_counter() - started)
+    started = perf_clock()
+    with tracer.span("bench.service"):
+        for _ in range(repeats):
+            for start in range(0, len(workload), batch_size):
+                service.batch(workload[start:start + batch_size])
+    service_qps = _qps(repeats * len(workload), perf_clock() - started)
 
     return {
         "naive_qps": naive_qps,
@@ -281,25 +301,35 @@ def run_serving_benchmark(
     repeats: int = 5,
     batch_size: int = 64,
     build: Optional[Callable] = None,
+    metrics=None,
+    tracer=None,
 ) -> ServingBenchSummary:
     """Infer on ``scenario_name``, compile a BorderMap, and measure the
     serving paths end to end."""
     from .. import build_data_bundle
     from ..core.orchestrator import MultiVPOrchestrator
+    from ..obs.trace import NULL_TRACER
     from .bordermap import compile_border_map
 
+    if tracer is None:
+        tracer = NULL_TRACER
     build = build or _default_build
     scenario = build(scenario_name, seed)
     data = build_data_bundle(scenario)
-    run = MultiVPOrchestrator(scenario, data=data).run()
-    bmap = compile_border_map(
-        run.results, view=data.view, rels=data.rels, epoch=1,
-        source="serve-bench %s" % scenario_name,
-    )
+    with tracer.span("bench.infer", scenario=scenario_name):
+        run = MultiVPOrchestrator(
+            scenario, data=data, metrics=metrics, tracer=tracer
+        ).run()
+    with tracer.span("bench.compile"):
+        bmap = compile_border_map(
+            run.results, view=data.view, rels=data.rels, epoch=1,
+            source="serve-bench %s" % scenario_name,
+        )
     workload = make_workload(bmap, data.view, queries, seed=seed or 0)
     measured = bench_paths(
         run.results, bmap, data.view, workload,
         repeats=repeats, batch_size=batch_size,
+        metrics=metrics, tracer=tracer,
     )
     return ServingBenchSummary(
         scenario=scenario_name,

@@ -14,11 +14,11 @@ in-flight queries finish against the map they started on.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import perf_clock
 from .bordermap import BorderLink, BorderMap, NeighborInfo, Ownership
 
 
@@ -59,14 +59,49 @@ class LRUCache:
         return self.hits / total if total else 0.0
 
 
-@dataclass
 class OpStats:
-    """Per-operation accounting."""
+    """Per-operation accounting: a view over registry slots
+    (``<prefix>calls`` / ``hits`` / ``misses`` counters and a
+    ``<prefix>seconds`` timer).  The field API is unchanged —
+    ``stats.calls += 1`` still works."""
 
-    calls: int = 0
-    hits: int = 0
-    misses: int = 0
-    seconds: float = 0.0
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def calls(self) -> int:
+        return self._registry.counter(self._prefix + "calls")
+
+    @calls.setter
+    def calls(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "calls", value)
+
+    @property
+    def hits(self) -> int:
+        return self._registry.counter(self._prefix + "hits")
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "hits", value)
+
+    @property
+    def misses(self) -> int:
+        return self._registry.counter(self._prefix + "misses")
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "misses", value)
+
+    @property
+    def seconds(self) -> float:
+        return self._registry.timer(self._prefix + "seconds")
+
+    @seconds.setter
+    def seconds(self, value: float) -> None:
+        self._registry.set_timer(self._prefix + "seconds", value)
 
     @property
     def hit_rate(self) -> float:
@@ -74,16 +109,29 @@ class OpStats:
         return self.hits / total if total else 0.0
 
 
-@dataclass
 class EngineStats:
-    """Counters the service and benchmarks read."""
+    """Counters the service and benchmarks read.
 
-    ops: Dict[str, OpStats] = field(default_factory=dict)
+    Counts live in a :class:`~repro.obs.metrics.MetricsRegistry` under
+    ``serving.<op>.*`` — a private one by default, or the run's shared
+    registry when one is passed — so ``repro metrics`` sees the same
+    hit/miss/latency numbers the benchmark report quotes.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "serving.") -> None:
+        if registry is None or not registry.enabled:
+            registry = MetricsRegistry()
+        self._registry = registry
+        self._prefix = prefix
+        self.ops: Dict[str, OpStats] = {}
 
     def op(self, name: str) -> OpStats:
         stats = self.ops.get(name)
         if stats is None:
-            stats = self.ops[name] = OpStats()
+            stats = self.ops[name] = OpStats(
+                self._registry, "%s%s." % (self._prefix, name)
+            )
         return stats
 
     @property
@@ -125,10 +173,12 @@ class EngineStats:
 class QueryEngine:
     """Cached query front end over one immutable BorderMap."""
 
-    def __init__(self, border_map: BorderMap, cache_size: int = 4096) -> None:
+    def __init__(self, border_map: BorderMap, cache_size: int = 4096,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.map = border_map
         self.cache = LRUCache(cache_size)
-        self.stats = EngineStats()
+        self.metrics = metrics
+        self.stats = EngineStats(metrics)
 
     @property
     def epoch(self) -> int:
@@ -138,7 +188,7 @@ class QueryEngine:
 
     def _cached(self, op: str, key: Hashable,
                 compute: Callable[[Any], Any]) -> Any:
-        started = time.perf_counter()
+        started = perf_clock()
         stats = self.stats.op(op)
         stats.calls += 1
         found, value = self.cache.get((op, key))
@@ -148,7 +198,7 @@ class QueryEngine:
             stats.misses += 1
             value = compute(key)
             self.cache.put((op, key), value)
-        stats.seconds += time.perf_counter() - started
+        stats.seconds += perf_clock() - started
         return value
 
     def owner_of(self, addr: int) -> Optional[Ownership]:
@@ -176,7 +226,7 @@ class QueryEngine:
         map has a bulk path (``compute_batch``) — every cache miss is
         resolved in a single call.
         """
-        started = time.perf_counter()
+        started = perf_clock()
         stats = self.stats.op(op)
         stats.calls += len(keys)
         cache = self.cache
@@ -206,7 +256,7 @@ class QueryEngine:
                 cache.put((op, key), value)
                 for position in miss_positions[key]:
                     answers[position] = value
-        stats.seconds += time.perf_counter() - started
+        stats.seconds += perf_clock() - started
         return answers
 
     def owner_of_batch(self, addrs: Sequence[int]) -> List[Optional[Ownership]]:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import DataError
+from ..obs.metrics import MetricsRegistry
 from .bordermap import BorderMap
 from .engine import QueryEngine
 
@@ -52,15 +53,47 @@ class BorderMapService:
         border_map: BorderMap,
         cache_size: int = 4096,
         batch_size: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._engine = QueryEngine(border_map, cache_size=cache_size)
+        # Request counters live in a registry (a private one unless the
+        # deployment hands us its shared registry), like the engine's.
+        if metrics is None or not metrics.enabled:
+            self._metrics = MetricsRegistry()
+            self.metrics = metrics
+        else:
+            self._metrics = metrics
+            self.metrics = metrics
+        self._engine = QueryEngine(
+            border_map, cache_size=cache_size, metrics=self.metrics
+        )
         self.cache_size = cache_size
         self.batch_size = batch_size
         self._pending: List[Tuple[str, int]] = []
         self._swap_lock = threading.Lock()
-        self.requests = 0
-        self.batches = 0
-        self.swaps = 0
+
+    @property
+    def requests(self) -> int:
+        return self._metrics.counter("serving.service.requests")
+
+    @requests.setter
+    def requests(self, value: int) -> None:
+        self._metrics.set_counter("serving.service.requests", value)
+
+    @property
+    def batches(self) -> int:
+        return self._metrics.counter("serving.service.batches")
+
+    @batches.setter
+    def batches(self, value: int) -> None:
+        self._metrics.set_counter("serving.service.batches", value)
+
+    @property
+    def swaps(self) -> int:
+        return self._metrics.counter("serving.service.swaps")
+
+    @swaps.setter
+    def swaps(self, value: int) -> None:
+        self._metrics.set_counter("serving.service.swaps", value)
 
     # -- the served map -----------------------------------------------------
 
@@ -144,7 +177,9 @@ class BorderMapService:
         publishes it, so concurrent readers see the old engine or the
         new one, never an intermediate state.
         """
-        new_engine = QueryEngine(new_map, cache_size=self.cache_size)
+        new_engine = QueryEngine(
+            new_map, cache_size=self.cache_size, metrics=self.metrics
+        )
         with self._swap_lock:
             retired = self._engine.map.epoch
             self._engine = new_engine

@@ -1,0 +1,259 @@
+"""Unit tests for the observability layer (metrics, tracing, provenance)."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.obs import (
+    ASSIGNED,
+    CONSIDERED,
+    DEGRADED,
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    NullRegistry,
+    NullTracer,
+    ProvenanceLog,
+    ProvenanceRecord,
+    Tracer,
+    format_chain,
+    load_metrics,
+    load_trace,
+    profile_spans,
+    registry_from_dict,
+    span_id,
+)
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.inc("b")
+        assert registry.counter("a") == 5
+        assert registry.counter("b") == 1
+        assert registry.counter("missing") == 0
+
+    def test_gauges_and_timers(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 7)
+        assert registry.gauge("depth") == 7
+        registry.time("walk", 0.5)
+        registry.time("walk", 0.25)
+        assert registry.timer("walk") == pytest.approx(0.75)
+        assert registry.timer("missing") == 0.0
+
+    def test_counters_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("retry.vp0.retries", 3)
+        registry.inc("retry.vp1.retries", 2)
+        registry.inc("pass.onenet.claimed")
+        found = registry.counters_with_prefix("retry.")
+        assert found == {"retry.vp0.retries": 3, "retry.vp1.retries": 2}
+
+    def test_histogram_buckets(self):
+        hist = Histogram((1, 4, 16))
+        for value in (0, 1, 3, 20, 100):
+            hist.observe(value)
+        # bounds are upper-inclusive; the last bucket is the overflow.
+        assert hist.counts == [2, 1, 0, 2]
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(124 / 5)
+
+    def test_registry_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("hops", 3)
+        registry.observe("hops", 300)
+        data = registry.as_dict()["histograms"]["hops"]
+        assert data["count"] == 2
+        assert data["bounds"] == list(DEFAULT_BUCKETS)
+
+    def test_json_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.inc("probe.sent", 42)
+        registry.set_gauge("vps", 3)
+        registry.time("collection", 1.5)
+        registry.observe("hops", 9)
+        buffer = io.StringIO()
+        registry.write_json(buffer)
+        buffer.seek(0)
+        payload = load_metrics(buffer)
+        restored = registry_from_dict(payload)
+        assert restored.counter("probe.sent") == 42
+        assert restored.gauge("vps") == 3
+        assert restored.timer("collection") == pytest.approx(1.5)
+        assert restored.as_dict() == registry.as_dict()
+
+    def test_load_rejects_bad_format(self):
+        with pytest.raises(DataError):
+            load_metrics(io.StringIO(json.dumps({"format": "nope"})))
+        with pytest.raises(DataError):
+            load_metrics(io.StringIO("not json"))
+
+    def test_summary_lists_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("probe.sent", 10)
+        registry.set_gauge("vps", 2)
+        registry.time("walk", 0.125)
+        text = registry.summary()
+        assert "probe.sent" in text
+        assert "vps" in text
+        assert "walk" in text
+
+    def test_null_registry_is_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.inc("x")
+        NULL_REGISTRY.set_gauge("g", 1)
+        NULL_REGISTRY.time("t", 1.0)
+        NULL_REGISTRY.observe("h", 5)
+        assert NULL_REGISTRY.counter("x") == 0
+        assert NULL_REGISTRY.as_dict()["counters"] == {}
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert MetricsRegistry.enabled is True
+
+
+class TestTracer:
+    def test_nesting_sets_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent == outer.sid
+        assert outer.parent is None
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_ids_are_deterministic(self):
+        first = Tracer(seed=9)
+        second = Tracer(seed=9)
+        other = Tracer(seed=10)
+        with first.span("a"):
+            pass
+        with second.span("a"):
+            pass
+        with other.span("a"):
+            pass
+        assert first.spans[0].sid == second.spans[0].sid
+        assert first.spans[0].sid != other.spans[0].sid
+        assert span_id(9, 1) == first.spans[0].sid
+
+    def test_clock_supplies_timestamps(self):
+        now = [100.0]
+        tracer = Tracer(clock=lambda: now[0])
+        with tracer.span("work"):
+            now[0] = 103.5
+        span = tracer.spans[0]
+        assert span.t0 == 100.0
+        assert span.t1 == 103.5
+        assert span.duration == pytest.approx(3.5)
+
+    def test_default_clock_is_a_tick_not_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        times = [(s.t0, s.t1) for s in tracer.spans]
+        assert times == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].t1 is not None
+
+    def test_jsonl_roundtrip(self):
+        tracer = Tracer(seed=2)
+        with tracer.span("outer", vp="vp0"):
+            with tracer.span("inner"):
+                pass
+        buffer = io.StringIO(tracer.to_jsonl())
+        spans = load_trace(buffer)
+        assert [span["name"] for span in spans] == ["inner", "outer"]
+        assert spans[0]["parent"] == spans[1]["id"]
+        assert spans[1]["attrs"] == {"vp": "vp0"}
+
+    def test_load_trace_rejects_garbage(self):
+        with pytest.raises(DataError):
+            load_trace(io.StringIO("not json\n"))
+        with pytest.raises(DataError):
+            load_trace(io.StringIO(json.dumps({"name": "no-id"}) + "\n"))
+
+    def test_profile_self_excludes_children(self):
+        now = [0.0]
+        tracer = Tracer(clock=lambda: now[0])
+        with tracer.span("outer"):
+            now[0] = 2.0
+            with tracer.span("inner"):
+                now[0] = 8.0
+            now[0] = 10.0
+        rows = {row["name"]: row for row in profile_spans(
+            [span.as_dict() for span in tracer.spans]
+        )}
+        assert rows["outer"]["total"] == pytest.approx(10.0)
+        assert rows["outer"]["self"] == pytest.approx(4.0)
+        assert rows["inner"]["self"] == pytest.approx(6.0)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("ignored") as span:
+            pass
+        assert NULL_TRACER.spans == []
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert span is not None  # usable object, records nothing
+
+
+class TestProvenance:
+    def _log(self):
+        log = ProvenanceLog()
+        log.add(1, "firewall", "§5.4.2", CONSIDERED)
+        log.add(1, "onenet", "§5.4.4", ASSIGNED, owner=64500,
+                reason="4 onenet")
+        log.add(2, "firewall", "§5.4.2", DEGRADED,
+                evidence={"error": "DataError"})
+        return log
+
+    def test_for_router_and_deciding(self):
+        log = self._log()
+        assert len(log) == 3
+        chain = log.for_router(1)
+        assert [record.pass_name for record in chain] == [
+            "firewall", "onenet"
+        ]
+        deciding = log.deciding(1)
+        assert deciding.verdict == ASSIGNED
+        assert deciding.owner == 64500
+        assert log.deciding(2) is None
+        assert log.for_router(99) == []
+
+    def test_record_roundtrip(self):
+        for record in self._log():
+            restored = ProvenanceRecord.from_dict(record.as_dict())
+            assert restored == record
+
+    def test_as_dict_omits_empty(self):
+        record = ProvenanceRecord(
+            router=1, pass_name="firewall", section="§5.4.2",
+            verdict=CONSIDERED,
+        )
+        data = record.as_dict()
+        assert "owner" not in data
+        assert "reason" not in data
+        assert "evidence" not in data
+        assert data["pass"] == "firewall"
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(DataError):
+            ProvenanceRecord.from_dict({"router": 1})
+
+    def test_format_chain_marks_the_decision(self):
+        lines = format_chain(self._log().for_router(1))
+        assert any(line.lstrip().startswith("=>") for line in lines)
+        assert any("owner=AS64500" in line for line in lines)
+        assert any("firewall" in line for line in lines)
