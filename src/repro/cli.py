@@ -28,29 +28,15 @@ from .analysis import (
 from .analysis.validation import neighbor_coverage
 from .core.bdrmap import Bdrmap, run_bdrmap
 from .io import load_result, save_result
-from .topology import (
-    cdn_network,
-    large_access,
-    mini,
-    re_network,
-    small_access,
-    tier1,
-)
+from .topology import SCENARIO_FACTORIES, scenario_config
 
-_SCENARIOS: Dict[str, Callable] = {
-    "mini": mini,
-    "cdn_network": cdn_network,
-    "re_network": re_network,
-    "large_access": large_access,
-    "tier1": tier1,
-    "small_access": small_access,
-}
+# The CLI's scenario table is the shared registry: the same names the
+# parallel engine's ScenarioSpec uses to rebuild scenarios in workers.
+_SCENARIOS: Dict[str, Callable] = SCENARIO_FACTORIES
 
 
 def _build(name: str, seed: Optional[int]):
-    factory = _SCENARIOS[name]
-    config = factory(seed=seed) if seed is not None else factory()
-    return build_scenario(config)
+    return build_scenario(scenario_config(name, seed=seed))
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -118,6 +104,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         # Faulted runs get retry/backoff probing so loss is recoverable.
         config.collection.retry = RetryPolicy()
+    if args.share_stop_sets:
+        config.collection.share_stop_sets = True
     # Span timestamps come from the simulation's virtual clock, so a
     # trace is a map of where simulated time went — and deterministic.
     metrics, tracer = _make_obs(
@@ -158,20 +146,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_all_vps(args, scenario, data, config, metrics=None, tracer=None) -> int:
-    """``run --all-vps``: the orchestrated multi-VP run (§5.8)."""
-    from .core.orchestrator import MultiVPOrchestrator
+    """``run --all-vps``: the orchestrated multi-VP run (§5.8).
 
-    orchestrator = MultiVPOrchestrator(
-        scenario,
-        data=data,
-        config=config,
-        share_alias_evidence=not args.no_shared_aliases,
-        interleave=not args.sequential,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-        metrics=metrics,
-        tracer=tracer,
-    )
+    ``--workers N`` switches to the parallel collection engine: VPs are
+    sharded across worker processes, each running against its own
+    simulator under per-VP isolation, and the merged run is byte-identical
+    for any worker count (``--workers 1`` is the inline baseline).
+    """
+    if args.workers is not None:
+        from .core.parallel import ParallelOrchestrator, ScenarioSpec
+
+        spec = ScenarioSpec.make(
+            args.name,
+            seed=args.seed,
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+        )
+        orchestrator = ParallelOrchestrator(
+            spec,
+            scenario=scenario,
+            data=data,
+            config=config,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    else:
+        from .core.orchestrator import MultiVPOrchestrator
+
+        orchestrator = MultiVPOrchestrator(
+            scenario,
+            data=data,
+            config=config,
+            share_alias_evidence=not args.no_shared_aliases,
+            interleave=not args.sequential,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            metrics=metrics,
+            tracer=tracer,
+        )
     run = orchestrator.run()
     if orchestrator.resumed_vps:
         print(
@@ -200,6 +215,15 @@ def _run_all_vps(args, scenario, data, config, metrics=None, tracer=None) -> int
 
         save_report(run.report, args.out)
         print("report saved to %s" % args.out)
+    if args.run_out:
+        import json
+
+        from .io import orchestrated_run_to_dict
+
+        with open(args.run_out, "w") as handle:
+            json.dump(orchestrated_run_to_dict(run), handle,
+                      indent=1, sort_keys=True)
+        print("run saved to %s" % args.run_out)
     _write_obs(args, metrics, tracer)
     return 0
 
@@ -653,6 +677,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sequential", action="store_true",
                        help="with --all-vps: run VPs one after another "
                             "instead of interleaving their probing")
+    p_run.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="with --all-vps: shard VPs across N worker "
+                            "processes (per-VP isolation; results are "
+                            "byte-identical for any N, and --workers 1 "
+                            "is the inline baseline)")
+    p_run.add_argument("--run-out", default=None, metavar="PATH",
+                       help="with --all-vps: save the full serialized "
+                            "run (report + every per-VP result) here — "
+                            "the byte-identity yardstick across "
+                            "--workers counts")
+    p_run.add_argument("--share-stop-sets", action="store_true",
+                       help="share the doubletree stop set across target "
+                            "ASes (fewer redundant border crossings, at "
+                            "some per-target egress fidelity cost)")
     p_run.add_argument("--no-shared-aliases", action="store_true",
                        help="with --all-vps: give each VP its own alias "
                             "resolver instead of sharing evidence")

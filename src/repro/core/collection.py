@@ -35,6 +35,11 @@ class CollectionConfig:
     attempts: int = 2
     parallelism: int = 8
     use_stop_set: bool = True          # ablation: doubletree on/off
+    # Cross-target stop-set sharing: a first-external address learned for
+    # one target AS also stops traces toward every other target.  Cuts
+    # redundant crossings of the VP network's own borders at some cost in
+    # per-target egress fidelity, hence off by default.
+    share_stop_sets: bool = False
     use_alias_resolution: bool = True  # ablation: Fig 13 effect
     use_prefixscan: bool = True
     ally_rounds: int = 5
@@ -105,6 +110,7 @@ class Collector:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.label = label
         self.collection = Collection()
+        self.collection.stop_set.shared = self.config.share_stop_sets
         # Retry counters become views over the shared registry, under a
         # per-VP prefix so concurrent collections stay distinguishable.
         self.collection.retry_stats.bind(

@@ -307,6 +307,12 @@ class MultiVPOrchestrator:
         self.resumed_vps: Set[str] = set()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # vp_name -> that VP's metrics delta (sequential mode only, where
+        # per-VP attribution is exact).  Written into checkpoints so a
+        # resumed run replays skipped VPs' counters into its fresh
+        # registry: resumed registry == fresh-run registry, no loss and
+        # no double count.
+        self._vp_metric_deltas: Dict[str, Dict] = {}
 
     # -- checkpointing --------------------------------------------------------
 
@@ -319,9 +325,17 @@ class MultiVPOrchestrator:
 
         if not os.path.exists(self.checkpoint_path):
             return [], []
-        from ..io.serialize import load_checkpoint
+        import json
 
-        results, vp_reports = load_checkpoint(self.checkpoint_path)
+        from ..io.serialize import (
+            checkpoint_from_dict,
+            checkpoint_metrics_from_dict,
+        )
+
+        with open(self.checkpoint_path) as handle:
+            data = json.load(handle)
+        results, vp_reports = checkpoint_from_dict(data)
+        deltas = checkpoint_metrics_from_dict(data)
         # Failed VPs are re-run on resume; only clean results are kept.
         keep = [
             (result, vp)
@@ -331,6 +345,15 @@ class MultiVPOrchestrator:
         results = [result for result, _ in keep]
         vp_reports = [vp for _, vp in keep]
         self.resumed_vps = {vp.vp_name for vp in vp_reports}
+        # Replay the skipped VPs' counters instead of re-earning them by
+        # re-running the VP: without this, a resumed run's registry would
+        # be missing those counts — and naive re-runs would double them.
+        for vp in vp_reports:
+            delta = deltas.get(vp.vp_name)
+            if delta is not None:
+                self._vp_metric_deltas[vp.vp_name] = delta
+                if self.metrics.enabled:
+                    self.metrics.merge_delta(delta)
         return results, vp_reports
 
     def _save_checkpoint(self, results, vp_reports) -> None:
@@ -338,7 +361,10 @@ class MultiVPOrchestrator:
             return
         from ..io.serialize import save_checkpoint
 
-        save_checkpoint(results, vp_reports, self.checkpoint_path)
+        save_checkpoint(
+            results, vp_reports, self.checkpoint_path,
+            metrics=self._vp_metric_deltas or None,
+        )
 
     def _shared_resolver(self) -> Optional[AliasResolver]:
         if not (self.share_alias_evidence and self.scenario.vps):
@@ -389,6 +415,9 @@ class MultiVPOrchestrator:
                 metrics=self.metrics,
                 tracer=self.tracer,
             )
+            snapshot = (
+                self.metrics.snapshot() if self.metrics.enabled else None
+            )
             try:
                 with self.tracer.span("vp." + vp.name):
                     result = driver.run()
@@ -397,6 +426,10 @@ class MultiVPOrchestrator:
                 self.metrics.inc("run.vps_failed")
                 continue
             self.metrics.inc("run.vps_completed")
+            if snapshot is not None:
+                self._vp_metric_deltas[vp.name] = self.metrics.delta_since(
+                    snapshot
+                )
             results.append(result)
             report.vp_reports.append(
                 _vp_report_from_state(driver.state, result)

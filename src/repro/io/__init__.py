@@ -7,10 +7,13 @@ they accept fresh ones)."""
 
 from .serialize import (
     checkpoint_from_dict,
+    checkpoint_metrics_from_dict,
     checkpoint_to_dict,
     load_checkpoint,
     load_report,
     load_result,
+    merge_checkpoint_dicts,
+    orchestrated_run_to_dict,
     report_from_dict,
     report_to_dict,
     result_from_dict,
@@ -54,6 +57,9 @@ __all__ = [
     "load_result",
     "checkpoint_to_dict",
     "checkpoint_from_dict",
+    "checkpoint_metrics_from_dict",
+    "merge_checkpoint_dicts",
+    "orchestrated_run_to_dict",
     "save_checkpoint",
     "load_checkpoint",
 ]

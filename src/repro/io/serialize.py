@@ -89,6 +89,38 @@ def trace_from_dict(data: Dict[str, Any]) -> TraceResult:
 # -- collections (trace archives) -------------------------------------------------
 
 
+def evidence_to_list(store) -> list:
+    """Encode an alias evidence store as JSON-able rows of
+    ``[addr_a, addr_b, for_methods, against_methods]``.  Shared by trace
+    archives and the parallel engine's cross-process evidence merge."""
+    entries = []
+    for a, b in store.positive_pairs():
+        record = store.get(a, b)
+        entries.append([ntoa(a), ntoa(b), sorted(record.for_methods), []])
+    for a, b in store.negative_pairs():
+        record = store.get(a, b)
+        entries.append(
+            [
+                ntoa(a),
+                ntoa(b),
+                sorted(record.for_methods),
+                sorted(record.against_methods),
+            ]
+        )
+    return entries
+
+
+def evidence_into_store(entries, store) -> None:
+    """Replay :func:`evidence_to_list` rows into an evidence store.
+    Replays merge: rows from several VPs accumulate methods per pair."""
+    for a_text, b_text, for_methods, against_methods in entries:
+        a, b = aton(a_text), aton(b_text)
+        for method in for_methods:
+            store.record_for(a, b, method)
+        for method in against_methods:
+            store.record_against(a, b, method)
+
+
 def collection_to_dict(collection) -> Dict[str, Any]:
     """Archive a collection: traces, target keys, prefixscan outcomes, and
     alias evidence — everything inference needs, nothing that probes.
@@ -98,22 +130,7 @@ def collection_to_dict(collection) -> Dict[str, Any]:
     """
     evidence = []
     if collection.resolver is not None:
-        store = collection.resolver.evidence
-        for a, b in store.positive_pairs():
-            record = store.get(a, b)
-            evidence.append(
-                [ntoa(a), ntoa(b), sorted(record.for_methods), []]
-            )
-        for a, b in store.negative_pairs():
-            record = store.get(a, b)
-            evidence.append(
-                [
-                    ntoa(a),
-                    ntoa(b),
-                    sorted(record.for_methods),
-                    sorted(record.against_methods),
-                ]
-            )
+        evidence = evidence_to_list(collection.resolver.evidence)
     return {
         "format": "bdrmap-repro-traces/1",
         "traces": [trace_to_dict(trace) for trace in collection.traces],
@@ -157,13 +174,7 @@ def collection_from_dict(data: Dict[str, Any]):
                 subnet_plen=entry["plen"],
                 mate=_unaddr(entry["mate"]),
             )
-        store = collection.resolver.evidence
-        for a_text, b_text, for_methods, against_methods in data["evidence"]:
-            a, b = aton(a_text), aton(b_text)
-            for method in for_methods:
-                store.record_for(a, b, method)
-            for method in against_methods:
-                store.record_against(a, b, method)
+        evidence_into_store(data["evidence"], collection.resolver.evidence)
         collection.traces_run = len(collection.traces)
         collection.probes_used = data.get("probes_used", 0)
         return collection
@@ -424,24 +435,35 @@ def report_from_dict(data: Dict[str, Any]):
 CHECKPOINT_FORMAT = "bdrmap-repro-checkpoint/1"
 
 
-def checkpoint_to_dict(results, vp_reports) -> Dict[str, Any]:
+def checkpoint_to_dict(results, vp_reports, metrics=None) -> Dict[str, Any]:
     """Snapshot completed per-VP work mid-run: aligned lists of results
     and their VP reports.  The orchestrator writes one after each VP so an
-    interrupted multi-VP run resumes instead of restarting."""
+    interrupted multi-VP run resumes instead of restarting.
+
+    ``metrics`` optionally maps vp_name to that VP's metrics delta (the
+    :meth:`~repro.obs.metrics.MetricsRegistry.delta_since` dict).  Stored
+    per entry so a resumed run can replay the skipped VPs' counters into
+    its fresh registry instead of losing (or re-earning) them.  The key is
+    omitted for VPs without one, keeping old checkpoints readable and
+    metric-free checkpoints byte-identical to the historical layout.
+    """
     if len(results) != len(vp_reports):
         raise DataError(
             "checkpoint wants aligned results/reports, got %d vs %d"
             % (len(results), len(vp_reports))
         )
+    entries = []
+    for result, vp in zip(results, vp_reports):
+        entry: Dict[str, Any] = {
+            "report": _vp_report_to_dict(vp),
+            "result": result_to_dict(result),
+        }
+        if metrics and vp.vp_name in metrics:
+            entry["metrics"] = metrics[vp.vp_name]
+        entries.append(entry)
     return {
         "format": CHECKPOINT_FORMAT,
-        "vps": [
-            {
-                "report": _vp_report_to_dict(vp),
-                "result": result_to_dict(result),
-            }
-            for result, vp in zip(results, vp_reports)
-        ],
+        "vps": entries,
     }
 
 
@@ -463,10 +485,54 @@ def checkpoint_from_dict(data: Dict[str, Any]):
         raise DataError("malformed checkpoint record: %s" % exc) from exc
 
 
+def checkpoint_metrics_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-VP metrics deltas stored in a checkpoint dict, keyed by
+    vp_name.  VPs checkpointed without metrics are simply absent."""
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise DataError(
+            "unknown checkpoint format %r" % data.get("format")
+        )
+    deltas: Dict[str, Any] = {}
+    for entry in data.get("vps", []):
+        if "metrics" in entry:
+            deltas[entry["report"]["vp_name"]] = entry["metrics"]
+    return deltas
+
+
+def merge_checkpoint_dicts(parts, vp_order=None) -> Dict[str, Any]:
+    """Merge partial checkpoint dicts (e.g. one per worker process of a
+    parallel run) into a single checkpoint.
+
+    Entries are concatenated; with ``vp_order`` (a list of vp_names) they
+    are re-sorted into that order, so a merge of stride-sharded worker
+    checkpoints reproduces the sequential checkpoint byte-for-byte.
+    Duplicate vp_names keep the *last* occurrence — a re-run VP
+    supersedes its stale entry.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for part in parts:
+        if part.get("format") != CHECKPOINT_FORMAT:
+            raise DataError(
+                "unknown checkpoint format %r" % part.get("format")
+            )
+        for entry in part.get("vps", []):
+            merged[entry["report"]["vp_name"]] = entry
+    names = list(merged)
+    if vp_order is not None:
+        position = {name: i for i, name in enumerate(vp_order)}
+        names.sort(key=lambda name: position.get(name, len(position)))
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "vps": [merged[name] for name in names],
+    }
+
+
 def save_checkpoint(results, vp_reports,
-                    target: Union[str, IO[str]]) -> None:
+                    target: Union[str, IO[str]], metrics=None) -> None:
     """Write a mid-run checkpoint to a path or open file object."""
-    payload = json.dumps(checkpoint_to_dict(results, vp_reports), indent=1)
+    payload = json.dumps(
+        checkpoint_to_dict(results, vp_reports, metrics=metrics), indent=1
+    )
     if hasattr(target, "write"):
         target.write(payload)
         return
@@ -498,6 +564,25 @@ def load_report(source: Union[str, IO[str]]):
         return report_from_dict(json.load(source))
     with open(source) as handle:
         return report_from_dict(json.load(handle))
+
+
+RUN_FORMAT = "bdrmap-repro-run/1"
+
+
+def orchestrated_run_to_dict(run) -> Dict[str, Any]:
+    """The canonical serialized form of an
+    :class:`~repro.core.orchestrator.OrchestratedRun`: the run report
+    plus every per-VP result.
+
+    This is the byte-identity yardstick for the parallel engine — a
+    parallel run and its sequential twin must produce equal dicts (and
+    therefore equal ``json.dumps`` bytes) for the same seed.
+    """
+    return {
+        "format": RUN_FORMAT,
+        "report": report_to_dict(run.report),
+        "results": [result_to_dict(result) for result in run.results],
+    }
 
 
 # -- border maps ------------------------------------------------------------------

@@ -211,6 +211,18 @@ class FaultPlan:
         # Per-link Gilbert–Elliott chain: (in_bad_state, state_expires_at).
         self._ge_state: Dict[int, Tuple[bool, float]] = {}
 
+    def reset(self) -> None:
+        """Rewind to just-constructed state: fresh stats, fresh draw
+        streams, and empty burst chains.  A :meth:`Network.reset` replays
+        the plan identically because every window is a pure function of
+        (seed, entity, time) and the per-packet streams restart."""
+        self.stats = FaultStats()
+        self._loss_rng = make_rng(self.seed, "faults", "loss")
+        self._reply_rng = make_rng(self.seed, "faults", "reply")
+        self._storm_rng = make_rng(self.seed, "faults", "storm")
+        self._burst_rng = make_rng(self.seed, "faults", "burst")
+        self._ge_state = {}
+
     # -- forward path ------------------------------------------------------
 
     def link_lost(self, link_id: int, now: float) -> bool:

@@ -51,6 +51,7 @@ class Network:
         self.vps: Dict[int, VantagePoint] = {}
         self._ipid: Dict[int, IPIDState] = {}
         self._limiters: Dict[int, RateLimiter] = {}
+        self._seed = seed
         self._rng = make_rng(seed, "network")
         self._host_ipid = make_rng(seed, "host-ipid")
         # Optional per-link diurnal queueing delays (§2's congestion).
@@ -68,6 +69,36 @@ class Network:
         self.metrics = registry
         if self.faults is not None:
             self.faults.stats.bind(registry)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restore the network to its just-built dynamic state.
+
+        Rewinds the virtual clock, probe counter, per-router IPID streams,
+        rate limiters, and RNG streams to exactly what a freshly
+        constructed ``Network(internet, seed)`` would hold, without paying
+        for a topology rebuild.  The routing oracle is deliberately *not*
+        reset: its memoized state (class routes, intra tables, step memo)
+        is a pure function of the static topology, so keeping it warm
+        cannot change behaviour — this is what lets a parallel worker run
+        several VPs back-to-back with per-VP-fresh determinism while
+        paying the route computations once.
+
+        With a fault plan attached, its stats counters restart from zero
+        (draw streams are pure functions of (seed, entity, time), which
+        the rewound clock replays identically).
+        """
+        if seed is None:
+            seed = self._seed
+        self.now = 0.0
+        self.probes_sent = 0
+        self._ipid = {}
+        self._limiters = {}
+        self._rng = make_rng(seed, "network")
+        self._host_ipid = make_rng(seed, "host-ipid")
+        if self.faults is not None:
+            self.faults.reset()
+            if self.metrics.enabled:
+                self.faults.stats.bind(self.metrics)
 
     # -- setup ---------------------------------------------------------------
 

@@ -185,6 +185,16 @@ class RoutingOracle:
         self._classes: Dict[ClassKey, _ClassRoutes] = {}
         self._intra: Dict[int, Dict[int, Dict[int, Tuple[float, int, int]]]] = {}
         self._egress_cache: Dict[Tuple[int, ClassKey], Optional[Tuple[int, int]]] = {}
+        # Memoized forwarding decisions.  step() is a pure function of
+        # (router, dst) over the static topology — every input it reads
+        # (policies, intra tables, class routes, egress choice) is fixed at
+        # construction — so the walk of probe N toward a destination pays
+        # the route computation once and every later probe through the same
+        # (router, dst) pair is a dict hit.  This is the collection hot
+        # path: a traceroute re-walks the same prefix of routers once per
+        # TTL, and sibling targets in a /24 share almost every hop.
+        self._step_memo: Dict[Tuple[int, int], Step] = {}
+        self.step_memo_hits = 0
 
     # -- static structure -----------------------------------------------------
 
@@ -403,7 +413,19 @@ class RoutingOracle:
 
     def step(self, router_id: int, dst: int) -> Step:
         """Forwarding decision for a packet at ``router_id`` headed to
-        ``dst``."""
+        ``dst``.  Memoized: decisions depend only on static topology, so
+        repeated walks (every probe after the first toward a block) are
+        dict lookups."""
+        memo_key = (router_id, dst)
+        cached = self._step_memo.get(memo_key)
+        if cached is not None:
+            self.step_memo_hits += 1
+            return cached
+        decision = self._step_uncached(router_id, dst)
+        self._step_memo[memo_key] = decision
+        return decision
+
+    def _step_uncached(self, router_id: int, dst: int) -> Step:
         internet = self.internet
         router = internet.routers[router_id]
 

@@ -125,6 +125,96 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
+    # -- deltas and merging ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A cheap point-in-time copy of every slot, for :meth:`delta_since`."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": dict(self.timers),
+            "histograms": {
+                name: (hist.count, hist.sum, tuple(hist.counts))
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    def delta_since(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """What accumulated since ``snapshot`` — the per-VP slice of a
+        shared registry, in :meth:`merge_delta` form.  Slots whose value
+        did not move are omitted, so a delta of an idle period is empty."""
+        # A slot that exists now but not in the snapshot is part of the
+        # delta even at zero: merge_delta must re-create it, or a resumed
+        # registry would be missing the zero-valued slots a fresh run has
+        # (e.g. a scheduler's tasks_failed counter that never fired).
+        counters = {}
+        for name, value in self.counters.items():
+            moved = value - snapshot["counters"].get(name, 0)
+            if moved or name not in snapshot["counters"]:
+                counters[name] = moved
+        timers = {}
+        for name, value in self.timers.items():
+            moved = value - snapshot["timers"].get(name, 0.0)
+            if moved or name not in snapshot["timers"]:
+                timers[name] = moved
+        # Gauges are level samples, not accumulators: the "delta" is the
+        # final value of every gauge written since the snapshot, replayed
+        # with last-write-wins semantics by merge_delta.  Without them a
+        # resumed run would lose the gauges its checkpointed VPs set.
+        gauges = {}
+        before_gauges = snapshot.get("gauges", {})
+        for name, value in self.gauges.items():
+            if name not in before_gauges or before_gauges[name] != value:
+                gauges[name] = value
+        histograms = {}
+        for name, hist in self.histograms.items():
+            before = snapshot["histograms"].get(
+                name, (0, 0.0, (0,) * len(hist.counts))
+            )
+            if hist.count == before[0] and name in snapshot["histograms"]:
+                continue
+            histograms[name] = {
+                "bounds": list(hist.bounds),
+                "counts": [
+                    now - then for now, then in zip(hist.counts, before[2])
+                ],
+                "count": hist.count - before[0],
+                "sum": hist.sum - before[1],
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "timers": timers,
+            "histograms": histograms,
+        }
+
+    def merge_delta(self, delta: Dict[str, Any]) -> None:
+        """Add a :meth:`delta_since` (or a whole registry's
+        :meth:`as_dict`) into this registry.  Addition is commutative per
+        slot, so merging per-VP deltas in VP order reproduces the registry
+        a single-process run would have built."""
+        for name, value in delta.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in delta.get("timers", {}).items():
+            self.time(name, value)
+        for name, entry in delta.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(entry["bounds"])
+            hist.count += entry["count"]
+            hist.sum += entry["sum"]
+            for index, count in enumerate(entry["counts"]):
+                if index < len(hist.counts):
+                    hist.counts[index] += count
+        for name, value in delta.get("gauges", {}).items():
+            self.set_gauge(name, value)
+
+    def merge_registry(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's slots into this one (counters, timers,
+        and histograms add; gauges overwrite).  The per-worker registries
+        of a parallel run are merged this way, in VP order."""
+        self.merge_delta(other.as_dict())
+
     # -- export -------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
@@ -191,6 +281,9 @@ class NullRegistry(MetricsRegistry):
         self, name: str, value: float,
         bounds: Sequence[float] = DEFAULT_BUCKETS,
     ) -> None:
+        pass
+
+    def merge_delta(self, delta: Dict[str, Any]) -> None:
         pass
 
 

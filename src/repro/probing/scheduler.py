@@ -62,6 +62,11 @@ class RoundRobinScheduler:
         steps = 0
         completed_before = self.tasks_completed
         failed_before = self.tasks_failed
+        # ``failures`` accumulates across run() calls (callers inspect it
+        # after several phases); re-raising must still be scoped to *this*
+        # run, or a second run would re-raise a stale, already-reported
+        # failure from the first.
+        failures_before = len(self.failures)
         while self._pending or active:
             while self._pending and len(active) < self.parallelism:
                 active.append(self._pending.popleft())
@@ -92,6 +97,6 @@ class RoundRobinScheduler:
                 prefix + "tasks_failed", self.tasks_failed - failed_before
             )
             metrics.inc(prefix + "steps", steps)
-        if reraise and self.failures:
-            raise self.failures[0][1]
+        if reraise and len(self.failures) > failures_before:
+            raise self.failures[failures_before][1]
         return steps

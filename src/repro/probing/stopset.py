@@ -4,29 +4,83 @@ bdrmap records the first external address seen in each trace toward a
 target AS, and stops later traces toward the same AS when they hit an
 address already in that AS's stop set — so each border is crossed once,
 not once per destination block.
+
+``StopSet(shared=True)`` additionally maintains one cross-target set:
+an address learned while probing *any* target AS then stops traces
+toward every target.  That is the global-stop-set half of doubletree —
+a VP's forward paths toward different target ASes share their first
+hops, so the border routers of the VP network itself are re-crossed
+once per *VP* instead of once per target AS.  It trades fidelity to the
+paper's per-target discipline (§6's per-AS egress analyses want each
+target to record its own egress) for probe volume, so it is opt-in via
+:class:`~repro.core.collection.CollectionConfig.share_stop_sets`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, Iterator, Set, Tuple
 
 TargetKey = Tuple[int, ...]  # the origin-AS tuple of the target block
+
+
+class TargetStopView:
+    """One target's view of a shared :class:`StopSet`.
+
+    Quacks like the plain ``Set[int]`` that ``paris_traceroute`` and the
+    collector expect (``in``, ``add``, iteration, ``len``) but consults
+    the cross-target set on membership and publishes additions to it.
+    """
+
+    __slots__ = ("_stop", "_key")
+
+    def __init__(self, stop: "StopSet", key: TargetKey) -> None:
+        self._stop = stop
+        self._key = key
+
+    def __contains__(self, addr: int) -> bool:
+        if addr in self._stop.global_set:
+            return True
+        return addr in self._stop._sets.get(self._key, ())
+
+    def add(self, addr: int) -> None:
+        self._stop._sets.setdefault(self._key, set()).add(addr)
+        self._stop.global_set.add(addr)
+
+    def update(self, addrs: Iterable[int]) -> None:
+        for addr in addrs:
+            self.add(addr)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._stop._sets.get(self._key, ()))
+
+    def __len__(self) -> int:
+        return len(self._stop._sets.get(self._key, ()))
 
 
 class StopSet:
     """Per-target-AS sets of already-seen first-external addresses."""
 
-    def __init__(self) -> None:
+    def __init__(self, shared: bool = False) -> None:
         self._sets: Dict[TargetKey, Set[int]] = {}
+        self.shared = shared
+        # Union of every target's entries; consulted by every target's
+        # view when ``shared`` is on (and merely maintained when off —
+        # it is cheap and keeps ``shared`` togglable between phases).
+        self.global_set: Set[int] = set()
 
-    def for_target(self, key: TargetKey) -> Set[int]:
+    def for_target(self, key: TargetKey):
+        """The stop set a trace toward ``key`` should consult."""
+        if self.shared:
+            return TargetStopView(self, tuple(key))
         return self._sets.setdefault(tuple(key), set())
 
     def add(self, key: TargetKey, addr: int) -> None:
-        self.for_target(key).add(addr)
+        self._sets.setdefault(tuple(key), set()).add(addr)
+        self.global_set.add(addr)
 
     def add_many(self, key: TargetKey, addrs: Iterable[int]) -> None:
-        self.for_target(key).update(addrs)
+        for addr in addrs:
+            self.add(key, addr)
 
     def __contains__(self, item: Tuple[TargetKey, int]) -> bool:
         key, addr = item

@@ -26,6 +26,7 @@ lossless.  Caching, batching, and counters live one layer up in
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -100,6 +101,13 @@ class BorderMap:
 
     FORMAT = BORDERMAP_FORMAT
 
+    # Process-unique generation tokens.  ``epoch`` is caller-assigned and
+    # can collide (two maps compiled with the default epoch 0), so cache
+    # keys derived from a map use ``generation`` — never reused within a
+    # process — to make answers from different map instances
+    # indistinguishable-proof.
+    _generations = itertools.count(1)
+
     def __init__(
         self,
         focal_asn: int,
@@ -117,6 +125,7 @@ class BorderMap:
         self.prefixes: Tuple[Tuple[Prefix, int], ...] = tuple(prefixes)
         self.epoch = epoch
         self.source = source
+        self.generation = next(BorderMap._generations)
 
         for position, router in enumerate(self.routers):
             if router.index != position:

@@ -179,6 +179,12 @@ class QueryEngine:
         self.cache = LRUCache(cache_size)
         self.metrics = metrics
         self.stats = EngineStats(metrics)
+        # Cache keys carry the map's process-unique generation token, so
+        # an entry can never answer for a different map instance — even
+        # if an engine (or its cache) outlives a hot swap, or two maps
+        # share an epoch number.  ``epoch`` alone is caller-assigned and
+        # collides across independently compiled maps.
+        self._gen = getattr(border_map, "generation", id(border_map))
 
     @property
     def epoch(self) -> int:
@@ -191,13 +197,13 @@ class QueryEngine:
         started = perf_clock()
         stats = self.stats.op(op)
         stats.calls += 1
-        found, value = self.cache.get((op, key))
+        found, value = self.cache.get((self._gen, op, key))
         if found:
             stats.hits += 1
         else:
             stats.misses += 1
             value = compute(key)
-            self.cache.put((op, key), value)
+            self.cache.put((self._gen, op, key), value)
         stats.seconds += perf_clock() - started
         return value
 
@@ -239,7 +245,7 @@ class QueryEngine:
                 stats.hits += 1
                 positions.append(position)
                 continue
-            found, value = cache.get((op, key))
+            found, value = cache.get((self._gen, op, key))
             if found:
                 stats.hits += 1
                 answers[position] = value
@@ -253,7 +259,7 @@ class QueryEngine:
             else:
                 values = [compute(key) for key in miss_keys]
             for key, value in zip(miss_keys, values):
-                cache.put((op, key), value)
+                cache.put((self._gen, op, key), value)
                 for position in miss_positions[key]:
                     answers[position] = value
         stats.seconds += perf_clock() - started

@@ -175,7 +175,10 @@ class BorderMapService:
         The new engine (map indexes, empty cache, fresh counters) is
         fully constructed *before* the single reference assignment that
         publishes it, so concurrent readers see the old engine or the
-        new one, never an intermediate state.
+        new one, never an intermediate state.  Engine caches are
+        additionally keyed by the map's process-unique generation token,
+        so even a cache that outlived a swap could never serve a
+        previous epoch's answer.
         """
         new_engine = QueryEngine(
             new_map, cache_size=self.cache_size, metrics=self.metrics

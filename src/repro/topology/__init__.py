@@ -26,7 +26,9 @@ from .routergen import build_router_level
 from .challenges import ChallengeConfig, apply_challenges
 from .scenarios import (
     ScenarioConfig,
+    SCENARIO_FACTORIES,
     build_scenario,
+    scenario_config,
     re_network,
     large_access,
     tier1,
@@ -56,7 +58,9 @@ __all__ = [
     "ChallengeConfig",
     "apply_challenges",
     "ScenarioConfig",
+    "SCENARIO_FACTORIES",
     "build_scenario",
+    "scenario_config",
     "re_network",
     "large_access",
     "tier1",

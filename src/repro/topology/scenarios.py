@@ -324,3 +324,31 @@ def small_access(seed: int = 5) -> ScenarioConfig:
         cdn_link_count=3,
         n_vps=2,
     )
+
+
+# Name -> factory registry.  Both the CLI and the parallel collection
+# engine rebuild scenarios from (name, seed, kwargs) specs — a picklable
+# handle that crosses process boundaries where a built Scenario cannot.
+SCENARIO_FACTORIES = {
+    "mini": mini,
+    "cdn_network": cdn_network,
+    "re_network": re_network,
+    "large_access": large_access,
+    "tier1": tier1,
+    "small_access": small_access,
+}
+
+
+def scenario_config(name: str, seed=None, **kwargs) -> ScenarioConfig:
+    """Look up a registered scenario factory and instantiate its config.
+    ``seed=None`` keeps the factory's default seed."""
+    try:
+        factory = SCENARIO_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scenario %r (choose from %s)"
+            % (name, ", ".join(sorted(SCENARIO_FACTORIES)))
+        ) from None
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

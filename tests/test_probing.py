@@ -397,3 +397,86 @@ class TestScheduler:
         scheduler.run(reraise=False)
         assert scheduler.tasks_completed == 1
         assert scheduler.tasks_failed == 1
+
+    def test_first_step_crash_appears_exactly_once(self):
+        """A generator that raises before its first yield must show up
+        once — not zero or two times — in the failure accounting."""
+        def instant_bad():
+            raise RuntimeError("dead on arrival")
+            yield  # pragma: no cover - generator marker
+
+        scheduler = RoundRobinScheduler(parallelism=3)
+        scheduler.add(instant_bad())
+        scheduler.run(reraise=False)
+        assert scheduler.tasks_failed == 1
+        assert len(scheduler.failures) == 1
+        assert scheduler.tasks_completed == 0
+
+    def test_mid_step_crash_appears_exactly_once(self):
+        def mid_bad():
+            yield
+            yield
+            raise RuntimeError("mid-flight")
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(mid_bad())
+        scheduler.run(reraise=False)
+        assert scheduler.tasks_failed == 1
+        assert len(scheduler.failures) == 1
+
+    def test_on_progress_is_monotonic(self):
+        """Progress callbacks must report a strictly increasing step
+        count — consumers use it to drive progress bars and watchdogs."""
+        def task(steps):
+            for _ in range(steps):
+                yield
+
+        def bad():
+            yield
+            raise RuntimeError("boom")
+
+        seen = []
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add_all([task(3), bad(), task(1)])
+        steps = scheduler.run(on_progress=seen.append, reraise=False)
+        assert seen, "on_progress never fired"
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+        assert seen[-1] == steps
+
+    def test_second_run_does_not_reraise_stale_failure(self):
+        """Regression: ``failures`` accumulates across run() calls for
+        post-hoc inspection, but a clean second run used to re-raise the
+        first run's already-reported exception."""
+        def bad():
+            yield
+            raise RuntimeError("first-run failure")
+
+        def good():
+            yield
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(bad())
+        scheduler.run(reraise=False)
+        assert scheduler.tasks_failed == 1
+        scheduler.add(good())
+        # Must not raise: the only failure belongs to the previous run.
+        steps = scheduler.run(reraise=True)
+        assert steps > 0
+        assert scheduler.tasks_completed == 1
+        # The record of the old failure is still inspectable.
+        assert len(scheduler.failures) == 1
+
+    def test_reraise_scoped_to_current_runs_first_failure(self):
+        """With old failures on the books, a failing second run raises
+        *its own* first failure, not the stale one."""
+        def bad(message):
+            yield
+            raise RuntimeError(message)
+
+        scheduler = RoundRobinScheduler(parallelism=2)
+        scheduler.add(bad("stale"))
+        scheduler.run(reraise=False)
+        scheduler.add(bad("fresh"))
+        with pytest.raises(RuntimeError, match="fresh"):
+            scheduler.run(reraise=True)
+        assert len(scheduler.failures) == 2

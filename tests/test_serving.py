@@ -313,6 +313,90 @@ class TestHotSwapConcurrency:
         assert seen_epochs <= {1, 2, 3}
 
 
+class TestSwapCacheIsolation:
+    """Regression: the per-op LRU must never serve a previous map's
+    answer after a swap.  ``epoch`` is caller-assigned and can collide
+    across independently compiled maps, so cache keys carry the map's
+    process-unique ``generation`` token."""
+
+    @staticmethod
+    def _prefix_map(asn, epoch=0):
+        # Minimal map whose only evidence is one announced prefix, so
+        # owner_of(addr) answers (asn, "bgp") for any addr inside it.
+        return BorderMap(
+            focal_asn=100, vp_ases=[100], routers=[], links=[],
+            prefixes=[(Prefix(aton("10.0.0.0"), 8), asn)], epoch=epoch,
+        )
+
+    def test_generation_tokens_unique_even_for_equal_epochs(self):
+        map_a = self._prefix_map(111, epoch=0)
+        map_b = self._prefix_map(222, epoch=0)
+        assert map_a.epoch == map_b.epoch
+        assert map_a.generation != map_b.generation
+
+    def test_swap_to_same_epoch_map_does_not_serve_stale_answers(self):
+        map_a = self._prefix_map(111, epoch=0)
+        map_b = self._prefix_map(222, epoch=0)
+        addr = aton("10.1.2.3")
+        service = BorderMapService(map_a)
+        # Prime both the single-key and batched cache paths.
+        assert service.query("owner", addr).value.asn == 111
+        assert service.batch([("owner", addr)])[0].value.asn == 111
+        service.swap(map_b)
+        assert service.query("owner", addr).value.asn == 222
+        assert service.batch([("owner", addr)])[0].value.asn == 222
+
+    def test_cache_entries_keyed_by_map_generation(self):
+        """Even a cache object that outlives a swap cannot leak answers
+        across maps: entries are keyed by the map's generation."""
+        map_a = self._prefix_map(111, epoch=0)
+        map_b = self._prefix_map(222, epoch=0)
+        addr = aton("10.9.9.9")
+        engine_a = QueryEngine(map_a)
+        assert engine_a.owner_of(addr).asn == 111
+        engine_b = QueryEngine(map_b)
+        engine_b.cache = engine_a.cache  # worst case: shared/stale cache
+        assert engine_b.owner_of(addr).asn == 222
+        assert engine_b.owner_of_batch([addr])[0].asn == 222
+        # And A's entries are still valid for A.
+        assert engine_a.owner_of(addr).asn == 111
+
+    def test_concurrent_swaps_between_same_epoch_maps(self):
+        """Swapping between two maps that share an epoch number, under
+        concurrent queries: every answer must be one of the two maps'
+        true answers (never None, never a cross-map hybrid), and once
+        swapping stops the service answers for the final map."""
+        map_a = self._prefix_map(111, epoch=5)
+        map_b = self._prefix_map(222, epoch=5)
+        addrs = [aton("10.0.0.%d" % i) for i in range(1, 21)]
+        service = BorderMapService(map_a)
+        bad = []
+        stop = threading.Event()
+
+        def worker():
+            while not stop.is_set():
+                for addr in addrs:
+                    answer = service.query("owner", addr)
+                    if answer.value is None or answer.value.asn not in (111, 222):
+                        bad.append((addr, answer.value))
+                        return
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(100):
+            service.swap(map_b)
+            service.swap(map_a)
+        service.swap(map_b)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not bad
+        assert all(
+            service.query("owner", addr).value.asn == 222 for addr in addrs
+        )
+
+
 class TestRoundTrip:
     def test_mini_map_roundtrip(self, mini_map, tmp_path):
         path = tmp_path / "map.json"
