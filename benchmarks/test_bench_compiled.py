@@ -1,0 +1,122 @@
+"""Compiled data plane benchmark (the zero-copy read path).
+
+Runs the shared harness from :mod:`repro.serving.bench` — the same code
+``repro serve-bench --format binary`` uses — over the mini scenario,
+asserts the headline claims of the compiled artifact (direct lookups at
+least 5x the dict engine, binary load at least 10x faster than the JSON
+parse-and-rebuild), and records the machine-readable summary as
+``BENCH_compiled.json`` via the shared ``bench_recorder``.
+
+The correctness gate runs first: the harness refuses to time the two
+backends until they agree on every answer in the workload.
+
+``COMPILED_BENCH_SMOKE=1`` (the CI smoke job) shrinks the workload and
+relaxes the throughput floors — shared runners are noisy; the full
+floors hold on dedicated hardware.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.bench import run_compiled_benchmark
+
+SMOKE = os.environ.get("COMPILED_BENCH_SMOKE") == "1"
+QUERIES = 500 if SMOKE else 2000
+REPEATS = 3 if SMOKE else 5
+LOAD_REPEATS = 5 if SMOKE else 10
+MIN_LOOKUP_SPEEDUP = 2.0 if SMOKE else 5.0
+MIN_LOAD_SPEEDUP = 3.0 if SMOKE else 10.0
+
+
+@pytest.fixture(scope="module")
+def compiled_summary():
+    return run_compiled_benchmark(
+        scenario_name="mini", seed=1, queries=QUERIES, repeats=REPEATS,
+        load_repeats=LOAD_REPEATS,
+    )
+
+
+def test_bench_compiled_lookup_and_load(compiled_summary, bench_recorder):
+    summary = compiled_summary
+    print()
+    print(summary.text())
+    path = bench_recorder("compiled", summary.to_dict())
+    print("recorded %s" % path)
+
+    # Every path must actually move queries/bytes.
+    assert summary.dict_qps > 0
+    assert summary.compiled_qps > 0
+    assert summary.dict_batch_qps > 0
+    assert summary.compiled_batch_qps > 0
+    assert summary.json_bytes > 0
+    assert summary.binary_bytes > 0
+    assert summary.load_json_seconds > 0
+    assert summary.load_binary_seconds > 0
+
+    # The flat artifact should also be the smaller one.
+    assert summary.binary_bytes < summary.json_bytes
+
+    # Headline floor 1: direct lookups on the flat tables beat the
+    # dict object graph.
+    assert summary.speedup_lookup >= MIN_LOOKUP_SPEEDUP, (
+        "compiled lookups are only %.1fx the dict engine (floor %.1fx)"
+        % (summary.speedup_lookup, MIN_LOOKUP_SPEEDUP)
+    )
+
+    # Headline floor 2: mapping the binary beats parsing the JSON and
+    # rebuilding every index.
+    assert summary.speedup_load >= MIN_LOAD_SPEEDUP, (
+        "binary load is only %.1fx the JSON load (floor %.1fx)"
+        % (summary.speedup_load, MIN_LOAD_SPEEDUP)
+    )
+
+
+def test_bench_compiled_batch_path(compiled_summary):
+    """The batched owner path must not regress behind the singles path
+    by more than noise — it exists to be the fast bulk entry point."""
+    summary = compiled_summary
+    assert summary.compiled_batch_qps >= 0.5 * summary.compiled_qps
+
+
+def test_bench_compiled_load_is_lazy(mini_run, tmp_path):
+    """Loading the binary must not materialize any dataclass rows —
+    that is what keeps load O(sections)."""
+    from repro.serving import (
+        CompiledBorderMap, compile_border_map, load_compiled_map,
+        save_compiled_map,
+    )
+
+    scenario, data, result = mini_run
+    bmap = compile_border_map([result], view=data.view, rels=data.rels)
+    path = str(tmp_path / "map.bdrm")
+    save_compiled_map(CompiledBorderMap.from_border_map(bmap), path)
+    loaded = load_compiled_map(path)
+    try:
+        assert loaded._routers_memo is None
+        assert loaded._prefixes_memo is None
+        assert not any(loaded._link_memo)
+        assert not any(loaded._owner_memo)
+    finally:
+        loaded.close()
+
+
+def test_bench_compiled_owner_lookup(benchmark, mini_run):
+    """pytest-benchmark row for the hottest call on the flat tables: a
+    steady-state owner lookup (memoized rows, no engine cache)."""
+    from repro.serving import CompiledBorderMap, compile_border_map
+
+    scenario, data, result = mini_run
+    bmap = compile_border_map([result], view=data.view, rels=data.rels)
+    flat = CompiledBorderMap.from_border_map(bmap)
+    addrs = [addr for router in bmap.routers[:50] for addr in router.addrs]
+    flat.owner_of_batch(addrs)  # warm the memoized rows
+
+    def steady_pass():
+        hits = 0
+        for addr in addrs:
+            if flat.owner_of(addr) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(steady_pass) > 0

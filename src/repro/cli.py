@@ -301,12 +301,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     bmap = compile_border_map(
         results, view=view, rels=rels, epoch=args.epoch, source=source
     )
-    save_border_map(bmap, args.out)
+    save_border_map(bmap, args.out, format=args.format)
     print("compiled epoch %d border map from %d result(s): %s"
           % (bmap.epoch, len(results),
              ", ".join("%s=%d" % (k, v)
                        for k, v in sorted(bmap.stats().items()))))
-    print("saved to %s" % args.out)
+    print("saved to %s (%s)" % (args.out, args.format))
     return 0
 
 
@@ -352,12 +352,23 @@ def _format_answer(answer) -> str:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    """Answer queries against a compiled BorderMap artifact."""
+    """Answer queries against a compiled BorderMap artifact (JSON or
+    binary — sniffed by magic unless --format forces a loader)."""
     from .errors import AddressError
     from .io import load_border_map
     from .serving import BorderMapService
 
-    bmap = _load_or_fail(load_border_map, args.map, "border map")
+    if args.format == "binary":
+        from .serving import load_compiled_map
+
+        loader = load_compiled_map
+    elif args.format == "json":
+        def loader(path):
+            with open(path) as handle:
+                return load_border_map(handle)
+    else:
+        loader = load_border_map
+    bmap = _load_or_fail(loader, args.map, "border map")
     if bmap is None:
         return 2
     requests = []
@@ -402,7 +413,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """End-to-end serving throughput: infer, compile, benchmark."""
-    from .serving.bench import run_serving_benchmark
+    from .serving.bench import run_compiled_benchmark, run_serving_benchmark
+
+    if args.format == "binary":
+        # The compiled-data-plane race: flat array-backed map vs the
+        # dict engine, plus the mmap-vs-JSON artifact load race.
+        summary = run_compiled_benchmark(
+            scenario_name=args.name,
+            seed=args.seed,
+            queries=args.queries,
+            repeats=args.repeats,
+            build=_build,
+        )
+        print(summary.text())
+        if args.out:
+            summary.write_json(args.out)
+            print("wrote %s" % args.out)
+        if summary.speedup_lookup < args.min_speedup:
+            print(
+                "error: compiled lookups are only %.1fx the dict engine "
+                "(want >= %.1fx)"
+                % (summary.speedup_lookup, args.min_speedup),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     metrics, tracer = _make_obs(args, seed=args.seed or 0)
     summary = run_serving_benchmark(
@@ -740,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "include the BGP LPM index and relationship "
                                 "labels")
     p_compile.add_argument("--seed", type=int, default=None)
+    p_compile.add_argument("--format", choices=("json", "binary"),
+                           default="json",
+                           help="'binary' writes the mmap-able flat "
+                                "artifact (zero-copy load, pages shared "
+                                "across worker processes); 'json' the "
+                                "human-readable dict artifact")
     p_compile.set_defaults(func=_cmd_compile)
 
     p_query = subparsers.add_parser(
@@ -753,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="file of queries, one per line (# comments ok)")
     p_query.add_argument("--stats", action="store_true",
                          help="print service/cache statistics")
+    p_query.add_argument("--format", choices=("auto", "json", "binary"),
+                         default="auto",
+                         help="force the artifact loader (default: sniff "
+                              "the file magic)")
     p_query.set_defaults(func=_cmd_query)
 
     p_bench = subparsers.add_parser(
@@ -770,7 +815,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(BENCH_serving.json)")
     p_bench.add_argument("--min-speedup", type=float, default=1.0,
                          help="exit nonzero unless warm batched beats the "
-                              "naive baseline by this factor")
+                              "naive baseline by this factor (--format "
+                              "binary: unless compiled lookups beat the "
+                              "dict engine by this factor)")
+    p_bench.add_argument("--format", choices=("json", "binary"),
+                         default="json",
+                         help="'binary' benches the compiled flat data "
+                              "plane against the dict engine (writes "
+                              "BENCH_compiled.json with --out)")
     _add_obs_args(p_bench)
     p_bench.set_defaults(func=_cmd_serve_bench)
 

@@ -24,6 +24,7 @@ from .serialize import (
     trace_from_dict,
     trace_to_dict,
 )
+from .binfmt import BinaryContainer, open_container, sniff, write_container
 from .text import format_result, format_trace
 from .bundle import load_bundle, save_bundle
 from .serialize import collection_from_dict, collection_to_dict
@@ -35,6 +36,10 @@ from .serialize import (
 )
 
 __all__ = [
+    "BinaryContainer",
+    "open_container",
+    "sniff",
+    "write_container",
     "bordermap_to_dict",
     "bordermap_from_dict",
     "save_border_map",

@@ -704,8 +704,26 @@ def bordermap_from_dict(data: Dict[str, Any]):
         raise DataError("malformed border map record: %s" % exc) from exc
 
 
-def save_border_map(bmap, target: Union[str, IO[str]]) -> None:
-    """Write a border map artifact to a path or open file object."""
+def save_border_map(bmap, target: Union[str, IO[str]],
+                    format: str = "json") -> None:
+    """Write a border map artifact to a path or open file object.
+
+    ``format="json"`` writes the human-readable dict artifact;
+    ``format="binary"`` writes the mmap-able flat artifact
+    (:mod:`repro.io.binfmt` container, loaded zero-copy by
+    :func:`repro.serving.compiled.load_compiled_map` or — by magic
+    sniffing — :func:`load_border_map`).
+    """
+    if format == "binary":
+        from ..serving.compiled import save_compiled_map
+
+        save_compiled_map(bmap, target)
+        return
+    if format != "json":
+        raise DataError(
+            "unknown border map format %r (want 'json' or 'binary')"
+            % format
+        )
     payload = json.dumps(bordermap_to_dict(bmap), indent=1)
     if hasattr(target, "write"):
         target.write(payload)
@@ -715,9 +733,22 @@ def save_border_map(bmap, target: Union[str, IO[str]]) -> None:
 
 
 def load_border_map(source: Union[str, IO[str]]):
-    """Read a border map artifact from a path or open file object."""
+    """Read a border map artifact from a path or open file object.
+
+    Paths are sniffed: a binary container (magic ``BDRM``) loads as a
+    zero-copy :class:`~repro.serving.compiled.CompiledBorderMap`,
+    anything else parses as the JSON dict artifact.  Both satisfy the
+    :class:`~repro.serving.backend.BorderMapBackend` protocol, so
+    callers serve either without caring which landed on disk.
+    """
     if hasattr(source, "read"):
         return bordermap_from_dict(json.load(source))
+    from .binfmt import sniff
+
+    if sniff(source):
+        from ..serving.compiled import load_compiled_map
+
+        return load_compiled_map(source)
     with open(source) as handle:
         return bordermap_from_dict(json.load(handle))
 

@@ -2,11 +2,14 @@
 
 The write path (``repro.core``) produces per-VP results; this package is
 the read path: :func:`compile_border_map` freezes results into an
-immutable :class:`BorderMap`, :class:`QueryEngine` serves cached lookups
-over it, and :class:`BorderMapService` adds request batching and
-zero-downtime swaps of a recompiled map.
+immutable :class:`BorderMap`, :class:`CompiledBorderMap` lowers that
+into flat mmap-able arrays, :class:`QueryEngine` serves cached lookups
+over either backend (one :class:`BorderMapBackend` protocol), and
+:class:`BorderMapService` adds request batching and zero-downtime swaps
+of a recompiled map.
 """
 
+from .backend import BorderMapBackend
 from .bordermap import (
     BORDERMAP_FORMAT,
     BorderLink,
@@ -14,23 +17,46 @@ from .bordermap import (
     CompiledRouter,
     NeighborInfo,
     Ownership,
+    best_relationship,
     compile_border_map,
 )
-from .bench import ServingBenchSummary, make_workload, run_serving_benchmark
+from .bench import (
+    CompiledBenchSummary,
+    ServingBenchSummary,
+    make_workload,
+    run_compiled_benchmark,
+    run_serving_benchmark,
+)
+from .compiled import (
+    BIN_FORMAT,
+    CompiledBorderMap,
+    compile_map,
+    load_compiled_map,
+    save_compiled_map,
+)
 from .engine import EngineStats, LRUCache, OpStats, QueryEngine
 from .naive import naive_border_for, naive_owner_of
 from .service import Answer, BorderMapService
 
 __all__ = [
+    "BIN_FORMAT",
     "BORDERMAP_FORMAT",
     "BorderLink",
     "BorderMap",
+    "BorderMapBackend",
+    "CompiledBorderMap",
     "CompiledRouter",
     "NeighborInfo",
     "Ownership",
+    "best_relationship",
     "compile_border_map",
+    "compile_map",
+    "load_compiled_map",
+    "save_compiled_map",
+    "CompiledBenchSummary",
     "ServingBenchSummary",
     "make_workload",
+    "run_compiled_benchmark",
     "run_serving_benchmark",
     "EngineStats",
     "LRUCache",

@@ -1,0 +1,52 @@
+"""The backend protocol both border-map data planes satisfy.
+
+:class:`~repro.serving.bordermap.BorderMap` (dict-and-dataclass object
+graph, rebuilt indexes) and
+:class:`~repro.serving.compiled.CompiledBorderMap` (flat array tables,
+mmap-backed) answer the same queries with byte-identical values; the
+engine, service, CLI, and benchmarks program against this protocol so
+either backend drops in unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable,
+)
+
+from .bordermap import BorderLink, NeighborInfo, Ownership
+
+
+@runtime_checkable
+class BorderMapBackend(Protocol):
+    """What a served border map must provide.
+
+    ``generation`` is the process-unique token engine caches key on;
+    ``epoch`` is the caller-assigned artifact version answers are tagged
+    with.  Both backends draw generations from one shared counter, so a
+    hot swap between backends is as safe as one within a backend.
+    """
+
+    focal_asn: int
+    epoch: int
+    generation: int
+    source: str
+    vp_ases: frozenset
+
+    def owner_of(self, addr: int) -> Optional[Ownership]: ...
+
+    def owner_of_batch(
+        self, addrs: Sequence[int]
+    ) -> List[Optional[Ownership]]: ...
+
+    def dst_as(self, addr: int) -> Optional[int]: ...
+
+    def border_for(self, addr: int) -> Tuple[BorderLink, ...]: ...
+
+    def neighbor_ases(self) -> Tuple[int, ...]: ...
+
+    def neighbors(self, asn: int) -> Optional[NeighborInfo]: ...
+
+    def interface_count(self) -> int: ...
+
+    def stats(self) -> Dict[str, int]: ...

@@ -294,6 +294,259 @@ def bench_paths(
     }
 
 
+@dataclass
+class CompiledBenchSummary:
+    """The compiled-data-plane outcome (``BENCH_compiled.json``):
+    flat array-backed map vs the dict engine, same workload, plus the
+    artifact load-time race (mmap vs JSON parse + index rebuild)."""
+
+    scenario: str
+    seed: Optional[int]
+    queries: int
+    repeats: int
+    load_repeats: int
+    vps: int
+    map_stats: Dict[str, int] = field(default_factory=dict)
+    json_bytes: int = 0
+    binary_bytes: int = 0
+    load_json_seconds: float = 0.0
+    load_binary_seconds: float = 0.0
+    dict_qps: float = 0.0
+    compiled_qps: float = 0.0
+    dict_batch_qps: float = 0.0
+    compiled_batch_qps: float = 0.0
+
+    @property
+    def speedup_lookup(self) -> float:
+        return self.compiled_qps / self.dict_qps if self.dict_qps else 0.0
+
+    @property
+    def speedup_batch(self) -> float:
+        return (self.compiled_batch_qps / self.dict_batch_qps
+                if self.dict_batch_qps else 0.0)
+
+    @property
+    def speedup_load(self) -> float:
+        return (self.load_json_seconds / self.load_binary_seconds
+                if self.load_binary_seconds else 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": "compiled",
+            "schema": BENCH_SCHEMA,
+            "config": {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "queries": self.queries,
+                "repeats": self.repeats,
+                "load_repeats": self.load_repeats,
+                "vps": self.vps,
+            },
+            "map": dict(self.map_stats),
+            "artifact": {
+                "json_bytes": self.json_bytes,
+                "binary_bytes": self.binary_bytes,
+            },
+            "metrics": {
+                "load_json_ms": round(1e3 * self.load_json_seconds, 3),
+                "load_binary_ms": round(1e3 * self.load_binary_seconds, 3),
+                "dict_qps": round(self.dict_qps, 1),
+                "compiled_qps": round(self.compiled_qps, 1),
+                "dict_batch_qps": round(self.dict_batch_qps, 1),
+                "compiled_batch_qps": round(self.compiled_batch_qps, 1),
+                "speedup_lookup": round(self.speedup_lookup, 1),
+                "speedup_batch": round(self.speedup_batch, 1),
+                "speedup_load": round(self.speedup_load, 1),
+            },
+        }
+
+    def write_json(self, target: Union[str, IO[str]]) -> None:
+        payload = json.dumps(self.to_dict(), indent=1)
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        with open(target, "w") as handle:
+            handle.write(payload)
+
+    def text(self) -> str:
+        return "\n".join(
+            [
+                "compiled data plane benchmark: %s, %d VPs, %d queries x "
+                "%d passes" % (self.scenario, self.vps, self.queries,
+                               self.repeats),
+                "  map: %s"
+                % ", ".join("%s=%d" % (k, v)
+                            for k, v in sorted(self.map_stats.items())),
+                "  artifact: json=%d bytes, binary=%d bytes"
+                % (self.json_bytes, self.binary_bytes),
+                "  load    json %10.3f ms   binary %10.3f ms  (%.1fx)"
+                % (1e3 * self.load_json_seconds,
+                   1e3 * self.load_binary_seconds, self.speedup_load),
+                "  lookup  dict %10.0f q/s  compiled %9.0f q/s  (%.1fx)"
+                % (self.dict_qps, self.compiled_qps, self.speedup_lookup),
+                "  batch   dict %10.0f q/s  compiled %9.0f q/s  (%.1fx)"
+                % (self.dict_batch_qps, self.compiled_batch_qps,
+                   self.speedup_batch),
+            ]
+        )
+
+
+def _assert_backends_agree(bmap, cmap, workload) -> None:
+    """Refuse to time backends that disagree: every answer the benchmark
+    is about to measure must be byte-identical across data planes."""
+    for op, key in workload:
+        if op == "owner":
+            want, got = bmap.owner_of(key), cmap.owner_of(key)
+        elif op == "border":
+            want, got = bmap.border_for(key), cmap.border_for(key)
+        else:
+            want, got = bmap.neighbors(key), cmap.neighbors(key)
+        if want != got:
+            raise AssertionError(
+                "backends disagree on %s %r: dict=%r compiled=%r"
+                % (op, key, want, got)
+            )
+
+
+def _workload_pass(target, workload) -> float:
+    """One timed pass over the workload; returns elapsed seconds."""
+    started = perf_clock()
+    for op, key in workload:
+        if op == "owner":
+            target.owner_of(key)
+        elif op == "border":
+            target.border_for(key)
+        else:
+            target.neighbors(key)
+    return perf_clock() - started
+
+
+def bench_compiled_paths(
+    bmap,
+    cmap,
+    workload: List[Tuple[str, int]],
+    json_path: str,
+    binary_path: str,
+    repeats: int = 5,
+    load_repeats: int = 10,
+) -> Dict[str, float]:
+    """Time the dict map against the compiled map — uncached direct
+    lookups (the data planes themselves, no engine LRU in front) plus
+    the owner batch path and the artifact load race.  Loads take the
+    best of ``load_repeats`` (the page cache is deliberately warm on
+    both sides: the race is parse-and-rebuild vs map-and-go)."""
+    from ..io import load_border_map
+    from .compiled import load_compiled_map
+
+    _assert_backends_agree(bmap, cmap, workload)
+
+    # One untimed pass so both sides' lazy/memoized rows exist: the
+    # steady state is what a long-lived server measures.  Timed passes
+    # are interleaved dict/compiled and each side keeps its best, so
+    # transient machine noise cannot land on one side only.
+    _workload_pass(bmap, workload)
+    _workload_pass(cmap, workload)
+    dict_best = compiled_best = float("inf")
+    for _ in range(repeats):
+        dict_best = min(dict_best, _workload_pass(bmap, workload))
+        compiled_best = min(compiled_best, _workload_pass(cmap, workload))
+    dict_qps = _qps(len(workload), dict_best)
+    compiled_qps = _qps(len(workload), compiled_best)
+
+    owner_addrs = [key for op, key in workload if op == "owner"] or [0]
+    dict_best = compiled_best = float("inf")
+    for _ in range(repeats):
+        started = perf_clock()
+        bmap.owner_of_batch(owner_addrs)
+        dict_best = min(dict_best, perf_clock() - started)
+        started = perf_clock()
+        cmap.owner_of_batch(owner_addrs)
+        compiled_best = min(compiled_best, perf_clock() - started)
+    dict_batch_qps = _qps(len(owner_addrs), dict_best)
+    compiled_batch_qps = _qps(len(owner_addrs), compiled_best)
+
+    load_json = load_binary = float("inf")
+    for _ in range(load_repeats):
+        started = perf_clock()
+        load_border_map(json_path)
+        load_json = min(load_json, perf_clock() - started)
+        started = perf_clock()
+        load_compiled_map(binary_path).close()
+        load_binary = min(load_binary, perf_clock() - started)
+
+    return {
+        "dict_qps": dict_qps,
+        "compiled_qps": compiled_qps,
+        "dict_batch_qps": dict_batch_qps,
+        "compiled_batch_qps": compiled_batch_qps,
+        "load_json_seconds": load_json,
+        "load_binary_seconds": load_binary,
+    }
+
+
+def run_compiled_benchmark(
+    scenario_name: str = "mini",
+    seed: Optional[int] = None,
+    queries: int = 2000,
+    repeats: int = 5,
+    load_repeats: int = 10,
+    workdir: Optional[str] = None,
+    build: Optional[Callable] = None,
+) -> CompiledBenchSummary:
+    """Infer on ``scenario_name``, compile both data planes, and race
+    them: lookup throughput and artifact load time, dict vs compiled.
+    Artifacts land in ``workdir`` (a temp dir when omitted)."""
+    import os
+    import tempfile
+
+    from .. import build_data_bundle
+    from ..core.orchestrator import MultiVPOrchestrator
+    from ..io import save_border_map
+    from .bordermap import compile_border_map
+    from .compiled import CompiledBorderMap, save_compiled_map
+
+    build = build or _default_build
+    scenario = build(scenario_name, seed)
+    data = build_data_bundle(scenario)
+    run = MultiVPOrchestrator(scenario, data=data).run()
+    bmap = compile_border_map(
+        run.results, view=data.view, rels=data.rels, epoch=1,
+        source="compiled-bench %s" % scenario_name,
+    )
+    cmap = CompiledBorderMap.from_border_map(bmap)
+    workload = make_workload(bmap, data.view, queries, seed=seed or 0)
+
+    cleanup = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="bdrmap-bench-")
+        workdir = cleanup.name
+    try:
+        json_path = os.path.join(workdir, "map.json")
+        binary_path = os.path.join(workdir, "map.bdrm")
+        save_border_map(bmap, json_path)
+        binary_bytes = save_compiled_map(cmap, binary_path)
+        measured = bench_compiled_paths(
+            bmap, cmap, workload, json_path, binary_path,
+            repeats=repeats, load_repeats=load_repeats,
+        )
+        json_bytes = os.path.getsize(json_path)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return CompiledBenchSummary(
+        scenario=scenario_name,
+        seed=seed,
+        queries=len(workload),
+        repeats=repeats,
+        load_repeats=load_repeats,
+        vps=len(run.results),
+        map_stats=bmap.stats(),
+        json_bytes=json_bytes,
+        binary_bytes=binary_bytes,
+        **measured,
+    )
+
+
 def run_serving_benchmark(
     scenario_name: str = "mini",
     seed: Optional[int] = None,

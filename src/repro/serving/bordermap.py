@@ -178,12 +178,9 @@ class BorderMap:
             {asn: tuple(ids) for asn, ids in toward.items()}
         )
 
-    # -- interned views ----------------------------------------------------
-
-    @property
-    def as_table(self) -> Tuple[int, ...]:
-        """Every AS the map mentions, sorted — the interning universe the
-        serializer references by index."""
+        # The interning universe is an O(entire-map) scan; the map is
+        # immutable, so compute it once here instead of on every
+        # ``as_table`` access (stats() and the serializer both hit it).
         ases = set(self.vp_ases)
         ases.add(self.focal_asn)
         for router in self.routers:
@@ -194,7 +191,15 @@ class BorderMap:
             ases.add(link.neighbor_as)
         for _, origin in self.prefixes:
             ases.add(origin)
-        return tuple(sorted(ases))
+        self._as_table: Tuple[int, ...] = tuple(sorted(ases))
+
+    # -- interned views ----------------------------------------------------
+
+    @property
+    def as_table(self) -> Tuple[int, ...]:
+        """Every AS the map mentions, sorted — the interning universe the
+        serializer references by index."""
+        return self._as_table
 
     def interface_count(self) -> int:
         return len(self._iface)
@@ -247,6 +252,8 @@ class BorderMap:
                     continue
             fallback_addrs.append(addr)
             fallback_positions.append(position)
+        if not fallback_addrs:  # every address answered from the
+            return answers      # interface map: skip the trie walk
         origins = self._trie.lookup_value_batch(fallback_addrs)
         for position, origin in zip(fallback_positions, origins):
             if origin is not None:
@@ -283,17 +290,32 @@ class BorderMap:
         return tuple(sorted(self._by_neighbor))
 
     def neighbors(self, asn: int) -> Optional[NeighborInfo]:
-        """The attachment summary for far-side network ``asn``."""
+        """The attachment summary for far-side network ``asn``.
+
+        A neighbor's links can disagree on the relationship (hybrid
+        interconnections: e.g. customer on one link, peer on another);
+        the summary reports the relationship of the highest-confidence
+        link rather than whichever happened to sort first.
+        """
         ids = self._by_neighbor.get(asn)
         if not ids:
             return None
         links = tuple(self.links[i] for i in ids)
+        best = best_relationship(links)
         return NeighborInfo(
             asn=asn,
-            relationship=links[0].relationship,
+            relationship=best.relationship,
             links=links,
-            best_confidence=max(link.confidence for link in links),
+            best_confidence=best.confidence,
         )
+
+
+def best_relationship(links: Sequence[BorderLink]) -> BorderLink:
+    """The link whose producing heuristic carries the highest validated
+    confidence — the map's best evidence for a neighbor's relationship.
+    Ties keep the earliest link (stable, since the link table order is
+    deterministic)."""
+    return max(links, key=lambda link: link.confidence)
 
 
 def _relationship_label(rels, focal_asn: int, neighbor: int) -> str:

@@ -1,7 +1,10 @@
-"""The query engine: cached, counted lookups over one BorderMap.
+"""The query engine: cached, counted lookups over one border map.
 
-The engine is the hot path of the serving subsystem.  It wraps an
-immutable :class:`~repro.serving.bordermap.BorderMap` with an LRU result
+The engine is the hot path of the serving subsystem.  It wraps one
+immutable map backend — the dict
+:class:`~repro.serving.bordermap.BorderMap` or the flat
+:class:`~repro.serving.compiled.CompiledBorderMap`, anything satisfying
+:class:`~repro.serving.backend.BorderMapBackend` — with an LRU result
 cache (border queries for popular destinations repeat heavily in any real
 workload) and per-operation hit/miss/latency counters, and exposes
 batched variants that dedupe keys and amortize clock reads — the shape a
@@ -19,7 +22,8 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import perf_clock
-from .bordermap import BorderLink, BorderMap, NeighborInfo, Ownership
+from .backend import BorderMapBackend
+from .bordermap import BorderLink, NeighborInfo, Ownership
 
 
 class LRUCache:
@@ -171,9 +175,10 @@ class EngineStats:
 
 
 class QueryEngine:
-    """Cached query front end over one immutable BorderMap."""
+    """Cached query front end over one immutable border map (either
+    backend: dict or compiled)."""
 
-    def __init__(self, border_map: BorderMap, cache_size: int = 4096,
+    def __init__(self, border_map: BorderMapBackend, cache_size: int = 4096,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.map = border_map
         self.cache = LRUCache(cache_size)

@@ -22,7 +22,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import DataError
 from ..obs.metrics import MetricsRegistry
-from .bordermap import BorderMap
+from .backend import BorderMapBackend
 from .engine import QueryEngine
 
 #: Operations the service accepts, mapping to QueryEngine batch methods.
@@ -40,7 +40,8 @@ class Answer:
 
 
 class BorderMapService:
-    """Batching, hot-swappable lookup service over a BorderMap.
+    """Batching, hot-swappable lookup service over a border map (either
+    backend: dict or compiled).
 
     ``batch_size`` bounds the micro-batch: :meth:`submit` queues a
     request and flushes automatically once the batch fills;
@@ -50,7 +51,7 @@ class BorderMapService:
 
     def __init__(
         self,
-        border_map: BorderMap,
+        border_map: BorderMapBackend,
         cache_size: int = 4096,
         batch_size: int = 64,
         metrics: Optional[MetricsRegistry] = None,
@@ -104,7 +105,7 @@ class BorderMapService:
         return self._engine
 
     @property
-    def map(self) -> BorderMap:
+    def map(self) -> BorderMapBackend:
         return self._engine.map
 
     @property
@@ -169,7 +170,7 @@ class BorderMapService:
 
     # -- hot swap -----------------------------------------------------------
 
-    def swap(self, new_map: BorderMap) -> int:
+    def swap(self, new_map: BorderMapBackend) -> int:
         """Serve ``new_map`` from now on; returns the retired epoch.
 
         The new engine (map indexes, empty cache, fresh counters) is
@@ -189,7 +190,9 @@ class BorderMapService:
             self.swaps += 1
         return retired
 
-    def refresh(self, compile_fn: Callable[[], BorderMap]) -> BorderMap:
+    def refresh(
+        self, compile_fn: Callable[[], BorderMapBackend]
+    ) -> BorderMapBackend:
         """Stale-while-revalidate: run ``compile_fn`` (re-inference plus
         :func:`~repro.serving.bordermap.compile_border_map`, typically
         minutes of work) while the current map keeps serving, then swap

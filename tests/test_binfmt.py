@@ -1,0 +1,189 @@
+"""Tests for the mmap-able binary container (`repro.io.binfmt`).
+
+The container is the envelope under the compiled border map: magic +
+versioned header + checksummed section table.  These tests prove the
+round trip, the zero-copy view contract, and — the part that matters
+operationally — that every corruption mode raises ``DataError`` naming
+the offending section instead of silently serving garbage.
+"""
+
+import io
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import DataError
+from repro.io import open_container, sniff, write_container
+from repro.io.binfmt import CONTAINER_VERSION, MAGIC, MAX_NAME, _ENTRY, _HEADER
+
+
+SECTIONS = {
+    "meta": b'{"hello": "world"}',
+    "numbers": bytes(range(64)),
+    "empty": b"",
+    "odd": b"\x01\x02\x03\x04\x05",
+}
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    path = str(tmp_path / "artifact.bin")
+    write_container(path, SECTIONS)
+    return path
+
+
+class TestRoundTrip:
+    def test_sections_survive(self, artifact):
+        with open_container(artifact) as container:
+            assert container.names() == tuple(SECTIONS)
+            for name, payload in SECTIONS.items():
+                assert name in container
+                assert container.section_bytes(name) == payload
+
+    def test_section_is_a_readonly_view(self, artifact):
+        with open_container(artifact) as container:
+            view = container.section("numbers")
+            assert isinstance(view, memoryview)
+            assert view.readonly
+            with pytest.raises(TypeError):
+                view[0] = 1
+
+    def test_payloads_are_aligned(self, artifact):
+        # Alignment is what makes u32 casting of the views legal.
+        with open_container(artifact) as container:
+            for name in container.names():
+                offset = container._entries[name][0]
+                assert offset % 8 == 0
+
+    def test_write_returns_total_bytes(self, tmp_path):
+        path = str(tmp_path / "a.bin")
+        written = write_container(path, SECTIONS)
+        with open(path, "rb") as handle:
+            assert len(handle.read()) == written
+
+    def test_write_to_file_object(self, artifact):
+        buffer = io.BytesIO()
+        write_container(buffer, SECTIONS)
+        with open(artifact, "rb") as handle:
+            assert buffer.getvalue() == handle.read()
+
+    def test_missing_section_names_available(self, artifact):
+        with open_container(artifact) as container:
+            with pytest.raises(DataError, match="missing section 'nope'"):
+                container.section("nope")
+
+    def test_sniff(self, artifact, tmp_path):
+        assert sniff(artifact)
+        other = tmp_path / "plain.json"
+        other.write_text("{}")
+        assert not sniff(str(other))
+        assert not sniff(str(tmp_path / "missing.bin"))
+
+    def test_close_is_idempotent(self, artifact):
+        container = open_container(artifact)
+        container.close()
+        container.close()
+        with pytest.raises(DataError, match="closed"):
+            container.section("meta")
+
+    def test_section_name_too_long_rejected(self, tmp_path):
+        with pytest.raises(DataError, match="section name"):
+            write_container(
+                str(tmp_path / "a.bin"), {"x" * (MAX_NAME + 1): b""}
+            )
+
+    def test_crc_matches_zlib(self, artifact):
+        with open_container(artifact) as container:
+            for name, payload in SECTIONS.items():
+                assert container._entries[name][2] == zlib.crc32(payload)
+
+
+def _corrupt(path: str, offset: int, new: bytes) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(new)
+
+
+class TestCorruption:
+    def test_bad_magic(self, artifact):
+        _corrupt(artifact, 0, b"XXXX")
+        with pytest.raises(DataError, match="bad magic"):
+            open_container(artifact)
+
+    def test_unsupported_version(self, artifact):
+        _corrupt(artifact, len(MAGIC),
+                 struct.pack("<H", CONTAINER_VERSION + 1))
+        with pytest.raises(DataError, match="version"):
+            open_container(artifact)
+
+    def test_nonzero_flags(self, artifact):
+        _corrupt(artifact, 8, struct.pack("<I", 1))
+        with pytest.raises(DataError, match="flags"):
+            open_container(artifact)
+
+    def test_flipped_payload_byte_named(self, artifact):
+        # Flip one byte inside the 'numbers' payload: its checksum must
+        # fail and the error must say which section died.
+        with open_container(artifact, verify=False) as container:
+            offset, length, _ = container._entries["numbers"]
+        _corrupt(artifact, offset + length // 2, b"\xff")
+        with pytest.raises(DataError, match="'numbers'"):
+            open_container(artifact)
+
+    def test_verify_false_defers_to_section_access(self, artifact):
+        with open_container(artifact, verify=False) as container:
+            offset = container._entries["numbers"][0]
+        _corrupt(artifact, offset, b"\xff")
+        container = open_container(artifact, verify=False)
+        assert container.section_bytes("meta") == SECTIONS["meta"]
+        with pytest.raises(DataError, match="'numbers'"):
+            container.section("numbers")
+        container.close()
+
+    def test_truncated_file(self, artifact):
+        with open(artifact, "rb") as handle:
+            data = handle.read()
+        with open(artifact, "wb") as handle:
+            handle.write(data[: len(data) - 16])
+        with pytest.raises(DataError, match="truncated"):
+            open_container(artifact)
+
+    def test_truncated_to_header_only(self, artifact):
+        with open(artifact, "rb") as handle:
+            header = handle.read(_HEADER.size)
+        with open(artifact, "wb") as handle:
+            handle.write(header)
+        with pytest.raises(DataError, match="truncated"):
+            open_container(artifact)
+
+    def test_duplicate_section_rejected(self, tmp_path):
+        # Hand-craft a table that lists the same name twice.
+        path = str(tmp_path / "dup.bin")
+        write_container(path, {"only": b"abcd"})
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[6:8] = struct.pack("<H", 2)  # nsections: 1 -> 2
+        entry = data[_HEADER.size:_HEADER.size + _ENTRY.size]
+        data[_HEADER.size:_HEADER.size] = entry
+        with open(path, "wb") as handle:
+            handle.write(data)
+        with pytest.raises(DataError, match="duplicate"):
+            open_container(path)
+
+    def test_reserved_entry_field_rejected(self, artifact):
+        reserved_offset = _HEADER.size + 16 + 8 + 8 + 4
+        _corrupt(artifact, reserved_offset, struct.pack("<I", 7))
+        with pytest.raises(DataError, match="section table"):
+            open_container(artifact)
+
+    def test_corrupt_stored_crc_named(self, artifact):
+        # Corrupting the stored crc (not the payload) must also fail.
+        with open_container(artifact, verify=False) as container:
+            names = container.names()
+        crc_offset = (
+            _HEADER.size + names.index("numbers") * _ENTRY.size + 16 + 8 + 8
+        )
+        _corrupt(artifact, crc_offset, struct.pack("<I", 0xDEADBEEF))
+        with pytest.raises(DataError, match="'numbers'"):
+            open_container(artifact)

@@ -578,3 +578,100 @@ class TestDiff:
             assert diff.changed
             assert only_dropped <= {key[0] for key in diff.added_links} | \
                 diff.gained_neighbors
+
+
+class TestAsTableCaching:
+    def test_computed_once(self, mini_map):
+        # The interning universe is an O(entire-map) scan; the map is
+        # immutable, so repeated accesses must return the same tuple
+        # object, not recompute it.
+        assert mini_map.as_table is mini_map.as_table
+
+    def test_survives_serialization(self, mini_map):
+        restored = bordermap_from_dict(bordermap_to_dict(mini_map))
+        assert restored.as_table == mini_map.as_table
+        assert restored.as_table is restored.as_table
+
+
+class TestBatchSkipsTrieWhenAnswered:
+    def test_no_trie_walk_on_full_interface_coverage(self, mini_map,
+                                                     monkeypatch):
+        from repro.trie import PrefixTrie
+
+        addrs = [
+            addr
+            for router in mini_map.routers if router.owner is not None
+            for addr in router.addrs
+        ][:20]
+        assert addrs, "mini map should have owned interfaces"
+        expected = [mini_map.owner_of(addr) for addr in addrs]
+        assert all(
+            answer is not None and answer.source == "interface"
+            for answer in expected
+        )
+
+        def boom(self, batch):
+            raise AssertionError(
+                "owner_of_batch walked the trie although every address "
+                "was answered from the interface map"
+            )
+
+        monkeypatch.setattr(PrefixTrie, "lookup_value_batch", boom)
+        assert mini_map.owner_of_batch(addrs) == expected
+
+    def test_empty_batch(self, mini_map):
+        assert mini_map.owner_of_batch([]) == []
+
+
+class TestNeighborRelationship:
+    @staticmethod
+    def _two_link_map(first_reason, second_reason):
+        routers = [
+            CompiledRouter(index=0, vp_name="vp0", rid=1,
+                           addrs=(aton("10.0.0.1"),), owner=65000,
+                           reason="5 relationship", dsts=(65010,)),
+            CompiledRouter(index=1, vp_name="vp0", rid=2,
+                           addrs=(aton("10.0.0.2"),), owner=65010,
+                           reason="5 relationship", dsts=()),
+        ]
+        links = [
+            BorderLink(index=0, vp_name="vp0", near_router=0, far_router=1,
+                       neighbor_as=65010, relationship="customer",
+                       reason=first_reason, via_ixp=False),
+            BorderLink(index=1, vp_name="vp0", near_router=0, far_router=1,
+                       neighbor_as=65010, relationship="peer",
+                       reason=second_reason, via_ixp=False),
+        ]
+        return BorderMap(focal_asn=65000, vp_ases={65000}, routers=routers,
+                         links=links, prefixes=(), epoch=1, source="test")
+
+    def test_reports_highest_confidence_link(self):
+        # links[0] says customer from a weak heuristic (0.70); links[1]
+        # says peer from the strongest one (0.97).  The summary must
+        # follow the evidence, not the table order.
+        bmap = self._two_link_map("5 missing customer", "5 relationship")
+        info = bmap.neighbors(65010)
+        assert info is not None
+        assert info.relationship == "peer"
+        assert info.best_confidence == pytest.approx(0.97)
+        assert len(info.links) == 2
+
+    def test_tie_keeps_first_link(self):
+        bmap = self._two_link_map("5 relationship", "5 relationship")
+        info = bmap.neighbors(65010)
+        assert info.relationship == "customer"
+
+    def test_best_relationship_helper(self):
+        from repro.serving import best_relationship
+
+        bmap = self._two_link_map("6 count", "ixp")
+        best = best_relationship(bmap.links)
+        assert best is bmap.links[1]
+
+    def test_compiled_map_agrees(self):
+        from repro.serving import CompiledBorderMap
+
+        bmap = self._two_link_map("5 missing customer", "5 relationship")
+        flat = CompiledBorderMap.from_border_map(bmap)
+        assert flat.neighbors(65010) == bmap.neighbors(65010)
+        assert flat.neighbors(65010).relationship == "peer"
