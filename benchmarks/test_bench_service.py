@@ -1,0 +1,70 @@
+"""Sharded serving tier benchmark (open-loop load generator).
+
+Runs the shared harness from :mod:`repro.serving.bench` — the same code
+``repro serve --bench`` uses — against an in-process 3-shard server:
+seeded exponential arrivals at the nominal rate, then a burst larger
+than ``max_inflight`` so the admission controller must shed.  Asserts
+the tier's headline robustness properties (every request answered or
+explicitly shed, nothing silently degraded, shedding bounded to the
+overload) and records ``BENCH_service.json`` via the shared
+``bench_recorder``.
+
+``SERVICE_BENCH_SMOKE=1`` (the CI smoke job) shrinks the workload; the
+assertions are identical.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.bench import run_service_benchmark
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+REQUESTS = 400 if SMOKE else 2000
+BURST = 128 if SMOKE else 256
+MAX_INFLIGHT = 64
+
+
+@pytest.fixture(scope="module")
+def service_summary():
+    return run_service_benchmark(
+        scenario_name="mini", seed=1, requests=REQUESTS, burst=BURST,
+        shards=3, max_inflight=MAX_INFLIGHT, offered_qps=4000.0,
+    )
+
+
+def test_bench_service_latency_and_shed(service_summary, bench_recorder):
+    summary = service_summary
+    print()
+    print(summary.text())
+    path = bench_recorder("service", summary.to_dict())
+    print("recorded %s" % path)
+
+    # Conservation: every request is either answered or explicitly shed.
+    assert summary.accepted + summary.shed == summary.total
+
+    # The burst exceeds max_inflight, so the admission controller must
+    # shed at least the overflow of that one wave — and with no faults
+    # injected, nothing it *does* answer may be degraded.
+    assert summary.shed >= BURST - MAX_INFLIGHT
+    assert summary.degraded == 0
+    assert 0.0 < summary.shed_rate < 0.5, (
+        "shedding should be bounded to the overload burst, got %.1f%%"
+        % (100 * summary.shed_rate)
+    )
+
+    # Latency percentiles must be measured and ordered.
+    assert 0.0 < summary.p50_ms <= summary.p99_ms <= summary.max_ms
+    assert summary.service_qps > 0
+
+
+def test_bench_service_summary_roundtrip(service_summary):
+    """The JSON envelope carries everything the perf tracker diffs."""
+    payload = service_summary.to_dict()
+    assert payload["bench"] == "service"
+    assert payload["config"]["shards"] == 3
+    assert payload["config"]["max_inflight"] == MAX_INFLIGHT
+    metrics = payload["metrics"]
+    assert metrics["accepted"] + metrics["shed"] == service_summary.total
+    assert metrics["shed_rate"] > 0.0
+    assert metrics["p99_ms"] >= metrics["p50_ms"] > 0.0

@@ -3,7 +3,14 @@ coverage/heuristic breakdown, and the §6 interconnection analyses
 (Figures 14, 15, 16).  This is the only layer allowed to read the
 generator's ground truth."""
 
-from .chaos import ChaosReport, ChaosRun, run_chaos_suite
+from .chaos import (
+    ChaosReport,
+    ChaosRun,
+    ShardChaosReport,
+    ShardChaosRun,
+    run_chaos_suite,
+    run_shard_chaos,
+)
 from .validation import LinkJudgement, ValidationReport, validate_result
 from .coverage import CoverageReport, coverage_table, format_table1, pass_table
 from .diversity import DiversityReport, diversity_analysis
@@ -22,7 +29,10 @@ from .ownership import (
 __all__ = [
     "ChaosReport",
     "ChaosRun",
+    "ShardChaosReport",
+    "ShardChaosRun",
     "run_chaos_suite",
+    "run_shard_chaos",
     "RunDiff",
     "diff_results",
     "diff_border_maps",

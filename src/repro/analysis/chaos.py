@@ -12,14 +12,20 @@ check for tests and CI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.bdrmap import Bdrmap, BdrmapConfig, build_data_bundle
 from ..core.collection import CollectionConfig
-from ..net.faults import FaultConfig, FaultPlan, GilbertElliott
+from ..net.faults import (
+    ChannelFaultPolicy,
+    FaultConfig,
+    FaultPlan,
+    GilbertElliott,
+)
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..obs.trace import NULL_TRACER
 from ..probing.retry import RetryPolicy
+from ..rng import make_rng
 from .validation import validate_result
 
 
@@ -202,4 +208,306 @@ def run_chaos_suite(
                 faults_injected=faults.stats.total if faults else 0,
             )
         )
+    return report
+
+# ---------------------------------------------------------------- shard chaos
+#
+# The serving-tier counterpart of the suite above: instead of faulting the
+# measurement plane, these scenarios kill replicas of the sharded read
+# path (repro.serving.server) mid-batch and mid-epoch-swap and audit every
+# answer against single-process oracles.  The robustness contract is
+# *never wrong*: an answer is either byte-identical to the oracle for the
+# epoch it claims, or explicitly marked degraded.
+
+
+class KillableTransport:
+    """An in-process shard transport that can die on schedule.
+
+    ``kill_after`` arms a crash after that many total exchanges — the
+    deterministic stand-in for "the process died right after acking the
+    prepare" that the mid-swap scenario needs.
+    """
+
+    def __init__(self, artifact_path: str, shard_id: int = 0,
+                 cache_size: int = 4096) -> None:
+        from ..serving.shard import InProcessTransport
+
+        self._inner = InProcessTransport(
+            artifact_path, shard_id=shard_id, cache_size=cache_size
+        )
+        self.kill_after: Optional[int] = None
+
+    @property
+    def shard_id(self) -> int:
+        return self._inner.shard_id
+
+    @property
+    def alive(self) -> bool:
+        return self._inner.alive
+
+    @property
+    def exchanges(self) -> int:
+        return self._inner.exchanges
+
+    def exchange(self, data: bytes, deadline_s: float) -> bytes:
+        out = self._inner.exchange(data, deadline_s)
+        if self.kill_after is not None \
+                and self._inner.exchanges >= self.kill_after:
+            self.kill_after = None
+            self._inner.kill()
+        return out
+
+    def kill(self) -> None:
+        self._inner.kill()
+
+    def restart(self, artifact_path: str, token: int = 0) -> None:
+        self._inner.restart(artifact_path, token)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+@dataclass
+class ShardChaosRun:
+    """One shard-kill scenario's audit."""
+
+    label: str
+    completed: bool
+    answers: int = 0
+    degraded: int = 0
+    mismatched: int = 0      # not degraded AND wrong for claimed epoch
+    kills: int = 0
+    restarts: int = 0
+    failovers: int = 0
+    converged: bool = False
+    degraded_keys: Tuple[Tuple[str, int], ...] = ()
+    error: Optional[str] = None
+
+    def line(self) -> str:
+        if not self.completed:
+            return "  %-12s CRASHED: %s" % (self.label, self.error)
+        return (
+            "  %-12s answers=%-5d degraded=%-4d mismatched=%-3d "
+            "kills=%d restarts=%d failovers=%d converged=%s"
+            % (self.label, self.answers, self.degraded, self.mismatched,
+               self.kills, self.restarts, self.failovers,
+               "yes" if self.converged else "NO")
+        )
+
+
+@dataclass
+class ShardChaosReport:
+    """Audit of the sharded tier under replica kills."""
+
+    shards: int
+    runs: List[ShardChaosRun] = field(default_factory=list)
+
+    def degrades_gracefully(self) -> bool:
+        """True when every scenario completed, never answered wrong,
+        restarted every killed replica, and re-converged."""
+        if not self.runs:
+            return False
+        for run in self.runs:
+            if not run.completed or run.mismatched:
+                return False
+            if run.kills and run.restarts < run.kills:
+                return False
+            if not run.converged:
+                return False
+        return True
+
+    def summary(self) -> str:
+        lines = ["shard chaos (%d replicas):" % self.shards]
+        lines.extend(run.line() for run in self.runs)
+        lines.append(
+            "  graceful degradation: %s"
+            % ("yes" if self.degrades_gracefully() else "NO")
+        )
+        return "\n".join(lines)
+
+
+def _audit_answers(answers, requests, oracles, committed_epoch,
+                   run: ShardChaosRun) -> None:
+    """Check a wave of answers: each must match the oracle for the epoch
+    it claims, or carry the degraded marker."""
+    oracle_answers: Dict[int, List] = {
+        epoch: oracle.batch(list(requests))
+        for epoch, oracle in oracles.items()
+    }
+    for position, answer in enumerate(answers):
+        run.answers += 1
+        if answer.degraded:
+            run.degraded += 1
+            run.degraded_keys += ((answer.op, answer.key),)
+            if answer.value is None:
+                continue  # shed/unavailable: no value to be wrong about
+        expected = oracle_answers.get(answer.epoch)
+        if expected is None or answer.value != expected[position].value:
+            if not answer.degraded:
+                run.mismatched += 1
+            continue
+        if not answer.degraded and answer.epoch != committed_epoch:
+            # A stale epoch passed off as fresh: the exact failure the
+            # degraded marker exists to prevent.
+            run.mismatched += 1
+
+
+def run_shard_chaos(
+    artifact_path: str,
+    workload: Sequence[Tuple[str, int]],
+    swap_path: Optional[str] = None,
+    swap_epoch: int = 2,
+    shards: int = 3,
+    batch_size: int = 32,
+    seed: int = 7,
+    faults: Optional[ChannelFaultPolicy] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+) -> ShardChaosReport:
+    """Kill replicas of a sharded server mid-batch and mid-swap and
+    audit every answer against single-process oracles.
+
+    Two scenarios run (the second only when ``swap_path`` is given):
+
+    * ``kill-mid-batch`` — a seeded replica dies between query waves;
+      the tier must fail over (answers stay byte-identical to the
+      oracle) and the supervisor must restart the replica.
+    * ``kill-mid-swap`` — a replica dies after acking phase one of an
+      epoch swap but before its commit; the tier commits anyway, the
+      dead replica restarts from the *committed* artifact, and until it
+      does every answer is either new-epoch-correct or explicitly
+      degraded.
+
+    Fully deterministic: the kill schedule derives from ``seed`` via
+    ``repro.rng`` and the tier runs in-process on a virtual clock, so
+    the same seed reproduces the same degraded-answer set.
+    """
+    from ..io import load_border_map
+    from ..serving.server import RestartPolicy, ShardedBorderServer, \
+        VirtualClock
+    from ..serving.service import BorderMapService
+    from ..serving.shard import ShardChannel
+
+    if metrics is None:
+        metrics = NULL_REGISTRY
+    if tracer is None:
+        tracer = NULL_TRACER
+    report = ShardChaosReport(shards=shards)
+    workload = list(workload)
+    old_map = load_border_map(artifact_path)
+    oracles = {old_map.epoch: BorderMapService(old_map)}
+    new_epoch = old_map.epoch
+    if swap_path is not None:
+        new_map = load_border_map(swap_path)
+        oracles[swap_epoch] = BorderMapService(new_map)
+        new_epoch = swap_epoch
+
+    def build_server():
+        clock = VirtualClock()
+        transports = [
+            KillableTransport(artifact_path, shard_id=shard_id)
+            for shard_id in range(shards)
+        ]
+        channels = []
+        for shard_id, transport in enumerate(transports):
+            policy = None
+            if faults is not None:
+                policy = ChannelFaultPolicy(
+                    drop_rate=faults.drop_rate,
+                    garble_rate=faults.garble_rate,
+                    sever_rate=faults.sever_rate,
+                    delay_rate=faults.delay_rate,
+                    delay_seconds=faults.delay_seconds,
+                    seed=seed * 1000003 + shard_id,
+                )
+            channels.append(ShardChannel(
+                transport, faults=policy, deadline_s=5.0,
+                clock_advance=clock.advance,
+            ))
+        server = ShardedBorderServer(
+            channels, artifact_path=artifact_path, epoch=old_map.epoch,
+            clock=clock, reset_timeout_s=1.0,
+            restart_policy=RestartPolicy(base_s=0.5, seed=seed),
+            metrics=metrics, tracer=tracer,
+        )
+        return server, clock, transports
+
+    def settle(server, clock, run, limit=12):
+        """Tick (advancing time past breaker/backoff windows) until the
+        tier converges on the committed token, within ``limit`` passes."""
+        for _ in range(limit):
+            clock.advance(2.0)
+            server.tick()
+            if server.supervisor.healthy_count() == shards \
+                    and server.converged():
+                run.converged = True
+                return
+
+    waves = [
+        workload[start:start + batch_size]
+        for start in range(0, len(workload), batch_size)
+    ]
+
+    # -- scenario 1: a replica dies between query waves ----------------------
+    rng = make_rng(seed, "chaos", "shardkill")
+    run = ShardChaosRun(label="kill-mid-batch", completed=False)
+    try:
+        server, clock, transports = build_server()
+        kill_wave = rng.randrange(max(len(waves) - 1, 1))
+        victim = rng.randrange(shards)
+        for index, wave in enumerate(waves):
+            if index == kill_wave:
+                transports[victim].kill()
+                run.kills += 1
+            answers = server.batch(wave)
+            _audit_answers(answers, wave, oracles, old_map.epoch, run)
+            server.tick()
+        settle(server, clock, run)
+        run.restarts = sum(s.restarts for s in server.supervisor.shards)
+        run.failovers = server.failovers
+        run.completed = True
+        server.close()
+    except Exception as exc:  # noqa: BLE001 - the harness reports crashes
+        run.error = "%s: %s" % (type(exc).__name__, exc)
+    report.runs.append(run)
+
+    if swap_path is None:
+        return report
+
+    # -- scenario 2: a replica dies between prepare and commit ---------------
+    rng = make_rng(seed, "chaos", "swapkill")
+    run = ShardChaosRun(label="kill-mid-swap", completed=False)
+    try:
+        server, clock, transports = build_server()
+        half = max(len(waves) // 2, 1)
+        for wave in waves[:half]:
+            answers = server.batch(wave)
+            _audit_answers(answers, wave, oracles, old_map.epoch, run)
+        victim = rng.randrange(shards)
+        # Arm the crash: the victim acks exactly one more exchange (the
+        # prepare) and dies before its commit arrives.
+        transports[victim].kill_after = transports[victim].exchanges + 1
+        run.kills += 1
+        token = server.swap(swap_path, epoch=swap_epoch)
+        if token is None:
+            raise AssertionError("swap rolled back with a live majority")
+        for wave in waves[half:]:
+            answers = server.batch(wave)
+            _audit_answers(answers, wave, oracles, swap_epoch, run)
+            server.tick()
+        settle(server, clock, run)
+        # Post-convergence probe: the restarted replica must now serve
+        # the committed epoch for keys it homes.
+        answers = server.batch(waves[0])
+        _audit_answers(answers, waves[0], oracles, swap_epoch, run)
+        run.mismatched += sum(
+            1 for answer in answers if answer.epoch != new_epoch
+        )
+        run.restarts = sum(s.restarts for s in server.supervisor.shards)
+        run.failovers = server.failovers
+        run.completed = True
+        server.close()
+    except Exception as exc:  # noqa: BLE001 - the harness reports crashes
+        run.error = "%s: %s" % (type(exc).__name__, exc)
+    report.runs.append(run)
     return report

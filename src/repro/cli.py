@@ -348,13 +348,52 @@ def _format_answer(answer) -> str:
             value.best_confidence,
         )
     key = str(answer.key) if answer.op == "neighbors" else ntoa(answer.key)
-    return "%-9s %-15s -> %s" % (answer.op, key, body)
+    line = "%-9s %-15s -> %s" % (answer.op, key, body)
+    if answer.degraded:
+        line += "  [degraded: %s]" % (answer.note or "unspecified")
+    return line
+
+
+def _gather_queries(query_args, batch_path):
+    """Flatten CLI query tokens (plus an optional batch file) into
+    (op, key) pairs; prints the error and returns None on bad input.
+
+    The shell splits ``owner 1.2.3.4 neighbors 64500`` into single
+    tokens; quoted whole queries arrive pre-joined.  Flatten and
+    re-pair so both spellings work.
+    """
+    from .errors import AddressError
+
+    requests = []
+    try:
+        tokens = [t for text in query_args for t in text.split()]
+        if len(tokens) % 2:
+            raise ValueError(
+                "queries come in pairs: 'owner IP', 'border IP', "
+                "or 'neighbors ASN' (got %r)" % " ".join(tokens)
+            )
+        for start in range(0, len(tokens), 2):
+            requests.append(
+                _parse_query(" ".join(tokens[start:start + 2]))
+            )
+        if batch_path:
+            with open(batch_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        requests.append(_parse_query(line))
+    except (ValueError, AddressError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return None
+    except OSError as exc:
+        print("error: cannot read batch file: %s" % exc, file=sys.stderr)
+        return None
+    return requests
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     """Answer queries against a compiled BorderMap artifact (JSON or
     binary — sniffed by magic unless --format forces a loader)."""
-    from .errors import AddressError
     from .io import load_border_map
     from .serving import BorderMapService
 
@@ -371,32 +410,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     bmap = _load_or_fail(loader, args.map, "border map")
     if bmap is None:
         return 2
-    requests = []
-    try:
-        # The shell splits `owner 1.2.3.4 neighbors 64500` into single
-        # tokens; quoted whole queries arrive pre-joined.  Flatten and
-        # re-pair so both spellings work.
-        tokens = [t for text in args.query for t in text.split()]
-        if len(tokens) % 2:
-            raise ValueError(
-                "queries come in pairs: 'owner IP', 'border IP', "
-                "or 'neighbors ASN' (got %r)" % " ".join(tokens)
-            )
-        for start in range(0, len(tokens), 2):
-            requests.append(
-                _parse_query(" ".join(tokens[start:start + 2]))
-            )
-        if args.batch:
-            with open(args.batch) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line and not line.startswith("#"):
-                        requests.append(_parse_query(line))
-    except (ValueError, AddressError) as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return 2
-    except OSError as exc:
-        print("error: cannot read batch file: %s" % exc, file=sys.stderr)
+    requests = _gather_queries(args.query, args.batch)
+    if requests is None:
         return 2
     if not requests:
         print("error: no queries (give QUERY arguments or --batch FILE)",
@@ -462,6 +477,90 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Answer queries through the fault-tolerant sharded tier (or run
+    its open-loop load benchmark with --bench)."""
+    if args.bench:
+        from .serving.bench import run_service_benchmark
+
+        summary = run_service_benchmark(
+            scenario_name=args.name,
+            seed=args.seed,
+            requests=args.requests,
+            burst=args.burst,
+            shards=args.shards,
+            max_inflight=args.max_inflight,
+            offered_qps=args.offered_qps,
+            build=_build,
+        )
+        print(summary.text())
+        if args.out:
+            summary.write_json(args.out)
+            print("wrote %s" % args.out)
+        return 0
+
+    from .io import load_border_map
+    from .serving import close_backend
+    from .serving.server import make_local_server, make_process_server
+
+    if not args.map:
+        print("error: serve needs --map ARTIFACT (or --bench)",
+              file=sys.stderr)
+        return 2
+    # One probe load up front: validates the artifact and reads its
+    # epoch before any shard is started.
+    probe = _load_or_fail(load_border_map, args.map, "border map")
+    if probe is None:
+        return 2
+    epoch = probe.epoch
+    close_backend(probe)
+    requests = _gather_queries(args.query, args.batch)
+    if requests is None:
+        return 2
+    if not requests:
+        print("error: no queries (give QUERY arguments or --batch FILE)",
+              file=sys.stderr)
+        return 2
+    clock = None
+    if args.processes:
+        server = make_process_server(
+            args.map, epoch=epoch, shards=args.shards,
+            max_inflight=args.max_inflight,
+        )
+    else:
+        server, clock = make_local_server(
+            args.map, epoch=epoch, shards=args.shards,
+            max_inflight=args.max_inflight,
+        )
+    try:
+        for answer in server.batch(requests):
+            print(_format_answer(answer))
+        if args.swap:
+            swap_epoch = (args.swap_epoch if args.swap_epoch is not None
+                          else epoch + 1)
+            token = server.swap(args.swap, epoch=swap_epoch)
+            if token is None:
+                print("error: swap rolled back; still serving epoch %d"
+                      % server.committed_epoch, file=sys.stderr)
+                return 1
+            for _ in range(10):
+                if clock is not None:
+                    clock.advance(2.0)
+                server.tick()
+                if server.converged():
+                    break
+            print("swapped to %s (epoch %d, token %d)"
+                  % (args.swap, server.committed_epoch, token))
+            for answer in server.batch(requests):
+                print(_format_answer(answer))
+        if args.stats:
+            print()
+            print(server.summary())
+    finally:
+        server.close()
     return 0
 
 
@@ -644,8 +743,62 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_chaos(args: argparse.Namespace) -> int:
+    """Kill replicas of the sharded serving tier mid-batch and mid-swap
+    and audit every answer against a single-process oracle."""
+    import os
+    import tempfile
+
+    from .analysis.chaos import run_shard_chaos
+    from .io import save_border_map
+    from .net.faults import ChannelFaultPolicy
+    from .serving import compile_border_map, make_workload
+
+    scenario = _build(args.name, args.seed)
+    data = build_data_bundle(scenario)
+    result = run_bdrmap(scenario, data=data)
+    bmap = compile_border_map(
+        [result], view=data.view, rels=data.rels, epoch=1,
+        source="shard-chaos %s" % args.name,
+    )
+    swap_map = compile_border_map(
+        [result], view=data.view, rels=data.rels, epoch=2,
+        source="shard-chaos swap %s" % args.name,
+    )
+    workload = make_workload(bmap, data.view, args.queries,
+                             seed=args.fault_seed)
+    faults = None
+    if args.channel_profile:
+        from .net.faults import make_channel_faults
+
+        faults = make_channel_faults(args.channel_profile)
+    elif args.drop or args.garble or args.sever:
+        faults = ChannelFaultPolicy(
+            drop_rate=args.drop, garble_rate=args.garble,
+            sever_rate=args.sever,
+        )
+    metrics, tracer = _make_obs(args, seed=args.fault_seed)
+    with tempfile.TemporaryDirectory(prefix="bdrmap-chaos-") as workdir:
+        old_path = os.path.join(workdir, "map-epoch1.json")
+        new_path = os.path.join(workdir, "map-epoch2.json")
+        save_border_map(bmap, old_path)
+        save_border_map(swap_map, new_path)
+        report = run_shard_chaos(
+            old_path, workload, swap_path=new_path, swap_epoch=2,
+            shards=args.shards, seed=args.fault_seed, faults=faults,
+            metrics=metrics, tracer=tracer,
+        )
+    print(report.summary())
+    _write_obs(args, metrics, tracer)
+    return 0 if report.degrades_gracefully() else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    """Run the chaos suite: accuracy vs escalating packet loss."""
+    """Run the chaos suite: accuracy vs escalating packet loss (or,
+    with --shards, replica kills against the sharded serving tier)."""
+    if args.shards:
+        return _cmd_shard_chaos(args)
+
     from .analysis.chaos import run_chaos_suite
 
     def make_scenario():
@@ -826,6 +979,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p_bench)
     p_bench.set_defaults(func=_cmd_serve_bench)
 
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="answer queries through the fault-tolerant sharded tier",
+    )
+    p_serve.add_argument("query", nargs="*",
+                         help="'owner IP' | 'border IP' | 'neighbors ASN'")
+    p_serve.add_argument("--map", default=None,
+                         help="compiled BorderMap artifact (JSON or binary)")
+    p_serve.add_argument("--batch", default=None, metavar="FILE",
+                         help="file with one query per line")
+    p_serve.add_argument("--shards", type=int, default=3,
+                         help="replica count")
+    p_serve.add_argument("--max-inflight", type=int, default=256,
+                         help="admission-control cap per batch wave")
+    p_serve.add_argument("--processes", action="store_true",
+                         help="spawn one OS process per shard (default: "
+                              "in-process replicas on a virtual clock)")
+    p_serve.add_argument("--swap", default=None, metavar="PATH",
+                         help="after answering, two-phase hot-swap to this "
+                              "artifact and answer again")
+    p_serve.add_argument("--swap-epoch", type=int, default=None,
+                         help="epoch the --swap artifact serves as "
+                              "(default: current epoch + 1)")
+    p_serve.add_argument("--stats", action="store_true",
+                         help="print server + supervisor summary")
+    p_serve.add_argument("--bench", action="store_true",
+                         help="run the open-loop load benchmark instead of "
+                              "answering queries (writes BENCH_service.json "
+                              "with --out)")
+    p_serve.add_argument("--name", choices=sorted(_SCENARIOS),
+                         default="mini", help="scenario for --bench")
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument("--requests", type=int, default=2000,
+                         help="open-loop arrivals for --bench")
+    p_serve.add_argument("--burst", type=int, default=256,
+                         help="overload burst size for --bench")
+    p_serve.add_argument("--offered-qps", type=float, default=2000.0,
+                         help="nominal arrival rate for --bench")
+    p_serve.add_argument("--out", default=None, metavar="PATH",
+                         help="write BENCH_service.json here (--bench)")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_infer = subparsers.add_parser(
         "infer", help="re-run inference over an archived bundle (no probing)"
     )
@@ -900,6 +1095,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use Gilbert-Elliott bursty loss on top of "
                               "independent loss")
     p_chaos.add_argument("--fault-seed", type=int, default=7)
+    p_chaos.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="instead of packet loss, kill replicas of an "
+                              "N-shard serving tier mid-batch and mid-swap "
+                              "and audit every answer against the oracle")
+    p_chaos.add_argument("--queries", type=int, default=200,
+                         help="workload size for --shards mode")
+    p_chaos.add_argument("--drop", type=float, default=0.0,
+                         help="shard-channel drop rate (--shards mode)")
+    p_chaos.add_argument("--garble", type=float, default=0.0,
+                         help="shard-channel garble rate (--shards mode)")
+    p_chaos.add_argument("--sever", type=float, default=0.0,
+                         help="shard-channel sever rate (--shards mode)")
+    p_chaos.add_argument("--channel-profile", default=None,
+                         choices=("clean", "flaky", "lossy", "hostile"),
+                         help="named shard-channel fault preset "
+                              "(overrides --drop/--garble/--sever)")
     _add_obs_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 

@@ -38,6 +38,7 @@ import io
 import mmap
 import os
 import struct
+import tempfile
 import zlib
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -102,9 +103,27 @@ def write_container(
 
     if hasattr(target, "write"):
         target.write(bytes(out))
-    else:
-        with open(target, "wb") as handle:
+        return len(out)
+    # Atomic publish: a crash mid-save (or a concurrent reader mmap-ing
+    # the path) must see the old container or the new one, never a
+    # truncated file whose checksums cannot even be read.
+    target = os.fspath(target)
+    directory = os.path.dirname(os.path.abspath(target))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
             handle.write(bytes(out))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return len(out)
 
 

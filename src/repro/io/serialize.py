@@ -8,6 +8,8 @@ reproduces every router, link, and trace path).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict, IO, Optional, Union
 
 from ..addr import aton, ntoa
@@ -19,6 +21,42 @@ from ..obs.provenance import ProvenanceRecord
 from ..probing.traceroute import TraceHop, TraceResult
 
 _FORMAT = "bdrmap-repro/1"
+
+
+def atomic_write_text(target: str, payload: str) -> None:
+    """Write ``payload`` to ``target`` atomically.
+
+    The bytes land in a same-directory temp file which is fsynced and
+    then :func:`os.replace`-d over the target, so a crash at any point
+    leaves either the old artifact or the new one — never a truncated
+    hybrid.  Same-directory matters: ``os.replace`` is only atomic
+    within one filesystem.
+    """
+    directory = os.path.dirname(os.path.abspath(target))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _write_payload(payload: str, target: Union[str, IO[str]]) -> None:
+    """Deliver serialized text to an open file object (caller owns
+    durability) or atomically to a path."""
+    if hasattr(target, "write"):
+        target.write(payload)
+        return
+    atomic_write_text(target, payload)
 
 
 def _addr(value: Optional[int]) -> Optional[str]:
@@ -533,11 +571,7 @@ def save_checkpoint(results, vp_reports,
     payload = json.dumps(
         checkpoint_to_dict(results, vp_reports, metrics=metrics), indent=1
     )
-    if hasattr(target, "write"):
-        target.write(payload)
-        return
-    with open(target, "w") as handle:
-        handle.write(payload)
+    _write_payload(payload, target)
 
 
 def load_checkpoint(source: Union[str, IO[str]]):
@@ -551,11 +585,7 @@ def load_checkpoint(source: Union[str, IO[str]]):
 def save_report(report, target: Union[str, IO[str]]) -> None:
     """Write a run report to a path or open file object."""
     payload = json.dumps(report_to_dict(report), indent=1)
-    if hasattr(target, "write"):
-        target.write(payload)
-        return
-    with open(target, "w") as handle:
-        handle.write(payload)
+    _write_payload(payload, target)
 
 
 def load_report(source: Union[str, IO[str]]):
@@ -725,11 +755,7 @@ def save_border_map(bmap, target: Union[str, IO[str]],
             % format
         )
     payload = json.dumps(bordermap_to_dict(bmap), indent=1)
-    if hasattr(target, "write"):
-        target.write(payload)
-        return
-    with open(target, "w") as handle:
-        handle.write(payload)
+    _write_payload(payload, target)
 
 
 def load_border_map(source: Union[str, IO[str]]):
@@ -756,11 +782,7 @@ def load_border_map(source: Union[str, IO[str]]):
 def save_result(result: BdrmapResult, target: Union[str, IO[str]]) -> None:
     """Write a result to a path or open file object."""
     payload = json.dumps(result_to_dict(result), indent=1)
-    if hasattr(target, "write"):
-        target.write(payload)
-        return
-    with open(target, "w") as handle:
-        handle.write(payload)
+    _write_payload(payload, target)
 
 
 def load_result(source: Union[str, IO[str]]) -> BdrmapResult:

@@ -39,7 +39,9 @@ __all__ = [
     "FaultPlan",
     "ChannelFaultPolicy",
     "FAULT_PROFILES",
+    "CHANNEL_FAULT_PROFILES",
     "make_fault_plan",
+    "make_channel_faults",
 ]
 
 
@@ -416,3 +418,36 @@ def make_fault_plan(profile: str, seed: int = 0) -> Optional[FaultPlan]:
             % (profile, ", ".join(sorted(FAULT_PROFILES)))
         ) from None
     return None if config is None else FaultPlan(config, seed=seed)
+
+
+# Named channel-fault presets (rates only; the consumer derives one
+# seeded policy per channel).  Used by the shard-kill chaos harness and
+# `repro chaos --shards --channel-profile`.
+CHANNEL_FAULT_PROFILES: Dict[str, Dict[str, float]] = {
+    "clean": {},
+    "flaky": {"drop_rate": 0.02, "garble_rate": 0.01},
+    "lossy": {"drop_rate": 0.05, "garble_rate": 0.02, "sever_rate": 0.01},
+    "hostile": {
+        "drop_rate": 0.08,
+        "garble_rate": 0.05,
+        "sever_rate": 0.03,
+        "delay_rate": 0.05,
+        "delay_seconds": 2.0,
+    },
+}
+
+
+def make_channel_faults(
+    profile: str, seed: int = 0
+) -> Optional[ChannelFaultPolicy]:
+    """Build the named channel fault policy (``None`` when clean)."""
+    try:
+        rates = CHANNEL_FAULT_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            "unknown channel fault profile %r (known: %s)"
+            % (profile, ", ".join(sorted(CHANNEL_FAULT_PROFILES)))
+        ) from None
+    if not rates:
+        return None
+    return ChannelFaultPolicy(seed=seed, **rates)

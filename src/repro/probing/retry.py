@@ -61,7 +61,7 @@ class RetryPolicy:
         )
 
 
-_RETRY_COUNTERS = ("retries", "recovered", "exhausted")
+_RETRY_COUNTERS = ("retries", "recovered", "exhausted", "budget")
 
 
 class RetryStats:
@@ -120,16 +120,32 @@ class RetryStats:
     def exhausted(self, value: int) -> None:
         self._registry.set_counter(self._prefix + "exhausted", value)
 
+    @property
+    def budget(self) -> int:
+        """Configured retry allowance (extra attempts the policy permits).
+
+        Recorded by whoever owns the policy — e.g. a
+        :class:`~repro.remote.protocol.Channel` publishes its
+        ``max_retries`` here — so reports can show spent/allowed rather
+        than a bare spend count."""
+        return self._registry.counter(self._prefix + "budget")
+
+    @budget.setter
+    def budget(self, value: int) -> None:
+        self._registry.set_counter(self._prefix + "budget", value)
+
     def merge(self, other: "RetryStats") -> None:
         self.retries += other.retries
         self.recovered += other.recovered
         self.exhausted += other.exhausted
+        self.budget += other.budget
 
     def as_dict(self) -> dict:
         return {
             "retries": self.retries,
             "recovered": self.recovered,
             "exhausted": self.exhausted,
+            "budget": self.budget,
         }
 
 

@@ -14,7 +14,16 @@ same pipeline as the local one with every probe dispatched over the
 channel.
 """
 
-from .protocol import Channel, Command, Reply, encode, decode
+from .protocol import (
+    Channel,
+    Command,
+    FrameDecoder,
+    Reply,
+    encode,
+    decode,
+    pack_frame,
+    unpack_frame,
+)
 from .prober import Prober
 from .controller import RemoteBdrmap, RemoteStats
 
@@ -24,6 +33,9 @@ __all__ = [
     "Reply",
     "encode",
     "decode",
+    "FrameDecoder",
+    "pack_frame",
+    "unpack_frame",
     "Prober",
     "RemoteBdrmap",
     "RemoteStats",

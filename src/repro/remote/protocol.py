@@ -18,11 +18,14 @@ as before — same bytes, same accounting.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import ChannelError, DataError, MeasurementTimeout, ProbeError
 from ..net.faults import ChannelFaultPolicy
+from ..probing.retry import RetryStats
+from ..rng import make_rng
 
 # Measurement ops that are safe to re-issue after a transport failure.
 # Every bdrmap measurement is idempotent (probing twice just costs probes);
@@ -98,6 +101,86 @@ def decode(data: bytes):
     raise ProbeError("cannot decode message type %r" % kind)
 
 
+# -- length framing ---------------------------------------------------------
+#
+# The JSON codec above produces one blob per message; a stream transport
+# (socket, pipe) needs to know where each blob ends.  Frames are a 4-byte
+# big-endian length prefix followed by the payload — the classic netstring
+# shape, shared by the serving tier's shard channels.
+
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload.  A corrupted length prefix
+#: must not make a reader allocate gigabytes; anything past this is line
+#: noise, not a message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its big-endian 4-byte length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise DataError(
+            "frame payload too large: %d > %d bytes"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def unpack_frame(data: bytes) -> bytes:
+    """Strict inverse of :func:`pack_frame` for single-frame transports.
+
+    Raises :class:`DataError` unless ``data`` is exactly one well-formed
+    frame — the check that catches truncated or garbled shard messages.
+    """
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    if len(frames) != 1 or decoder.pending:
+        raise DataError(
+            "expected exactly one frame, got %d (+%d buffered bytes)"
+            % (len(frames), decoder.pending)
+        )
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    Feed it whatever chunks the transport delivers; it returns complete
+    payloads and buffers the remainder, so a frame split across reads (or
+    several frames delivered at once) both come out right.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        for frame in self._drain():
+            frames.append(frame)
+        return frames
+
+    def _drain(self) -> Iterator[bytes]:
+        header = FRAME_HEADER.size
+        while len(self._buffer) >= header:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise DataError(
+                    "frame length %d exceeds cap %d (corrupt prefix?)"
+                    % (length, MAX_FRAME_BYTES)
+                )
+            if len(self._buffer) < header + length:
+                return
+            payload = bytes(self._buffer[header:header + length])
+            del self._buffer[:header + length]
+            yield payload
+
+
 class Channel:
     """An accounted, in-memory message channel to one prober.
 
@@ -105,16 +188,31 @@ class Channel:
     call waits (in virtual time) for a reply before declaring a timeout;
     ``max_retries`` bounds re-issues of idempotent ops after transport
     failures.
+
+    ``backoff_s`` > 0 adds *full-jitter* exponential backoff between
+    retries: before retry k the channel waits (in virtual time) a uniform
+    draw from ``[0, min(max_backoff_s, backoff_s * 2**(k-1))]``, so
+    concurrent controllers recovering from the same outage don't stampede
+    the device in lockstep.  The draws come from ``repro.rng`` seeded by
+    ``seed`` — the same seed replays the same waits, keeping chaos runs
+    deterministic.  The default ``backoff_s=0.0`` retries immediately and
+    never touches the RNG, preserving the pre-backoff virtual timeline
+    byte for byte.
     """
 
     def __init__(self, prober, faults: Optional[ChannelFaultPolicy] = None,
-                 timeout_s: float = 10.0, max_retries: int = 3) -> None:
+                 timeout_s: float = 10.0, max_retries: int = 3,
+                 backoff_s: float = 0.0, max_backoff_s: float = 8.0,
+                 seed: int = 0) -> None:
         self._prober = prober
         self._seq = 0
         self._connected = True
         self.faults = faults
         self.timeout_s = timeout_s
         self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._jitter_rng = make_rng(seed, "channel", "jitter")
         self.bytes_to_device = 0
         self.bytes_from_device = 0
         self.messages = 0
@@ -126,6 +224,9 @@ class Channel:
         self.severed = 0
         self.delays = 0
         self.reconnects = 0
+        self.backoff_waited_s = 0.0
+        self.retry_stats = RetryStats()
+        self.retry_stats.budget = max_retries
 
     # -- faults ------------------------------------------------------------
 
@@ -138,6 +239,15 @@ class Channel:
     def _reconnect(self) -> None:
         self.reconnects += 1
         self._connected = True
+
+    def _backoff(self, attempt: int) -> None:
+        """Full-jitter wait before (1-based) retry ``attempt``."""
+        if self.backoff_s <= 0:
+            return
+        cap = min(self.max_backoff_s, self.backoff_s * 2 ** (attempt - 1))
+        wait = self._jitter_rng.uniform(0.0, cap)
+        self.backoff_waited_s += wait
+        self._advance(wait)
 
     # -- calls -------------------------------------------------------------
 
@@ -156,10 +266,15 @@ class Channel:
         for attempt in range(budget + 1):
             if attempt:
                 self.retries += 1
+                self.retry_stats.retries += 1
+                self._backoff(attempt)
             if not self._connected:
                 self._reconnect()
             try:
-                return self._call_once(op, args)
+                payload = self._call_once(op, args)
+                if attempt:
+                    self.retry_stats.recovered += 1
+                return payload
             except (MeasurementTimeout, DataError) as exc:
                 last_error = exc
             except ChannelError as exc:
@@ -170,6 +285,7 @@ class Channel:
                 last_error = exc
             if budget == 0:
                 raise last_error
+        self.retry_stats.exhausted += 1
         raise MeasurementTimeout(
             "op %r failed after %d attempts: %s"
             % (op, budget + 1, last_error)

@@ -9,7 +9,7 @@ over either backend (one :class:`BorderMapBackend` protocol), and
 of a recompiled map.
 """
 
-from .backend import BorderMapBackend
+from .backend import BorderMapBackend, close_backend
 from .bordermap import (
     BORDERMAP_FORMAT,
     BorderLink,
@@ -19,12 +19,15 @@ from .bordermap import (
     Ownership,
     best_relationship,
     compile_border_map,
+    next_generation,
 )
 from .bench import (
     CompiledBenchSummary,
+    ServiceBenchSummary,
     ServingBenchSummary,
     make_workload,
     run_compiled_benchmark,
+    run_service_benchmark,
     run_serving_benchmark,
 )
 from .compiled import (
@@ -36,7 +39,25 @@ from .compiled import (
 )
 from .engine import EngineStats, LRUCache, OpStats, QueryEngine
 from .naive import naive_border_for, naive_owner_of
+from .server import (
+    ShardedBorderServer,
+    VirtualClock,
+    make_local_server,
+    make_process_server,
+    shard_index,
+)
 from .service import Answer, BorderMapService
+from .shard import (
+    InProcessTransport,
+    ShardChannel,
+    ShardWorker,
+    SpawnProcessTransport,
+)
+from .supervisor import (
+    CircuitBreaker,
+    RestartPolicy,
+    ShardSupervisor,
+)
 
 __all__ = [
     "BIN_FORMAT",
@@ -66,4 +87,20 @@ __all__ = [
     "naive_owner_of",
     "Answer",
     "BorderMapService",
+    "ServiceBenchSummary",
+    "run_service_benchmark",
+    "close_backend",
+    "next_generation",
+    "ShardedBorderServer",
+    "VirtualClock",
+    "make_local_server",
+    "make_process_server",
+    "shard_index",
+    "InProcessTransport",
+    "ShardChannel",
+    "ShardWorker",
+    "SpawnProcessTransport",
+    "CircuitBreaker",
+    "RestartPolicy",
+    "ShardSupervisor",
 ]

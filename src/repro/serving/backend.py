@@ -50,3 +50,16 @@ class BorderMapBackend(Protocol):
     def interface_count(self) -> int: ...
 
     def stats(self) -> Dict[str, int]: ...
+
+
+def close_backend(backend: object) -> None:
+    """Release a backend's resources, if it holds any.
+
+    The dict backend owns nothing beyond Python objects; the compiled
+    backend may hold an mmap and its file handle.  Shard workers call
+    this on every retired map (epoch swap, shutdown) so a long-lived
+    serving process can't leak mappings across hundreds of swaps.
+    """
+    close = getattr(backend, "close", None)
+    if callable(close):
+        close()

@@ -17,6 +17,11 @@ deterministic workload:
   :class:`~repro.serving.service.BorderMapService` front end, which adds
   request counting and epoch-tagged answers.
 
+A third harness (:func:`run_service_benchmark`) drives the *sharded*
+tier end to end: an open-loop load generator with seeded exponential
+arrivals plus a deliberate overload burst, measuring p50/p99 request
+latency and the admission-control shed rate (``BENCH_service.json``).
+
 Timings are wall-clock (the one place this repo measures real time —
 throughput of the serving layer is a property of the host, not of the
 simulated Internet); the workload itself is seeded and fully
@@ -543,6 +548,253 @@ def run_compiled_benchmark(
         map_stats=bmap.stats(),
         json_bytes=json_bytes,
         binary_bytes=binary_bytes,
+        **measured,
+    )
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (sorted_values[low] * (1.0 - fraction)
+            + sorted_values[high] * fraction)
+
+
+@dataclass
+class ServiceBenchSummary:
+    """The sharded-tier outcome (``BENCH_service.json``): open-loop
+    latency percentiles and the admission-control shed rate."""
+
+    scenario: str
+    seed: Optional[int]
+    shards: int
+    max_inflight: int
+    offered_qps: float
+    requests: int
+    burst: int
+    vps: int
+    map_stats: Dict[str, int] = field(default_factory=dict)
+    accepted: int = 0
+    shed: int = 0
+    degraded: int = 0
+    waves: int = 0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    service_qps: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.requests + self.burst
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": "service",
+            "schema": BENCH_SCHEMA,
+            "config": {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "shards": self.shards,
+                "max_inflight": self.max_inflight,
+                "offered_qps": round(self.offered_qps, 1),
+                "requests": self.requests,
+                "burst": self.burst,
+                "vps": self.vps,
+            },
+            "map": dict(self.map_stats),
+            "metrics": {
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "degraded": self.degraded,
+                "waves": self.waves,
+                "shed_rate": round(self.shed_rate, 4),
+                "p50_ms": round(self.p50_ms, 3),
+                "p99_ms": round(self.p99_ms, 3),
+                "max_ms": round(self.max_ms, 3),
+                "service_qps": round(self.service_qps, 1),
+            },
+        }
+
+    def write_json(self, target: Union[str, IO[str]]) -> None:
+        payload = json.dumps(self.to_dict(), indent=1)
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        with open(target, "w") as handle:
+            handle.write(payload)
+
+    def text(self) -> str:
+        return "\n".join(
+            [
+                "service benchmark: %s, %d shards, %d+%d requests "
+                "(open-loop %.0f q/s + burst), max_inflight=%d"
+                % (self.scenario, self.shards, self.requests, self.burst,
+                   self.offered_qps, self.max_inflight),
+                "  map: %s"
+                % ", ".join("%s=%d" % (k, v)
+                            for k, v in sorted(self.map_stats.items())),
+                "  accepted %d, shed %d (%.1f%%), degraded %d, %d waves"
+                % (self.accepted, self.shed, 100 * self.shed_rate,
+                   self.degraded, self.waves),
+                "  latency p50 %8.3f ms   p99 %8.3f ms   max %8.3f ms"
+                % (self.p50_ms, self.p99_ms, self.max_ms),
+                "  throughput %11.0f q/s (accepted requests)"
+                % self.service_qps,
+            ]
+        )
+
+
+def bench_service(
+    server,
+    workload: List[Tuple[str, int]],
+    arrivals: List[float],
+) -> Dict[str, Any]:
+    """Open-loop load generation against a sharded server.
+
+    ``arrivals[i]`` is the (simulated) arrival second of request
+    ``workload[i]`` — fixed in advance, never slowed by the server,
+    which is what makes the loop *open*: an overloaded tier sees the
+    queue it earned.  Service time per wave is real wall time
+    (:func:`~repro.obs.trace.perf_clock`); a request's latency is its
+    wave's completion instant minus its own arrival instant.  Requests
+    the server sheds are counted, not timed — rejection is immediate.
+    """
+    assert len(arrivals) == len(workload)
+    latencies: List[float] = []
+    accepted = shed = degraded = waves = 0
+    busy_seconds = 0.0
+    now = 0.0
+    position = 0
+    while position < len(workload):
+        # The wave: the next pending request plus everything that
+        # arrived while the server was busy.
+        start = max(now, arrivals[position])
+        end = position
+        while end < len(workload) and arrivals[end] <= start:
+            end += 1
+        wave = workload[position:end]
+        started = perf_clock()
+        answers = server.batch(wave)
+        elapsed = perf_clock() - started
+        busy_seconds += elapsed
+        done = start + elapsed
+        for offset, answer in enumerate(answers):
+            if answer.note.startswith("shed"):
+                shed += 1
+                continue
+            if answer.degraded:
+                degraded += 1
+            accepted += 1
+            latencies.append(done - arrivals[position + offset])
+        waves += 1
+        now = done
+        position = end
+    latencies.sort()
+    return {
+        "accepted": accepted,
+        "shed": shed,
+        "degraded": degraded,
+        "waves": waves,
+        "p50_ms": 1e3 * _percentile(latencies, 0.50),
+        "p99_ms": 1e3 * _percentile(latencies, 0.99),
+        "max_ms": 1e3 * (latencies[-1] if latencies else 0.0),
+        "service_qps": _qps(accepted, busy_seconds),
+    }
+
+
+def run_service_benchmark(
+    scenario_name: str = "mini",
+    seed: Optional[int] = None,
+    requests: int = 2000,
+    burst: int = 256,
+    shards: int = 3,
+    max_inflight: int = 64,
+    offered_qps: float = 2000.0,
+    workdir: Optional[str] = None,
+    build: Optional[Callable] = None,
+    metrics=None,
+    tracer=None,
+) -> ServiceBenchSummary:
+    """Infer, compile, save the artifact, stand up an in-process
+    sharded server, and load it open-loop.
+
+    Two phases in one arrival schedule: ``requests`` arrivals with
+    seeded exponential inter-arrival gaps at ``offered_qps`` (the
+    nominal regime — latency percentiles come from here and from how
+    waves queue behind real service time), then a ``burst`` of
+    simultaneous arrivals (the overload regime — with
+    ``burst > max_inflight`` the admission controller must shed, so the
+    shed-rate figure is exercised deterministically, not by luck of the
+    host's speed).
+    """
+    import os
+    import tempfile
+
+    from .. import build_data_bundle
+    from ..core.orchestrator import MultiVPOrchestrator
+    from ..io import save_border_map
+    from .bordermap import compile_border_map
+    from .server import make_local_server
+
+    build = build or _default_build
+    scenario = build(scenario_name, seed)
+    data = build_data_bundle(scenario)
+    run = MultiVPOrchestrator(scenario, data=data).run()
+    bmap = compile_border_map(
+        run.results, view=data.view, rels=data.rels, epoch=1,
+        source="service-bench %s" % scenario_name,
+    )
+    total = requests + burst
+    workload = make_workload(bmap, data.view, total, seed=seed or 0)
+    rng = make_rng(seed or 0, "bench", "arrivals")
+    arrivals: List[float] = []
+    clock_s = 0.0
+    for _ in range(requests):
+        clock_s += rng.expovariate(offered_qps)
+        arrivals.append(clock_s)
+    arrivals.extend([clock_s] * burst)  # the overload burst, one instant
+
+    cleanup = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="bdrmap-bench-")
+        workdir = cleanup.name
+    try:
+        artifact_path = os.path.join(workdir, "map.json")
+        save_border_map(bmap, artifact_path)
+        server, _ = make_local_server(
+            artifact_path, epoch=1, shards=shards,
+            cache_size=4 * total + 64, max_inflight=max_inflight,
+            metrics=metrics, tracer=tracer,
+        )
+        try:
+            # Untimed warm-up in admission-sized waves (nothing shed, so
+            # every key reaches its home shard's cache).
+            for start in range(0, total, max_inflight):
+                server.batch(workload[start:start + max_inflight])
+            measured = bench_service(server, workload, arrivals)
+        finally:
+            server.close()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return ServiceBenchSummary(
+        scenario=scenario_name,
+        seed=seed,
+        shards=shards,
+        max_inflight=max_inflight,
+        offered_qps=offered_qps,
+        requests=requests,
+        burst=burst,
+        vps=len(run.results),
+        map_stats=bmap.stats(),
         **measured,
     )
 

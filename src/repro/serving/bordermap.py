@@ -90,6 +90,17 @@ class NeighborInfo:
     best_confidence: float
 
 
+def next_generation() -> int:
+    """Mint a fresh process-unique generation token.
+
+    Draws from the same counter every :class:`BorderMap` (and compiled
+    map) uses, so a token minted here — e.g. the serving tier's two-phase
+    swap token — can never collide with any map's generation in this
+    process.
+    """
+    return next(BorderMap._generations)
+
+
 class BorderMap:
     """Immutable, versioned query artifact compiled from bdrmap results.
 

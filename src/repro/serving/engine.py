@@ -195,6 +195,13 @@ class QueryEngine:
     def epoch(self) -> int:
         return self.map.epoch
 
+    @property
+    def generation(self) -> int:
+        """The served map's process-unique generation token (the value
+        cache keys carry, and the token the sharded tier's two-phase
+        swap compares across replicas)."""
+        return self._gen
+
     # -- single-key queries -------------------------------------------------
 
     def _cached(self, op: str, key: Hashable,

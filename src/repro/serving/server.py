@@ -1,0 +1,439 @@
+"""The sharded serving front end: key-hash routing, admission control,
+failover, and coordinated two-phase epoch swaps.
+
+:class:`ShardedBorderServer` is what a deployment runs when one
+process's worth of query throughput isn't enough: N replicas (each a
+full :class:`~repro.serving.backend.BorderMapBackend` behind a
+:class:`~repro.serving.shard.ShardChannel`), queries routed by a stable
+key hash, a :class:`~repro.serving.supervisor.ShardSupervisor` keeping
+the replicas alive.  The contract under failure is *explicit
+degradation*:
+
+* **Admission control** — at most ``max_inflight`` requests are
+  accepted per batch wave; overflow is shed immediately with a
+  ``degraded`` :class:`~repro.serving.service.Answer` (``note="shed"``),
+  never silently dropped and never queued unboundedly.
+* **Failover** — a request whose home shard is down or breaker-open is
+  retried on the next healthy replica; replicas hold the same map, so a
+  failover answer is byte-identical to the home shard's.  Only when no
+  replica can answer does the caller get a degraded ``unavailable``
+  answer.
+* **Stale-epoch marking** — every query reply carries the shard's swap
+  token; answers from a replica that has not yet committed the current
+  epoch are delivered (they are correct for their own epoch) but marked
+  ``degraded`` with ``note="stale-epoch"``.
+
+The **two-phase swap** (:meth:`ShardedBorderServer.swap`) reuses the
+process-unique generation counter
+(:func:`~repro.serving.bordermap.next_generation`) as its token: phase
+one stages the new artifact on every live shard (load happens while the
+old epoch serves); only if *all* prepares succeed is the epoch
+committed — otherwise every stage is aborted and the old epoch keeps
+serving (keep-last-good).  Phase two commits shard by shard; a shard
+that dies between prepare and commit is restarted by the supervisor
+from the *committed* artifact path, so it re-converges instead of
+resurrecting the old epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DataError, MeasurementError
+from ..net.faults import ChannelFaultPolicy
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, perf_clock
+from .bordermap import next_generation
+from .service import Answer
+from .shard import (
+    InProcessTransport,
+    ShardChannel,
+    SpawnProcessTransport,
+)
+from .supervisor import RestartPolicy, ShardSupervisor, SupervisedShard
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def shard_index(key: int, count: int) -> int:
+    """Stable key→shard routing hash (splitmix64 finalizer).
+
+    A pure function of the key, identical in every process, so a front
+    end restart (or a second front end) routes the same keys to the
+    same replicas and their caches stay warm.
+    """
+    x = (key + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x % count
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic serving timelines."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds > 0:
+            self.now += seconds
+
+
+class ShardedBorderServer:
+    """Front end over N supervised shard replicas (see module docs)."""
+
+    def __init__(
+        self,
+        channels: List[ShardChannel],
+        artifact_path: str,
+        epoch: int,
+        clock,
+        max_inflight: int = 256,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        restart_policy: Optional[RestartPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        if not channels:
+            raise ValueError("a sharded server needs at least one shard")
+        if metrics is None or not metrics.enabled:
+            self._metrics = MetricsRegistry()
+            self.metrics = metrics
+        else:
+            self._metrics = metrics
+            self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock
+        self.channels = channels
+        self.max_inflight = max_inflight
+        self.supervisor = ShardSupervisor(
+            channels,
+            committed_path=artifact_path,
+            clock=clock,
+            failure_threshold=failure_threshold,
+            reset_timeout_s=reset_timeout_s,
+            restart_policy=restart_policy,
+            metrics=self._metrics,
+        )
+        # The committed epoch: what a fully converged tier serves.
+        # token 0 = "as initially loaded; no swap committed yet" — every
+        # shard starts there, so 0 never marks an answer stale.
+        self.committed_path = artifact_path
+        self.committed_epoch = epoch
+        self.committed_token = 0
+
+    # -- counters ------------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self._metrics.inc("serving.server." + name, value)
+
+    @property
+    def requests(self) -> int:
+        return self._metrics.counter("serving.server.requests")
+
+    @property
+    def shed(self) -> int:
+        return self._metrics.counter("serving.server.shed")
+
+    @property
+    def degraded(self) -> int:
+        return self._metrics.counter("serving.server.degraded")
+
+    @property
+    def failovers(self) -> int:
+        return self._metrics.counter("serving.server.failovers")
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, op: str, key: int) -> Answer:
+        return self.batch([(op, key)])[0]
+
+    def batch(self, requests: Sequence[Tuple[str, int]]) -> List[Answer]:
+        """Answer a batch: route, fail over, degrade explicitly.
+
+        Admission control caps the accepted wave at ``max_inflight``;
+        overflow is shed up front (cheaply, before any shard work) so
+        an overloaded tier stays responsive for the requests it does
+        accept.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        self._count("requests", len(requests))
+        self._metrics.set_gauge(
+            "serving.server.queue_depth", float(len(requests))
+        )
+        accepted = requests[: self.max_inflight]
+        overflow = requests[self.max_inflight:]
+        if overflow:
+            self._count("shed", len(overflow))
+
+        answers: List[Optional[Answer]] = [None] * len(requests)
+        count = len(self.channels)
+        groups: Dict[int, List[int]] = {}
+        for position, (op, key) in enumerate(accepted):
+            groups.setdefault(shard_index(key, count), []).append(position)
+
+        with self.tracer.span("server.batch", size=len(requests),
+                              shards=len(groups)):
+            for home, positions in sorted(groups.items()):
+                group = [requests[i] for i in positions]
+                got = self._query_group(home, group)
+                for position, answer in zip(positions, got):
+                    answers[position] = answer
+
+        for position, (op, key) in enumerate(requests):
+            if answers[position] is None:  # shed overflow
+                answers[position] = Answer(
+                    op=op, key=key, value=None,
+                    epoch=self.committed_epoch,
+                    degraded=True, note="shed: server over capacity",
+                )
+        degraded = sum(1 for answer in answers if answer.degraded)
+        if degraded:
+            self._count("degraded", degraded)
+        return answers  # type: ignore[return-value]
+
+    def _query_group(
+        self, home: int, group: List[Tuple[str, int]]
+    ) -> List[Answer]:
+        """Send one shard's worth of requests, failing over in ring
+        order across the replicas."""
+        supervisor = self.supervisor
+        count = len(self.channels)
+        for offset in range(count):
+            index = (home + offset) % count
+            shard = supervisor.shards[index]
+            if not supervisor.healthy(shard):
+                continue
+            if offset:
+                self._count("failovers")
+            try:
+                payload = shard.channel.query(group)
+            except (MeasurementError, DataError):
+                supervisor.record_failure(shard)
+                continue
+            supervisor.record_success(shard)
+            answers = shard.channel.answers_from(payload)
+            token = payload.get("token", 0)
+            shard.last_seen_epoch = payload.get("epoch", -1)
+            shard.last_seen_token = token
+            if token != self.committed_token:
+                # The replica answered from an epoch the tier has moved
+                # past (or not yet reached): correct for its own epoch,
+                # but not what a converged tier would say — mark it.
+                answers = [
+                    Answer(
+                        op=answer.op, key=answer.key, value=answer.value,
+                        epoch=answer.epoch, degraded=True,
+                        note="stale-epoch: shard token %d != committed %d"
+                             % (token, self.committed_token),
+                    )
+                    for answer in answers
+                ]
+            return answers
+        # No replica could answer.
+        self._count("unavailable", len(group))
+        return [
+            Answer(
+                op=op, key=key, value=None, epoch=self.committed_epoch,
+                degraded=True, note="unavailable: no healthy shard",
+            )
+            for op, key in group
+        ]
+
+    # -- two-phase epoch swap ------------------------------------------------
+
+    def swap(self, artifact_path: str, epoch: int) -> Optional[int]:
+        """Two-phase hot swap to the artifact at ``artifact_path``.
+
+        Returns the committed swap token, or ``None`` when the swap was
+        rolled back (some live shard could not stage the new epoch) —
+        in which case the old epoch keeps serving everywhere
+        (keep-last-good) and the failure is counted under
+        ``serving.server.swap_failures``.
+        """
+        token = next_generation()
+        supervisor = self.supervisor
+        live = [
+            shard for shard in supervisor.shards if shard.channel.alive
+        ]
+        with self.tracer.span("server.swap", epoch=epoch, token=token):
+            prepared: List[SupervisedShard] = []
+            for shard in live:
+                try:
+                    shard.channel.request(
+                        "prepare", path=artifact_path, token=token,
+                        epoch=epoch,
+                    )
+                except (MeasurementError, DataError):
+                    supervisor.record_failure(shard)
+                    self._abort(prepared, token)
+                    self._count("swap_failures")
+                    return None
+                prepared.append(shard)
+            if not prepared:
+                self._count("swap_failures")
+                return None
+            # Point of no return: the tier is now committed to the new
+            # epoch.  Restarts from here on load the *new* artifact.
+            self.committed_path = artifact_path
+            self.committed_epoch = epoch
+            self.committed_token = token
+            supervisor.committed_path = artifact_path
+            supervisor.committed_token = token
+            self._count("swaps")
+            for shard in prepared:
+                try:
+                    shard.channel.request("commit", token=token)
+                except (MeasurementError, DataError):
+                    # The shard missed its commit (died, severed...).
+                    # It is now stale; its answers get marked degraded
+                    # until the supervisor restarts it from the
+                    # committed path.
+                    supervisor.record_failure(shard)
+                    self._count("commit_failures")
+        return token
+
+    def _abort(self, prepared: List[SupervisedShard], token: int) -> None:
+        for shard in prepared:
+            try:
+                shard.channel.request("abort", token=token)
+            except (MeasurementError, DataError):
+                self.supervisor.record_failure(shard)
+
+    # -- supervision ----------------------------------------------------------
+
+    def tick(self) -> Dict[int, str]:
+        """Run one supervision pass (heartbeats + due restarts)."""
+        with self.tracer.span("server.tick"):
+            return self.supervisor.tick()
+
+    def converged(self) -> bool:
+        """Is every live shard serving the committed epoch?"""
+        return self.supervisor.converged(self.committed_token)
+
+    def summary(self) -> str:
+        return (
+            "server: epoch %d (token %d), %d requests, %d shed (%.2f%%), "
+            "%d degraded, %d failovers\n%s"
+            % (
+                self.committed_epoch, self.committed_token, self.requests,
+                self.shed, 100.0 * self.shed_rate, self.degraded,
+                self.failovers, self.supervisor.summary(),
+            )
+        )
+
+    def close(self) -> None:
+        for channel in self.channels:
+            channel.close()
+
+
+# -- factories ---------------------------------------------------------------
+
+
+def make_local_server(
+    artifact_path: str,
+    epoch: int,
+    shards: int = 3,
+    cache_size: int = 4096,
+    max_inflight: int = 256,
+    deadline_s: float = 5.0,
+    faults: Optional[ChannelFaultPolicy] = None,
+    fault_seed: int = 0,
+    failure_threshold: int = 3,
+    reset_timeout_s: float = 30.0,
+    restart_seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+    clock: Optional[VirtualClock] = None,
+) -> Tuple[ShardedBorderServer, VirtualClock]:
+    """A fully in-process sharded server on a virtual clock.
+
+    Deterministic end to end: the same seed and fault policy replay the
+    same fault and restart timeline.  ``faults`` is a *template*; each
+    shard channel gets its own policy derived from ``fault_seed`` and
+    the shard id, so fault streams are independent per shard but
+    reproducible.
+    """
+    if clock is None:
+        clock = VirtualClock()
+    channels = []
+    for shard_id in range(shards):
+        policy = None
+        if faults is not None:
+            policy = ChannelFaultPolicy(
+                drop_rate=faults.drop_rate,
+                garble_rate=faults.garble_rate,
+                sever_rate=faults.sever_rate,
+                delay_rate=faults.delay_rate,
+                delay_seconds=faults.delay_seconds,
+                seed=fault_seed * 1000003 + shard_id,
+            )
+        transport = InProcessTransport(
+            artifact_path, shard_id=shard_id, cache_size=cache_size
+        )
+        channels.append(
+            ShardChannel(
+                transport, faults=policy, deadline_s=deadline_s,
+                clock_advance=clock.advance,
+            )
+        )
+    server = ShardedBorderServer(
+        channels, artifact_path=artifact_path, epoch=epoch, clock=clock,
+        max_inflight=max_inflight, failure_threshold=failure_threshold,
+        reset_timeout_s=reset_timeout_s,
+        restart_policy=RestartPolicy(seed=restart_seed),
+        metrics=metrics, tracer=tracer,
+    )
+    return server, clock
+
+
+def make_process_server(
+    artifact_path: str,
+    epoch: int,
+    shards: int = 2,
+    cache_size: int = 4096,
+    max_inflight: int = 256,
+    deadline_s: float = 10.0,
+    failure_threshold: int = 3,
+    reset_timeout_s: float = 5.0,
+    restart_seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+) -> ShardedBorderServer:
+    """The production shape: each shard is a spawn-context child
+    process holding its own copy of the map; time is the wall clock
+    (via :func:`~repro.obs.trace.perf_clock`, the repo's one sanctioned
+    wall-time source)."""
+    channels = [
+        ShardChannel(
+            SpawnProcessTransport(
+                artifact_path, shard_id=shard_id, cache_size=cache_size
+            ),
+            deadline_s=deadline_s,
+        )
+        for shard_id in range(shards)
+    ]
+    return ShardedBorderServer(
+        channels, artifact_path=artifact_path, epoch=epoch,
+        clock=perf_clock, max_inflight=max_inflight,
+        failure_threshold=failure_threshold,
+        reset_timeout_s=reset_timeout_s,
+        restart_policy=RestartPolicy(seed=restart_seed),
+        metrics=metrics, tracer=tracer,
+    )
+
+
+def collect_answer_values(answers: Sequence[Answer]) -> List[Any]:
+    """The values of a batch, in order — convenience for oracle diffs."""
+    return [answer.value for answer in answers]

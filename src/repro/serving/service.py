@@ -31,12 +31,22 @@ OPS = ("owner", "border", "neighbors")
 
 @dataclass(frozen=True)
 class Answer:
-    """One answered request, tagged with the producing map's epoch."""
+    """One answered request, tagged with the producing map's epoch.
+
+    ``degraded`` marks an answer the serving tier could not produce at
+    full fidelity — shed under overload, or served from a shard that had
+    not yet converged to the committed epoch.  The value may be ``None``
+    (shed) or stale-but-honest; ``note`` says which.  Degradation is
+    always explicit: the tier never silently drops a request or passes a
+    stale answer off as fresh.
+    """
 
     op: str
     key: int
     value: Any
     epoch: int
+    degraded: bool = False
+    note: str = ""
 
 
 class BorderMapService:
@@ -95,6 +105,16 @@ class BorderMapService:
     @swaps.setter
     def swaps(self, value: int) -> None:
         self._metrics.set_counter("serving.service.swaps", value)
+
+    @property
+    def refresh_failures(self) -> int:
+        return self._metrics.counter("serving.service.refresh_failures")
+
+    @refresh_failures.setter
+    def refresh_failures(self, value: int) -> None:
+        self._metrics.set_counter(
+            "serving.service.refresh_failures", value
+        )
 
     # -- the served map -----------------------------------------------------
 
@@ -196,8 +216,19 @@ class BorderMapService:
         """Stale-while-revalidate: run ``compile_fn`` (re-inference plus
         :func:`~repro.serving.bordermap.compile_border_map`, typically
         minutes of work) while the current map keeps serving, then swap
-        the result in."""
-        new_map = compile_fn()
+        the result in.
+
+        Keep-last-good: a ``compile_fn`` that raises (bad input data, a
+        broken artifact, an upstream outage) must never take the service
+        down — the failure is counted under
+        ``serving.service.refresh_failures`` and the old map keeps
+        serving.  The return value says which map is live afterwards.
+        """
+        try:
+            new_map = compile_fn()
+        except Exception:
+            self.refresh_failures += 1
+            return self._engine.map
         self.swap(new_map)
         return new_map
 

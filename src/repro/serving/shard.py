@@ -1,0 +1,591 @@
+"""Shard workers: one engine replica behind a framed message channel.
+
+The sharded serving tier (``repro.serving.server``) fans queries out to
+N replicas, each wrapping a full :class:`~repro.serving.backend.\
+BorderMapBackend` in its own :class:`~repro.serving.service.\
+BorderMapService`.  This module is the *replica* side plus the channel
+the front end talks through:
+
+* :class:`ShardWorker` — the request loop's brain: decodes one framed
+  :class:`~repro.remote.protocol.Command`, executes it against the
+  shard's service, and returns a framed
+  :class:`~repro.remote.protocol.Reply`.  It also holds the staged map
+  of an in-progress two-phase epoch swap.
+* :class:`InProcessTransport` / :class:`SpawnProcessTransport` — the
+  two ways a worker runs: in the caller's process (deterministic; what
+  chaos tests and the load benchmark use) or as a spawn-context child
+  process holding the map in its own address space (the production
+  shape — one crash never takes the map down).
+* :class:`ShardChannel` — the client half: frames requests with
+  :func:`~repro.remote.protocol.pack_frame`, applies an optional
+  :class:`~repro.net.faults.ChannelFaultPolicy` (the same drop / garble
+  / sever / delay faults the remote-control channel suffers), enforces
+  a per-request deadline, and surfaces transport failures as the usual
+  error taxonomy (:class:`~repro.errors.MeasurementTimeout`,
+  :class:`~repro.errors.DataError`, :class:`~repro.errors.ChannelError`).
+
+Every message crosses the wire as a length-framed JSON blob even
+in-process, so the serialization path the production transport depends
+on is exercised by every test.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ChannelError, DataError, MeasurementTimeout
+from ..net.faults import ChannelFaultPolicy
+from ..remote.protocol import (
+    Command,
+    Reply,
+    decode,
+    encode,
+    pack_frame,
+    unpack_frame,
+)
+from .backend import close_backend
+from .bordermap import BorderLink, NeighborInfo, Ownership
+from .service import Answer, BorderMapService
+
+#: Shard-protocol operations.  ``query`` and ``ping`` are idempotent and
+#: safe to re-issue; the swap ops carry a token that makes replays
+#: harmless (prepare/commit/abort for an already-settled token is a
+#: no-op acknowledged with the current state).
+SHARD_OPS = (
+    "ping", "query", "prepare", "commit", "abort", "stats", "shutdown",
+)
+
+
+# -- answers over the wire ---------------------------------------------------
+#
+# Answers carry frozen-dataclass object graphs (Ownership, BorderLink,
+# NeighborInfo).  Dataclass equality is the oracle check the chaos tests
+# rely on, so the wire codec must reconstruct *equal* objects, not
+# look-alike dicts.
+
+def _link_to_wire(link: BorderLink) -> Dict[str, Any]:
+    return {
+        "index": link.index,
+        "vp_name": link.vp_name,
+        "near_router": link.near_router,
+        "far_router": link.far_router,
+        "neighbor_as": link.neighbor_as,
+        "relationship": link.relationship,
+        "reason": link.reason,
+        "via_ixp": link.via_ixp,
+    }
+
+
+def _link_from_wire(entry: Dict[str, Any]) -> BorderLink:
+    return BorderLink(
+        index=entry["index"],
+        vp_name=entry["vp_name"],
+        near_router=entry["near_router"],
+        far_router=entry["far_router"],
+        neighbor_as=entry["neighbor_as"],
+        relationship=entry["relationship"],
+        reason=entry["reason"],
+        via_ixp=entry["via_ixp"],
+    )
+
+
+def _value_to_wire(op: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if op == "owner":
+        return {
+            "asn": value.asn, "source": value.source, "router": value.router,
+        }
+    if op == "border":
+        return [_link_to_wire(link) for link in value]
+    if op == "neighbors":
+        return {
+            "asn": value.asn,
+            "relationship": value.relationship,
+            "links": [_link_to_wire(link) for link in value.links],
+            "best_confidence": value.best_confidence,
+        }
+    raise DataError("cannot encode value for op %r" % op)
+
+
+def _value_from_wire(op: str, value: Any) -> Any:
+    if value is None:
+        return None
+    try:
+        if op == "owner":
+            return Ownership(
+                asn=value["asn"], source=value["source"],
+                router=value["router"],
+            )
+        if op == "border":
+            return tuple(_link_from_wire(entry) for entry in value)
+        if op == "neighbors":
+            return NeighborInfo(
+                asn=value["asn"],
+                relationship=value["relationship"],
+                links=tuple(
+                    _link_from_wire(entry) for entry in value["links"]
+                ),
+                best_confidence=value["best_confidence"],
+            )
+    except (KeyError, TypeError) as exc:
+        raise DataError("malformed %r answer value: %s" % (op, exc)) from exc
+    raise DataError("cannot decode value for op %r" % op)
+
+
+def answer_to_wire(answer: Answer) -> Dict[str, Any]:
+    return {
+        "op": answer.op,
+        "key": answer.key,
+        "value": _value_to_wire(answer.op, answer.value),
+        "epoch": answer.epoch,
+        "degraded": answer.degraded,
+        "note": answer.note,
+    }
+
+
+def answer_from_wire(entry: Dict[str, Any]) -> Answer:
+    try:
+        return Answer(
+            op=entry["op"],
+            key=entry["key"],
+            value=_value_from_wire(entry["op"], entry["value"]),
+            epoch=entry["epoch"],
+            degraded=entry.get("degraded", False),
+            note=entry.get("note", ""),
+        )
+    except (KeyError, TypeError) as exc:
+        raise DataError("malformed answer: %s" % exc) from exc
+
+
+# -- the worker --------------------------------------------------------------
+
+
+class ShardWorker:
+    """One engine replica: a :class:`BorderMapService` plus the staged
+    state of an in-progress two-phase swap.
+
+    ``loader`` maps an artifact path to a backend (the default is
+    :func:`repro.io.load_border_map`, magic-sniffed JSON or binary).
+    The worker itself is transport-agnostic: :meth:`handle_frame` takes
+    one framed request and returns one framed reply, and both
+    transports just move those bytes.
+    """
+
+    def __init__(
+        self,
+        artifact_path: str,
+        shard_id: int = 0,
+        cache_size: int = 4096,
+        loader: Optional[Callable[[str], Any]] = None,
+        token: int = 0,
+    ) -> None:
+        if loader is None:
+            from ..io import load_border_map as loader  # noqa: F811
+        self._loader = loader
+        self.shard_id = shard_id
+        self.cache_size = cache_size
+        self.artifact_path = artifact_path
+        self.service = BorderMapService(
+            loader(artifact_path), cache_size=cache_size
+        )
+        # Two-phase swap staging: (token, path, backend) or None.
+        self._staged: Optional[Tuple[int, str, Any]] = None
+        # The swap token of the epoch currently being served; 0 until
+        # the first committed swap.  The front end compares this against
+        # the committed token to spot a replica serving a stale epoch.
+        # A *restarted* replica is handed the committed token it just
+        # loaded (it starts converged, not stale).
+        self.token = token
+        self.queries = 0
+        self.swaps = 0
+
+    # -- framed entry point -------------------------------------------------
+
+    def handle_frame(self, data: bytes) -> bytes:
+        """Decode one framed Command, execute it, return a framed Reply.
+
+        Malformed frames still produce a framed error reply (seq 0) so
+        the channel's decode layer — not the worker — decides how to
+        classify the failure.
+        """
+        try:
+            command = decode(unpack_frame(data))
+            if not isinstance(command, Command):
+                raise DataError("expected a command, got %r" % (command,))
+        except DataError as exc:
+            reply = Reply(seq=0, payload={}, error="bad frame: %s" % exc)
+            return pack_frame(encode(reply))
+        try:
+            payload = self.handle(command.op, command.args)
+            reply = Reply(seq=command.seq, payload=payload)
+        except Exception as exc:  # noqa: BLE001 - becomes a wire error
+            reply = Reply(
+                seq=command.seq, payload={},
+                error="%s: %s" % (type(exc).__name__, exc),
+            )
+        return pack_frame(encode(reply))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        if op == "ping":
+            return {
+                "ok": True,
+                "shard": self.shard_id,
+                "epoch": self.service.epoch,
+                "token": self.token,
+            }
+        if op == "query":
+            return self._handle_query(args)
+        if op == "prepare":
+            return self._handle_prepare(args)
+        if op == "commit":
+            return self._handle_commit(args)
+        if op == "abort":
+            return self._handle_abort(args)
+        if op == "stats":
+            return {
+                "shard": self.shard_id,
+                "queries": self.queries,
+                "swaps": self.swaps,
+                "epoch": self.service.epoch,
+                "token": self.token,
+                "staged": self._staged is not None,
+            }
+        if op == "shutdown":
+            return {"ok": True}
+        raise DataError(
+            "unknown shard op %r (want one of %s)" % (op, "/".join(SHARD_OPS))
+        )
+
+    def _handle_query(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        requests = [
+            (str(op), int(key)) for op, key in args.get("requests", ())
+        ]
+        self.queries += len(requests)
+        answers = self.service.batch(requests)
+        return {
+            "answers": [answer_to_wire(answer) for answer in answers],
+            "epoch": self.service.epoch,
+            "token": self.token,
+        }
+
+    # -- two-phase swap -----------------------------------------------------
+
+    def _handle_prepare(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        token = int(args["token"])
+        path = str(args["path"])
+        if self._staged is not None and self._staged[0] == token:
+            return {"ok": True, "token": token}  # idempotent replay
+        if self._staged is not None:
+            close_backend(self._staged[2])
+        # Loading is the expensive, fallible half; it happens here, while
+        # the old map keeps serving, so commit is a pure pointer swap.
+        self._staged = (token, path, self._loader(path))
+        return {"ok": True, "token": token}
+
+    def _handle_commit(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        token = int(args["token"])
+        if self._staged is None or self._staged[0] != token:
+            if self.token == token:
+                return {"ok": True, "epoch": self.service.epoch,
+                        "token": self.token}  # idempotent replay
+            raise DataError(
+                "commit for unprepared token %d (staged: %s)"
+                % (token, self._staged[0] if self._staged else None)
+            )
+        _, path, backend = self._staged
+        self._staged = None
+        retired = self.service.map
+        self.service.swap(backend)
+        close_backend(retired)
+        self.artifact_path = path
+        self.token = token
+        self.swaps += 1
+        return {"ok": True, "epoch": self.service.epoch, "token": self.token}
+
+    def _handle_abort(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        token = int(args["token"])
+        if self._staged is not None and self._staged[0] == token:
+            close_backend(self._staged[2])
+            self._staged = None
+        return {"ok": True, "token": token}
+
+    def close(self) -> None:
+        if self._staged is not None:
+            close_backend(self._staged[2])
+            self._staged = None
+        close_backend(self.service.map)
+
+
+# -- transports --------------------------------------------------------------
+
+
+class InProcessTransport:
+    """A worker living in the caller's process, spoken to in framed
+    bytes exactly as a remote one would be.
+
+    Deterministic by construction (no real concurrency, virtual
+    deadlines), which is what lets chaos tests assert exact degraded
+    sets.  :meth:`kill` models a crashed replica: the worker is dropped
+    and every exchange fails with :class:`ChannelError` until
+    :meth:`restart` builds a fresh worker from an artifact path — the
+    same contract a supervisor has with a real child process.
+    """
+
+    def __init__(self, artifact_path: str, shard_id: int = 0,
+                 cache_size: int = 4096,
+                 loader: Optional[Callable[[str], Any]] = None) -> None:
+        self.shard_id = shard_id
+        self.cache_size = cache_size
+        self._loader = loader
+        self.worker: Optional[ShardWorker] = ShardWorker(
+            artifact_path, shard_id=shard_id, cache_size=cache_size,
+            loader=loader,
+        )
+        self.exchanges = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.worker is not None
+
+    def exchange(self, data: bytes, deadline_s: float) -> bytes:
+        if self.worker is None:
+            raise ChannelError("shard %d is down" % self.shard_id)
+        self.exchanges += 1
+        return self.worker.handle_frame(data)
+
+    def kill(self) -> None:
+        if self.worker is not None:
+            self.worker.close()
+            self.worker = None
+
+    def restart(self, artifact_path: str, token: int = 0) -> None:
+        self.kill()
+        self.worker = ShardWorker(
+            artifact_path, shard_id=self.shard_id,
+            cache_size=self.cache_size, loader=self._loader, token=token,
+        )
+
+    def close(self) -> None:
+        self.kill()
+
+
+class SpawnProcessTransport:
+    """A worker in a spawn-context child process, one duplex pipe.
+
+    Frames travel over ``multiprocessing.Pipe`` byte messages; the
+    deadline maps to ``Connection.poll``.  A child that dies (or a pipe
+    that breaks) surfaces as :class:`ChannelError`, after which the
+    supervisor may :meth:`restart` — a fresh child loading the artifact
+    path it is given (normally the last *committed* epoch).
+    """
+
+    def __init__(self, artifact_path: str, shard_id: int = 0,
+                 cache_size: int = 4096) -> None:
+        self.shard_id = shard_id
+        self.cache_size = cache_size
+        self._ctx = multiprocessing.get_context("spawn")
+        self._process = None
+        self._conn = None
+        self._start(artifact_path, 0)
+
+    def _start(self, artifact_path: str, token: int) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_process_main,
+            args=(child, artifact_path, self.shard_id, self.cache_size,
+                  token),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        self._process = process
+        self._conn = parent
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def exchange(self, data: bytes, deadline_s: float) -> bytes:
+        if self._conn is None or self._process is None:
+            raise ChannelError("shard %d is down" % self.shard_id)
+        try:
+            self._conn.send_bytes(data)
+            if not self._conn.poll(deadline_s):
+                raise MeasurementTimeout(
+                    "shard %d silent for %.1fs" % (self.shard_id, deadline_s)
+                )
+            return self._conn.recv_bytes()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ChannelError(
+                "shard %d pipe failed: %s" % (self.shard_id, exc)
+            ) from exc
+
+    def kill(self) -> None:
+        process, self._process = self._process, None
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+        if process is not None:
+            process.terminate()
+            process.join(timeout=5.0)
+
+    def restart(self, artifact_path: str, token: int = 0) -> None:
+        self.kill()
+        self._start(artifact_path, token)
+
+    def close(self) -> None:
+        if self._conn is not None and self._process is not None \
+                and self._process.is_alive():
+            try:
+                self._conn.send_bytes(
+                    pack_frame(encode(Command(op="shutdown", args={}, seq=0)))
+                )
+            except (BrokenPipeError, OSError):
+                pass
+        self.kill()
+
+
+def shard_process_main(conn, artifact_path: str, shard_id: int,
+                       cache_size: int, token: int = 0) -> None:
+    """Entry point of a spawned shard process: serve framed requests
+    from ``conn`` until a shutdown command or EOF."""
+    worker = ShardWorker(
+        artifact_path, shard_id=shard_id, cache_size=cache_size,
+        token=token,
+    )
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            response = worker.handle_frame(data)
+            try:
+                conn.send_bytes(response)
+            except (BrokenPipeError, OSError):
+                return
+            # Peek at our own reply for the shutdown handshake: replying
+            # first, then exiting, lets the parent join cleanly.
+            try:
+                command = decode(unpack_frame(data))
+            except DataError:
+                continue
+            if isinstance(command, Command) and command.op == "shutdown":
+                return
+    finally:
+        worker.close()
+        conn.close()
+
+
+# -- the client channel ------------------------------------------------------
+
+
+class ShardChannel:
+    """The front end's handle on one shard: framing, deadlines, faults.
+
+    Mirrors the remote-control :class:`~repro.remote.protocol.Channel`
+    discipline on a different transport: every request is one framed
+    command / framed reply exchange, an attached
+    :class:`ChannelFaultPolicy` can drop (deadline expires), garble
+    (decode fails), sever (channel dies until the supervisor restarts
+    the shard), or delay the reply, and all failures surface as the
+    standard error taxonomy for the supervisor's breaker to count.
+
+    ``clock_advance`` (optional) charges waits — deadline expiries,
+    injected delays — to a virtual clock so fault timelines reproduce.
+    """
+
+    def __init__(
+        self,
+        transport,
+        faults: Optional[ChannelFaultPolicy] = None,
+        deadline_s: float = 5.0,
+        clock_advance: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.transport = transport
+        self.faults = faults
+        self.deadline_s = deadline_s
+        self._advance = clock_advance
+        self.requests = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.timeouts = 0
+        self.garbled = 0
+        self.severed = 0
+        self.delays = 0
+        self._seq = 0
+
+    @property
+    def shard_id(self) -> int:
+        return self.transport.shard_id
+
+    @property
+    def alive(self) -> bool:
+        return self.transport.alive
+
+    def _wait(self, seconds: float) -> None:
+        if self._advance is not None and seconds > 0:
+            self._advance(seconds)
+
+    def request(self, op: str, **args: Any) -> Dict[str, Any]:
+        """One framed round trip; returns the reply payload."""
+        self._seq += 1
+        self.requests += 1
+        wire_out = pack_frame(encode(Command(op=op, args=args,
+                                             seq=self._seq)))
+        self.bytes_out += len(wire_out)
+
+        fault = self.faults.next_fault() if self.faults is not None else None
+        if fault == "sever":
+            self.severed += 1
+            self.transport.kill()
+            raise ChannelError(
+                "shard %d connection severed" % self.shard_id
+            )
+
+        wire_in = self.transport.exchange(wire_out, self.deadline_s)
+
+        if fault == "drop":
+            self.timeouts += 1
+            self._wait(self.deadline_s)
+            raise MeasurementTimeout(
+                "no reply from shard %d within %.1fs"
+                % (self.shard_id, self.deadline_s)
+            )
+        if fault == "delay":
+            self.delays += 1
+            self._wait(self.faults.delay_seconds)
+        if fault == "garble":
+            self.garbled += 1
+            wire_in = self.faults.garble(wire_in)
+
+        self.bytes_in += len(wire_in)
+        try:
+            reply = decode(unpack_frame(wire_in))
+        except DataError:
+            if fault != "garble":
+                self.garbled += 1
+            raise
+        if not isinstance(reply, Reply):
+            raise DataError("expected a reply, got %r" % (reply,))
+        if reply.error is not None:
+            raise ChannelError(
+                "shard %d error for op %r: %s"
+                % (self.shard_id, op, reply.error)
+            )
+        return reply.payload
+
+    def query(self, requests: Sequence[Tuple[str, int]]) -> Dict[str, Any]:
+        return self.request(
+            "query", requests=[[op, key] for op, key in requests]
+        )
+
+    def answers_from(self, payload: Dict[str, Any]) -> List[Answer]:
+        return [answer_from_wire(entry) for entry in payload["answers"]]
+
+    def close(self) -> None:
+        self.transport.close()

@@ -229,3 +229,99 @@ class TestFlakyChannel:
         result = driver.run()
         assert result.links
         assert scenario.network.faults.stats.total > 0
+
+
+# -- the sharded serving tier under replica kills ----------------------------
+
+
+@pytest.fixture(scope="module")
+def shard_tier(mini_data, mini_result, tmp_path_factory):
+    """Two epochs of the mini map as saved artifacts plus a workload."""
+    from repro.io import save_border_map
+    from repro.serving import compile_border_map, make_workload
+
+    workdir = tmp_path_factory.mktemp("shard-chaos")
+    bmap = compile_border_map(
+        [mini_result], view=mini_data.view, rels=mini_data.rels,
+        epoch=1, source="shard-chaos",
+    )
+    swap = compile_border_map(
+        [mini_result], view=mini_data.view, rels=mini_data.rels,
+        epoch=2, source="shard-chaos-swap",
+    )
+    old_path = str(workdir / "map-epoch1.json")
+    new_path = str(workdir / "map-epoch2.json")
+    save_border_map(bmap, old_path)
+    save_border_map(swap, new_path)
+    workload = make_workload(bmap, mini_data.view, 160, seed=9)
+    return old_path, new_path, workload
+
+
+class TestShardTierChaos:
+    """Satellite: kill a replica mid-batch and mid-epoch-swap; every
+    answer must be correct for the epoch it claims or explicitly
+    degraded, the supervisor must restart the victim, and the tier must
+    re-converge on the committed epoch."""
+
+    def test_replica_kills_degrade_gracefully(self, shard_tier):
+        from repro.analysis import run_shard_chaos
+
+        old_path, new_path, workload = shard_tier
+        report = run_shard_chaos(
+            old_path, workload, swap_path=new_path, swap_epoch=2,
+            shards=3, seed=7,
+        )
+        assert [run.label for run in report.runs] == [
+            "kill-mid-batch", "kill-mid-swap",
+        ]
+        for run in report.runs:
+            assert run.completed, run.error
+            assert run.answers >= len(workload)
+            assert run.mismatched == 0      # never wrong-but-confident
+            assert run.kills >= 1           # the scenario actually bit
+            assert run.restarts >= run.kills
+            assert run.converged
+        assert report.degrades_gracefully()
+        assert "graceful degradation: yes" in report.summary()
+
+    def test_same_seed_same_degraded_answer_set(self, shard_tier):
+        from repro.analysis import run_shard_chaos
+
+        old_path, new_path, workload = shard_tier
+
+        def fingerprint(seed):
+            report = run_shard_chaos(
+                old_path, workload, swap_path=new_path, swap_epoch=2,
+                shards=3, seed=seed,
+            )
+            return [
+                (run.label, run.kills, run.failovers, run.degraded_keys)
+                for run in report.runs
+            ]
+
+        assert fingerprint(11) == fingerprint(11)
+
+    def test_graceful_and_deterministic_under_channel_faults(
+        self, shard_tier
+    ):
+        """Replica kills with a lossy, garbling, severing channel on
+        top: still no mismatches, still reproducible."""
+        from repro.analysis import run_shard_chaos
+
+        old_path, new_path, workload = shard_tier
+        faults = ChannelFaultPolicy(
+            drop_rate=0.05, garble_rate=0.02, sever_rate=0.01
+        )
+        reports = [
+            run_shard_chaos(
+                old_path, workload, swap_path=new_path, swap_epoch=2,
+                shards=3, seed=5, faults=faults,
+            )
+            for _ in range(2)
+        ]
+        for report in reports:
+            assert report.degrades_gracefully()
+            for run in report.runs:
+                assert run.mismatched == 0
+        assert [run.degraded_keys for run in reports[0].runs] == \
+            [run.degraded_keys for run in reports[1].runs]

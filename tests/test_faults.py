@@ -15,12 +15,14 @@ from repro.errors import (
 )
 from repro.net import Probe, ProbeKind
 from repro.net.faults import (
+    CHANNEL_FAULT_PROFILES,
     FAULT_PROFILES,
     ChannelFaultPolicy,
     FaultConfig,
     FaultPlan,
     GilbertElliott,
     _hash01,
+    make_channel_faults,
     make_fault_plan,
 )
 from repro.net.policies import RateLimiter
@@ -215,6 +217,20 @@ def test_profiles_and_factory():
     assert set(FAULT_PROFILES) == {"clean", "light", "moderate", "heavy"}
     with pytest.raises(ValueError):
         make_fault_plan("nope")
+
+
+def test_channel_profiles_and_factory():
+    assert set(CHANNEL_FAULT_PROFILES) == {"clean", "flaky", "lossy",
+                                           "hostile"}
+    assert make_channel_faults("clean") is None
+    policy = make_channel_faults("lossy", seed=4)
+    assert isinstance(policy, ChannelFaultPolicy)
+    assert policy.seed == 4
+    assert policy.drop_rate > 0
+    hostile = make_channel_faults("hostile")
+    assert hostile.delay_rate > 0 and hostile.delay_seconds > 0
+    with pytest.raises(ValueError):
+        make_channel_faults("nope")
 
 
 # ---------------------------------------------------------------- retry

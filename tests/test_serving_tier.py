@@ -1,0 +1,623 @@
+"""The fault-tolerant sharded serving tier: framing, shard protocol,
+supervision, admission control, two-phase swaps, and the robustness
+satellites (atomic artifact writes, keep-last-good refresh, channel
+retry backoff)."""
+
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ChannelError, DataError, MeasurementTimeout
+from repro.io import load_border_map, save_border_map
+from repro.net.faults import ChannelFaultPolicy
+from repro.probing.retry import RetryStats
+from repro.remote.protocol import (
+    Channel,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    FRAME_HEADER,
+    Reply,
+    pack_frame,
+    unpack_frame,
+)
+from repro.serving import (
+    Answer,
+    BorderMapService,
+    CompiledBorderMap,
+    compile_border_map,
+    load_compiled_map,
+    make_workload,
+    next_generation,
+    save_compiled_map,
+)
+from repro.serving.server import (
+    make_local_server,
+    make_process_server,
+    shard_index,
+)
+from repro.serving.shard import ShardWorker
+from repro.serving.supervisor import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RestartPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def tier(mini_data, mini_result, tmp_path_factory):
+    """Two epochs of the mini map as saved artifacts, plus a workload
+    and single-process oracles for both epochs."""
+    workdir = tmp_path_factory.mktemp("tier")
+    bmap = compile_border_map(
+        [mini_result], view=mini_data.view, rels=mini_data.rels,
+        epoch=1, source="tier-test",
+    )
+    bmap2 = compile_border_map(
+        [mini_result], view=mini_data.view, rels=mini_data.rels,
+        epoch=2, source="tier-test-swap",
+    )
+    path1 = str(workdir / "map-epoch1.json")
+    path2 = str(workdir / "map-epoch2.json")
+    save_border_map(bmap, path1)
+    save_border_map(bmap2, path2)
+    workload = make_workload(bmap, mini_data.view, 120, seed=3)
+    return SimpleNamespace(
+        bmap=bmap,
+        bmap2=bmap2,
+        path1=path1,
+        path2=path2,
+        workload=workload,
+        oracle1=BorderMapService(load_border_map(path1)),
+        oracle2=BorderMapService(load_border_map(path2)),
+    )
+
+
+# -- length framing ----------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = b'{"op": "ping"}'
+        assert unpack_frame(pack_frame(payload)) == payload
+        assert unpack_frame(pack_frame(b"")) == b""
+
+    def test_decoder_reassembles_byte_at_a_time(self):
+        stream = pack_frame(b"first") + pack_frame(b"second")
+        decoder = FrameDecoder()
+        frames = []
+        for position in range(len(stream)):
+            frames.extend(decoder.feed(stream[position:position + 1]))
+        assert frames == [b"first", b"second"]
+        assert decoder.pending == 0
+
+    def test_decoder_many_frames_one_feed(self):
+        payloads = [b"a", b"bb", b"", b"dddd"]
+        stream = b"".join(pack_frame(p) for p in payloads)
+        assert FrameDecoder().feed(stream) == payloads
+
+    def test_oversized_length_prefix_rejected(self):
+        poisoned = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(DataError):
+            FrameDecoder().feed(poisoned)
+
+    def test_unpack_frame_is_strict(self):
+        with pytest.raises(DataError):
+            unpack_frame(pack_frame(b"x") + b"trailing")
+        with pytest.raises(DataError):
+            unpack_frame(pack_frame(b"x")[:-1])
+        with pytest.raises(DataError):
+            unpack_frame(pack_frame(b"x") + pack_frame(b"y"))
+
+
+# -- channel retry backoff (satellite: full-jitter, seeded) ------------------
+
+
+class _EchoProber:
+    """Always answers; faults are injected by the channel itself."""
+
+    def handle(self, command):
+        return Reply(seq=command.seq, payload={"ok": True})
+
+
+def _drop_channel(rate, seed=5, **kwargs):
+    faults = ChannelFaultPolicy(drop_rate=rate, seed=seed)
+    return Channel(_EchoProber(), faults=faults, **kwargs)
+
+
+class TestChannelBackoff:
+    def test_zero_backoff_default_never_waits(self):
+        channel = _drop_channel(0.5)
+        for _ in range(20):
+            try:
+                channel.call("trace")
+            except MeasurementTimeout:
+                pass
+        assert channel.retries > 0
+        assert channel.backoff_waited_s == 0.0
+
+    def test_full_jitter_waits_are_seeded(self):
+        waited = []
+        for _ in range(2):
+            channel = _drop_channel(0.5, backoff_s=0.2, seed=9)
+            for _ in range(20):
+                try:
+                    channel.call("trace")
+                except MeasurementTimeout:
+                    pass
+            waited.append(channel.backoff_waited_s)
+        assert waited[0] > 0.0
+        assert waited[0] == waited[1]
+        other = _drop_channel(0.5, backoff_s=0.2, seed=10)
+        for _ in range(20):
+            try:
+                other.call("trace")
+            except MeasurementTimeout:
+                pass
+        assert other.backoff_waited_s != waited[0]
+
+    def test_retry_budget_visible_in_stats(self):
+        channel = _drop_channel(1.0, max_retries=2, backoff_s=0.1)
+        with pytest.raises(MeasurementTimeout):
+            channel.call("trace")
+        stats = channel.retry_stats
+        assert stats.budget == 2
+        assert stats.retries == 2
+        assert stats.exhausted == 1
+        assert stats.as_dict()["budget"] == 2
+
+    def test_recovered_counted_and_budget_merges(self):
+        channel = _drop_channel(0.4, max_retries=4, backoff_s=0.05)
+        completed = 0
+        for _ in range(30):
+            try:
+                channel.call("trace")
+                completed += 1
+            except MeasurementTimeout:
+                pass
+        assert completed > 0
+        assert channel.retry_stats.recovered > 0
+        merged = RetryStats()
+        merged.merge(channel.retry_stats)
+        merged.merge(channel.retry_stats)
+        assert merged.budget == 2 * channel.retry_stats.budget
+        assert merged.retries == 2 * channel.retry_stats.retries
+
+
+# -- Answer degradation marker ----------------------------------------------
+
+
+class TestAnswerMarker:
+    def test_defaults_are_not_degraded(self):
+        answer = Answer(op="owner", key=1, value=None, epoch=1)
+        assert answer.degraded is False
+        assert answer.note == ""
+
+    def test_frozen(self):
+        answer = Answer(op="owner", key=1, value=None, epoch=1)
+        with pytest.raises(AttributeError):
+            answer.degraded = True
+
+
+# -- keep-last-good refresh (satellite) --------------------------------------
+
+
+class TestRefreshKeepLastGood:
+    def test_raising_loader_keeps_old_map(self, tier):
+        service = BorderMapService(tier.bmap)
+        old_map = service.map
+
+        def explode():
+            raise RuntimeError("upstream inference fell over")
+
+        live = service.refresh(explode)
+        assert live is old_map
+        assert service.map is old_map
+        assert service.epoch == 1
+        assert service.refresh_failures == 1
+        # Still serving, and correctly.
+        op, key = tier.workload[0]
+        assert service.batch([(op, key)])[0].epoch == 1
+
+    def test_successful_refresh_still_swaps(self, tier):
+        service = BorderMapService(tier.bmap)
+        live = service.refresh(lambda: tier.bmap2)
+        assert live is tier.bmap2
+        assert service.epoch == 2
+        assert service.refresh_failures == 0
+
+
+# -- atomic artifact writes (satellite) --------------------------------------
+
+
+class TestAtomicArtifactWrites:
+    def test_save_leaves_no_temp_files(self, tier, tmp_path):
+        target = tmp_path / "map.json"
+        save_border_map(tier.bmap, str(target))
+        assert load_border_map(str(target)).epoch == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_before_publish_keeps_old_json(self, tier, tmp_path,
+                                                 monkeypatch):
+        """Power cut between the temp write and the rename: the old
+        artifact survives byte for byte and no temp litter remains."""
+        target = tmp_path / "map.json"
+        save_border_map(tier.bmap, str(target))
+        before = target.read_bytes()
+
+        def power_cut(src, dst):
+            raise OSError("crash before publish")
+
+        monkeypatch.setattr(os, "replace", power_cut)
+        with pytest.raises(OSError):
+            save_border_map(tier.bmap2, str(target))
+        monkeypatch.undo()
+        assert target.read_bytes() == before
+        assert load_border_map(str(target)).epoch == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_during_flush_keeps_old_json(self, tier, tmp_path,
+                                               monkeypatch):
+        target = tmp_path / "map.json"
+        save_border_map(tier.bmap, str(target))
+        before = target.read_bytes()
+
+        def disk_full(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", disk_full)
+        with pytest.raises(OSError):
+            save_border_map(tier.bmap2, str(target))
+        monkeypatch.undo()
+        assert target.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_before_publish_keeps_old_binary(self, tier, tmp_path,
+                                                   monkeypatch):
+        target = tmp_path / "map.bdrm"
+        cmap = CompiledBorderMap.from_border_map(tier.bmap)
+        save_compiled_map(cmap, str(target))
+        before = target.read_bytes()
+
+        def power_cut(src, dst):
+            raise OSError("crash before publish")
+
+        monkeypatch.setattr(os, "replace", power_cut)
+        cmap2 = CompiledBorderMap.from_border_map(tier.bmap2)
+        with pytest.raises(OSError):
+            save_compiled_map(cmap2, str(target))
+        monkeypatch.undo()
+        assert target.read_bytes() == before
+        reloaded = load_compiled_map(str(target))
+        assert reloaded.epoch == 1
+        reloaded.close()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+# -- the shard worker protocol -----------------------------------------------
+
+
+class TestShardWorker:
+    def test_ping_reports_epoch_and_token(self, tier):
+        worker = ShardWorker(tier.path1, shard_id=2)
+        payload = worker.handle("ping", {})
+        assert payload == {"ok": True, "shard": 2, "epoch": 1, "token": 0}
+        worker.close()
+
+    def test_query_matches_single_process_oracle(self, tier):
+        worker = ShardWorker(tier.path1)
+        requests = tier.workload[:40]
+        payload = worker.handle("query", {"requests": requests})
+        oracle = tier.oracle1.batch(requests)
+        from repro.serving.shard import answer_from_wire
+
+        answers = [answer_from_wire(entry) for entry in payload["answers"]]
+        assert [a.value for a in answers] == [a.value for a in oracle]
+        assert all(a.epoch == 1 for a in answers)
+        worker.close()
+
+    def test_framed_roundtrip(self, tier):
+        worker = ShardWorker(tier.path1)
+        from repro.remote.protocol import decode, encode, Command
+
+        frame = pack_frame(encode(Command(op="ping", args={}, seq=7)))
+        reply = decode(unpack_frame(worker.handle_frame(frame)))
+        assert reply.seq == 7
+        assert reply.error is None
+        assert reply.payload["epoch"] == 1
+        worker.close()
+
+    def test_bad_frame_becomes_framed_error(self, tier):
+        worker = ShardWorker(tier.path1)
+        from repro.remote.protocol import decode
+
+        reply = decode(unpack_frame(worker.handle_frame(b"\x00\x00")))
+        assert reply.error is not None
+        worker.close()
+
+    def test_two_phase_swap_and_idempotency(self, tier):
+        worker = ShardWorker(tier.path1)
+        token = next_generation()
+        first = worker.handle("prepare", {"path": tier.path2,
+                                          "token": token})
+        again = worker.handle("prepare", {"path": tier.path2,
+                                          "token": token})
+        assert first == again == {"ok": True, "token": token}
+        assert worker.service.epoch == 1  # old epoch serves until commit
+        committed = worker.handle("commit", {"token": token})
+        assert committed["epoch"] == 2 and committed["token"] == token
+        assert worker.service.epoch == 2
+        # Commit replay after the swap is an idempotent ack.
+        replay = worker.handle("commit", {"token": token})
+        assert replay["ok"] and replay["token"] == token
+        worker.close()
+
+    def test_commit_without_prepare_is_refused(self, tier):
+        worker = ShardWorker(tier.path1)
+        with pytest.raises(DataError):
+            worker.handle("commit", {"token": 99999})
+        worker.close()
+
+    def test_abort_unstages(self, tier):
+        worker = ShardWorker(tier.path1)
+        token = next_generation()
+        worker.handle("prepare", {"path": tier.path2, "token": token})
+        worker.handle("abort", {"token": token})
+        with pytest.raises(DataError):
+            worker.handle("commit", {"token": token})
+        assert worker.service.epoch == 1
+        worker.close()
+
+    def test_unknown_op_is_refused(self, tier):
+        worker = ShardWorker(tier.path1)
+        with pytest.raises(DataError):
+            worker.handle("format-disk", {})
+        worker.close()
+
+
+# -- supervision primitives --------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED and breaker.allow(1.0)
+        breaker.record_failure(now=1.0)
+        assert breaker.state == OPEN and breaker.trips == 1
+        assert not breaker.allow(5.0)
+        assert breaker.allow(11.0)          # the half-open probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        for _ in range(3):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(now=10.0)
+        assert breaker.state == OPEN and breaker.trips == 2
+        assert not breaker.allow(19.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+
+class TestRestartPolicy:
+    def test_full_jitter_is_seeded_and_capped(self):
+        first = RestartPolicy(base_s=0.5, max_backoff_s=4.0, seed=3)
+        second = RestartPolicy(base_s=0.5, max_backoff_s=4.0, seed=3)
+        delays = [first.delay(k) for k in range(1, 10)]
+        assert delays == [second.delay(k) for k in range(1, 10)]
+        for k, delay in enumerate(delays, start=1):
+            assert 0.0 <= delay <= min(4.0, 0.5 * 2 ** (k - 1))
+
+    def test_zero_base_restarts_immediately(self):
+        assert RestartPolicy(base_s=0.0).delay(5) == 0.0
+
+
+# -- the sharded front end ---------------------------------------------------
+
+
+class TestShardedServer:
+    def test_answers_byte_identical_to_oracle(self, tier):
+        server, _ = make_local_server(tier.path1, epoch=1, shards=3)
+        try:
+            answers = server.batch(tier.workload)
+            oracle = tier.oracle1.batch(tier.workload)
+            assert [a.value for a in answers] == [a.value for a in oracle]
+            assert all(not a.degraded for a in answers)
+            assert all(a.epoch == 1 for a in answers)
+        finally:
+            server.close()
+
+    def test_routing_is_stable_and_spread(self, tier):
+        keys = [key for _, key in tier.workload]
+        homes = [shard_index(key, 3) for key in keys]
+        assert homes == [shard_index(key, 3) for key in keys]
+        assert len(set(homes)) == 3     # 120 keys must hit every shard
+
+    def test_admission_control_sheds_overflow(self, tier):
+        server, _ = make_local_server(
+            tier.path1, epoch=1, shards=2, max_inflight=8
+        )
+        try:
+            wave = tier.workload[:20]
+            answers = server.batch(wave)
+            assert len(answers) == 20
+            kept, dropped = answers[:8], answers[8:]
+            oracle = tier.oracle1.batch(wave[:8])
+            assert [a.value for a in kept] == [a.value for a in oracle]
+            for answer in dropped:
+                assert answer.degraded
+                assert answer.value is None
+                assert answer.note.startswith("shed")
+            assert server.shed == 12
+            assert server.shed_rate == pytest.approx(12 / 20)
+        finally:
+            server.close()
+
+    def test_failover_keeps_answers_identical(self, tier):
+        server, clock = make_local_server(tier.path1, epoch=1, shards=3)
+        try:
+            server.channels[1].transport.kill()
+            answers = server.batch(tier.workload)
+            oracle = tier.oracle1.batch(tier.workload)
+            assert [a.value for a in answers] == [a.value for a in oracle]
+            assert all(not a.degraded for a in answers)
+            assert server.failovers > 0
+            # The supervisor brings the replica back.
+            for _ in range(10):
+                clock.advance(2.0)
+                server.tick()
+                if server.supervisor.healthy_count() == 3:
+                    break
+            assert server.supervisor.healthy_count() == 3
+            assert server.supervisor.shards[1].restarts == 1
+        finally:
+            server.close()
+
+    def test_all_replicas_down_degrades_explicitly(self, tier):
+        server, _ = make_local_server(tier.path1, epoch=1, shards=2)
+        try:
+            for channel in server.channels:
+                channel.transport.kill()
+            answers = server.batch(tier.workload[:5])
+            for answer in answers:
+                assert answer.degraded
+                assert answer.value is None
+                assert answer.note.startswith("unavailable")
+        finally:
+            server.close()
+
+    def test_two_phase_swap_commits_everywhere(self, tier):
+        server, clock = make_local_server(tier.path1, epoch=1, shards=3)
+        try:
+            token = server.swap(tier.path2, epoch=2)
+            assert token is not None
+            clock.advance(1.0)
+            server.tick()
+            assert server.converged()
+            answers = server.batch(tier.workload)
+            oracle = tier.oracle2.batch(tier.workload)
+            assert [a.value for a in answers] == [a.value for a in oracle]
+            assert all(a.epoch == 2 for a in answers)
+            assert all(not a.degraded for a in answers)
+        finally:
+            server.close()
+
+    def test_failed_prepare_rolls_back_keep_last_good(self, tier):
+        server, _ = make_local_server(tier.path1, epoch=1, shards=3)
+        try:
+            token = server.swap(tier.path1 + ".does-not-exist", epoch=2)
+            assert token is None
+            assert server.committed_epoch == 1
+            assert server.committed_path == tier.path1
+            answers = server.batch(tier.workload[:10])
+            assert all(a.epoch == 1 and not a.degraded for a in answers)
+        finally:
+            server.close()
+
+
+# -- open-loop load generator accounting ------------------------------------
+
+
+class _FixedServer:
+    """Deterministic stand-in: admission like the real server, answers
+    instantly (the fake clock below supplies the 'service time')."""
+
+    def __init__(self, max_inflight):
+        self.max_inflight = max_inflight
+
+    def batch(self, wave):
+        answers = []
+        for position, (op, key) in enumerate(wave):
+            if position < self.max_inflight:
+                answers.append(Answer(op=op, key=key, value=1, epoch=1))
+            else:
+                answers.append(Answer(
+                    op=op, key=key, value=None, epoch=1,
+                    degraded=True, note="shed: server over capacity",
+                ))
+        return answers
+
+
+class TestOpenLoopAccounting:
+    def test_burst_wave_sheds_exactly_the_overflow(self, monkeypatch):
+        from repro.serving import bench as bench_mod
+
+        ticks = iter(0.001 * n for n in range(1000))
+        monkeypatch.setattr(bench_mod, "perf_clock", lambda: next(ticks))
+        workload = [("owner", k) for k in range(100)]
+        arrivals = [0.0] * 100          # one simultaneous burst
+        measured = bench_mod.bench_service(
+            _FixedServer(max_inflight=64), workload, arrivals
+        )
+        assert measured["waves"] == 1
+        assert measured["accepted"] == 64
+        assert measured["shed"] == 36
+        assert measured["degraded"] == 0
+        # Every accepted request finished at the wave's completion
+        # instant (one 1 ms clock delta), so p50 == p99 == max.
+        assert measured["p50_ms"] == pytest.approx(1.0)
+        assert measured["p99_ms"] == pytest.approx(1.0)
+        assert measured["max_ms"] == pytest.approx(1.0)
+
+    def test_spaced_arrivals_never_queue_or_shed(self, monkeypatch):
+        from repro.serving import bench as bench_mod
+
+        ticks = iter(0.001 * n for n in range(1000))
+        monkeypatch.setattr(bench_mod, "perf_clock", lambda: next(ticks))
+        workload = [("owner", k) for k in range(10)]
+        arrivals = [0.1 * k for k in range(10)]   # far apart vs 1 ms
+        measured = bench_mod.bench_service(
+            _FixedServer(max_inflight=4), workload, arrivals
+        )
+        assert measured["waves"] == 10
+        assert measured["accepted"] == 10
+        assert measured["shed"] == 0
+        assert measured["p50_ms"] == pytest.approx(1.0)
+
+
+# -- real processes ----------------------------------------------------------
+
+
+class TestProcessShards:
+    def test_spawned_shards_match_oracle_and_fail_over(self, tier):
+        server = make_process_server(tier.path1, epoch=1, shards=2)
+        try:
+            requests = tier.workload[:30]
+            answers = server.batch(requests)
+            oracle = tier.oracle1.batch(requests)
+            assert [a.value for a in answers] == [a.value for a in oracle]
+            assert all(not a.degraded for a in answers)
+            server.channels[0].transport.kill()
+            answers = server.batch(requests)
+            assert [a.value for a in answers] == [a.value for a in oracle]
+            assert all(not a.degraded for a in answers)
+            assert server.failovers > 0
+        finally:
+            server.close()
+
+
+# -- dead code guard ---------------------------------------------------------
+
+
+def test_channel_error_hierarchy_expectations():
+    """The tier's catch sites assume ChannelError sits under the
+    measurement branch while DataError does not; if the taxonomy moves,
+    every `(MeasurementError, DataError)` catch needs revisiting."""
+    from repro.errors import MeasurementError
+
+    assert issubclass(ChannelError, MeasurementError)
+    assert issubclass(MeasurementTimeout, MeasurementError)
+    assert not issubclass(DataError, MeasurementError)
