@@ -29,9 +29,15 @@ def _link_keys(result: BdrmapResult) -> Set[LinkKey]:
 
 
 def _match(key: LinkKey, pool: Set[LinkKey]) -> Optional[LinkKey]:
-    """Same neighbor + overlapping near addresses → same physical link."""
+    """Same neighbor + overlapping near addresses → same physical link.
+
+    Candidates are tried in sorted order so the match — and therefore the
+    whole diff — is deterministic even when several candidates overlap
+    (set iteration order varies across processes with hash
+    randomization; a longitudinal monitor must produce one canonical
+    delta for one pair of maps)."""
     neighbor, addrs = key
-    for candidate in pool:
+    for candidate in sorted(pool, key=lambda k: (k[0], sorted(k[1]))):
         if candidate[0] == neighbor and (candidate[1] & addrs or not addrs):
             return candidate
     return None
@@ -74,6 +80,22 @@ class RunDiff:
             shown = ",".join(ntoa(a) for a in sorted(addrs)[:3]) or "?"
             lines.append("  - AS%d at %s" % (neighbor, shown))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready canonical form (epoch chains embed this)."""
+        return {
+            "gained_neighbors": sorted(self.gained_neighbors),
+            "lost_neighbors": sorted(self.lost_neighbors),
+            "added_links": [
+                [neighbor, sorted(addrs)]
+                for neighbor, addrs in self.added_links
+            ],
+            "removed_links": [
+                [neighbor, sorted(addrs)]
+                for neighbor, addrs in self.removed_links
+            ],
+            "stable_links": self.stable_links,
+        }
 
 
 def _diff_key_sets(

@@ -44,6 +44,15 @@ class ASGraph:
         self._rel.setdefault(a, {})[b] = rel_a_to_b
         self._rel.setdefault(b, {})[a] = rel_a_to_b.invert()
 
+    def remove_edge(self, a: int, b: int) -> Rel:
+        """Drop the ``a``–``b`` adjacency (both directions); returns the
+        relationship ``b`` had from ``a``'s view.  Raises if absent."""
+        rel = self._rel.get(a, {}).pop(b, None)
+        self._rel.get(b, {}).pop(a, None)
+        if rel is None:
+            raise TopologyError("no AS%d-AS%d edge to remove" % (a, b))
+        return rel
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, asn: int) -> bool:

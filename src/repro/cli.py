@@ -835,6 +835,72 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_epoch(args: argparse.Namespace) -> int:
+    from .core.epochs import EpochRunner, apply_seeded_churn, replay_chain
+
+    scenario = _build(args.name, args.seed)
+    metrics, tracer = _make_obs(
+        args, clock=lambda: scenario.network.now, seed=args.seed or 0
+    )
+    runner = EpochRunner(
+        scenario,
+        out_dir=args.out_dir,
+        source="cli:%s" % args.name,
+        force_full=args.full,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    churn_seed = args.churn_seed
+    if churn_seed is None:
+        churn_seed = scenario.config.asgen.seed
+    for epoch in range(args.epochs):
+        if epoch:
+            events = apply_seeded_churn(
+                scenario, seed=churn_seed, epoch=epoch,
+                fraction=args.churn,
+            )
+            print("epoch %d churn: %s" % (
+                epoch, ", ".join(e.kind for e in events)))
+        record = runner.run_epoch()
+        cost = record.cost
+        print(
+            "epoch %d [%s]: probes=%d traces=%d+%d replayed "
+            "routers=%d live+%d replayed compile=%.1fms "
+            "sections=%d patched"
+            % (
+                record.epoch, record.mode, cost.probes,
+                cost.traces_probed, cost.traces_replayed,
+                cost.routers_live, cost.routers_replayed,
+                cost.compile_seconds * 1e3, cost.sections_patched,
+            )
+        )
+        if record.diff is not None:
+            diff = record.diff
+            print(
+                "  diff: +%d/-%d neighbors, +%d/-%d links, %d stable"
+                % (
+                    len(diff["gained_neighbors"]),
+                    len(diff["lost_neighbors"]),
+                    len(diff["added_links"]),
+                    len(diff["removed_links"]),
+                    diff["stable_links"],
+                )
+            )
+    chain_path = runner.save_chain()
+    if chain_path is not None:
+        print("epoch chain written to %s" % chain_path)
+    if args.verify:
+        if chain_path is None:
+            print("--verify needs --out-dir (no artifacts were saved)",
+                  file=sys.stderr)
+            return 2
+        verified = replay_chain(chain_path)
+        print("chain replay verified %d artifacts (patches reproduce "
+              "every epoch byte-for-byte)" % len(verified))
+    _write_obs(args, metrics, tracer)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="bdrmap reproduction (IMC 2016)"
@@ -1113,6 +1179,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "(overrides --drop/--garble/--sever)")
     _add_obs_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_epoch = subparsers.add_parser(
+        "epoch",
+        help="longitudinal runs: seeded churn + incremental re-inference "
+             "with in-place compiled-map patching",
+    )
+    p_epoch.add_argument("--name", choices=sorted(_SCENARIOS), default="mini")
+    p_epoch.add_argument("--seed", type=int, default=None)
+    p_epoch.add_argument("--epochs", type=int, default=3,
+                         help="how many measurement epochs to run")
+    p_epoch.add_argument("--churn", type=float, default=0.05,
+                         help="fraction of interdomain links mutated "
+                              "between epochs")
+    p_epoch.add_argument("--churn-seed", type=int, default=None,
+                         help="seed for the deterministic churn stream "
+                              "(default: the scenario seed)")
+    p_epoch.add_argument("--out-dir", default=None, metavar="DIR",
+                         help="save per-epoch artifacts, patches, and "
+                              "chain.json here")
+    p_epoch.add_argument("--full", action="store_true",
+                         help="disable all caches: recompute every epoch "
+                              "from scratch (the byte-identity baseline)")
+    p_epoch.add_argument("--verify", action="store_true",
+                         help="after the run, replay every patch onto the "
+                              "previous artifact and byte-compare against "
+                              "the epoch's own artifact")
+    _add_obs_args(p_epoch)
+    p_epoch.set_defaults(func=_cmd_epoch)
 
     p_table1 = subparsers.add_parser("table1", help="print Table 1 columns")
     p_table1.add_argument("--names", nargs="+", choices=sorted(_SCENARIOS),

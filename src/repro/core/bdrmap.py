@@ -156,6 +156,7 @@ def run_bdrmap(scenario, vp_index: int = 0,
                config: Optional[BdrmapConfig] = None,
                data: Optional[DataBundle] = None) -> BdrmapResult:
     """Convenience one-call runner for examples and tests."""
+    scenario.ensure_forwarding_current()
     if data is None:
         data = build_data_bundle(scenario)
     vp = scenario.vps[vp_index]

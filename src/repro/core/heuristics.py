@@ -721,66 +721,99 @@ _PARTIAL_EVIDENCE_ERRORS = (
 )
 
 
-def _apply_router_passes(
-    ctx: InferenceContext, passes: List[HeuristicPass]
-) -> None:
+def _apply_passes_to_router(
+    ctx: InferenceContext,
+    router: InferredRouter,
+    passes: List[HeuristicPass],
+    observer=None,
+) -> Optional[str]:
+    """Run the ordered router-level passes over one unowned router
+    (first match wins), with full metrics/tracing/provenance emission.
+
+    Returns the deciding pass name (None when every pass fell through).
+    ``observer``, when given, is called once as
+    ``observer(router, trail, deciding, attempted)`` where ``trail`` is
+    the ``(pass_name, verdict, error_type)`` sequence of the
+    non-deciding consults and ``attempted`` is the deciding pass's full
+    assignment list — this is the hook the incremental epoch pipeline
+    uses to record replayable application events without re-implementing
+    the pass loop.
+    """
     metrics = ctx.metrics
     timed = metrics.enabled
     provenance = ctx.provenance
-    for router in ctx.graph.by_distance():
-        if router.owner is not None:
-            continue
-        for heuristic in passes:
-            with ctx.tracer.span(
-                "pass.%s" % heuristic.name, router=router.rid
-            ):
-                started = perf_clock() if timed else 0.0
-                try:
-                    outcome = heuristic.apply(router, ctx)
-                except _PARTIAL_EVIDENCE_ERRORS as exc:
-                    ctx.degrade(heuristic.name)
-                    provenance.add(
-                        router.rid, heuristic.name, heuristic.section,
-                        DEGRADED,
-                        evidence={"error": type(exc).__name__},
-                    )
-                    if timed:
-                        metrics.time(
-                            "pass.%s.seconds" % heuristic.name,
-                            perf_clock() - started,
-                        )
-                    continue
+    trail: List[Tuple[str, str, Optional[str]]] = []
+    deciding: Optional[str] = None
+    attempted: List[Assignment] = []
+    for heuristic in passes:
+        with ctx.tracer.span(
+            "pass.%s" % heuristic.name, router=router.rid
+        ):
+            started = perf_clock() if timed else 0.0
+            try:
+                outcome = heuristic.apply(router, ctx)
+            except _PARTIAL_EVIDENCE_ERRORS as exc:
+                ctx.degrade(heuristic.name)
+                provenance.add(
+                    router.rid, heuristic.name, heuristic.section,
+                    DEGRADED,
+                    evidence={"error": type(exc).__name__},
+                )
+                trail.append(
+                    (heuristic.name, DEGRADED, type(exc).__name__)
+                )
                 if timed:
                     metrics.time(
                         "pass.%s.seconds" % heuristic.name,
                         perf_clock() - started,
                     )
-            if outcome is None:
-                provenance.add(
-                    router.rid, heuristic.name, heuristic.section,
-                    CONSIDERED,
-                )
                 continue
-            for assignment in outcome.assignments:
-                if assignment.router.owner is None:
-                    assignment.router.owner = assignment.owner
-                    assignment.router.reason = assignment.reason
-                    ctx.record(heuristic.name, assignment.reason)
-                    if assignment.router.rid == router.rid:
-                        provenance.add(
-                            router.rid, heuristic.name, heuristic.section,
-                            ASSIGNED, owner=assignment.owner,
-                            reason=assignment.reason,
-                        )
-                    else:
-                        provenance.add(
-                            assignment.router.rid, heuristic.name,
-                            heuristic.section, CO_ASSIGNED,
-                            owner=assignment.owner,
-                            reason=assignment.reason,
-                            evidence={"via_router": router.rid},
-                        )
-            break
+            if timed:
+                metrics.time(
+                    "pass.%s.seconds" % heuristic.name,
+                    perf_clock() - started,
+                )
+        if outcome is None:
+            provenance.add(
+                router.rid, heuristic.name, heuristic.section,
+                CONSIDERED,
+            )
+            trail.append((heuristic.name, CONSIDERED, None))
+            continue
+        deciding = heuristic.name
+        attempted = list(outcome.assignments)
+        for assignment in outcome.assignments:
+            if assignment.router.owner is None:
+                assignment.router.owner = assignment.owner
+                assignment.router.reason = assignment.reason
+                ctx.record(heuristic.name, assignment.reason)
+                if assignment.router.rid == router.rid:
+                    provenance.add(
+                        router.rid, heuristic.name, heuristic.section,
+                        ASSIGNED, owner=assignment.owner,
+                        reason=assignment.reason,
+                    )
+                else:
+                    provenance.add(
+                        assignment.router.rid, heuristic.name,
+                        heuristic.section, CO_ASSIGNED,
+                        owner=assignment.owner,
+                        reason=assignment.reason,
+                        evidence={"via_router": router.rid},
+                    )
+        break
+    if observer is not None:
+        observer(router, trail, deciding, attempted)
+    return deciding
+
+
+def _apply_router_passes(
+    ctx: InferenceContext, passes: List[HeuristicPass]
+) -> None:
+    for router in ctx.graph.by_distance():
+        if router.owner is not None:
+            continue
+        _apply_passes_to_router(ctx, router, passes)
 
 
 def _assemble_links(ctx: InferenceContext) -> None:

@@ -378,6 +378,7 @@ class MultiVPOrchestrator:
         )
 
     def run(self) -> OrchestratedRun:
+        self.scenario.ensure_forwarding_current()
         if self.data is None:
             self.data = build_data_bundle(self.scenario)
         if self.metrics.enabled:

@@ -39,8 +39,10 @@ from __future__ import annotations
 
 import json
 import sys
+import zlib
 from array import array
 from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import (
     Any, Dict, IO, List, Optional, Sequence, Tuple, Union,
 )
@@ -60,6 +62,9 @@ from .bordermap import (
 #: Format tag carried in the ``meta`` section; bumped on any table-layout
 #: change (the binfmt container version covers the envelope only).
 BIN_FORMAT = "bdrmap-repro-bordermap-bin/1"
+
+#: Format tag of a map *patch* artifact (see :class:`MapPatch`).
+PATCH_FORMAT = "bdrmap-repro-bordermap-patch/1"
 
 #: Sentinel for "absent" in u32 index columns (owner, far router, LPM
 #: origin).  It is an *index* sentinel — table sizes stay far below it.
@@ -223,11 +228,22 @@ class CompiledBorderMap:
     # -- compilation --------------------------------------------------------
 
     @classmethod
-    def from_border_map(cls, bmap: BorderMap) -> "CompiledBorderMap":
+    def from_border_map(
+        cls,
+        bmap: BorderMap,
+        donor: Optional["CompiledBorderMap"] = None,
+    ) -> "CompiledBorderMap":
         """Lower a dict :class:`BorderMap` into flat tables.
 
         This is the compile-time path: it may walk the object graph (and
         the trie) freely — the serving path never does.
+
+        ``donor`` is an optional previously compiled map: when the
+        announced-prefix table and AS table are unchanged, its LPM
+        projection (the most expensive column to build — one trie walk
+        per prefix boundary) is copied instead of recomputed.  The LPM
+        index is a pure function of those two tables, so the copy is
+        byte-identical to a fresh projection.
         """
         ases = list(bmap.as_table)
         as_index = {asn: i for i, asn in enumerate(ases)}
@@ -254,7 +270,20 @@ class CompiledBorderMap:
         )
         nbr_off, nbr_link = _csr([ids for _, ids in nbr_items])
         twd_off, twd_link = _csr([ids for _, ids in twd_items])
-        lpm_base, lpm_origin = cls._project_lpm(bmap, as_index)
+        pfx_addr = _u32(p.addr for p, _ in bmap.prefixes)
+        pfx_plen = _u8(p.plen for p, _ in bmap.prefixes)
+        pfx_origin = _u32(as_index[o] for _, o in bmap.prefixes)
+        if (
+            donor is not None
+            and list(donor._ases) == ases
+            and list(donor._pfx_addr) == list(pfx_addr)
+            and list(donor._pfx_plen) == list(pfx_plen)
+            and list(donor._pfx_origin) == list(pfx_origin)
+        ):
+            lpm_base = _u32(donor._lpm_base)
+            lpm_origin = _u32(donor._lpm_origin)
+        else:
+            lpm_base, lpm_origin = cls._project_lpm(bmap, as_index)
 
         tables: Dict[str, Sequence[int]] = {
             "ases": _u32(ases),
@@ -283,9 +312,9 @@ class CompiledBorderMap:
             "if_router": _u32(router for _, router in iface),
             "lpm_base": lpm_base,
             "lpm_origin": lpm_origin,
-            "pfx_addr": _u32(p.addr for p, _ in bmap.prefixes),
-            "pfx_plen": _u8(p.plen for p, _ in bmap.prefixes),
-            "pfx_origin": _u32(as_index[o] for _, o in bmap.prefixes),
+            "pfx_addr": pfx_addr,
+            "pfx_plen": pfx_plen,
+            "pfx_origin": pfx_origin,
             "nbr_as": _u32(key for key, _ in nbr_items),
             "nbr_off": nbr_off,
             "nbr_link": nbr_link,
@@ -644,9 +673,12 @@ class CompiledBorderMap:
 # -- module-level artifact API ------------------------------------------------
 
 
-def compile_map(bmap: BorderMap) -> CompiledBorderMap:
-    """Lower a dict BorderMap to its flat compiled form."""
-    return CompiledBorderMap.from_border_map(bmap)
+def compile_map(
+    bmap: BorderMap, donor: Optional[CompiledBorderMap] = None
+) -> CompiledBorderMap:
+    """Lower a dict BorderMap to its flat compiled form (optionally
+    reusing an unchanged LPM projection from ``donor``)."""
+    return CompiledBorderMap.from_border_map(bmap, donor=donor)
 
 
 def save_compiled_map(
@@ -677,3 +709,153 @@ def load_compiled_map(path: str, verify: bool = True) -> CompiledBorderMap:
     except DataError:
         container.close()
         raise
+
+
+# -- in-place patching --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MapPatch:
+    """The section-level delta between two compiled maps.
+
+    ``changed`` holds the full bytes of every section that differs (the
+    section is the patch granularity: sections are columns, and a column
+    either changed or it didn't); ``base_crcs`` pins the exact base
+    artifact the patch applies to — :func:`apply_map_patch` refuses any
+    other base rather than producing a silently wrong map.  A patch is
+    what the epoch pipeline ships to serving shards instead of a full
+    artifact when churn is low.
+    """
+
+    base_epoch: int
+    new_epoch: int
+    changed: Dict[str, bytes] = field(default_factory=dict)
+    base_crcs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def unchanged(self) -> Tuple[str, ...]:
+        return tuple(
+            name for name in self.base_crcs if name not in self.changed
+        )
+
+
+def patch_compiled_map(
+    prev: CompiledBorderMap, bmap: BorderMap
+) -> Tuple[CompiledBorderMap, MapPatch]:
+    """Compile ``bmap`` against the previous epoch's compiled map.
+
+    Returns the new compiled map — byte-identical to
+    ``compile_map(bmap)`` — plus the :class:`MapPatch` carrying only the
+    sections that changed.  Compilation reuses ``prev``'s LPM projection
+    when the prefix tables are unchanged.
+    """
+    compiled = CompiledBorderMap.from_border_map(bmap, donor=prev)
+    new_sections = compiled.sections()
+    old_sections = prev.sections()
+    if set(new_sections) != set(old_sections):  # pragma: no cover - same BIN_FORMAT
+        raise DataError("section sets differ between map generations")
+    changed = {
+        name: payload
+        for name, payload in new_sections.items()
+        if old_sections[name] != payload
+    }
+    patch = MapPatch(
+        base_epoch=prev.epoch,
+        new_epoch=compiled.epoch,
+        changed=changed,
+        base_crcs={
+            name: zlib.crc32(payload)
+            for name, payload in old_sections.items()
+        },
+    )
+    return compiled, patch
+
+
+def save_map_patch(
+    patch: MapPatch, target: Union[str, IO[bytes]]
+) -> int:
+    """Write a :class:`MapPatch` as a binfmt container; returns the bytes
+    written.  Layout: a ``patch_meta`` JSON section (format tag, epochs,
+    base crcs, changed-section list) followed by the changed sections in
+    canonical artifact order."""
+    meta = {
+        "format": PATCH_FORMAT,
+        "base_epoch": patch.base_epoch,
+        "new_epoch": patch.new_epoch,
+        "base_crcs": dict(sorted(patch.base_crcs.items())),
+        "changed": sorted(patch.changed),
+    }
+    sections: Dict[str, bytes] = {
+        "patch_meta": json.dumps(meta, sort_keys=True).encode("utf-8"),
+    }
+    for name in ("meta",) + _U32_SECTIONS + _U8_SECTIONS:
+        if name in patch.changed:
+            sections[name] = patch.changed[name]
+    return write_container(target, sections)
+
+
+def load_map_patch(path: str) -> MapPatch:
+    """Read a patch artifact written by :func:`save_map_patch`."""
+    with open_container(path) as container:
+        try:
+            meta = json.loads(container.section_bytes("patch_meta"))
+        except ValueError as exc:
+            raise DataError(
+                "corrupt section 'patch_meta' in %s: %s" % (path, exc)
+            ) from exc
+        if meta.get("format") != PATCH_FORMAT:
+            raise DataError(
+                "unknown map patch format %r in %s"
+                % (meta.get("format"), path)
+            )
+        return MapPatch(
+            base_epoch=meta["base_epoch"],
+            new_epoch=meta["new_epoch"],
+            changed={
+                name: container.section_bytes(name)
+                for name in meta["changed"]
+            },
+            base_crcs={
+                name: crc for name, crc in meta["base_crcs"].items()
+            },
+        )
+
+
+def apply_map_patch(
+    base_path: str,
+    patch_path: str,
+    out_path: Union[str, IO[bytes]],
+) -> int:
+    """Overlay a patch onto a base artifact, producing the next epoch's
+    full artifact (byte-identical to saving the patched compiled map).
+
+    Every base section is CRC-checked against the patch's expectations
+    first; a mismatched or wrong-generation base raises
+    :class:`DataError` naming the section instead of writing a corrupt
+    map.  Returns the bytes written.
+    """
+    patch = load_map_patch(patch_path)
+    with open_container(base_path) as container:
+        names = container.names()
+        if set(names) != set(patch.base_crcs):
+            raise DataError(
+                "patch %s does not match base %s: section sets differ"
+                % (patch_path, base_path)
+            )
+        unknown = set(patch.changed) - set(names)
+        if unknown:
+            raise DataError(
+                "patch %s carries unknown sections: %s"
+                % (patch_path, ", ".join(sorted(unknown)))
+            )
+        sections: Dict[str, bytes] = {}
+        for name in names:
+            payload = container.section_bytes(name)
+            if zlib.crc32(payload) != patch.base_crcs[name]:
+                raise DataError(
+                    "patch %s does not apply: base section %r of %s has "
+                    "a different checksum (wrong base artifact?)"
+                    % (patch_path, name, base_path)
+                )
+            sections[name] = patch.changed.get(name, payload)
+    return write_container(out_path, sections)

@@ -13,7 +13,7 @@ Two layers, mirroring real practice:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..addr import MAX_ADDR, Prefix, netmask
 from ..errors import TopologyError
@@ -78,22 +78,41 @@ class SubnetPool:
     def __init__(self, prefix: Prefix) -> None:
         self.prefix = prefix
         self._cursor = prefix.addr
+        # Returned subnets, keyed by prefix length.  Only topology
+        # mutations (link turn-downs) ever release, so generation-time
+        # allocation order is untouched; a later link between the same
+        # ASes renumbers onto the freed subnet instead of burning pool
+        # space — the way operators recycle interconnect /30s.
+        self._free: Dict[int, List[Prefix]] = {}
 
     def remaining(self) -> int:
         return self.prefix.last - self._cursor + 1
 
     def alloc_subnet(self, plen: int) -> Prefix:
-        """Allocate the next aligned subnet of length ``plen``."""
+        """Allocate the next aligned subnet of length ``plen``,
+        preferring previously released subnets of the same size."""
         if plen < self.prefix.plen:
             raise TopologyError(
                 "cannot carve a /%d out of %s" % (plen, self.prefix)
             )
+        free = self._free.get(plen)
+        if free:
+            return free.pop()
         size = 1 << (32 - plen)
         aligned = (self._cursor + size - 1) & ~(size - 1)
         if aligned + size - 1 > self.prefix.last:
             raise TopologyError("subnet pool %s exhausted" % self.prefix)
         self._cursor = aligned + size
         return Prefix(aligned, plen)
+
+    def release_subnet(self, subnet: Prefix) -> None:
+        """Return a previously allocated subnet for reuse."""
+        if not self.prefix.contains_prefix(subnet):
+            raise TopologyError(
+                "subnet %s was not carved from pool %s"
+                % (subnet, self.prefix)
+            )
+        self._free.setdefault(subnet.plen, []).append(subnet)
 
     def alloc_p2p(self, use_31: bool) -> Tuple[Prefix, int, int]:
         """Allocate a point-to-point subnet; returns (subnet, addr_a, addr_b).

@@ -56,10 +56,35 @@ class Scenario:
     network: Network
     info: RouterGenInfo
     vps: List[VantagePoint]
+    #: Structured mutation events recorded by :mod:`repro.topology.evolve`,
+    #: in application order.  The epoch pipeline slices this log to build
+    #: per-epoch deltas.
+    mutations: List[object] = field(default_factory=list)
+    #: True between a topology mutation and the next
+    #: :func:`~repro.topology.evolve.rebuild_network` — forwarding state
+    #: (the routing oracle) is stale while set.
+    topology_dirty: bool = False
 
     @property
     def focal_asn(self) -> int:
         return self.state.focal_asn
+
+    def ensure_forwarding_current(self) -> None:
+        """Raise if the topology changed since the network was (re)built.
+
+        Measurement against a stale :class:`~repro.net.Network` walks
+        forwarding state that no longer matches the topology; every run
+        entry point calls this so the failure is a clear error instead of
+        silently wrong traces.
+        """
+        if self.topology_dirty:
+            from ..errors import TopologyError
+
+            raise TopologyError(
+                "topology mutated since the network was built; call "
+                "repro.topology.evolve.rebuild_network(scenario) before "
+                "measuring"
+            )
 
     @property
     def vp_as_list(self) -> List[int]:

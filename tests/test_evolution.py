@@ -6,7 +6,17 @@ from repro import build_scenario, build_data_bundle, mini, run_bdrmap
 from repro.analysis.diff import diff_results
 from repro.asgraph import Rel
 from repro.errors import TopologyError
-from repro.topology.evolve import add_border_link, rebuild_network, remove_link
+from repro.topology.evolve import (
+    LinkAdded,
+    LinkMoved,
+    LinkRemoved,
+    RelationshipChanged,
+    add_border_link,
+    de_peer,
+    move_border_link,
+    rebuild_network,
+    remove_link,
+)
 from repro.topology.model import LinkKind
 
 
@@ -15,32 +25,60 @@ def scenario():
     return build_scenario(mini(seed=33))
 
 
+def _fresh_candidate(scenario):
+    """A background AS with no existing relationship to the focal net."""
+    internet = scenario.internet
+    focal = scenario.focal_asn
+    return next(
+        asn
+        for asn in sorted(internet.ases)
+        if internet.graph.relationship(focal, asn) is None
+        and internet.ases[asn].router_ids
+        and asn != focal
+    )
+
+
 class TestAddBorderLink:
     def test_new_peering_provisioned(self, scenario):
         internet = scenario.internet
         focal = scenario.focal_asn
-        # A background AS with no existing relationship to the focal net.
-        candidate = next(
-            asn
-            for asn in sorted(internet.ases)
-            if internet.graph.relationship(focal, asn) is None
-            and internet.ases[asn].router_ids
-            and asn != focal
-        )
-        link = add_border_link(scenario, focal, candidate)
-        assert link.kind is LinkKind.INTERDOMAIN
+        candidate = _fresh_candidate(scenario)
+        event = add_border_link(scenario, focal, candidate)
+        assert isinstance(event, LinkAdded)
+        assert event.created_relationship
+        assert event.relationship == Rel.PEER.value
         assert internet.graph.relationship(focal, candidate) is Rel.PEER
+        link = internet.links[event.link_id]
+        assert link.kind is LinkKind.INTERDOMAIN
         owners = {internet.routers[i.router_id].asn for i in link.interfaces}
         assert owners == {focal, candidate}
+        assert sorted(event.addrs) == sorted(
+            i.addr for i in link.interfaces if i.addr is not None
+        )
         for iface in link.interfaces:
             assert internet.addr_to_iface[iface.addr] is iface
 
-    def test_provider_supplies_subnet(self, scenario):
-        internet = scenario.internet
+    def test_existing_relationship_not_recreated(self, scenario):
         focal = scenario.focal_asn
-        customer = internet.graph.customers(focal)[0]
-        link = add_border_link(scenario, focal, customer)
-        assert link.supplier_asn == focal
+        customer = scenario.internet.graph.customers(focal)[0]
+        event = add_border_link(scenario, focal, customer)
+        assert not event.created_relationship
+        assert event.relationship == Rel.CUSTOMER.value
+
+    def test_provider_supplies_subnet(self, scenario):
+        focal = scenario.focal_asn
+        customer = scenario.internet.graph.customers(focal)[0]
+        event = add_border_link(scenario, focal, customer)
+        assert event.supplier_asn == focal
+
+    def test_event_recorded_and_dirty_flag_set(self, scenario):
+        assert not scenario.topology_dirty
+        focal = scenario.focal_asn
+        event = add_border_link(scenario, focal, _fresh_candidate(scenario))
+        assert scenario.mutations[-1] is event
+        assert scenario.topology_dirty
+        rebuild_network(scenario)
+        assert not scenario.topology_dirty
 
     def test_unknown_as_rejected(self, scenario):
         with pytest.raises(TopologyError):
@@ -51,15 +89,102 @@ class TestRemoveLink:
     def test_link_gone(self, scenario):
         internet = scenario.internet
         link = next(iter(internet.interdomain_links(scenario.focal_asn)))
-        addrs = [i.addr for i in link.interfaces if i.addr is not None]
-        remove_link(scenario, link.link_id)
+        addrs = sorted(i.addr for i in link.interfaces if i.addr is not None)
+        event = remove_link(scenario, link.link_id)
+        assert isinstance(event, LinkRemoved)
+        assert event.link_id == link.link_id
+        assert sorted(event.addrs) == addrs
         assert link.link_id not in internet.links
         for addr in addrs:
             assert addr not in internet.addr_to_iface
 
+    def test_subnet_returned_to_pool(self, scenario):
+        """A turned-down circuit's subnet is reused by the next
+        provisioning from the same supplier."""
+        focal = scenario.focal_asn
+        customer = scenario.internet.graph.customers(focal)[0]
+        # Same AS argument order both times → same supplier (focal), so
+        # the released subnet lands back in the pool we draw from.
+        first = add_border_link(scenario, focal, customer)
+        remove_link(scenario, first.link_id)
+        second = add_border_link(scenario, focal, customer)
+        assert second.supplier_asn == first.supplier_asn == focal
+        assert sorted(second.addrs) == sorted(first.addrs)
+
     def test_unknown_link_rejected(self, scenario):
         with pytest.raises(TopologyError):
             remove_link(scenario, 10**9)
+
+
+class TestMoveBorderLink:
+    def test_rehomed_to_sibling_router(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        link = next(iter(internet.interdomain_links(focal)))
+        iface = next(
+            i for i in link.interfaces
+            if internet.routers[i.router_id].asn == focal
+        )
+        target = next(
+            rid for rid in internet.ases[focal].router_ids
+            if rid != iface.router_id
+        )
+        event = move_border_link(scenario, link.link_id, target)
+        assert isinstance(event, LinkMoved)
+        assert event.from_router != event.to_router == target
+        assert iface.router_id == target
+        assert iface in internet.routers[target].interfaces
+        assert internet.routers[target].is_border
+        assert iface not in internet.routers[event.from_router].interfaces
+
+    def test_noop_move_rejected(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        link = next(iter(internet.interdomain_links(focal)))
+        iface = next(
+            i for i in link.interfaces
+            if internet.routers[i.router_id].asn == focal
+        )
+        with pytest.raises(TopologyError):
+            move_border_link(scenario, link.link_id, iface.router_id)
+
+
+class TestDePeer:
+    def test_links_and_relationship_torn_down(self, scenario):
+        internet = scenario.internet
+        focal = scenario.focal_asn
+        neighbor = internet.graph.customers(focal)[0]
+        doomed = [
+            link.link_id
+            for link in internet.interdomain_links(focal)
+            if {internet.routers[i.router_id].asn for i in link.interfaces}
+            == {focal, neighbor}
+        ]
+        events = de_peer(scenario, focal, neighbor)
+        removed = [e for e in events if isinstance(e, LinkRemoved)]
+        assert sorted(e.link_id for e in removed) == sorted(doomed)
+        final = events[-1]
+        assert isinstance(final, RelationshipChanged)
+        assert final.before == Rel.CUSTOMER.value and final.after is None
+        assert internet.graph.relationship(focal, neighbor) is None
+        for link_id in doomed:
+            assert link_id not in internet.links
+
+    def test_non_adjacent_rejected(self, scenario):
+        with pytest.raises(TopologyError):
+            de_peer(scenario, scenario.focal_asn, _fresh_candidate(scenario))
+
+
+class TestStalenessGuard:
+    def test_run_refused_until_rebuild(self, scenario):
+        data = build_data_bundle(scenario)
+        add_border_link(
+            scenario, scenario.focal_asn, _fresh_candidate(scenario)
+        )
+        with pytest.raises(TopologyError):
+            run_bdrmap(scenario, data=data)
+        rebuild_network(scenario)
+        run_bdrmap(scenario, data=build_data_bundle(scenario))
 
 
 class TestRebuild:
@@ -138,3 +263,20 @@ class TestLongitudinalDiff:
         result = run_bdrmap(scenario, data=data)
         diff = diff_results(result, result)
         assert "stable" in diff.summary()
+
+    def test_diff_deterministic_and_json_ready(self, scenario):
+        data = build_data_bundle(scenario)
+        before = run_bdrmap(scenario, data=data)
+        add_border_link(
+            scenario, scenario.focal_asn, _fresh_candidate(scenario)
+        )
+        rebuild_network(scenario)
+        after = run_bdrmap(scenario, data=build_data_bundle(scenario))
+        baseline = diff_results(before, after).to_dict()
+        for _ in range(5):
+            assert diff_results(before, after).to_dict() == baseline
+        assert baseline["stable_links"] >= 0
+        assert all(
+            isinstance(n, int) and addrs == sorted(addrs)
+            for n, addrs in baseline["added_links"] + baseline["removed_links"]
+        )
