@@ -22,6 +22,7 @@ from ..net.faults import (
     FaultPlan,
     GilbertElliott,
 )
+from ..obs.health import build_health_report
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..obs.trace import NULL_TRACER
 from ..probing.retry import RetryPolicy
@@ -282,6 +283,9 @@ class ShardChaosRun:
     converged: bool = False
     degraded_keys: Tuple[Tuple[str, int], ...] = ()
     error: Optional[str] = None
+    # SLO-scored HealthReport dict captured after the scenario settles
+    # (only when the harness runs with telemetry enabled).
+    health: Optional[Dict[str, object]] = None
 
     def line(self) -> str:
         if not self.completed:
@@ -465,6 +469,10 @@ def run_shard_chaos(
         settle(server, clock, run)
         run.restarts = sum(s.restarts for s in server.supervisor.shards)
         run.failovers = server.failovers
+        if server.telemetry:
+            # Same harvest path production monitoring uses: fold shard
+            # registry deltas home, then score the settled tier.
+            run.health = build_health_report(server).to_dict()
         run.completed = True
         server.close()
     except Exception as exc:  # noqa: BLE001 - the harness reports crashes
@@ -505,6 +513,8 @@ def run_shard_chaos(
         )
         run.restarts = sum(s.restarts for s in server.supervisor.shards)
         run.failovers = server.failovers
+        if server.telemetry:
+            run.health = build_health_report(server).to_dict()
         run.completed = True
         server.close()
     except Exception as exc:  # noqa: BLE001 - the harness reports crashes

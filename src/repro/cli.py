@@ -13,6 +13,7 @@ scenarios::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -216,8 +217,6 @@ def _run_all_vps(args, scenario, data, config, metrics=None, tracer=None) -> int
         save_report(run.report, args.out)
         print("report saved to %s" % args.out)
     if args.run_out:
-        import json
-
         from .io import orchestrated_run_to_dict
 
         with open(args.run_out, "w") as handle:
@@ -232,8 +231,6 @@ def _load_or_fail(loader, path: str, what: str):
     """Load an archive, turning the predictable failure modes (missing
     file, not JSON, unknown schema version) into a clear CLI error
     instead of a traceback.  Returns None after printing the error."""
-    import json
-
     from .errors import DataError
 
     try:
@@ -564,6 +561,140 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_server(args: argparse.Namespace):
+    """Stand up a sharded server with telemetry on for health/top.
+
+    Returns ``(server, clock, workload)`` — ``clock`` is None for
+    process-backed shards — or None when the artifact cannot load.
+    The workload is a deterministic sample derived from the map itself,
+    used to exercise the tier so latency histograms have data.
+    """
+    from .io import load_border_map
+    from .obs import MetricsRegistry, Tracer
+    from .serving import close_backend, make_workload
+    from .serving.server import make_local_server, make_process_server
+
+    probe = _load_or_fail(load_border_map, args.map, "border map")
+    if probe is None:
+        return None
+    epoch = probe.epoch
+    workload = make_workload(probe, None, args.queries, seed=args.seed)
+    close_backend(probe)
+    metrics = MetricsRegistry()
+    tracer = Tracer(seed=args.seed)
+    clock = None
+    if args.processes:
+        server = make_process_server(
+            args.map, epoch=epoch, shards=args.shards,
+            max_inflight=args.max_inflight, metrics=metrics, tracer=tracer,
+        )
+    else:
+        server, clock = make_local_server(
+            args.map, epoch=epoch, shards=args.shards,
+            max_inflight=args.max_inflight, metrics=metrics, tracer=tracer,
+        )
+    return server, clock, workload
+
+
+def _slo_from_args(args: argparse.Namespace):
+    from .obs import SLO
+
+    return SLO(
+        p99_ms=args.slo_p99_ms,
+        shed_rate=args.slo_shed_rate,
+        degraded_rate=args.slo_degraded_rate,
+        min_healthy_fraction=args.slo_min_healthy,
+        require_converged=not args.no_require_converged,
+    )
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """One-shot SLO health report for the sharded tier.
+
+    Drives a sample workload through the server (so the harvested
+    latency histograms have data), runs a supervision pass, harvests
+    every shard's registry, and prints the scored report — a table by
+    default, JSON with ``--json`` (the scripting surface), Prometheus
+    text with ``--prom``.  Exit code 1 when any SLO check fails.
+    """
+    from .obs import build_health_report, render_prometheus
+
+    made = _telemetry_server(args)
+    if made is None:
+        return 2
+    server, clock, workload = made
+    try:
+        for start in range(0, len(workload), args.max_inflight):
+            server.batch(workload[start:start + args.max_inflight])
+        if clock is not None:
+            clock.advance(1.0)
+        server.tick()
+        report = build_health_report(server, slo=_slo_from_args(args))
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+        elif args.prom:
+            print(render_prometheus(server.metrics), end="")
+        else:
+            print(report.table())
+        if args.metrics_out:
+            server.metrics.write_json(args.metrics_out)
+        if args.trace_out:
+            server.write_merged_trace(args.trace_out)
+        return 0 if report.ok else 1
+    finally:
+        server.close()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """A refreshing live health table — htop for the shard tier.
+
+    Each refresh drives one admission-sized wave of the sample
+    workload, ticks the supervisor (harvesting shard telemetry), and
+    redraws the SLO-scored table.  ``--iterations 0`` runs until
+    interrupted.
+    """
+    import time
+
+    from .obs import build_health_report
+
+    made = _telemetry_server(args)
+    if made is None:
+        return 2
+    server, clock, workload = made
+    slo = _slo_from_args(args)
+    refreshed = 0
+    position = 0
+    try:
+        while args.iterations == 0 or refreshed < args.iterations:
+            if workload:
+                wave = [
+                    workload[(position + i) % len(workload)]
+                    for i in range(min(args.max_inflight, len(workload)))
+                ]
+                position += len(wave)
+                server.batch(wave)
+            if clock is not None:
+                clock.advance(1.0)
+            server.tick()
+            report = build_health_report(server, slo=slo)
+            refreshed += 1
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            tail = "" if args.iterations == 0 else "/%d" % args.iterations
+            print("repro top — refresh %d%s  (interval %.1fs)"
+                  % (refreshed, tail, args.interval))
+            print(report.table())
+            sys.stdout.flush()
+            more = args.iterations == 0 or refreshed < args.iterations
+            if more and args.interval > 0:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
     """Offline inference over an archived bundle — no probing at all."""
     from .core.bdrmap import BdrmapConfig, infer_from_collection
@@ -637,12 +768,16 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Profile a span trace written by ``--trace-out``."""
-    from .obs import load_trace, profile_spans, profile_table
+    from .obs import format_span_tree, load_trace, profile_spans, \
+        profile_table
 
     spans = _load_or_fail(load_trace, args.path, "trace file")
     if spans is None:
         return 2
-    print(profile_table(profile_spans(spans)))
+    if args.tree:
+        print(format_span_tree(spans))
+    else:
+        print(profile_table(profile_spans(spans)))
     return 0
 
 
@@ -1087,6 +1222,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write BENCH_service.json here (--bench)")
     p_serve.set_defaults(func=_cmd_serve)
 
+    def _add_tier_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--map", required=True,
+                            help="compiled BorderMap artifact (JSON or "
+                                 "binary)")
+        parser.add_argument("--shards", type=int, default=3,
+                            help="replica count")
+        parser.add_argument("--max-inflight", type=int, default=64,
+                            help="admission-control cap per wave")
+        parser.add_argument("--processes", action="store_true",
+                            help="spawn one OS process per shard")
+        parser.add_argument("--queries", type=int, default=200,
+                            help="sample workload size used to exercise "
+                                 "the tier (0: report on an idle tier)")
+        parser.add_argument("--seed", type=int, default=0,
+                            help="workload + trace seed")
+        parser.add_argument("--slo-p99-ms", type=float, default=250.0,
+                            help="objective: tier-wide p99 query ms")
+        parser.add_argument("--slo-shed-rate", type=float, default=0.05,
+                            help="objective: max shed fraction")
+        parser.add_argument("--slo-degraded-rate", type=float,
+                            default=0.05,
+                            help="objective: max degraded fraction")
+        parser.add_argument("--slo-min-healthy", type=float, default=0.5,
+                            help="objective: min healthy replica fraction")
+        parser.add_argument("--no-require-converged", action="store_true",
+                            help="don't fail the SLO on an unconverged "
+                                 "tier")
+
+    p_health = subparsers.add_parser(
+        "health",
+        help="one-shot SLO health report for the sharded tier",
+    )
+    _add_tier_args(p_health)
+    p_health.add_argument("--json", action="store_true",
+                          help="machine-readable report (the scripting "
+                               "surface)")
+    p_health.add_argument("--prom", action="store_true",
+                          help="Prometheus text exposition of the "
+                               "harvested registry")
+    p_health.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="also write the harvested registry (JSON) "
+                               "here")
+    p_health.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="also write the merged cross-process span "
+                               "trace (JSONL) here")
+    p_health.set_defaults(func=_cmd_health)
+
+    p_top = subparsers.add_parser(
+        "top", help="live refreshing health table for the sharded tier"
+    )
+    _add_tier_args(p_top)
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="refresh count (0: until interrupted)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append refreshes instead of clearing the "
+                            "screen (for logs/tests)")
+    p_top.set_defaults(func=_cmd_top)
+
     p_infer = subparsers.add_parser(
         "infer", help="re-run inference over an archived bundle (no probing)"
     )
@@ -1127,6 +1322,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="profile a --trace-out span trace"
     )
     p_trace.add_argument("path", help="JSONL from `run --trace-out`")
+    p_trace.add_argument("--tree", action="store_true",
+                         help="render the span tree (parent/child "
+                              "nesting, including cross-process worker "
+                              "spans) instead of the profile table")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_study = subparsers.add_parser("study", help="the §6 multi-VP analyses")

@@ -50,7 +50,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from ..alias import AliasResolver
 from ..errors import DataError, TopologyError
 from ..net.routing import StepKind
-from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry, NULL_REGISTRY
 from ..obs.provenance import ASSIGNED, CO_ASSIGNED, CONSIDERED, DEGRADED
 from ..obs.trace import NULL_TRACER, Tracer, perf_clock
 from ..rng import make_rng
@@ -1174,6 +1174,15 @@ class EpochRunner:
             self.metrics.inc("epoch.units.probed", cost.units_probed)
             self.metrics.inc("epoch.units.reused", cost.units_reused)
             self.metrics.time("epoch.compile.seconds", cost.compile_seconds)
+            # Per-epoch distributions, in the same histogram shapes the
+            # serving tier harvests: compile latency feeds the p50/p99
+            # SLO surface, probe counts show churn spread across epochs.
+            self.metrics.observe(
+                "epoch.compile.ms", 1e3 * cost.compile_seconds,
+                bounds=LATENCY_BUCKETS_MS,
+            )
+            self.metrics.observe("epoch.probes.per_epoch", cost.probes)
+            self.metrics.set_gauge("epoch.last", float(epoch))
         self._prev_bmap = bmap
         self._prev_compiled = compiled
         self._prev_map_path = map_path

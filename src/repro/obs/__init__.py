@@ -14,10 +14,24 @@ pieces, each usable alone:
   are byte-identical.
 * :mod:`~repro.obs.provenance` — the ``(router, pass, verdict,
   evidence)`` decision log behind ``repro explain``.
+* :mod:`~repro.obs.health` / :mod:`~repro.obs.promtext` — the
+  operator surface: SLO-scored :class:`~repro.obs.health.HealthReport`
+  snapshots of the sharded serving tier and Prometheus text exposition
+  of any registry (``repro top`` / ``repro health``).
 """
 
+from .health import (
+    DEFAULT_SLO,
+    HEALTH_FORMAT,
+    HealthReport,
+    SLO,
+    ShardHealth,
+    build_health_report,
+    health_from_dict,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_MS,
     METRICS_FORMAT,
     Histogram,
     MetricsRegistry,
@@ -26,6 +40,7 @@ from .metrics import (
     load_metrics,
     registry_from_dict,
 )
+from .promtext import render_prometheus, sanitize_name
 from .provenance import (
     ASSIGNED,
     CO_ASSIGNED,
@@ -44,11 +59,13 @@ from .trace import (
     Span,
     TRACE_FORMAT,
     Tracer,
+    format_span_tree,
     load_trace,
     perf_clock,
     profile_spans,
     profile_table,
     span_id,
+    span_tree,
 )
 
 __all__ = [
@@ -57,8 +74,12 @@ __all__ = [
     "CONSIDERED",
     "DECIDING",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SLO",
     "DEGRADED",
+    "HEALTH_FORMAT",
+    "HealthReport",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "LINKED",
     "MERGED",
     "METRICS_FORMAT",
@@ -69,15 +90,23 @@ __all__ = [
     "NullTracer",
     "ProvenanceLog",
     "ProvenanceRecord",
+    "SLO",
+    "ShardHealth",
     "Span",
     "TRACE_FORMAT",
     "Tracer",
+    "build_health_report",
     "format_chain",
+    "format_span_tree",
+    "health_from_dict",
     "load_metrics",
     "load_trace",
     "perf_clock",
     "profile_spans",
     "profile_table",
     "registry_from_dict",
+    "render_prometheus",
+    "sanitize_name",
     "span_id",
+    "span_tree",
 ]

@@ -1,0 +1,337 @@
+"""Health and SLO reports for the sharded serving tier.
+
+A :class:`HealthReport` is a structured snapshot of one
+:class:`~repro.serving.server.ShardedBorderServer`: per-shard liveness,
+breaker state, restart counts, epoch/token convergence, and query
+latency percentiles read from the ``shard.<k>.worker.query.ms``
+histograms that :meth:`~repro.serving.server.ShardedBorderServer.\
+collect_metrics` harvests into the front-end registry.  The report is
+scored against an :class:`SLO` — declared objectives for tail latency,
+shed/degraded rates, replica health, and convergence — into named
+pass/fail checks and one overall verdict.
+
+Reports round-trip through JSON (``repro health --json`` is the
+scripting surface; ``repro top`` renders the table form), and the
+registry they read from can also be exposed in Prometheus text form
+via :mod:`repro.obs.promtext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import DataError
+from .metrics import Histogram, LATENCY_BUCKETS_MS
+
+HEALTH_FORMAT = "bdrmap-repro-health/1"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Declared service-level objectives for the serving tier."""
+
+    p99_ms: float = 250.0            # tier-wide query tail latency
+    shed_rate: float = 0.05          # admission-control shed fraction
+    degraded_rate: float = 0.05      # explicitly degraded answers
+    min_healthy_fraction: float = 0.5  # live, breaker-closed replicas
+    require_converged: bool = True   # every shard on the committed epoch
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "p99_ms": self.p99_ms,
+            "shed_rate": self.shed_rate,
+            "degraded_rate": self.degraded_rate,
+            "min_healthy_fraction": self.min_healthy_fraction,
+            "require_converged": self.require_converged,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SLO":
+        try:
+            return cls(
+                p99_ms=float(payload["p99_ms"]),
+                shed_rate=float(payload["shed_rate"]),
+                degraded_rate=float(payload["degraded_rate"]),
+                min_healthy_fraction=float(payload["min_healthy_fraction"]),
+                require_converged=bool(payload["require_converged"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError("malformed SLO payload: %s" % exc) from exc
+
+
+DEFAULT_SLO = SLO()
+
+
+@dataclass
+class ShardHealth:
+    """One replica's health row."""
+
+    shard_id: int
+    alive: bool
+    breaker: str               # "closed" | "open" | "half_open"
+    restarts: int
+    epoch: int
+    token: int
+    queries: int
+    p50_ms: float
+    p99_ms: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "alive": self.alive,
+            "breaker": self.breaker,
+            "restarts": self.restarts,
+            "epoch": self.epoch,
+            "token": self.token,
+            "queries": self.queries,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardHealth":
+        try:
+            return cls(
+                shard_id=int(payload["shard_id"]),
+                alive=bool(payload["alive"]),
+                breaker=str(payload["breaker"]),
+                restarts=int(payload["restarts"]),
+                epoch=int(payload["epoch"]),
+                token=int(payload["token"]),
+                queries=int(payload["queries"]),
+                p50_ms=float(payload["p50_ms"]),
+                p99_ms=float(payload["p99_ms"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError("malformed shard health: %s" % exc) from exc
+
+
+@dataclass
+class HealthReport:
+    """The tier-wide health snapshot; see module docs."""
+
+    epoch: int
+    token: int
+    converged: bool
+    healthy: int
+    total: int
+    requests: int
+    shed: int
+    shed_rate: float
+    degraded: int
+    degraded_rate: float
+    failovers: int
+    p50_ms: float
+    p99_ms: float
+    shards: List[ShardHealth] = field(default_factory=list)
+    slo: SLO = DEFAULT_SLO
+    checks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    ok: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": HEALTH_FORMAT,
+            "epoch": self.epoch,
+            "token": self.token,
+            "converged": self.converged,
+            "healthy": self.healthy,
+            "total": self.total,
+            "requests": self.requests,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "degraded": self.degraded,
+            "degraded_rate": self.degraded_rate,
+            "failovers": self.failovers,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "slo": self.slo.to_dict(),
+            "checks": self.checks,
+            "ok": self.ok,
+        }
+
+    def table(self) -> str:
+        """The ``repro top`` rendering: one tier header, one row per
+        shard, one line per SLO check."""
+        lines = [
+            "tier: epoch %d (token %d)  converged=%s  SLO=%s"
+            % (self.epoch, self.token,
+               "yes" if self.converged else "NO",
+               "PASS" if self.ok else "FAIL"),
+            "requests %d  shed %d (%.2f%%)  degraded %d (%.2f%%)  "
+            "failovers %d  p50 %.3fms  p99 %.3fms"
+            % (self.requests, self.shed, 100.0 * self.shed_rate,
+               self.degraded, 100.0 * self.degraded_rate,
+               self.failovers, self.p50_ms, self.p99_ms),
+            "%-6s %-6s %-10s %8s %6s %6s %9s %9s %9s"
+            % ("shard", "state", "breaker", "restarts", "epoch",
+               "token", "queries", "p50ms", "p99ms"),
+        ]
+        for shard in self.shards:
+            lines.append(
+                "%-6d %-6s %-10s %8d %6d %6d %9d %9.3f %9.3f"
+                % (shard.shard_id,
+                   "up" if shard.alive else "DOWN",
+                   shard.breaker, shard.restarts, shard.epoch,
+                   shard.token, shard.queries, shard.p50_ms,
+                   shard.p99_ms)
+            )
+        for name in sorted(self.checks):
+            check = self.checks[name]
+            lines.append(
+                "check %-20s %-4s actual=%s objective=%s"
+                % (name, "ok" if check["ok"] else "FAIL",
+                   check["actual"], check["objective"])
+            )
+        return "\n".join(lines)
+
+
+def health_from_dict(payload: Dict[str, Any]) -> HealthReport:
+    """Rebuild a report from :meth:`HealthReport.to_dict` output."""
+    try:
+        fmt = payload["format"]
+    except (KeyError, TypeError) as exc:
+        raise DataError("health payload has no format marker") from exc
+    if fmt != HEALTH_FORMAT:
+        raise DataError("unsupported health format %r" % (fmt,))
+    try:
+        return HealthReport(
+            epoch=int(payload["epoch"]),
+            token=int(payload["token"]),
+            converged=bool(payload["converged"]),
+            healthy=int(payload["healthy"]),
+            total=int(payload["total"]),
+            requests=int(payload["requests"]),
+            shed=int(payload["shed"]),
+            shed_rate=float(payload["shed_rate"]),
+            degraded=int(payload["degraded"]),
+            degraded_rate=float(payload["degraded_rate"]),
+            failovers=int(payload["failovers"]),
+            p50_ms=float(payload["p50_ms"]),
+            p99_ms=float(payload["p99_ms"]),
+            shards=[
+                ShardHealth.from_dict(entry)
+                for entry in payload.get("shards", ())
+            ],
+            slo=SLO.from_dict(payload["slo"]),
+            checks=dict(payload.get("checks", {})),
+            ok=bool(payload["ok"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError("malformed health payload: %s" % exc) from exc
+
+
+def _merged_latency(registry, shard_ids) -> Histogram:
+    """Tier-wide latency: the per-shard ``worker.query.ms`` histograms
+    summed bucket-wise (they share LATENCY_BUCKETS_MS bounds)."""
+    merged = Histogram(LATENCY_BUCKETS_MS)
+    for shard_id in shard_ids:
+        hist = registry.histograms.get(
+            "shard.%d.worker.query.ms" % shard_id
+        )
+        if hist is None:
+            continue
+        merged.count += hist.count
+        merged.sum += hist.sum
+        for index, count in enumerate(hist.counts):
+            if index < len(merged.counts):
+                merged.counts[index] += count
+    return merged
+
+
+def build_health_report(server, slo: Optional[SLO] = None,
+                        harvest: bool = True) -> HealthReport:
+    """Snapshot ``server`` (a :class:`ShardedBorderServer`) into a
+    scored :class:`HealthReport`.
+
+    ``harvest=True`` (the default) pulls fresh registry deltas from
+    every live shard first, so the latency percentiles and per-shard
+    counters reflect work done since the last harvest; pass False to
+    score exactly what the front-end registry already holds.
+    """
+    slo = slo if slo is not None else DEFAULT_SLO
+    if harvest:
+        server.collect_metrics()
+    registry = server.metrics
+    supervisor = server.supervisor
+
+    shards: List[ShardHealth] = []
+    healthy = 0
+    for shard in supervisor.shards:
+        alive = shard.channel.alive
+        breaker = shard.breaker.state
+        if alive and breaker != "open":
+            healthy += 1
+        prefix = "shard.%d." % shard.shard_id
+        hist = registry.histograms.get(prefix + "worker.query.ms")
+        shards.append(ShardHealth(
+            shard_id=shard.shard_id,
+            alive=alive,
+            breaker=breaker,
+            restarts=shard.restarts,
+            epoch=shard.last_seen_epoch,
+            token=shard.last_seen_token,
+            queries=registry.counter(prefix + "worker.queries"),
+            p50_ms=hist.percentile(0.5) if hist is not None else 0.0,
+            p99_ms=hist.percentile(0.99) if hist is not None else 0.0,
+        ))
+
+    requests = server.requests
+    shed = server.shed
+    degraded = server.degraded
+    shed_rate = shed / requests if requests else 0.0
+    degraded_rate = degraded / requests if requests else 0.0
+    tier_latency = _merged_latency(
+        registry, [shard.shard_id for shard in supervisor.shards]
+    )
+    p50 = tier_latency.percentile(0.5)
+    p99 = tier_latency.percentile(0.99)
+    converged = server.converged()
+    total = len(supervisor.shards)
+    healthy_fraction = healthy / total if total else 0.0
+
+    checks = {
+        "p99_ms": {
+            "objective": slo.p99_ms, "actual": p99,
+            "ok": p99 <= slo.p99_ms,
+        },
+        "shed_rate": {
+            "objective": slo.shed_rate, "actual": shed_rate,
+            "ok": shed_rate <= slo.shed_rate,
+        },
+        "degraded_rate": {
+            "objective": slo.degraded_rate, "actual": degraded_rate,
+            "ok": degraded_rate <= slo.degraded_rate,
+        },
+        "healthy_fraction": {
+            "objective": slo.min_healthy_fraction,
+            "actual": healthy_fraction,
+            "ok": healthy_fraction >= slo.min_healthy_fraction,
+        },
+        "converged": {
+            "objective": slo.require_converged, "actual": converged,
+            "ok": converged or not slo.require_converged,
+        },
+    }
+
+    return HealthReport(
+        epoch=server.committed_epoch,
+        token=server.committed_token,
+        converged=converged,
+        healthy=healthy,
+        total=total,
+        requests=requests,
+        shed=shed,
+        shed_rate=shed_rate,
+        degraded=degraded,
+        degraded_rate=degraded_rate,
+        failovers=server.failovers,
+        p50_ms=p50,
+        p99_ms=p99,
+        shards=shards,
+        slo=slo,
+        checks=checks,
+        ok=all(check["ok"] for check in checks.values()),
+    )

@@ -22,7 +22,7 @@ Metric names are dotted strings (``"probe.sent"``,
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Optional, Sequence, Union
+from typing import Any, Dict, IO, Sequence, Union
 
 from ..errors import DataError
 
@@ -31,6 +31,16 @@ METRICS_FORMAT = "bdrmap-repro-metrics/1"
 #: Default histogram bounds: powers of four from 1 — wide enough for
 #: counts (probes per block, pairs per router) without tuning.
 DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096)
+
+#: Latency bounds in milliseconds: sub-millisecond resolution at the
+#: bottom (engine lookups are microseconds) up to a multi-second
+#: overflow for stalled shards.  Used by the serving tier's
+#: ``*.query.ms`` histograms, which the SLO layer reads percentiles
+#: from.
+LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
 
 
 class Histogram:
@@ -61,6 +71,33 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Deterministic bucket-interpolated quantile, ``0 <= q <= 1``.
+
+        Linear interpolation within the bucket holding the ``q``-th
+        sample, taking the previous bound as the bucket's lower edge
+        (0 for the first).  Overflow samples clamp to the top bound —
+        the histogram records nothing finer.  Pure arithmetic on the
+        bucket counts, so two registries with equal counts agree
+        exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            bucket = self.counts[i]
+            if bucket:
+                if rank <= cumulative + bucket:
+                    fraction = (rank - cumulative) / bucket
+                    return lower + (bound - lower) * fraction
+                cumulative += bucket
+            lower = bound
+        return float(self.bounds[-1]) if self.bounds else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -188,26 +225,31 @@ class MetricsRegistry:
             "histograms": histograms,
         }
 
-    def merge_delta(self, delta: Dict[str, Any]) -> None:
+    def merge_delta(self, delta: Dict[str, Any], prefix: str = "") -> None:
         """Add a :meth:`delta_since` (or a whole registry's
         :meth:`as_dict`) into this registry.  Addition is commutative per
         slot, so merging per-VP deltas in VP order reproduces the registry
-        a single-process run would have built."""
+        a single-process run would have built.
+
+        ``prefix`` namespaces every incoming slot — the serving front end
+        folds each shard's harvest under ``shard.<k>.`` so replicas never
+        collide."""
         for name, value in delta.get("counters", {}).items():
-            self.inc(name, value)
+            self.inc(prefix + name, value)
         for name, value in delta.get("timers", {}).items():
-            self.time(name, value)
+            self.time(prefix + name, value)
         for name, entry in delta.get("histograms", {}).items():
-            hist = self.histograms.get(name)
+            hist = self.histograms.get(prefix + name)
             if hist is None:
-                hist = self.histograms[name] = Histogram(entry["bounds"])
+                hist = Histogram(entry["bounds"])
+                self.histograms[prefix + name] = hist
             hist.count += entry["count"]
             hist.sum += entry["sum"]
             for index, count in enumerate(entry["counts"]):
                 if index < len(hist.counts):
                     hist.counts[index] += count
         for name, value in delta.get("gauges", {}).items():
-            self.set_gauge(name, value)
+            self.set_gauge(prefix + name, value)
 
     def merge_registry(self, other: "MetricsRegistry") -> None:
         """Fold another registry's slots into this one (counters, timers,
@@ -234,8 +276,10 @@ class MetricsRegistry:
         if hasattr(target, "write"):
             target.write(payload)
             return
-        with open(target, "w") as handle:
-            handle.write(payload)
+        # Function-level import: io.serialize pulls in report/provenance
+        # modules that import this one.
+        from ..io.serialize import atomic_write_text
+        atomic_write_text(target, payload)
 
     def summary(self) -> str:
         lines = []
@@ -248,7 +292,9 @@ class MetricsRegistry:
         for name in sorted(self.histograms):
             hist = self.histograms[name]
             lines.append(
-                "%-44s n=%-8d mean=%.2f" % (name, hist.count, hist.mean)
+                "%-44s n=%-8d mean=%.2f p50=%.2f p99=%.2f"
+                % (name, hist.count, hist.mean,
+                   hist.percentile(0.5), hist.percentile(0.99))
             )
         return "\n".join(lines)
 
@@ -283,7 +329,7 @@ class NullRegistry(MetricsRegistry):
     ) -> None:
         pass
 
-    def merge_delta(self, delta: Dict[str, Any]) -> None:
+    def merge_delta(self, delta: Dict[str, Any], prefix: str = "") -> None:
         pass
 
 

@@ -1,0 +1,88 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Renders the registry's counters, gauges, timers, and histograms in the
+`text-based exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+scraper (or a human with curl) can read the serving tier's harvested
+metrics without any new dependency.  Output is deterministic: names are
+sanitized and emitted in sorted order, histogram buckets are cumulative
+with an explicit ``+Inf`` terminal, and floats use ``repr`` so two
+registries with equal slots render byte-identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_:]``) become
+    underscores; a leading digit gets a guard underscore.
+    """
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      namespace: str = "bdrmap") -> str:
+    """The whole registry as one exposition document.
+
+    ``namespace`` prefixes every family, Prometheus-style
+    (``bdrmap_serving_server_requests``).  Timers render as
+    ``*_seconds_total`` counters; histograms as the standard
+    ``_bucket``/``_sum``/``_count`` triple.
+    """
+    prefix = sanitize_name(namespace) + "_" if namespace else ""
+    lines: List[str] = []
+
+    for name in sorted(registry.counters):
+        family = prefix + sanitize_name(name)
+        lines.append("# TYPE %s counter" % family)
+        lines.append(
+            "%s %s" % (family, _format_value(registry.counters[name]))
+        )
+    for name in sorted(registry.gauges):
+        family = prefix + sanitize_name(name)
+        lines.append("# TYPE %s gauge" % family)
+        lines.append(
+            "%s %s" % (family, _format_value(registry.gauges[name]))
+        )
+    for name in sorted(registry.timers):
+        family = prefix + sanitize_name(name) + "_seconds_total"
+        lines.append("# TYPE %s counter" % family)
+        lines.append(
+            "%s %s" % (family, _format_value(registry.timers[name]))
+        )
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        family = prefix + sanitize_name(name)
+        lines.append("# TYPE %s histogram" % family)
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                '%s_bucket{le="%s"} %d'
+                % (family, _format_value(float(bound)), cumulative)
+            )
+        lines.append('%s_bucket{le="+Inf"} %d' % (family, hist.count))
+        lines.append("%s_sum %s" % (family, _format_value(hist.sum)))
+        lines.append("%s_count %d" % (family, hist.count))
+
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -48,10 +48,13 @@ def span_id(seed: int, seq: int) -> str:
 class Span:
     """One timed region.  Use via ``with tracer.span(name, **attrs):``."""
 
-    __slots__ = ("name", "sid", "parent", "t0", "t1", "attrs", "_tracer")
+    __slots__ = (
+        "name", "sid", "parent", "t0", "t1", "attrs", "_tracer", "_remote",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, sid: str,
-                 attrs: Dict[str, Any]) -> None:
+                 attrs: Dict[str, Any],
+                 remote_parent: Optional[str] = None) -> None:
         self._tracer = tracer
         self.name = name
         self.sid = sid
@@ -59,12 +62,18 @@ class Span:
         self.t0 = 0.0
         self.t1 = 0.0
         self.attrs = attrs
+        self._remote = remote_parent
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
         stack = tracer._stack
         if stack:
             self.parent = stack[-1].sid
+        else:
+            # A remote parent (the trace context a shard command carried
+            # over the wire) only applies to a tree root: a local
+            # enclosing span always wins.
+            self.parent = self._remote
         self.t0 = tracer._now()
         stack.append(self)
         return self
@@ -132,9 +141,30 @@ class Tracer:
         self._tick += 1
         return float(self._tick)
 
-    def span(self, name: str, **attrs: Any) -> Span:
+    def span(self, name: str, remote_parent: Optional[str] = None,
+             **attrs: Any) -> Span:
         self._seq += 1
-        return Span(self, name, span_id(self.seed, self._seq), attrs)
+        return Span(self, name, span_id(self.seed, self._seq), attrs,
+                    remote_parent=remote_parent)
+
+    @property
+    def current_id(self) -> Optional[str]:
+        """Id of the innermost open span, or None outside any span.
+
+        The serving front end stamps this into shard commands so
+        worker-side spans parent under the query span that caused them.
+        """
+        return self._stack[-1].sid if self._stack else None
+
+    def drain(self) -> List[Span]:
+        """Hand over (and forget) every finished span.
+
+        Sequence numbers keep counting, so ids stay unique across
+        drains — this is how a shard worker ships its spans home at
+        each harvest without re-sending old ones.
+        """
+        spans, self.spans = self.spans, []
+        return spans
 
     # -- export -------------------------------------------------------------
 
@@ -149,8 +179,10 @@ class Tracer:
         if hasattr(target, "write"):
             target.write(payload)
             return
-        with open(target, "w") as handle:
-            handle.write(payload)
+        # Function-level import: io.serialize imports modules that
+        # import this one.
+        from ..io.serialize import atomic_write_text
+        atomic_write_text(target, payload)
 
     def profile(self) -> List[Dict[str, Any]]:
         return profile_spans(span.as_dict() for span in self.spans)
@@ -167,7 +199,8 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__()
 
-    def span(self, name: str, **attrs: Any) -> Any:
+    def span(self, name: str, remote_parent: Optional[str] = None,
+             **attrs: Any) -> Any:
         return _NULL_SPAN
 
 
@@ -199,6 +232,53 @@ def load_trace(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
             ) from exc
         spans.append(span)
     return spans
+
+
+def span_tree(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest span dicts under their parents; returns the roots.
+
+    A span whose parent id is None — or references a span not present
+    in the input — becomes a root.  Input order is preserved among
+    siblings, so a deterministically-ordered merged export yields a
+    deterministic tree.
+    """
+    nodes: Dict[str, Dict[str, Any]] = {}
+    ordered = []
+    for span in spans:
+        node = dict(span)
+        node["children"] = []
+        nodes[node["id"]] = node
+        ordered.append(node)
+    roots = []
+    for node in ordered:
+        parent = node.get("parent")
+        if parent is not None and parent in nodes and parent != node["id"]:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def format_span_tree(spans: Iterable[Dict[str, Any]]) -> str:
+    """Indented one-line-per-span rendering of :func:`span_tree`."""
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        detail = " ".join(
+            "%s=%s" % (key, attrs[key]) for key in sorted(attrs)
+        )
+        lines.append(
+            "%s%-*s %10.3f  %s"
+            % ("  " * depth, 36 - 2 * depth, node["name"],
+               node["t1"] - node["t0"], detail)
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        walk(root, 0)
+    return "\n".join(lines)
 
 
 def profile_spans(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:

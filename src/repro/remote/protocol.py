@@ -37,11 +37,19 @@ IDEMPOTENT_OPS = frozenset(
 
 @dataclass(frozen=True)
 class Command:
-    """Controller → prober: one measurement to run."""
+    """Controller → prober: one measurement to run.
+
+    ``trace`` is an optional compact trace context (``{"id": <parent
+    span id>, "seed": <tracer seed>}``) propagated by the serving tier
+    so worker-side spans parent under the front-end span that issued
+    the command.  When absent the wire bytes are identical to the
+    pre-telemetry protocol.
+    """
 
     op: str                      # "trace" | "ping" | "ally" | "prefixscan"
     args: Dict[str, Any]
     seq: int = 0
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,8 @@ def encode(message) -> bytes:
     if isinstance(message, Command):
         body = {"t": "cmd", "seq": message.seq, "op": message.op,
                 "args": message.args}
+        if message.trace is not None:
+            body["tc"] = message.trace
     elif isinstance(message, Reply):
         body = {"t": "rep", "seq": message.seq, "payload": message.payload}
         if message.error is not None:
@@ -90,7 +100,8 @@ def decode(data: bytes):
     kind = body.get("t")
     try:
         if kind == "cmd":
-            return Command(op=body["op"], args=body["args"], seq=body["seq"])
+            return Command(op=body["op"], args=body["args"], seq=body["seq"],
+                           trace=body.get("tc"))
         if kind == "rep":
             return Reply(seq=body["seq"], payload=body["payload"],
                          error=body.get("err"))

@@ -656,6 +656,7 @@ def bench_service(
     server,
     workload: List[Tuple[str, int]],
     arrivals: List[float],
+    tick_every: int = 0,
 ) -> Dict[str, Any]:
     """Open-loop load generation against a sharded server.
 
@@ -666,6 +667,11 @@ def bench_service(
     (:func:`~repro.obs.trace.perf_clock`); a request's latency is its
     wave's completion instant minus its own arrival instant.  Requests
     the server sheds are counted, not timed — rejection is immediate.
+
+    ``tick_every`` > 0 runs a supervision pass (which, with telemetry
+    on, harvests shard metrics and spans) every that-many waves — the
+    production cadence the obs-tier benchmark charges against its
+    overhead budget.  The tick is *inside* the timed region on purpose.
     """
     assert len(arrivals) == len(workload)
     latencies: List[float] = []
@@ -683,6 +689,8 @@ def bench_service(
         wave = workload[position:end]
         started = perf_clock()
         answers = server.batch(wave)
+        if tick_every and (waves + 1) % tick_every == 0:
+            server.tick()
         elapsed = perf_clock() - started
         busy_seconds += elapsed
         done = start + elapsed
@@ -722,6 +730,7 @@ def run_service_benchmark(
     build: Optional[Callable] = None,
     metrics=None,
     tracer=None,
+    tick_every: int = 0,
 ) -> ServiceBenchSummary:
     """Infer, compile, save the artifact, stand up an in-process
     sharded server, and load it open-loop.
@@ -779,7 +788,9 @@ def run_service_benchmark(
             # every key reaches its home shard's cache).
             for start in range(0, total, max_inflight):
                 server.batch(workload[start:start + max_inflight])
-            measured = bench_service(server, workload, arrivals)
+            measured = bench_service(
+                server, workload, arrivals, tick_every=tick_every
+            )
         finally:
             server.close()
     finally:

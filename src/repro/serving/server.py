@@ -37,6 +37,7 @@ resurrecting the old epoch.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DataError, MeasurementError
@@ -49,6 +50,7 @@ from .shard import (
     InProcessTransport,
     ShardChannel,
     SpawnProcessTransport,
+    span_from_wire,
 )
 from .supervisor import RestartPolicy, ShardSupervisor, SupervisedShard
 
@@ -101,13 +103,24 @@ class ShardedBorderServer:
     ) -> None:
         if not channels:
             raise ValueError("a sharded server needs at least one shard")
+        # One canonical registry.  Internal bookkeeping (request/shed/
+        # degraded counters back the public properties) always needs a
+        # real registry, so a None/disabled argument gets a private one;
+        # ``telemetry`` remembers whether the caller asked for
+        # observability, which gates the per-tick harvest below.
         if metrics is None or not metrics.enabled:
-            self._metrics = MetricsRegistry()
-            self.metrics = metrics
+            metrics = MetricsRegistry()
+            self.telemetry = False
         else:
-            self._metrics = metrics
-            self.metrics = metrics
+            self.telemetry = True
+        self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.telemetry = True
+        # Spans harvested from shard workers, in harvest order; merged
+        # with the front-end tracer's own spans by merged_trace().
+        self._remote_spans: List[Dict[str, Any]] = []
+        self._harvest_cursor = 0
         self.clock = clock
         self.channels = channels
         self.max_inflight = max_inflight
@@ -118,7 +131,7 @@ class ShardedBorderServer:
             failure_threshold=failure_threshold,
             reset_timeout_s=reset_timeout_s,
             restart_policy=restart_policy,
-            metrics=self._metrics,
+            metrics=metrics,
         )
         # The committed epoch: what a fully converged tier serves.
         # token 0 = "as initially loaded; no swap committed yet" — every
@@ -130,23 +143,23 @@ class ShardedBorderServer:
     # -- counters ------------------------------------------------------------
 
     def _count(self, name: str, value: int = 1) -> None:
-        self._metrics.inc("serving.server." + name, value)
+        self.metrics.inc("serving.server." + name, value)
 
     @property
     def requests(self) -> int:
-        return self._metrics.counter("serving.server.requests")
+        return self.metrics.counter("serving.server.requests")
 
     @property
     def shed(self) -> int:
-        return self._metrics.counter("serving.server.shed")
+        return self.metrics.counter("serving.server.shed")
 
     @property
     def degraded(self) -> int:
-        return self._metrics.counter("serving.server.degraded")
+        return self.metrics.counter("serving.server.degraded")
 
     @property
     def failovers(self) -> int:
-        return self._metrics.counter("serving.server.failovers")
+        return self.metrics.counter("serving.server.failovers")
 
     @property
     def shed_rate(self) -> float:
@@ -169,7 +182,7 @@ class ShardedBorderServer:
         if not requests:
             return []
         self._count("requests", len(requests))
-        self._metrics.set_gauge(
+        self.metrics.set_gauge(
             "serving.server.queue_depth", float(len(requests))
         )
         accepted = requests[: self.max_inflight]
@@ -203,6 +216,14 @@ class ShardedBorderServer:
             self._count("degraded", degraded)
         return answers  # type: ignore[return-value]
 
+    def _trace_ctx(self) -> Optional[Dict[str, Any]]:
+        """The compact trace context stamped into outgoing shard
+        commands: the innermost open front-end span plus this tracer's
+        seed (which deterministically derives each worker's)."""
+        if not self.tracer.enabled:
+            return None
+        return {"id": self.tracer.current_id, "seed": self.tracer.seed}
+
     def _query_group(
         self, home: int, group: List[Tuple[str, int]]
     ) -> List[Answer]:
@@ -210,46 +231,52 @@ class ShardedBorderServer:
         order across the replicas."""
         supervisor = self.supervisor
         count = len(self.channels)
-        for offset in range(count):
-            index = (home + offset) % count
-            shard = supervisor.shards[index]
-            if not supervisor.healthy(shard):
-                continue
-            if offset:
-                self._count("failovers")
-            try:
-                payload = shard.channel.query(group)
-            except (MeasurementError, DataError):
-                supervisor.record_failure(shard)
-                continue
-            supervisor.record_success(shard)
-            answers = shard.channel.answers_from(payload)
-            token = payload.get("token", 0)
-            shard.last_seen_epoch = payload.get("epoch", -1)
-            shard.last_seen_token = token
-            if token != self.committed_token:
-                # The replica answered from an epoch the tier has moved
-                # past (or not yet reached): correct for its own epoch,
-                # but not what a converged tier would say — mark it.
-                answers = [
-                    Answer(
-                        op=answer.op, key=answer.key, value=answer.value,
-                        epoch=answer.epoch, degraded=True,
-                        note="stale-epoch: shard token %d != committed %d"
-                             % (token, self.committed_token),
-                    )
-                    for answer in answers
-                ]
-            return answers
-        # No replica could answer.
-        self._count("unavailable", len(group))
-        return [
-            Answer(
-                op=op, key=key, value=None, epoch=self.committed_epoch,
-                degraded=True, note="unavailable: no healthy shard",
-            )
-            for op, key in group
-        ]
+        with self.tracer.span("server.query_group", home=home,
+                              size=len(group)):
+            ctx = self._trace_ctx()
+            for offset in range(count):
+                index = (home + offset) % count
+                shard = supervisor.shards[index]
+                if not supervisor.healthy(shard):
+                    continue
+                if offset:
+                    self._count("failovers")
+                try:
+                    payload = shard.channel.query(group, trace=ctx)
+                except (MeasurementError, DataError):
+                    supervisor.record_failure(shard)
+                    continue
+                supervisor.record_success(shard)
+                answers = shard.channel.answers_from(payload)
+                token = payload.get("token", 0)
+                shard.last_seen_epoch = payload.get("epoch", -1)
+                shard.last_seen_token = token
+                if token != self.committed_token:
+                    # The replica answered from an epoch the tier has
+                    # moved past (or not yet reached): correct for its
+                    # own epoch, but not what a converged tier would
+                    # say — mark it.
+                    answers = [
+                        Answer(
+                            op=answer.op, key=answer.key,
+                            value=answer.value,
+                            epoch=answer.epoch, degraded=True,
+                            note="stale-epoch: shard token %d"
+                                 " != committed %d"
+                                 % (token, self.committed_token),
+                        )
+                        for answer in answers
+                    ]
+                return answers
+            # No replica could answer.
+            self._count("unavailable", len(group))
+            return [
+                Answer(
+                    op=op, key=key, value=None, epoch=self.committed_epoch,
+                    degraded=True, note="unavailable: no healthy shard",
+                )
+                for op, key in group
+            ]
 
     # -- two-phase epoch swap ------------------------------------------------
 
@@ -268,16 +295,17 @@ class ShardedBorderServer:
             shard for shard in supervisor.shards if shard.channel.alive
         ]
         with self.tracer.span("server.swap", epoch=epoch, token=token):
+            ctx = self._trace_ctx()
             prepared: List[SupervisedShard] = []
             for shard in live:
                 try:
                     shard.channel.request(
-                        "prepare", path=artifact_path, token=token,
-                        epoch=epoch,
+                        "prepare", trace=ctx, path=artifact_path,
+                        token=token, epoch=epoch,
                     )
                 except (MeasurementError, DataError):
                     supervisor.record_failure(shard)
-                    self._abort(prepared, token)
+                    self._abort(prepared, token, ctx)
                     self._count("swap_failures")
                     return None
                 prepared.append(shard)
@@ -294,7 +322,7 @@ class ShardedBorderServer:
             self._count("swaps")
             for shard in prepared:
                 try:
-                    shard.channel.request("commit", token=token)
+                    shard.channel.request("commit", trace=ctx, token=token)
                 except (MeasurementError, DataError):
                     # The shard missed its commit (died, severed...).
                     # It is now stale; its answers get marked degraded
@@ -304,19 +332,94 @@ class ShardedBorderServer:
                     self._count("commit_failures")
         return token
 
-    def _abort(self, prepared: List[SupervisedShard], token: int) -> None:
+    def _abort(self, prepared: List[SupervisedShard], token: int,
+               ctx: Optional[Dict[str, Any]] = None) -> None:
         for shard in prepared:
             try:
-                shard.channel.request("abort", token=token)
+                shard.channel.request("abort", trace=ctx, token=token)
             except (MeasurementError, DataError):
                 self.supervisor.record_failure(shard)
+
+    # -- telemetry harvest ----------------------------------------------------
+
+    def _harvest_shard(self, shard) -> str:
+        """Harvest one shard: fold its registry delta into the front-end
+        registry under a ``shard.<k>.`` prefix and collect the spans it
+        finished since the last harvest."""
+        if not shard.channel.alive:
+            return "down"
+        try:
+            payload = shard.channel.request("harvest")
+        except (MeasurementError, DataError):
+            self.supervisor.record_failure(shard)
+            return "failed"
+        self.supervisor.record_success(shard)
+        shard.last_seen_epoch = payload.get("epoch", -1)
+        shard.last_seen_token = payload.get("token", -1)
+        self.metrics.merge_delta(
+            payload.get("metrics", {}),
+            prefix="shard.%d." % shard.shard_id,
+        )
+        self._remote_spans.extend(
+            span_from_wire(entry) for entry in payload.get("spans", ())
+        )
+        self._count("harvests")
+        return "harvested"
+
+    def collect_metrics(self) -> Dict[int, str]:
+        """Harvest every live shard (see :meth:`_harvest_shard`).
+
+        Health reports and trace exports call this on demand; the
+        supervision tick spreads the same work round-robin, one shard
+        per tick, so the steady-state harvest cost stays flat in the
+        shard count.  Returns a per-shard outcome map in
+        supervisor-tick style.
+        """
+        return {
+            shard.shard_id: self._harvest_shard(shard)
+            for shard in self.supervisor.shards
+        }
+
+    def merged_trace(self) -> List[Dict[str, Any]]:
+        """Front-end spans plus every harvested worker span, as dicts.
+
+        Order is deterministic — front-end spans in completion order,
+        then remote spans in (harvest, completion) order — so the JSONL
+        export is byte-stable for a given seed and workload.  Worker
+        spans reference front-end span ids as parents, reconstructing
+        the cross-process tree (:func:`repro.obs.trace.span_tree`).
+        """
+        spans = [span.as_dict() for span in self.tracer.spans]
+        spans.extend(self._remote_spans)
+        return spans
+
+    def write_merged_trace(self, target) -> None:
+        """Atomic JSONL export of :meth:`merged_trace`."""
+        payload = "".join(
+            json.dumps(span, sort_keys=True) + "\n"
+            for span in self.merged_trace()
+        )
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        from ..io.serialize import atomic_write_text
+        atomic_write_text(target, payload)
 
     # -- supervision ----------------------------------------------------------
 
     def tick(self) -> Dict[int, str]:
-        """Run one supervision pass (heartbeats + due restarts)."""
+        """Run one supervision pass (heartbeats + due restarts), then —
+        when telemetry is on — harvest the next shard's metrics and
+        spans (round-robin, one shard per tick, so the harvest cost per
+        tick stays constant as the tier grows)."""
         with self.tracer.span("server.tick"):
-            return self.supervisor.tick()
+            actions = self.supervisor.tick()
+            if self.telemetry:
+                shards = self.supervisor.shards
+                shard = shards[self._harvest_cursor % len(shards)]
+                self._harvest_cursor += 1
+                self._harvest_shard(shard)
+            return actions
 
     def converged(self) -> bool:
         """Is every live shard serving the committed epoch?"""

@@ -36,6 +36,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ChannelError, DataError, MeasurementTimeout
 from ..net.faults import ChannelFaultPolicy
+from ..obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer, perf_clock
 from ..remote.protocol import (
     Command,
     Reply,
@@ -48,12 +50,13 @@ from .backend import close_backend
 from .bordermap import BorderLink, NeighborInfo, Ownership
 from .service import Answer, BorderMapService
 
-#: Shard-protocol operations.  ``query`` and ``ping`` are idempotent and
-#: safe to re-issue; the swap ops carry a token that makes replays
-#: harmless (prepare/commit/abort for an already-settled token is a
-#: no-op acknowledged with the current state).
+#: Shard-protocol operations.  ``query``, ``ping``, and ``harvest`` are
+#: idempotent and safe to re-issue; the swap ops carry a token that
+#: makes replays harmless (prepare/commit/abort for an already-settled
+#: token is a no-op acknowledged with the current state).
 SHARD_OPS = (
-    "ping", "query", "prepare", "commit", "abort", "stats", "shutdown",
+    "ping", "query", "prepare", "commit", "abort", "harvest", "stats",
+    "shutdown",
 )
 
 
@@ -159,6 +162,30 @@ def answer_from_wire(entry: Dict[str, Any]) -> Answer:
         raise DataError("malformed answer: %s" % exc) from exc
 
 
+def span_to_wire(span) -> List[Any]:
+    """A finished span as the compact harvest-wire array
+    ``[id, parent, name, t0, t1, attrs]``.
+
+    Harvest payloads are mostly spans; the array form sheds the six
+    repeated dict keys so the frame's JSON encode/decode (paid twice
+    per hop) stays cheap on the supervision cadence.
+    """
+    return [span.sid, span.parent, span.name, span.t0, span.t1,
+            span.attrs]
+
+
+def span_from_wire(entry: Sequence[Any]) -> Dict[str, Any]:
+    """Rebuild the standard span dict from :func:`span_to_wire` form."""
+    try:
+        sid, parent, name, t0, t1, attrs = entry
+    except (TypeError, ValueError) as exc:
+        raise DataError("malformed wire span: %r" % (entry,)) from exc
+    return {
+        "id": sid, "parent": parent, "name": name,
+        "t0": t0, "t1": t1, "attrs": attrs,
+    }
+
+
 # -- the worker --------------------------------------------------------------
 
 
@@ -200,6 +227,15 @@ class ShardWorker:
         self.token = token
         self.queries = 0
         self.swaps = 0
+        # Always-on worker telemetry: a real registry (dict bumps are
+        # cheap enough to leave on) harvested as deltas by the front
+        # end, and a tracer that stays null until the first command
+        # carrying a trace context seeds it deterministically.
+        self.metrics = MetricsRegistry()
+        self._harvest_mark = self.metrics.snapshot()
+        self.tracer: Tracer = NULL_TRACER
+        self._frame_bytes = 0
+        self._batches = 0
 
     # -- framed entry point -------------------------------------------------
 
@@ -210,17 +246,20 @@ class ShardWorker:
         the channel's decode layer — not the worker — decides how to
         classify the failure.
         """
+        self._frame_bytes = len(data)
         try:
             command = decode(unpack_frame(data))
             if not isinstance(command, Command):
                 raise DataError("expected a command, got %r" % (command,))
         except DataError as exc:
+            self.metrics.inc("worker.bad_frames")
             reply = Reply(seq=0, payload={}, error="bad frame: %s" % exc)
             return pack_frame(encode(reply))
         try:
-            payload = self.handle(command.op, command.args)
+            payload = self.handle(command.op, command.args, command.trace)
             reply = Reply(seq=command.seq, payload=payload)
         except Exception as exc:  # noqa: BLE001 - becomes a wire error
+            self.metrics.inc("worker.errors")
             reply = Reply(
                 seq=command.seq, payload={},
                 error="%s: %s" % (type(exc).__name__, exc),
@@ -229,8 +268,10 @@ class ShardWorker:
 
     # -- dispatch -----------------------------------------------------------
 
-    def handle(self, op: str, args: Dict[str, Any]) -> Dict[str, Any]:
+    def handle(self, op: str, args: Dict[str, Any],
+               ctx: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         if op == "ping":
+            self.metrics.inc("worker.pings")
             return {
                 "ok": True,
                 "shard": self.shard_id,
@@ -238,13 +279,15 @@ class ShardWorker:
                 "token": self.token,
             }
         if op == "query":
-            return self._handle_query(args)
+            return self._handle_query(args, ctx)
         if op == "prepare":
-            return self._handle_prepare(args)
+            return self._handle_prepare(args, ctx)
         if op == "commit":
-            return self._handle_commit(args)
+            return self._handle_commit(args, ctx)
         if op == "abort":
-            return self._handle_abort(args)
+            return self._handle_abort(args, ctx)
+        if op == "harvest":
+            return self._handle_harvest()
         if op == "stats":
             return {
                 "shard": self.shard_id,
@@ -260,33 +303,119 @@ class ShardWorker:
             "unknown shard op %r (want one of %s)" % (op, "/".join(SHARD_OPS))
         )
 
-    def _handle_query(self, args: Dict[str, Any]) -> Dict[str, Any]:
+    def _ensure_tracer(self, ctx: Optional[Dict[str, Any]]) -> Tracer:
+        """The worker's tracer, seeded on the first trace context seen.
+
+        The seed mixes the front-end tracer's seed with the shard id, so
+        every replica of a run gets a distinct-but-deterministic id
+        stream — identical whether the worker lives in-process or in a
+        spawned child, which is what makes merged traces byte-identical
+        across transports.
+        """
+        if ctx is None:
+            return NULL_TRACER
+        if not self.tracer.enabled:
+            seed = (int(ctx.get("seed", 0)) * 1000003
+                    + self.shard_id + 1) & 0xFFFFFFFFFFFFFFFF
+            self.tracer = Tracer(seed=seed)
+        return self.tracer
+
+    #: Every query batch gets a ``shard.query`` span; the decode/lookup
+    #: detail sub-spans are recorded on every Nth batch only (a
+    #: deterministic worker-local counter, so sampling is identical
+    #: across transports and runs).  Timing detail at full rate costs
+    #: more in span shipping than the lookups themselves; the sampled
+    #: batches keep the breakdown visible in every merged trace.
+    DETAIL_EVERY = 8
+
+    def _handle_query(self, args: Dict[str, Any],
+                      ctx: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         requests = [
             (str(op), int(key)) for op, key in args.get("requests", ())
         ]
         self.queries += len(requests)
-        answers = self.service.batch(requests)
+        self._batches += 1
+        self.metrics.inc("worker.queries", len(requests))
+        self.metrics.inc("worker.batches")
+        self.metrics.observe("worker.batch.size", len(requests))
+        tracer = self._ensure_tracer(ctx)
+        detail = (self._batches - 1) % self.DETAIL_EVERY == 0
+        started = perf_clock()
+        with tracer.span("shard.query",
+                         remote_parent=ctx.get("id") if ctx else None,
+                         shard=self.shard_id, size=len(requests)):
+            if detail:
+                with tracer.span("shard.decode", bytes=self._frame_bytes):
+                    pass
+                with tracer.span("shard.lookup"):
+                    answers = self.service.batch(requests)
+            else:
+                answers = self.service.batch(requests)
+        elapsed = perf_clock() - started
+        self.metrics.time("worker.query.seconds", elapsed)
+        self.metrics.observe("worker.query.ms", 1e3 * elapsed,
+                             bounds=LATENCY_BUCKETS_MS)
         return {
             "answers": [answer_to_wire(answer) for answer in answers],
             "epoch": self.service.epoch,
             "token": self.token,
         }
 
+    def _handle_harvest(self) -> Dict[str, Any]:
+        """Delta-since-last-harvest of the worker registry plus every
+        span finished since the previous harvest.  Harvesting twice with
+        nothing in between returns an empty delta and no spans.
+
+        Spans cross the wire in compact array form (see
+        :func:`span_to_wire`) — they dominate the harvest payload, and
+        dropping the six dict keys roughly halves the JSON cost on both
+        sides of the frame.
+        """
+        self.metrics.inc("worker.harvests")
+        self.metrics.set_gauge("worker.epoch", float(self.service.epoch))
+        self.metrics.set_gauge("worker.token", float(self.token))
+        delta = self.metrics.delta_since(self._harvest_mark)
+        self._harvest_mark = self.metrics.snapshot()
+        spans = (
+            [span_to_wire(span) for span in self.tracer.drain()]
+            if self.tracer.enabled else []
+        )
+        return {
+            "shard": self.shard_id,
+            "epoch": self.service.epoch,
+            "token": self.token,
+            "metrics": delta,
+            "spans": spans,
+        }
+
     # -- two-phase swap -----------------------------------------------------
 
-    def _handle_prepare(self, args: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_prepare(self, args: Dict[str, Any],
+                        ctx: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
         token = int(args["token"])
         path = str(args["path"])
         if self._staged is not None and self._staged[0] == token:
             return {"ok": True, "token": token}  # idempotent replay
         if self._staged is not None:
             close_backend(self._staged[2])
-        # Loading is the expensive, fallible half; it happens here, while
-        # the old map keeps serving, so commit is a pure pointer swap.
-        self._staged = (token, path, self._loader(path))
+        tracer = self._ensure_tracer(ctx)
+        with tracer.span("shard.prepare",
+                         remote_parent=ctx.get("id") if ctx else None,
+                         shard=self.shard_id, token=token):
+            # Loading is the expensive, fallible half; it happens here,
+            # while the old map keeps serving, so commit is a pure
+            # pointer swap.
+            started = perf_clock()
+            self._staged = (token, path, self._loader(path))
+            self.metrics.time("worker.prepare.seconds",
+                              perf_clock() - started)
+        self.metrics.inc("worker.prepares")
         return {"ok": True, "token": token}
 
-    def _handle_commit(self, args: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_commit(self, args: Dict[str, Any],
+                       ctx: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
         token = int(args["token"])
         if self._staged is None or self._staged[0] != token:
             if self.token == token:
@@ -296,21 +425,33 @@ class ShardWorker:
                 "commit for unprepared token %d (staged: %s)"
                 % (token, self._staged[0] if self._staged else None)
             )
-        _, path, backend = self._staged
-        self._staged = None
-        retired = self.service.map
-        self.service.swap(backend)
-        close_backend(retired)
+        tracer = self._ensure_tracer(ctx)
+        with tracer.span("shard.commit",
+                         remote_parent=ctx.get("id") if ctx else None,
+                         shard=self.shard_id, token=token):
+            _, path, backend = self._staged
+            self._staged = None
+            retired = self.service.map
+            self.service.swap(backend)
+            close_backend(retired)
         self.artifact_path = path
         self.token = token
         self.swaps += 1
+        self.metrics.inc("worker.swaps")
         return {"ok": True, "epoch": self.service.epoch, "token": self.token}
 
-    def _handle_abort(self, args: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_abort(self, args: Dict[str, Any],
+                      ctx: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
         token = int(args["token"])
         if self._staged is not None and self._staged[0] == token:
-            close_backend(self._staged[2])
-            self._staged = None
+            tracer = self._ensure_tracer(ctx)
+            with tracer.span("shard.abort",
+                             remote_parent=ctx.get("id") if ctx else None,
+                             shard=self.shard_id, token=token):
+                close_backend(self._staged[2])
+                self._staged = None
+            self.metrics.inc("worker.aborts")
         return {"ok": True, "token": token}
 
     def close(self) -> None:
@@ -531,12 +672,19 @@ class ShardChannel:
         if self._advance is not None and seconds > 0:
             self._advance(seconds)
 
-    def request(self, op: str, **args: Any) -> Dict[str, Any]:
-        """One framed round trip; returns the reply payload."""
+    def request(self, op: str, *,
+                trace: Optional[Dict[str, Any]] = None,
+                **args: Any) -> Dict[str, Any]:
+        """One framed round trip; returns the reply payload.
+
+        ``trace`` (keyword-only, never an op argument) is the optional
+        trace context stamped into the command so the worker parents
+        its spans under the front-end span that issued this request.
+        """
         self._seq += 1
         self.requests += 1
         wire_out = pack_frame(encode(Command(op=op, args=args,
-                                             seq=self._seq)))
+                                             seq=self._seq, trace=trace)))
         self.bytes_out += len(wire_out)
 
         fault = self.faults.next_fault() if self.faults is not None else None
@@ -579,9 +727,11 @@ class ShardChannel:
             )
         return reply.payload
 
-    def query(self, requests: Sequence[Tuple[str, int]]) -> Dict[str, Any]:
+    def query(self, requests: Sequence[Tuple[str, int]],
+              trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         return self.request(
-            "query", requests=[[op, key] for op, key in requests]
+            "query", trace=trace,
+            requests=[[op, key] for op, key in requests],
         )
 
     def answers_from(self, payload: Dict[str, Any]) -> List[Answer]:
