@@ -1,0 +1,78 @@
+"""Async coalescing front end vs synchronous batch (open-loop race).
+
+Runs the shared harness from :mod:`repro.serving.bench` — the same code
+``repro serve --bench --async`` uses — racing the coalescing
+:class:`~repro.serving.frontend.AsyncBorderFrontEnd` against the
+synchronous ``ShardedBorderServer.batch`` path on one shared in-process
+3-shard server.  The workload is duplicate-heavy (Zipf draw from a
+distinct pool ~1/8 the request count) and the offered rate saturates
+the tier so duplicates coexist within waves; the harness asserts both
+paths produce byte-identical answer sequences before any timing.
+Records ``BENCH_async.json`` via the shared ``bench_recorder``.
+
+``ASYNC_BENCH_SMOKE=1`` (the CI smoke job) shrinks the workload and
+relaxes the speedup floor; the identity assertions are unchanged.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.bench import run_async_benchmark
+
+SMOKE = os.environ.get("ASYNC_BENCH_SMOKE") == "1"
+REQUESTS = 800 if SMOKE else 4000
+DUP_FACTOR = 8
+# The acceptance floor: coalescing must at least double service qps on
+# the duplicate-heavy workload.  The smoke run keeps a real (but
+# CI-noise-tolerant) floor on a much smaller workload.
+MIN_SPEEDUP = 1.2 if SMOKE else 2.0
+
+
+@pytest.fixture(scope="module")
+def async_summary():
+    return run_async_benchmark(
+        scenario_name="mini", seed=1, requests=REQUESTS,
+        dup_factor=DUP_FACTOR, shards=3,
+        repeats=2 if SMOKE else 3,
+    )
+
+
+def test_bench_async_speedup(async_summary, bench_recorder):
+    summary = async_summary
+    print()
+    print(summary.text())
+    path = bench_recorder("async", summary.to_dict())
+    print("recorded %s" % path)
+
+    # The harness refuses to time diverging paths, so this is already
+    # proven — keep it visible in the report contract anyway.
+    assert summary.answers_identical
+
+    # Coalescing must have actually happened: the workload carries
+    # ~(dup_factor - 1)/dup_factor duplicates and the saturating
+    # arrival schedule packs them into shared waves.
+    assert summary.coalesce_rate > 0.3, summary.coalesce_rate
+    assert summary.distinct < summary.requests
+
+    assert summary.sync_qps > 0 and summary.async_qps > 0
+    assert summary.speedup >= MIN_SPEEDUP, (
+        "async front end is only %.2fx the sync batch path "
+        "(want >= %.2fx)" % (summary.speedup, MIN_SPEEDUP)
+    )
+
+
+def test_bench_async_summary_roundtrip(async_summary):
+    """The JSON envelope carries everything the perf tracker diffs."""
+    payload = async_summary.to_dict()
+    assert payload["bench"] == "async"
+    assert payload["config"]["shards"] == 3
+    assert payload["config"]["dup_factor"] == DUP_FACTOR
+    assert payload["config"]["distinct"] < payload["config"]["requests"]
+    metrics = payload["metrics"]
+    assert metrics["answers_identical"] is True
+    assert metrics["speedup"] == pytest.approx(
+        metrics["async_qps"] / metrics["sync_qps"], abs=0.01
+    )
+    assert metrics["async_p99_ms"] > 0.0
+    assert 0.0 < metrics["coalesce_rate"] < 1.0

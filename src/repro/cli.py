@@ -480,6 +480,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Answer queries through the fault-tolerant sharded tier (or run
     its open-loop load benchmark with --bench)."""
+    if args.bench and args.use_async:
+        from .serving.bench import run_async_benchmark
+
+        summary = run_async_benchmark(
+            scenario_name=args.name,
+            seed=args.seed,
+            requests=args.requests,
+            dup_factor=args.dup_factor,
+            shards=args.shards,
+            build=_build,
+        )
+        print(summary.text())
+        if args.out:
+            summary.write_json(args.out)
+            print("wrote %s" % args.out)
+        return 0
     if args.bench:
         from .serving.bench import run_service_benchmark
 
@@ -532,13 +548,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.map, epoch=epoch, shards=args.shards,
             max_inflight=args.max_inflight,
         )
+    frontend = None
+    if args.use_async:
+        from .serving.frontend import make_async_frontend
+
+        frontend = make_async_frontend(server)
+
+    def _answer(batch_requests):
+        if frontend is not None:
+            return frontend.batch_sync(batch_requests)
+        return server.batch(batch_requests)
+
     try:
-        for answer in server.batch(requests):
+        for answer in _answer(requests):
             print(_format_answer(answer))
         if args.swap:
             swap_epoch = (args.swap_epoch if args.swap_epoch is not None
                           else epoch + 1)
-            token = server.swap(args.swap, epoch=swap_epoch)
+            if frontend is not None:
+                token = frontend.swap_sync(args.swap, epoch=swap_epoch)
+            else:
+                token = server.swap(args.swap, epoch=swap_epoch)
             if token is None:
                 print("error: swap rolled back; still serving epoch %d"
                       % server.committed_epoch, file=sys.stderr)
@@ -551,12 +581,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     break
             print("swapped to %s (epoch %d, token %d)"
                   % (args.swap, server.committed_epoch, token))
-            for answer in server.batch(requests):
+            for answer in _answer(requests):
                 print(_format_answer(answer))
         if args.stats:
             print()
-            print(server.summary())
+            if frontend is not None:
+                print(frontend.summary())
+            else:
+                print(server.summary())
     finally:
+        if frontend is not None:
+            frontend.close()
         server.close()
     return 0
 
@@ -1209,6 +1244,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the open-loop load benchmark instead of "
                               "answering queries (writes BENCH_service.json "
                               "with --out)")
+    p_serve.add_argument("--async", dest="use_async", action="store_true",
+                         help="route through the coalescing async front "
+                              "end (with --bench: race it against the "
+                              "sync batch path, writes BENCH_async.json "
+                              "with --out)")
+    p_serve.add_argument("--dup-factor", type=int, default=8,
+                         help="duplicate-heavy workload skew for "
+                              "--bench --async")
     p_serve.add_argument("--name", choices=sorted(_SCENARIOS),
                          default="mini", help="scenario for --bench")
     p_serve.add_argument("--seed", type=int, default=None)

@@ -125,6 +125,8 @@ class HealthReport:
     failovers: int
     p50_ms: float
     p99_ms: float
+    coalesced: int = 0
+    coalesce_rate: float = 0.0
     shards: List[ShardHealth] = field(default_factory=list)
     slo: SLO = DEFAULT_SLO
     checks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -146,6 +148,8 @@ class HealthReport:
             "failovers": self.failovers,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
+            "coalesced": self.coalesced,
+            "coalesce_rate": self.coalesce_rate,
             "shards": [shard.to_dict() for shard in self.shards],
             "slo": self.slo.to_dict(),
             "checks": self.checks,
@@ -161,10 +165,12 @@ class HealthReport:
                "yes" if self.converged else "NO",
                "PASS" if self.ok else "FAIL"),
             "requests %d  shed %d (%.2f%%)  degraded %d (%.2f%%)  "
-            "failovers %d  p50 %.3fms  p99 %.3fms"
+            "failovers %d  coalesced %d (%.2f%%)  p50 %.3fms  "
+            "p99 %.3fms"
             % (self.requests, self.shed, 100.0 * self.shed_rate,
                self.degraded, 100.0 * self.degraded_rate,
-               self.failovers, self.p50_ms, self.p99_ms),
+               self.failovers, self.coalesced,
+               100.0 * self.coalesce_rate, self.p50_ms, self.p99_ms),
             "%-6s %-6s %-10s %8s %6s %6s %9s %9s %9s"
             % ("shard", "state", "breaker", "restarts", "epoch",
                "token", "queries", "p50ms", "p99ms"),
@@ -211,6 +217,8 @@ def health_from_dict(payload: Dict[str, Any]) -> HealthReport:
             failovers=int(payload["failovers"]),
             p50_ms=float(payload["p50_ms"]),
             p99_ms=float(payload["p99_ms"]),
+            coalesced=int(payload.get("coalesced", 0)),
+            coalesce_rate=float(payload.get("coalesce_rate", 0.0)),
             shards=[
                 ShardHealth.from_dict(entry)
                 for entry in payload.get("shards", ())
@@ -283,6 +291,13 @@ def build_health_report(server, slo: Optional[SLO] = None,
     degraded = server.degraded
     shed_rate = shed / requests if requests else 0.0
     degraded_rate = degraded / requests if requests else 0.0
+    # Front-end coalescing, when an AsyncBorderFrontEnd shares this
+    # registry; zero (and a 0.0 rate) on a plain synchronous tier.
+    coalesced = registry.counter("serving.frontend.coalesced")
+    frontend_requests = registry.counter("serving.frontend.requests")
+    coalesce_rate = (
+        coalesced / frontend_requests if frontend_requests else 0.0
+    )
     tier_latency = _merged_latency(
         registry, [shard.shard_id for shard in supervisor.shards]
     )
@@ -330,6 +345,8 @@ def build_health_report(server, slo: Optional[SLO] = None,
         failovers=server.failovers,
         p50_ms=p50,
         p99_ms=p99,
+        coalesced=coalesced,
+        coalesce_rate=coalesce_rate,
         shards=shards,
         slo=slo,
         checks=checks,

@@ -181,6 +181,11 @@ class FrameDecoder:
         while len(self._buffer) >= header:
             (length,) = FRAME_HEADER.unpack_from(self._buffer)
             if length > MAX_FRAME_BYTES:
+                # Poison the decoder: drop the corrupt prefix (and
+                # whatever rode in with it) so the error surfaces once
+                # and the channel can be torn down or restarted cleanly
+                # instead of re-raising on every subsequent feed.
+                self._buffer.clear()
                 raise DataError(
                     "frame length %d exceeds cap %d (corrupt prefix?)"
                     % (length, MAX_FRAME_BYTES)

@@ -22,10 +22,13 @@ from .bordermap import (
     next_generation,
 )
 from .bench import (
+    AsyncBenchSummary,
     CompiledBenchSummary,
     ServiceBenchSummary,
     ServingBenchSummary,
+    make_duplicate_workload,
     make_workload,
+    run_async_benchmark,
     run_compiled_benchmark,
     run_service_benchmark,
     run_serving_benchmark,
@@ -38,16 +41,20 @@ from .compiled import (
     save_compiled_map,
 )
 from .engine import EngineStats, LRUCache, OpStats, QueryEngine
+from .frontend import AsyncBorderFrontEnd, make_async_frontend
 from .naive import naive_border_for, naive_owner_of
 from .server import (
     ShardedBorderServer,
     VirtualClock,
+    is_shed,
     make_local_server,
     make_process_server,
+    mark_stale,
     shard_index,
 )
 from .service import Answer, BorderMapService
 from .shard import (
+    AsyncShardTransport,
     InProcessTransport,
     ShardChannel,
     ShardWorker,
@@ -93,9 +100,17 @@ __all__ = [
     "next_generation",
     "ShardedBorderServer",
     "VirtualClock",
+    "is_shed",
     "make_local_server",
     "make_process_server",
+    "mark_stale",
     "shard_index",
+    "AsyncBorderFrontEnd",
+    "make_async_frontend",
+    "AsyncShardTransport",
+    "AsyncBenchSummary",
+    "make_duplicate_workload",
+    "run_async_benchmark",
     "InProcessTransport",
     "ShardChannel",
     "ShardWorker",

@@ -810,6 +810,338 @@ def run_service_benchmark(
     )
 
 
+def make_duplicate_workload(
+    bmap, view, count: int, seed: int = 0, dup_factor: int = 8
+) -> List[Tuple[str, int]]:
+    """A duplicate-heavy serving workload: ``count`` requests drawn
+    with heavy-hitter skew from a distinct pool of roughly
+    ``count / dup_factor`` queries.
+
+    Border queries repeat heavily in deployment (many clients asking
+    about the same interconnection), so the pool is sampled with a
+    Zipf-like weight (rank ``r`` drawn proportionally to ``1/(r+1)``)
+    — a few keys dominate, the tail is long, and the draw is fully
+    deterministic under ``seed``.
+    """
+    if dup_factor < 1:
+        raise ValueError("dup_factor must be >= 1")
+    distinct = max(1, count // dup_factor)
+    pool = make_workload(bmap, view, distinct, seed=seed)
+    rng = make_rng((seed << 8) ^ 0xD0B1, "bench", "duplicates")
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    workload: List[Tuple[str, int]] = []
+    for _ in range(count):
+        roll = rng.random()
+        low, high = 0, len(cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < roll:
+                low = mid + 1
+            else:
+                high = mid
+        workload.append(pool[low])
+    return workload
+
+
+def _open_loop_accounting(answers, arrivals, position, done, state) -> None:
+    """Fold one wave's answers into the shared open-loop tallies."""
+    for offset, answer in enumerate(answers):
+        if answer.note.startswith("shed"):
+            state["shed"] += 1
+            continue
+        if answer.degraded:
+            state["degraded"] += 1
+        state["accepted"] += 1
+        state["latencies"].append(done - arrivals[position + offset])
+
+
+def bench_async_frontend(
+    frontend,
+    workload: List[Tuple[str, int]],
+    arrivals: List[float],
+) -> Dict[str, Any]:
+    """The async twin of :func:`bench_service`: the same open-loop wave
+    formation, each wave answered by ``await frontend.batch(wave)`` on
+    one event loop, so coalescing and shard pipelining are measured
+    under exactly the load shape the synchronous path saw."""
+    import asyncio
+
+    assert len(arrivals) == len(workload)
+    state: Dict[str, Any] = {
+        "accepted": 0, "shed": 0, "degraded": 0, "latencies": [],
+    }
+
+    async def drive() -> Tuple[int, float]:
+        waves = 0
+        busy_seconds = 0.0
+        now = 0.0
+        position = 0
+        while position < len(workload):
+            start = max(now, arrivals[position])
+            end = position
+            while end < len(workload) and arrivals[end] <= start:
+                end += 1
+            wave = workload[position:end]
+            started = perf_clock()
+            answers = await frontend.batch(wave)
+            elapsed = perf_clock() - started
+            busy_seconds += elapsed
+            done = start + elapsed
+            _open_loop_accounting(answers, arrivals, position, done, state)
+            waves += 1
+            now = done
+            position = end
+        return waves, busy_seconds
+
+    waves, busy_seconds = asyncio.run(drive())
+    latencies = sorted(state["latencies"])
+    return {
+        "accepted": state["accepted"],
+        "shed": state["shed"],
+        "degraded": state["degraded"],
+        "waves": waves,
+        "p50_ms": 1e3 * _percentile(latencies, 0.50),
+        "p99_ms": 1e3 * _percentile(latencies, 0.99),
+        "max_ms": 1e3 * (latencies[-1] if latencies else 0.0),
+        "service_qps": _qps(state["accepted"], busy_seconds),
+    }
+
+
+@dataclass
+class AsyncBenchSummary:
+    """The coalescing-front-end outcome (``BENCH_async.json``): the
+    async front end raced against the synchronous ``batch()`` path on
+    the same duplicate-heavy open-loop workload, answers asserted
+    byte-identical before any timing."""
+
+    scenario: str
+    seed: Optional[int]
+    shards: int
+    requests: int
+    dup_factor: int
+    distinct: int
+    wave_size: int
+    max_waves_per_shard: int
+    offered_qps: float
+    vps: int
+    map_stats: Dict[str, int] = field(default_factory=dict)
+    sync_qps: float = 0.0
+    async_qps: float = 0.0
+    sync_p50_ms: float = 0.0
+    sync_p99_ms: float = 0.0
+    async_p50_ms: float = 0.0
+    async_p99_ms: float = 0.0
+    sync_waves: int = 0
+    async_waves: int = 0
+    coalesce_rate: float = 0.0
+    answers_identical: bool = True
+
+    @property
+    def speedup(self) -> float:
+        return self.async_qps / self.sync_qps if self.sync_qps else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": "async",
+            "schema": BENCH_SCHEMA,
+            "config": {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "shards": self.shards,
+                "requests": self.requests,
+                "dup_factor": self.dup_factor,
+                "distinct": self.distinct,
+                "wave_size": self.wave_size,
+                "max_waves_per_shard": self.max_waves_per_shard,
+                "offered_qps": round(self.offered_qps, 1),
+                "vps": self.vps,
+            },
+            "map": dict(self.map_stats),
+            "metrics": {
+                "sync_qps": round(self.sync_qps, 1),
+                "async_qps": round(self.async_qps, 1),
+                "speedup": round(self.speedup, 2),
+                "sync_p50_ms": round(self.sync_p50_ms, 3),
+                "sync_p99_ms": round(self.sync_p99_ms, 3),
+                "async_p50_ms": round(self.async_p50_ms, 3),
+                "async_p99_ms": round(self.async_p99_ms, 3),
+                "sync_waves": self.sync_waves,
+                "async_waves": self.async_waves,
+                "coalesce_rate": round(self.coalesce_rate, 4),
+                "answers_identical": self.answers_identical,
+            },
+        }
+
+    def write_json(self, target: Union[str, IO[str]]) -> None:
+        payload = json.dumps(self.to_dict(), indent=1)
+        if hasattr(target, "write"):
+            target.write(payload)
+            return
+        with open(target, "w") as handle:
+            handle.write(payload)
+
+    def text(self) -> str:
+        return "\n".join(
+            [
+                "async front-end benchmark: %s, %d shards, %d requests "
+                "(~%dx duplicated, %d distinct), open-loop %.0f q/s"
+                % (self.scenario, self.shards, self.requests,
+                   self.dup_factor, self.distinct, self.offered_qps),
+                "  map: %s"
+                % ", ".join("%s=%d" % (k, v)
+                            for k, v in sorted(self.map_stats.items())),
+                "  sync  batch %10.0f q/s  p50 %8.3f ms  p99 %8.3f ms "
+                "(%d waves)"
+                % (self.sync_qps, self.sync_p50_ms, self.sync_p99_ms,
+                   self.sync_waves),
+                "  async coalesced %6.0f q/s  p50 %8.3f ms  p99 %8.3f ms "
+                "(%d waves, %.1f%% coalesced)"
+                % (self.async_qps, self.async_p50_ms, self.async_p99_ms,
+                   self.async_waves, 100 * self.coalesce_rate),
+                "  speedup %.2fx (answers %s)"
+                % (self.speedup,
+                   "byte-identical" if self.answers_identical
+                   else "DIVERGED"),
+            ]
+        )
+
+
+def run_async_benchmark(
+    scenario_name: str = "mini",
+    seed: Optional[int] = None,
+    requests: int = 4000,
+    dup_factor: int = 8,
+    shards: int = 3,
+    wave_size: int = 64,
+    max_waves_per_shard: int = 8,
+    offered_qps: float = 200000.0,
+    repeats: int = 3,
+    workdir: Optional[str] = None,
+    build: Optional[Callable] = None,
+) -> AsyncBenchSummary:
+    """Race the async coalescing front end against the synchronous
+    ``ShardedBorderServer.batch`` path.
+
+    One in-process sharded server serves both paths (so worker caches
+    are equally warm on both sides), loaded with the same open-loop
+    arrival schedule over the same duplicate-heavy workload.  The
+    offered rate must saturate the server: coalescing only merges
+    duplicates that coexist in a wave, so an under-offered schedule
+    (waves of ~1 request) measures pure front-end overhead instead.
+    Before any timing, both paths answer the full workload and the
+    answer sequences are asserted equal — the race refuses to time
+    paths that disagree.  Timed passes alternate sync/async, each side
+    keeping its best, so transient host noise cannot land on one side
+    only.
+    """
+    import os
+    import tempfile
+
+    from .. import build_data_bundle
+    from ..core.orchestrator import MultiVPOrchestrator
+    from ..io import save_border_map
+    from .bordermap import compile_border_map
+    from .frontend import make_async_frontend
+    from .server import make_local_server
+
+    build = build or _default_build
+    scenario = build(scenario_name, seed)
+    data = build_data_bundle(scenario)
+    run = MultiVPOrchestrator(scenario, data=data).run()
+    bmap = compile_border_map(
+        run.results, view=data.view, rels=data.rels, epoch=1,
+        source="async-bench %s" % scenario_name,
+    )
+    workload = make_duplicate_workload(
+        bmap, data.view, requests, seed=seed or 0, dup_factor=dup_factor
+    )
+    distinct = len(set(workload))
+    rng = make_rng(seed or 0, "bench", "async-arrivals")
+    arrivals: List[float] = []
+    clock_s = 0.0
+    for _ in range(requests):
+        clock_s += rng.expovariate(offered_qps)
+        arrivals.append(clock_s)
+
+    cleanup = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="bdrmap-bench-")
+        workdir = cleanup.name
+    try:
+        artifact_path = os.path.join(workdir, "map.json")
+        save_border_map(bmap, artifact_path)
+        # max_inflight admits the largest possible wave on the sync
+        # path: the race measures dispatch, not admission control.
+        server, _ = make_local_server(
+            artifact_path, epoch=1, shards=shards,
+            cache_size=4 * requests + 64, max_inflight=requests,
+        )
+        frontend = make_async_frontend(
+            server, wave_size=wave_size,
+            max_waves_per_shard=max_waves_per_shard,
+        )
+        try:
+            # Byte-identity before timing (doubles as cache warm-up).
+            sync_answers = server.batch(workload)
+            async_answers = frontend.batch_sync(workload)
+            if sync_answers != async_answers:
+                raise AssertionError(
+                    "sync and async answer sequences diverged; "
+                    "refusing to time paths that disagree"
+                )
+            sync_best: Optional[Dict[str, Any]] = None
+            async_best: Optional[Dict[str, Any]] = None
+            for _ in range(max(1, repeats)):
+                measured = bench_service(server, workload, arrivals)
+                if (sync_best is None
+                        or measured["service_qps"]
+                        > sync_best["service_qps"]):
+                    sync_best = measured
+                measured = bench_async_frontend(
+                    frontend, workload, arrivals
+                )
+                if (async_best is None
+                        or measured["service_qps"]
+                        > async_best["service_qps"]):
+                    async_best = measured
+            coalesce_rate = frontend.coalesce_rate
+        finally:
+            frontend.close()
+            server.close()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return AsyncBenchSummary(
+        scenario=scenario_name,
+        seed=seed,
+        shards=shards,
+        requests=requests,
+        dup_factor=dup_factor,
+        distinct=distinct,
+        wave_size=wave_size,
+        max_waves_per_shard=max_waves_per_shard,
+        offered_qps=offered_qps,
+        vps=len(run.results),
+        map_stats=bmap.stats(),
+        sync_qps=sync_best["service_qps"],
+        async_qps=async_best["service_qps"],
+        sync_p50_ms=sync_best["p50_ms"],
+        sync_p99_ms=sync_best["p99_ms"],
+        async_p50_ms=async_best["p50_ms"],
+        async_p99_ms=async_best["p99_ms"],
+        sync_waves=sync_best["waves"],
+        async_waves=async_best["waves"],
+        coalesce_rate=coalesce_rate,
+        answers_identical=True,
+    )
+
+
 def run_serving_benchmark(
     scenario_name: str = "mini",
     seed: Optional[int] = None,

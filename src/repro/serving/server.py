@@ -71,6 +71,44 @@ def shard_index(key: int, count: int) -> int:
     return x % count
 
 
+def is_shed(answer: Answer) -> bool:
+    """Was this answer shed by admission control (vs degraded for any
+    other reason)?  Shed and degraded are counted *disjointly*: a shed
+    answer carries ``degraded=True`` but must only ever land in the
+    ``shed`` counter, or the tier's degraded rate silently includes
+    admission-control rejections."""
+    return answer.note.startswith("shed")
+
+
+def mark_stale(answers: Sequence[Answer], token: int,
+               committed_token: int) -> List[Answer]:
+    """Re-tag a replica's answers as stale-epoch degraded: correct for
+    the epoch the replica serves, but not what a converged tier would
+    say.  Shared by the synchronous batch path and the async front
+    end so the marker text (and chaos-test oracles) stay identical."""
+    return [
+        Answer(
+            op=answer.op, key=answer.key, value=answer.value,
+            epoch=answer.epoch, degraded=True,
+            note="stale-epoch: shard token %d != committed %d"
+                 % (token, committed_token),
+        )
+        for answer in answers
+    ]
+
+
+def unavailable_answers(group: Sequence[Tuple[str, int]],
+                        epoch: int) -> List[Answer]:
+    """Explicitly degraded answers for a group no replica could serve."""
+    return [
+        Answer(
+            op=op, key=key, value=None, epoch=epoch,
+            degraded=True, note="unavailable: no healthy shard",
+        )
+        for op, key in group
+    ]
+
+
 class VirtualClock:
     """A manually advanced clock for deterministic serving timelines."""
 
@@ -165,6 +203,13 @@ class ShardedBorderServer:
     def shed_rate(self) -> float:
         return self.shed / self.requests if self.requests else 0.0
 
+    @property
+    def degraded_rate(self) -> float:
+        """Non-shed degraded answers per request — disjoint from
+        :attr:`shed_rate` by construction (shed answers are counted
+        only by the shed counter)."""
+        return self.degraded / self.requests if self.requests else 0.0
+
     # -- querying ------------------------------------------------------------
 
     def query(self, op: str, key: int) -> Answer:
@@ -211,9 +256,18 @@ class ShardedBorderServer:
                     epoch=self.committed_epoch,
                     degraded=True, note="shed: server over capacity",
                 )
-        degraded = sum(1 for answer in answers if answer.degraded)
+        # Shed answers carry degraded=True but are already counted under
+        # ``shed``; the degraded counter holds only non-shed degradation
+        # (stale-epoch, unavailable) so the two rates stay disjoint.
+        degraded = sum(
+            1 for answer in answers
+            if answer.degraded and not is_shed(answer)
+        )
         if degraded:
             self._count("degraded", degraded)
+        # The wave is done: an idle tier reports an empty queue, not the
+        # last wave's depth forever.
+        self.metrics.set_gauge("serving.server.queue_depth", 0.0)
         return answers  # type: ignore[return-value]
 
     def _trace_ctx(self) -> Optional[Dict[str, Any]]:
@@ -256,27 +310,12 @@ class ShardedBorderServer:
                     # moved past (or not yet reached): correct for its
                     # own epoch, but not what a converged tier would
                     # say — mark it.
-                    answers = [
-                        Answer(
-                            op=answer.op, key=answer.key,
-                            value=answer.value,
-                            epoch=answer.epoch, degraded=True,
-                            note="stale-epoch: shard token %d"
-                                 " != committed %d"
-                                 % (token, self.committed_token),
-                        )
-                        for answer in answers
-                    ]
+                    answers = mark_stale(answers, token,
+                                         self.committed_token)
                 return answers
             # No replica could answer.
             self._count("unavailable", len(group))
-            return [
-                Answer(
-                    op=op, key=key, value=None, epoch=self.committed_epoch,
-                    degraded=True, note="unavailable: no healthy shard",
-                )
-                for op, key in group
-            ]
+            return unavailable_answers(group, self.committed_epoch)
 
     # -- two-phase epoch swap ------------------------------------------------
 

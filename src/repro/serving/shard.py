@@ -739,3 +739,65 @@ class ShardChannel:
 
     def close(self) -> None:
         self.transport.close()
+
+
+class AsyncShardTransport:
+    """The asyncio face of one :class:`ShardChannel`.
+
+    Same framed command/reply exchange, same fault injection, same
+    error taxonomy — ``await``-able.  With ``executor=None`` (the
+    default) the exchange runs inline on the event loop, which is
+    correct and *deterministic* for :class:`InProcessTransport` workers
+    (the exchange is a function call, there is nothing to wait on) and
+    keeps the coalescing front end byte-reproducible under a seed.
+    Pass a ``concurrent.futures`` executor for process-backed shards,
+    whose pipe exchanges genuinely block: each exchange is then
+    offloaded so waves to different shards overlap in wall time.
+    """
+
+    def __init__(self, channel: ShardChannel, executor=None) -> None:
+        import threading
+        self.channel = channel
+        self.executor = executor
+        # One exchange at a time per channel: a duplex pipe cannot
+        # interleave two framed round trips, and ShardChannel's seq and
+        # byte accounting are not thread-safe.  Concurrency lives
+        # *across* shards, not within one.
+        self._lock = threading.Lock()
+
+    @property
+    def shard_id(self) -> int:
+        return self.channel.shard_id
+
+    @property
+    def alive(self) -> bool:
+        return self.channel.alive
+
+    def _exchange(self, op: str, trace: Optional[Dict[str, Any]],
+                  args: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            return self.channel.request(op, trace=trace, **args)
+
+    async def request(self, op: str, *,
+                      trace: Optional[Dict[str, Any]] = None,
+                      **args: Any) -> Dict[str, Any]:
+        if self.executor is None:
+            return self.channel.request(op, trace=trace, **args)
+        import asyncio
+        import functools
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.executor,
+            functools.partial(self._exchange, op, trace, args),
+        )
+
+    async def query(self, requests: Sequence[Tuple[str, int]],
+                    trace: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+        return await self.request(
+            "query", trace=trace,
+            requests=[[op, key] for op, key in requests],
+        )
+
+    def answers_from(self, payload: Dict[str, Any]) -> List[Answer]:
+        return self.channel.answers_from(payload)

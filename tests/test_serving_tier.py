@@ -11,6 +11,7 @@ import pytest
 from repro.errors import ChannelError, DataError, MeasurementTimeout
 from repro.io import load_border_map, save_border_map
 from repro.net.faults import ChannelFaultPolicy
+from repro.obs import MetricsRegistry
 from repro.probing.retry import RetryStats
 from repro.remote.protocol import (
     Channel,
@@ -110,6 +111,18 @@ class TestFraming:
             unpack_frame(pack_frame(b"x")[:-1])
         with pytest.raises(DataError):
             unpack_frame(pack_frame(b"x") + pack_frame(b"y"))
+
+    def test_decoder_recovers_after_oversize_frame(self):
+        """Regression: the oversize length prefix used to stay in the
+        buffer, so every subsequent feed() — even of valid frames —
+        re-raised the same error and wedged the channel for good."""
+        decoder = FrameDecoder()
+        with pytest.raises(DataError):
+            decoder.feed(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1) + b"junk")
+        # The poison (and whatever rode in with it) is gone...
+        assert decoder.pending == 0
+        # ...and the decoder keeps decoding valid frames afterwards.
+        assert decoder.feed(pack_frame(b"after")) == [b"after"]
 
 
 # -- channel retry backoff (satellite: full-jitter, seeded) ------------------
@@ -512,6 +525,50 @@ class TestShardedServer:
             assert [a.value for a in answers] == [a.value for a in oracle]
             assert all(a.epoch == 2 for a in answers)
             assert all(not a.degraded for a in answers)
+        finally:
+            server.close()
+
+    def test_queue_depth_gauge_resets_after_batch(self, tier):
+        """Regression: the gauge was set to the wave size on entry and
+        never cleared, so an idle tier reported a stale backlog."""
+        metrics = MetricsRegistry()
+        server, _ = make_local_server(
+            tier.path1, epoch=1, shards=2, metrics=metrics
+        )
+        try:
+            server.batch(tier.workload[:20])
+            assert metrics.gauge("serving.server.queue_depth") == 0.0
+        finally:
+            server.close()
+
+    def test_shed_and_degraded_rates_are_disjoint(self, tier):
+        """Regression: shed answers carry ``degraded=True`` and used to
+        land in *both* counters, double-counting every shed request.
+        A mixed workload — overflow past admission control while every
+        replica is down — must split cleanly: the admitted portion is
+        degraded (unavailable), the overflow is shed, and no answer is
+        counted twice."""
+        server, _ = make_local_server(
+            tier.path1, epoch=1, shards=2, max_inflight=8
+        )
+        try:
+            for channel in server.channels:
+                channel.transport.kill()
+            answers = server.batch(tier.workload[:20])
+            assert len(answers) == 20
+            shed = [a for a in answers if a.note.startswith("shed")]
+            degraded = [
+                a for a in answers
+                if a.degraded and not a.note.startswith("shed")
+            ]
+            assert len(shed) == 12
+            assert len(degraded) == 8
+            assert server.shed == 12
+            assert server.degraded == 8
+            assert server.shed_rate == pytest.approx(12 / 20)
+            assert server.degraded_rate == pytest.approx(8 / 20)
+            # Every answer is in exactly one bucket (or healthy).
+            assert server.shed + server.degraded <= server.requests
         finally:
             server.close()
 
